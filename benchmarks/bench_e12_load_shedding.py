@@ -1,0 +1,99 @@
+"""E12 — §4.3: QoS load shedding keeps the engine from falling behind.
+
+"deciding what work to drop when the system is in danger of falling
+behind the incoming data stream" — with user preferences pushed into
+the decision (the Juggle/[UF02] position).
+
+Setup: arrival rate exceeds service rate by 1x / 2x / 4x.  Policies:
+
+* none      — backlog (and so latency) grows without bound at >1x;
+* random    — backlog stays bounded; completeness degrades to ~1/factor;
+* preferred — same backlog bound, but the drop budget is spent on the
+  low-value class, so high-value completeness stays near 1.
+
+Expected shape: max backlog {unbounded, bounded, bounded};
+gold-class completeness {1, ~1/factor, ~1}.
+"""
+
+import pytest
+
+from repro.core.cacq import CACQEngine
+from repro.core.tuples import Schema
+from repro.ingress.generators import PacketStreamGenerator
+from repro.monitor.qos import LoadShedder
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+N_PACKETS = 4000
+SERVICE = 50
+WATCHED = {"h0", "h1", "h2"}
+
+
+def shedder_for(policy):
+    if policy == "preferred":
+        return LoadShedder(policy="preferred", seed=3,
+                           classify=lambda t: t["src"] in WATCHED,
+                           preferences={True: 10.0, False: 0.0},
+                           target_utilisation=1.0)
+    return LoadShedder(policy=policy, seed=3, target_utilisation=1.0)
+
+
+def run(policy, overload_factor):
+    packets = PacketStreamGenerator(n_hosts=40, seed=5).take(N_PACKETS)
+    epoch = int(SERVICE * overload_factor)
+    shedder = shedder_for(policy)
+    engine = CACQEngine()
+    engine.register_stream(PacketStreamGenerator().schema)
+    watched_q = engine.add_query(
+        ["PacketSummaries"],
+        Comparison("src", "==", "h0") | Comparison("src", "==", "h1")
+        | Comparison("src", "==", "h2"))
+    backlog = 0
+    max_backlog = 0
+    watched_in = 0
+    for start in range(0, len(packets), epoch):
+        arriving = packets[start:start + epoch]
+        watched_in += sum(1 for t in arriving if t["src"] in WATCHED)
+        shedder.update(arrived=len(arriving), serviced=SERVICE)
+        admitted = shedder.admit(arriving)
+        backlog = max(0, backlog + len(admitted) - SERVICE)
+        max_backlog = max(max_backlog, backlog)
+        for t in admitted:
+            engine.push_tuple("PacketSummaries", t)
+    watched_completeness = (watched_q.delivered / watched_in
+                            if watched_in else 1.0)
+    return max_backlog, shedder.completeness(), watched_completeness
+
+
+def test_e12_shape():
+    rows = []
+    results = {}
+    for factor in (1, 2, 4):
+        for policy in ("none", "random", "preferred"):
+            max_backlog, completeness, watched = run(policy, factor)
+            results[(policy, factor)] = (max_backlog, completeness,
+                                         watched)
+            rows.append((policy, factor, max_backlog, completeness,
+                         watched))
+    print_table("E12: overload behaviour by shedding policy",
+                ["policy", "overload", "max backlog", "completeness",
+                 "watched-class completeness"], rows)
+    # at 1x nobody drops
+    for policy in ("none", "random", "preferred"):
+        assert results[(policy, 1)][1] == 1.0
+    # at 4x: no-shedding backlog explodes; shedders stay bounded
+    assert results[("none", 4)][0] > 20 * results[("random", 4)][0]
+    assert results[("random", 4)][0] < 3 * SERVICE
+    # random sacrifices the watched class proportionally...
+    assert results[("random", 4)][2] < 0.5
+    # ...preferred protects it while shedding the same overall volume
+    assert results[("preferred", 4)][2] > 0.9
+    assert abs(results[("preferred", 4)][1]
+               - results[("random", 4)][1]) < 0.15
+
+
+@pytest.mark.benchmark(group="E12")
+@pytest.mark.parametrize("policy", ["none", "random", "preferred"])
+def test_e12_policy_timing(benchmark, policy):
+    benchmark(run, policy, 4)

@@ -1,0 +1,112 @@
+"""E13 — §2.1 / [RRH99]: Juggle's online reordering delivers what the
+user cares about first.
+
+Setup: 20,000 tuples, 5% belonging to the user's preferred class,
+scattered uniformly; the consumer drains slower than the producer (the
+interactive regime online reordering targets).  Compared: FIFO delivery
+vs Juggle, measured as *prefix quality* — the fraction of interesting
+tuples among the first k delivered.
+
+Expected shape ([RRH99] Figure 6-ish): Juggle's prefix quality is far
+above FIFO's for small prefixes and both converge to the base rate at
+the full stream; changing the preference mid-run redirects delivery
+immediately.
+"""
+
+import random
+
+import pytest
+
+from repro.core.tuples import Punctuation, Schema
+from repro.fjords.queues import PushQueue
+from repro.juggle.juggle import Juggle, prefix_quality
+
+from benchmarks.conftest import print_table
+
+S = Schema.of("S", "cls", "v")
+N = 20_000
+INTERESTING_RATE = 0.05
+
+
+def stream(seed=6):
+    rng = random.Random(seed)
+    return [S.make("hot" if rng.random() < INTERESTING_RATE else "cold",
+                   i, timestamp=i) for i in range(N)]
+
+
+def run_juggle(items, preferences, emit_quota=8, admit_chunk=64):
+    juggle = Juggle(classify=lambda t: t["cls"], preferences=preferences,
+                    buffer_capacity=4096, emit_quota=emit_quota)
+    q_in, q_out = PushQueue(), PushQueue()
+    juggle.bind_input(0, q_in)
+    juggle.bind_output(0, q_out)
+    delivered = []
+    i = 0
+    eos_sent = False
+    while not juggle.finished:
+        for t in items[i:i + admit_chunk]:
+            q_in.push(t)
+        i += admit_chunk
+        if i >= len(items) and not eos_sent:
+            q_in.push(Punctuation.eos())
+            eos_sent = True
+        juggle.run_once()
+        while len(q_out):
+            item = q_out.pop()
+            if not isinstance(item, Punctuation):
+                delivered.append(item)
+    return delivered
+
+
+def is_hot(t):
+    return t["cls"] == "hot"
+
+
+def test_e13_shape():
+    items = stream()
+    juggled = run_juggle(items, {"hot": 10.0})
+    rows = []
+    for prefix in (100, 500, 2000, N):
+        fifo_q = prefix_quality(items, prefix, is_hot)
+        juggle_q = prefix_quality(juggled, prefix, is_hot)
+        rows.append((prefix, fifo_q, juggle_q,
+                     juggle_q / fifo_q if fifo_q else float("inf")))
+    print_table(f"E13: prefix quality, FIFO vs Juggle "
+                f"({INTERESTING_RATE:.0%} interesting)",
+                ["prefix", "fifo", "juggle", "gain"], rows)
+    assert len(juggled) == N                      # nothing lost
+    # small prefixes: Juggle is many times better than FIFO
+    assert rows[0][2] > 5 * rows[0][1]
+    assert rows[1][2] > 3 * rows[1][1]
+    # full stream: both equal the base rate exactly
+    assert rows[-1][1] == rows[-1][2]
+
+
+def test_e13_mid_run_preference_change():
+    """Flip the preference to a different class mid-run; the newly
+    preferred class dominates subsequent deliveries."""
+    rng = random.Random(7)
+    items = [S.make(rng.choice(["red", "blue"]), i, timestamp=i)
+             for i in range(4000)]
+    juggle = Juggle(classify=lambda t: t["cls"],
+                    preferences={"red": 10.0}, buffer_capacity=8192,
+                    emit_quota=4)
+    q_in, q_out = PushQueue(), PushQueue()
+    juggle.bind_input(0, q_in)
+    juggle.bind_output(0, q_out)
+    for t in items:
+        q_in.push(t)
+    for _ in range(100):
+        juggle.run_once()
+    drained = [q_out.pop() for _ in range(len(q_out))]
+    assert sum(1 for t in drained if t["cls"] == "red") > 0.9 * len(drained)
+    juggle.set_preference("blue", 100.0)
+    juggle.run_once()
+    fresh = [q_out.pop() for _ in range(len(q_out))]
+    assert all(t["cls"] == "blue" for t in fresh if hasattr(t, "values"))
+
+
+@pytest.mark.benchmark(group="E13")
+def test_e13_juggle_timing(benchmark):
+    items = stream()[:5000]
+    benchmark(run_juggle, items, {"hot": 10.0})

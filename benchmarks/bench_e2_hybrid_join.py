@@ -1,0 +1,101 @@
+"""E2 — §2.2 / [RDH02]: SteM-based join hybridization.
+
+The paper's index-join discussion: joining stream S against table T
+reachable both through an expensive remote index (a TeSS-wrapped web
+form) and as a slowly arriving stream.  SteMs let the eddy run both
+plans at once and share their work:
+
+* **index-only**  — every S tuple pays a remote lookup;
+* **index+cache** — a CacheSteM on T remembers previous expensive
+  lookups ([HN96]), so repeated keys (Zipf!) hit locally;
+* **hybrid**      — additionally, T tuples arriving on the stream build
+  into the same SteM, so even first-seen keys often avoid the remote
+  round trip ("the tuples accessed by one plan are reused by the other,
+  so there is minimal wasted effort").
+
+Expected shape: remote lookups (and total charged work)
+    index-only  >>  index+cache  >  hybrid,
+with identical join answers from all three plans, across a latency sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.ingress.sources import RemoteIndexSource
+from repro.query.predicates import ColumnComparison
+
+from benchmarks.conftest import print_table
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+JOIN = ColumnComparison("S.k", "==", "T.k")
+N_S = 2000
+N_KEYS = 150
+
+
+def workload(seed=4):
+    rng = random.Random(seed)
+    t_rows = [T.make(k, k * 10, timestamp=k) for k in range(N_KEYS)]
+    weights = [1.0 / (k + 1) for k in range(N_KEYS)]
+    s_rows = [S.make(rng.choices(range(N_KEYS), weights=weights)[0], i,
+                     timestamp=i) for i in range(N_S)]
+    return s_rows, t_rows
+
+
+def run_plan(kind, latency=100, seed=4):
+    """Returns (matches, remote_lookups, charged_work)."""
+    s_rows, t_rows = workload(seed)
+    index = RemoteIndexSource("T-form", t_rows, key_column="k",
+                              latency_cost=latency)
+    stem_t = SteM("T", index_columns=["T.k"])
+    # In the hybrid plan, the T stream trickles in interleaved with S
+    # (one T row per 10 S rows), building the shared SteM.
+    stream_iter = iter(t_rows) if kind == "hybrid" else iter(())
+    matches = 0
+    seen_keys = set()
+    for i, s in enumerate(s_rows):
+        if kind == "hybrid" and i % 10 == 0:
+            arrived = next(stream_iter, None)
+            if arrived is not None and arrived.tid not in seen_keys:
+                stem_t.build(arrived)
+                seen_keys.add(arrived.tid)
+        local = stem_t.probe(s, [JOIN], dedupe_by_arrival=False) \
+            if kind != "index-only" else []
+        if local:
+            matches += len(local)
+            continue
+        remote = index.lookup(s["k"])
+        for t in remote:
+            if kind != "index-only" and t.tid not in seen_keys:
+                stem_t.build(t)          # cache the expensive lookup
+                seen_keys.add(t.tid)
+        matches += len(remote)
+    return matches, index.lookups, index.work_charged
+
+
+@pytest.mark.parametrize("latency", [20, 200])
+def test_e2_shape(latency):
+    results = {kind: run_plan(kind, latency)
+               for kind in ("index-only", "index+cache", "hybrid")}
+    rows = [(kind, m, lookups, work)
+            for kind, (m, lookups, work) in results.items()]
+    print_table(f"E2: hybrid join, remote latency={latency}",
+                ["plan", "matches", "remote lookups", "charged work"],
+                rows)
+    answers = {m for m, _l, _w in results.values()}
+    assert len(answers) == 1                      # identical join results
+    lookups = {k: l for k, (_m, l, _w) in results.items()}
+    assert lookups["index-only"] == N_S           # pays every time
+    assert lookups["index+cache"] <= N_KEYS       # at most one per key
+    assert lookups["hybrid"] < lookups["index+cache"]   # stream builds help
+    work = {k: w for k, (_m, _l, w) in results.items()}
+    assert work["hybrid"] < 0.1 * work["index-only"]
+
+
+@pytest.mark.benchmark(group="E2")
+@pytest.mark.parametrize("kind", ["index-only", "index+cache", "hybrid"])
+def test_e2_plan_timing(benchmark, kind):
+    benchmark(run_plan, kind, 50)

@@ -1,0 +1,125 @@
+"""E3 — §3.1 / [MSHR02]: CACQ's shared processing scales with the
+number of standing queries.
+
+Workload: N range-predicate continuous queries (``price > constant``)
+over one stock stream, N swept from 10 to 1000.  Engines compared:
+
+* per-query  — every tuple evaluated against every query (no sharing);
+* NiagaraCQ  — static grouped plans; equality groups hash, but range
+  constants are scanned linearly (the published design);
+* CACQ       — one shared eddy + grouped filters (bisection).
+
+Cost unit: predicate/constant comparisons per input tuple.  Expected
+shape ([MSHR02] Figures 7-9): per-query and NiagaraCQ grow linearly in
+N; CACQ grows ~logarithmically, so the gap widens with N — CACQ
+"matches or significantly exceeds" the static systems.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.niagara import NiagaraEngine
+from repro.baselines.per_query import PerQueryEngine
+from repro.core.cacq import CACQEngine
+from repro.core.tuples import Schema
+from repro.ingress.generators import StockStreamGenerator
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+N_TUPLES = 400
+SWEEP = [10, 50, 200, 1000]
+
+
+def make_queries(engine, n, seed=5):
+    rng = random.Random(seed)
+    return [engine.add_query(["ClosingStockPrices"],
+                             Comparison("closingPrice", ">",
+                                        rng.uniform(20.0, 80.0)))
+            for _ in range(n)]
+
+
+def drive(engine_cls, n_queries):
+    """Returns (comparisons-ish cost metric, delivered count)."""
+    engine = engine_cls()
+    engine.register_stream(StockStreamGenerator().schema)
+    queries = make_queries(engine, n_queries)
+    rows = StockStreamGenerator(seed=6, start_price=50.0,
+                                volatility=3.0).take(N_TUPLES // 5)
+    for t in rows:
+        engine.push_tuple("ClosingStockPrices",
+                          t.schema.make(*t.values, timestamp=t.timestamp))
+    delivered = sum(q.delivered if hasattr(q, "delivered")
+                    else len(q.results) for q in queries)
+    return engine, delivered
+
+
+def cost_of(engine):
+    if isinstance(engine, PerQueryEngine):
+        return engine.predicate_evaluations
+    if isinstance(engine, NiagaraEngine):
+        # range-constant scans dominate; add one per group probe.
+        return engine.stats()["range_scans"] + engine.group_probes
+    # CACQ: grouped-filter probes cost ~log2(n) comparisons each.
+    total = 0
+    for gf in engine.filters.values():
+        total += gf.probes * gf.probe_cost_estimate()
+    return total
+
+
+def test_e3_shape():
+    rows = []
+    curves = {}
+    for cls, label in ((PerQueryEngine, "per-query"),
+                       (NiagaraEngine, "niagara"),
+                       (CACQEngine, "cacq")):
+        curve = []
+        reference = None
+        for n in SWEEP:
+            engine, delivered = drive(cls, n)
+            cost = cost_of(engine)
+            curve.append(cost)
+            if reference is None:
+                reference = delivered
+        curves[label] = curve
+    for i, n in enumerate(SWEEP):
+        rows.append((n, curves["per-query"][i], curves["niagara"][i],
+                     curves["cacq"][i]))
+    print_table("E3: comparison cost vs number of standing queries "
+                f"({N_TUPLES} tuples)",
+                ["queries", "per-query", "niagara", "cacq"], rows)
+    # linear vs logarithmic growth: scaling N by 100x scales the
+    # baselines' cost by ~100x but CACQ's far less.
+    growth = {label: curve[-1] / curve[0] for label, curve in curves.items()}
+    assert growth["per-query"] > 50
+    assert growth["niagara"] > 50
+    assert growth["cacq"] < 10
+    # at N=1000 CACQ does at least an order of magnitude less work
+    assert curves["cacq"][-1] * 10 < curves["per-query"][-1]
+    assert curves["cacq"][-1] * 10 < curves["niagara"][-1]
+
+
+def test_e3_answers_agree():
+    """Sharing must not change answers: all three engines deliver the
+    same result multiset at N=50."""
+    deliveries = []
+    for cls in (PerQueryEngine, NiagaraEngine, CACQEngine):
+        engine = cls()
+        engine.register_stream(StockStreamGenerator().schema)
+        queries = make_queries(engine, 50)
+        for t in StockStreamGenerator(seed=6, start_price=50.0,
+                                      volatility=3.0).take(40):
+            engine.push_tuple(
+                "ClosingStockPrices",
+                t.schema.make(*t.values, timestamp=t.timestamp))
+        deliveries.append([len(q.results) for q in queries])
+    assert deliveries[0] == deliveries[1] == deliveries[2]
+
+
+@pytest.mark.benchmark(group="E3")
+@pytest.mark.parametrize("engine_cls", [PerQueryEngine, NiagaraEngine,
+                                        CACQEngine],
+                         ids=["per-query", "niagara", "cacq"])
+def test_e3_throughput_at_200_queries(benchmark, engine_cls):
+    benchmark(drive, engine_cls, 200)

@@ -1,0 +1,83 @@
+"""E4 — §3.1: grouped-filter probe cost vs the naive filter bank.
+
+Micro-benchmark of the shared index itself: N single-variable range
+factors over one attribute, probe cost measured in comparisons (the
+naive bank counts them exactly; the grouped filter's bisection cost is
+O(log N + answers)).
+
+Expected shape: naive comparisons grow linearly with N; grouped-filter
+probe *time* grows far slower, and the two always return identical
+query sets.  The match fraction sweep shows the output-sensitive term:
+when most queries match, both degenerate towards O(answers).
+"""
+
+import random
+
+import pytest
+
+from repro.core.grouped_filter import GroupedFilter, NaiveFilterBank
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+
+def build(n_queries, structure, spread=10_000, seed=7):
+    rng = random.Random(seed)
+    index = structure("price")
+    for qid in range(n_queries):
+        op = rng.choice([">", "<", ">=", "<=", "=="])
+        index.add(Comparison("price", op, rng.randrange(spread)), qid)
+    return index
+
+
+def probe_many(index, n_probes=200, spread=10_000, seed=8):
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(n_probes):
+        total += len(index.matching(rng.randrange(spread)))
+    return total
+
+
+def test_e4_shape():
+    import time
+    rows = []
+    for n in (10, 100, 1000, 10_000):
+        gf = build(n, GroupedFilter)
+        bank = build(n, NaiveFilterBank)
+        start = time.perf_counter()
+        matches_gf = probe_many(gf)
+        gf_time = time.perf_counter() - start
+        start = time.perf_counter()
+        matches_bank = probe_many(bank)
+        bank_time = time.perf_counter() - start
+        assert matches_gf == matches_bank
+        rows.append((n, bank.comparisons, matches_gf,
+                     bank_time / gf_time if gf_time else float("inf")))
+    print_table("E4: 200 probes against N registered factors",
+                ["factors", "naive comparisons", "answers",
+                 "naive/grouped time"], rows)
+    # naive comparisons scale linearly with N
+    assert rows[-1][1] > 500 * rows[0][1]
+
+
+def test_e4_identical_answers_random_workload():
+    gf = build(500, GroupedFilter, seed=11)
+    bank = build(500, NaiveFilterBank, seed=11)
+    rng = random.Random(12)
+    for _ in range(500):
+        value = rng.randrange(10_000)
+        assert gf.matching(value) == bank.matching(value)
+
+
+@pytest.mark.benchmark(group="E4")
+@pytest.mark.parametrize("n", [100, 1000, 10_000])
+def test_e4_grouped_probe_timing(benchmark, n):
+    gf = build(n, GroupedFilter)
+    benchmark(probe_many, gf, 50)
+
+
+@pytest.mark.benchmark(group="E4")
+@pytest.mark.parametrize("n", [100, 1000, 10_000])
+def test_e4_naive_probe_timing(benchmark, n):
+    bank = build(n, NaiveFilterBank)
+    benchmark(probe_many, bank, 50)

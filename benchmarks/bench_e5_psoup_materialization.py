@@ -1,0 +1,107 @@
+"""E5 — §3.2 / [CF02]: PSoup's Results Structure makes invocation cheap.
+
+Workload: 100 standing queries over a stream; clients reconnect and
+invoke every k tuples.  Compared:
+
+* PSoup        — results materialised continuously; invoke = window the
+  per-query answer list;
+* on-demand    — no materialisation; invoke rescans the data window and
+  re-evaluates the predicate.
+
+Expected shape ([CF02]): invoke latency for PSoup depends only on the
+answer size, while on-demand pays the whole window scan times the
+number of invocations — so as invocation frequency or window size grows,
+materialisation wins by a widening factor.  Answers are identical.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.psoup import OnDemandPSoup, PSoup
+from repro.core.tuples import Schema
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+SCHEMA = Schema.of("s", "v")
+N_DATA = 4000
+N_QUERIES = 100
+
+
+def predicates(seed=9):
+    rng = random.Random(seed)
+    # selective predicates: answers are small relative to the window
+    return [Comparison("v", "==", rng.randrange(200))
+            for _ in range(N_QUERIES)]
+
+
+def run(engine_cls, window, invoke_every, seed=10):
+    rng = random.Random(seed)
+    engine = engine_cls(SCHEMA)
+    queries = [engine.register_query(p, window=window)
+               for p in predicates()]
+    answers = 0
+    invoke_time = 0.0
+    invokes = 0
+    for i in range(1, N_DATA + 1):
+        engine.push(rng.randrange(200), timestamp=i)
+        if i % invoke_every == 0:
+            start = time.perf_counter()
+            for q in queries:
+                answers += len(engine.invoke(q))
+            invoke_time += time.perf_counter() - start
+            invokes += N_QUERIES
+    scanned = getattr(engine, "scan_cost", None)
+    return answers, invoke_time, invokes, scanned
+
+
+def test_e5_shape():
+    rows = []
+    for window, invoke_every in ((500, 400), (500, 100), (2000, 100)):
+        ps_answers, ps_time, invokes, _ = run(PSoup, window, invoke_every)
+        od_answers, od_time, _, od_scanned = run(OnDemandPSoup, window,
+                                                 invoke_every)
+        assert ps_answers == od_answers
+        rows.append((window, invoke_every, invokes,
+                     ps_time * 1000, od_time * 1000,
+                     od_time / ps_time if ps_time else float("inf")))
+    print_table("E5: total invoke cost, materialised vs recompute",
+                ["window", "invoke every", "invocations",
+                 "psoup ms", "on-demand ms", "speedup"], rows)
+    # materialisation wins, and the gap grows with window size
+    speedups = [r[-1] for r in rows]
+    assert all(s > 2 for s in speedups)
+    assert speedups[2] > speedups[1]          # bigger window -> bigger win
+
+
+def test_e5_invoke_cost_flat_in_window():
+    """PSoup invoke touches only the answer, not the window: widening
+    the window 10x leaves materialised retrieval ~flat while on-demand
+    scans ~10x more tuples."""
+    _a, _t, _i, scanned_small = run(OnDemandPSoup, 300, 100)
+    _a, _t, _i, scanned_big = run(OnDemandPSoup, 3000, 100)
+    assert scanned_big > 5 * scanned_small
+
+
+@pytest.mark.benchmark(group="E5")
+def test_e5_psoup_invoke_timing(benchmark):
+    engine = PSoup(SCHEMA)
+    queries = [engine.register_query(p, window=1000)
+               for p in predicates()]
+    rng = random.Random(1)
+    for i in range(1, 2001):
+        engine.push(rng.randrange(200), timestamp=i)
+    benchmark(lambda: [engine.invoke(q) for q in queries])
+
+
+@pytest.mark.benchmark(group="E5")
+def test_e5_on_demand_invoke_timing(benchmark):
+    engine = OnDemandPSoup(SCHEMA)
+    queries = [engine.register_query(p, window=1000)
+               for p in predicates()]
+    rng = random.Random(1)
+    for i in range(1, 2001):
+        engine.push(rng.randrange(200), timestamp=i)
+    benchmark(lambda: [engine.invoke(q) for q in queries])

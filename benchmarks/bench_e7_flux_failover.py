@@ -1,0 +1,111 @@
+"""E7 — §2.4: Flux process-pair failover and the replication QoS knob.
+
+A machine is killed halfway through the run.  Compared:
+
+* replication=1 — each partition has a process-pair replica: the crash
+  promotes replicas, in-flight data is never pending only on the dead
+  machine, and the final answer is exact (zero loss);
+* replication=0 — partitions restart empty: history applied on the dead
+  machine is gone, and the loss is measured precisely.
+
+The knob's price: replication roughly doubles processed work and slows
+the no-failure run — "unneeded reliability [can] be traded for improved
+performance".
+"""
+
+import random
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.flux.cluster import Cluster, GroupCountState
+from repro.flux.flux import Flux
+
+from benchmarks.conftest import print_table
+
+PACKETS = Schema.of("pkts", "src")
+N_TUPLES = 5000
+
+
+def stream(seed=21):
+    rng = random.Random(seed)
+    return [PACKETS.make(rng.randrange(32), timestamp=i)
+            for i in range(N_TUPLES)]
+
+
+def run(data, replication, fail_tick=None):
+    cluster = Cluster()
+    for i in range(4):
+        cluster.add_machine(f"m{i}", speed=70)
+    flux = Flux(cluster, n_partitions=8, key_fn=lambda t: t["src"],
+                state_factory=lambda: GroupCountState("src"),
+                replication=replication)
+    ticks = 0
+    i = 0
+    while i < len(data) or flux.unacked_total():
+        batch = data[i:i + 120]
+        i += len(batch)
+        flux.tick(batch)
+        ticks += 1
+        if fail_tick is not None and ticks == fail_tick:
+            cluster.fail("m1")
+            flux.on_machine_failure("m1")
+        if ticks > 100_000:
+            raise AssertionError("no progress")
+    return ticks, flux
+
+
+def truth(data):
+    out = {}
+    for t in data:
+        out[t["src"]] = out.get(t["src"], 0) + 1
+    return out
+
+
+def test_e7_shape():
+    data = stream()
+    expected = truth(data)
+    rows = []
+    for replication in (1, 0):
+        ticks, flux = run(list(data), replication, fail_tick=10)
+        counted = sum(flux.merged_counts().values())
+        exact = flux.merged_counts() == expected
+        rows.append((replication, ticks, counted, flux.lost_tuples,
+                     exact, flux.cluster.total_processed()))
+    print_table("E7: crash at tick 10, by replication degree",
+                ["replication", "ticks", "counted", "lost", "exact",
+                 "work"], rows)
+    # process pairs: zero loss, exact answer
+    assert rows[0][3] == 0 and rows[0][4]
+    # unreplicated: real loss, fully accounted
+    assert rows[1][3] > 0
+    assert rows[1][2] + rows[1][3] == N_TUPLES
+
+
+def test_e7_replication_cost_without_failure():
+    data = stream()
+    _t0, plain = run(list(data), replication=0)
+    _t1, mirrored = run(list(data), replication=1)
+    ratio = mirrored.cluster.total_processed() / \
+        plain.cluster.total_processed()
+    print_table("E7b: the QoS knob's price (no failure)",
+                ["replication", "processed work"],
+                [(0, plain.cluster.total_processed()),
+                 (1, mirrored.cluster.total_processed())])
+    assert 1.8 < ratio < 2.2                  # ~2x, as process pairs imply
+    assert plain.merged_counts() == mirrored.merged_counts()
+
+
+def test_e7_recovery_replays_exactly_once():
+    """In-flight tuples pending on the dead machine are replayed, and
+    nothing is double counted."""
+    data = stream(seed=30)
+    _ticks, flux = run(list(data), replication=1, fail_tick=12)
+    assert flux.merged_counts() == truth(data)
+
+
+@pytest.mark.benchmark(group="E7")
+@pytest.mark.parametrize("replication", [0, 1])
+def test_e7_failover_timing(benchmark, replication):
+    data = stream()
+    benchmark(run, list(data), replication, 10)

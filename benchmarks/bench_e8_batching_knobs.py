@@ -1,0 +1,113 @@
+"""E8 — §4.3 "Adapting Adaptivity": the batching and fixing knobs.
+
+The paper: per-tuple routing "does come at some cost"; batching tuples
+and fixing operator sequences reduce that overhead, at the price of
+slower reaction when selectivities drift.  The benchmark turns both
+knobs:
+
+* overhead axis — routing decisions per tuple and wall-clock throughput
+  on a *stable* stream, for batch sizes 1..512 (+ fixed sequences);
+* adaptivity axis — extra predicate evaluations (vs the per-tuple eddy)
+  on a *drifting* stream, for the same knob settings.
+
+Expected shape: decisions/tuple fall ~1/batch; throughput rises; work on
+the drifting stream degrades gracefully as batches grow — the two-knob
+trade-off the paper describes.
+"""
+
+import time
+
+import pytest
+
+from repro.core.adaptivity import AdaptivityController
+from repro.core.eddy import Eddy, FilterOperator
+from repro.core.routing import BatchingDirective, LotteryPolicy
+from repro.ingress.generators import DriftingSelectivityGenerator
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+N = 6000
+PRED_A = Comparison("a", "==", 1)
+PRED_B = Comparison("b", "==", 1)
+KNOBS = [("per-tuple", BatchingDirective(1)),
+         ("batch=8", BatchingDirective(8)),
+         ("batch=64", BatchingDirective(64)),
+         ("batch=512", BatchingDirective(512)),
+         ("batch=64+fixed", BatchingDirective(64, fix_sequence=True))]
+
+
+def run(batching, flip_at, auto=False):
+    rows = DriftingSelectivityGenerator(seed=17, flip_at=flip_at,
+                                        low_pass=0.1,
+                                        high_pass=0.9).take(N)
+    ops = [FilterOperator(PRED_A, name="fa"),
+           FilterOperator(PRED_B, name="fb")]
+    eddy = Eddy(ops, output_sources={"drift"},
+                policy=LotteryPolicy(seed=2, explore=0.05),
+                batching=batching)
+    controller = AdaptivityController(eddy, check_every=150,
+                                      max_batch=512) if auto else None
+    out = 0
+    start = time.perf_counter()
+    for t in rows:
+        out += len(eddy.process(t, 0))
+        if controller is not None:
+            controller.after_tuple()
+    elapsed = time.perf_counter() - start
+    work = ops[0].seen + ops[1].seen
+    return eddy.routing_decisions, work, out, elapsed
+
+
+def test_e8_shape():
+    stable = {}
+    drifting = {}
+    for label, knob in KNOBS:
+        stable[label] = run(knob, flip_at=0)
+        drifting[label] = run(knob, flip_at=N // 4)
+    # §4.3's missing piece: the automatic knob controller
+    stable["auto"] = run(BatchingDirective(1), flip_at=0, auto=True)
+    drifting["auto"] = run(BatchingDirective(1), flip_at=N // 4,
+                           auto=True)
+    rows = []
+    for label, _knob in list(KNOBS) + [("auto", None)]:
+        decisions, _w, _o, elapsed = stable[label]
+        _d, drift_work, _o2, _e = drifting[label]
+        rows.append((label, decisions, decisions / N,
+                     elapsed * 1000, drift_work))
+    print_table(f"E8: the two adaptivity knobs (n={N})",
+                ["knob", "decisions", "per tuple", "stable ms",
+                 "drift work"], rows)
+    decisions = {label: stable[label][0] for label, _ in KNOBS}
+    # batching collapses routing decisions by ~the batch factor
+    assert decisions["batch=64"] < decisions["per-tuple"] / 10
+    assert decisions["batch=512"] < decisions["batch=8"]
+    # answers never change with the knobs (including the controller)
+    outputs = {entry[2] for entry in stable.values()}
+    assert len(outputs) == 1
+    # on the drifting stream, coarse batching costs some extra work but
+    # degrades gracefully (bounded, not catastrophic)
+    drift = {label: drifting[label][1]
+             for label in list(stable) if label in drifting}
+    assert drift["batch=512"] <= drift["per-tuple"] * 1.35
+    # the automatic controller lands between the extremes on both axes:
+    # far fewer decisions than per-tuple on the stable stream, and
+    # drift-time work no worse than the coarsest fixed batch
+    assert stable["auto"][0] < stable["per-tuple"][0] / 3
+    assert drift["auto"] <= drift["batch=512"] * 1.1
+
+
+def test_e8_batched_results_identical_while_drifting():
+    reference = None
+    for _label, knob in KNOBS:
+        _d, _w, out, _e = run(knob, flip_at=N // 3)
+        if reference is None:
+            reference = out
+        assert out == reference
+
+
+@pytest.mark.benchmark(group="E8")
+@pytest.mark.parametrize("label,knob", KNOBS,
+                         ids=[label for label, _ in KNOBS])
+def test_e8_knob_timing(benchmark, label, knob):
+    benchmark(run, knob, 0)

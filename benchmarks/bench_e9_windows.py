@@ -1,0 +1,130 @@
+"""E9 — §4.1: the four window classes, through the full SQL path.
+
+Runs the paper's example queries 1-4 (snapshot, landmark, sliding/
+hopping average, temporal band-join) end to end on a deterministic
+ClosingStockPrices stream and checks every window's *content* against
+closed-form answers; the timing half measures per-window-class
+throughput.
+
+Deterministic prices: MSFT = 45 + day, IBM = 50, ORCL = 40 (so band-join
+membership flips at known days).
+"""
+
+import pytest
+
+from repro.core.engine import TelegraphCQServer
+from repro.ingress.generators import CLOSING_STOCK_PRICES
+
+from benchmarks.conftest import print_table
+
+N_DAYS = 60
+
+
+def price(sym, day):
+    return {"MSFT": 45.0 + day, "IBM": 50.0, "ORCL": 40.0}[sym]
+
+
+def loaded_server(days=N_DAYS):
+    srv = TelegraphCQServer()
+    srv.create_stream(CLOSING_STOCK_PRICES)
+    for day in range(1, days + 1):
+        for sym in ("MSFT", "IBM", "ORCL"):
+            srv.push("ClosingStockPrices", day, sym, price(sym, day),
+                     timestamp=day)
+    return srv
+
+
+QUERIES = {
+    "snapshot": """
+        SELECT closingPrice, timestamp FROM ClosingStockPrices
+        WHERE stockSymbol = 'MSFT'
+        for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }""",
+    "landmark": """
+        SELECT closingPrice, timestamp FROM ClosingStockPrices
+        WHERE stockSymbol = 'MSFT' and closingPrice > 50.00
+        for (t = 10; t <= 50; t += 10) {
+            WindowIs(ClosingStockPrices, 10, t);
+        }""",
+    "sliding": """
+        Select AVG(closingPrice) From ClosingStockPrices
+        Where stockSymbol = 'MSFT'
+        for (t = 5; t < 30; t += 5) {
+            WindowIs(ClosingStockPrices, t - 4, t);
+        }""",
+    "band-join": """
+        Select c2.* FROM ClosingStockPrices as c1,
+                         ClosingStockPrices as c2
+        WHERE c1.stockSymbol = 'MSFT' and c2.stockSymbol != 'MSFT'
+          and c2.closingPrice > c1.closingPrice
+          and c2.timestamp = c1.timestamp
+        for (t = 5; t < 10; t++) {
+            WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t);
+        }""",
+}
+
+
+def run_all():
+    srv = loaded_server()
+    cursors = {name: srv.submit(sql) for name, sql in QUERIES.items()}
+    srv.close_stream("ClosingStockPrices")
+    srv.run_until_quiescent()
+    return {name: cursor.fetch_windows()
+            for name, cursor in cursors.items()}
+
+
+def test_e9_shape():
+    windows = run_all()
+    rows = [(name, len(ws), sum(len(r) for _t, r in ws))
+            for name, ws in windows.items()]
+    print_table("E9: the four §4.1 window classes (SQL end-to-end)",
+                ["query", "windows", "total rows"], rows)
+
+    # snapshot: days 1..5 of MSFT, once
+    (t0, snap) = windows["snapshot"][0]
+    assert [r["timestamp"] for r in snap] == [1, 2, 3, 4, 5]
+    assert len(windows["snapshot"]) == 1
+
+    # landmark: MSFT > 50 from day 6; window [10, t] counts days 10..t
+    for (t, rows_) in windows["landmark"]:
+        assert len(rows_) == t - 10 + 1
+
+    # sliding: 5-day average of 45+day over days t-4..t = 45 + t - 2
+    for (t, rows_) in windows["sliding"]:
+        assert rows_[0]["avg_closingPrice"] == pytest.approx(45 + t - 2)
+
+    # band-join: IBM (50) > MSFT (45+day) iff day < 5; ORCL never.
+    for (t, rows_) in windows["band-join"]:
+        lo = t - 4
+        expected = sum(1 for day in range(lo, t + 1) if 45 + day < 50)
+        assert len(rows_) == expected
+        assert all(r["c2.stockSymbol"] == "IBM" for r in rows_)
+
+
+def test_e9_hopping_gap_never_double_counts():
+    """Hop == width: consecutive windows partition the stream; total
+    rows across windows equals the stream length once."""
+    srv = loaded_server(days=40)
+    cursor = srv.submit("""
+        SELECT timestamp FROM ClosingStockPrices
+        WHERE stockSymbol = 'MSFT'
+        for (t = 10; t <= 40; t += 10) {
+            WindowIs(ClosingStockPrices, t - 9, t);
+        }""")
+    srv.close_stream("ClosingStockPrices")
+    srv.run_until_quiescent()
+    seen = [r["timestamp"] for _t, rows in cursor.fetch_windows()
+            for r in rows]
+    assert sorted(seen) == list(range(1, 41))
+
+
+@pytest.mark.benchmark(group="E9")
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_e9_window_class_timing(benchmark, name):
+    def once():
+        srv = loaded_server(days=30)
+        cursor = srv.submit(QUERIES[name])
+        srv.close_stream("ClosingStockPrices")
+        srv.run_until_quiescent()
+        return cursor.fetch_windows()
+
+    benchmark(once)

@@ -1,0 +1,66 @@
+"""F1 — Figure 1: the full Telegraph module stack composes over Fjords.
+
+The figure is an architecture diagram; its executable claim is that the
+three module rows (ingress, query processing, adaptive routing) assemble
+into one dataflow mixing push and pull sources.  The benchmark wires
+pull table + push stream -> eddy(SteMs + filter) -> group-by -> sink and
+measures end-to-end throughput.
+"""
+
+import pytest
+
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.operators import AggregateSpec, GroupByAggregate
+from repro.core.routing import LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.ingress.sources import PullSource, PushSource
+from repro.ingress.wrappers import WrapperSourceModule
+from repro.query.predicates import ColumnComparison, Comparison
+
+from benchmarks.conftest import print_table
+
+REF = Schema.of("ref", "k", "grp")
+LIVE = Schema.of("live", "k", "v")
+
+
+def build_and_run(n_live=2000, n_ref=50):
+    ref_rows = [REF.make(i % n_ref, f"g{i % 4}", timestamp=i)
+                for i in range(n_ref)]
+    live_rows = [LIVE.make(i % n_ref, i, timestamp=i)
+                 for i in range(1, n_live + 1)]
+    join = ColumnComparison("ref.k", "==", "live.k")
+    eddy = Eddy([SteMOperator(SteM("ref", ["ref.k"]), [join]),
+                 SteMOperator(SteM("live", ["live.k"]), [join]),
+                 FilterOperator(Comparison("live.v", ">", 10))],
+                output_sources={"ref", "live"},
+                policy=LotteryPolicy(seed=0), arity_in=2)
+    agg = GroupByAggregate(["grp"], [AggregateSpec("count", None)])
+    fjord = Fjord("fig1")
+    sink = CollectingSink()
+    fjord.connect(WrapperSourceModule(PullSource("ref", ref_rows)),
+                  eddy, in_port=0)
+    fjord.connect(WrapperSourceModule(PushSource("live", live_rows)),
+                  eddy, in_port=1)
+    fjord.connect(eddy, agg)
+    fjord.connect(agg, sink)
+    fjord.run_until_finished()
+    return sink
+
+
+def test_f1_shape():
+    sink = build_and_run()
+    rows = [(t["grp"], t["count"]) for t in sink.results]
+    total = sum(c for _g, c in rows)
+    print_table("F1: Figure 1 stack, grouped join counts",
+                ["group", "joined rows"], sorted(rows))
+    # every live row with v > 10 joins exactly one ref row
+    assert total == 2000 - 10
+    assert len(rows) == 4
+
+
+@pytest.mark.benchmark(group="F1")
+def test_f1_throughput(benchmark):
+    benchmark(build_and_run, 1000, 50)

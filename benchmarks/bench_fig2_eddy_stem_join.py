@@ -1,0 +1,86 @@
+"""F2 — Figure 2: an Eddy plus two SteMs *is* an adaptive symmetric
+hash join.
+
+Claims checked:
+
+1. correctness — the eddy/SteM construction produces exactly the result
+   set of the classic symmetric hash join module, for any interleaving;
+2. cost parity — the SteM route does the same asymptotic work (one
+   build + one indexed probe per tuple), so adaptivity is nearly free
+   when there is nothing to adapt to.
+"""
+
+import random
+
+import pytest
+
+from repro.core.eddy import Eddy, SteMOperator
+from repro.core.operators import SymmetricHashJoin
+from repro.core.routing import LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.query.predicates import ColumnComparison
+from tests.conftest import ListFeed
+
+from benchmarks.conftest import print_table
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+JOIN = ColumnComparison("S.k", "==", "T.k")
+
+
+def interleaved_rows(n_each=1500, n_keys=100, seed=2):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n_each):
+        rows.append(S.make(rng.randrange(n_keys), i, timestamp=i))
+        rows.append(T.make(rng.randrange(n_keys), i, timestamp=i))
+    return rows
+
+
+def run_eddy_join(rows):
+    eddy = Eddy([SteMOperator(SteM("S", ["S.k"]), [JOIN]),
+                 SteMOperator(SteM("T", ["T.k"]), [JOIN])],
+                output_sources={"S", "T"}, policy=LotteryPolicy(seed=0))
+    out = []
+    for t in rows:
+        out.extend(eddy.process(t, 0))
+    return out
+
+
+def run_classic_shj(rows):
+    shj = SymmetricHashJoin("k", "k")
+    fjord = Fjord()
+    sink = CollectingSink()
+    fjord.connect(ListFeed([r for r in rows if "S" in r.sources], "s"),
+                  shj, in_port=0)
+    fjord.connect(ListFeed([r for r in rows if "T" in r.sources], "t"),
+                  shj, in_port=1)
+    fjord.connect(shj, sink)
+    fjord.run_until_finished()
+    return sink.results
+
+
+def test_f2_shape():
+    rows = interleaved_rows()
+    eddy_out = run_eddy_join(list(rows))
+    classic_out = run_classic_shj(interleaved_rows())
+    print_table("F2: eddy+SteMs vs classic symmetric hash join",
+                ["implementation", "results"],
+                [("eddy + 2 SteMs", len(eddy_out)),
+                 ("classic SHJ", len(classic_out))])
+    assert len(eddy_out) == len(classic_out)
+    key = lambda t: tuple(sorted(t.as_dict().items()))
+    assert sorted(map(key, eddy_out)) == sorted(map(key, classic_out))
+
+
+@pytest.mark.benchmark(group="F2")
+def test_f2_eddy_stem_join_timing(benchmark):
+    benchmark(lambda: run_eddy_join(interleaved_rows()))
+
+
+@pytest.mark.benchmark(group="F2")
+def test_f2_classic_shj_timing(benchmark):
+    benchmark(lambda: run_classic_shj(interleaved_rows()))

@@ -1,0 +1,109 @@
+"""F3 — Figure 3: PSoup's symmetric join between data and queries.
+
+The figure's executable claim is the *symmetry*: registering 1k queries
+then streaming 10k tuples yields the same answers as streaming first and
+registering later, and any interleaving in between.  The timing half
+measures both arrival paths (data probing the Query SteM vs a query
+probing the Data SteM).
+"""
+
+import random
+
+import pytest
+
+from repro.core.psoup import PSoup
+from repro.core.tuples import Schema
+from repro.query.predicates import Comparison
+
+from benchmarks.conftest import print_table
+
+SCHEMA = Schema.of("s", "v")
+N_DATA = 5000
+N_QUERIES = 500
+
+
+def predicates(n=N_QUERIES, seed=1):
+    rng = random.Random(seed)
+    ops = [">", "<", ">=", "<=", "=="]
+    return [Comparison("v", rng.choice(ops), rng.randrange(1000))
+            for _ in range(n)]
+
+
+def data_values(n=N_DATA, seed=2):
+    rng = random.Random(seed)
+    return [rng.randrange(1000) for _ in range(n)]
+
+
+def run(order, preds, values):
+    """order: 'queries-first' | 'data-first' | 'interleaved'."""
+    ps = PSoup(SCHEMA)
+    queries = []
+    if order == "queries-first":
+        queries = [ps.register_query(p, window=N_DATA + 1) for p in preds]
+        for i, v in enumerate(values):
+            ps.push(v, timestamp=i + 1)
+    elif order == "data-first":
+        for i, v in enumerate(values):
+            ps.push(v, timestamp=i + 1)
+        queries = [ps.register_query(p, window=N_DATA + 1) for p in preds]
+    else:
+        per_chunk = len(preds) // 10
+        qi = 0
+        for i, v in enumerate(values):
+            ps.push(v, timestamp=i + 1)
+            if i % (len(values) // 10) == 0 and qi < len(preds):
+                for p in preds[qi:qi + per_chunk]:
+                    queries.append(
+                        ps.register_query(p, window=N_DATA + 1))
+                qi += per_chunk
+        for p in preds[qi:]:
+            queries.append(ps.register_query(p, window=N_DATA + 1))
+    return ps, queries
+
+
+def answer_sizes(ps, queries):
+    return [len(ps.invoke(q)) for q in queries]
+
+
+def test_f3_shape():
+    preds = predicates()
+    values = data_values()
+    sizes = {}
+    for order in ("queries-first", "data-first", "interleaved"):
+        ps, queries = run(order, preds, values)
+        sizes[order] = answer_sizes(ps, queries)
+    print_table("F3: PSoup symmetry — total answer tuples by arrival order",
+                ["arrival order", "total answers"],
+                [(order, sum(s)) for order, s in sizes.items()])
+    assert sizes["queries-first"] == sizes["data-first"] == \
+        sizes["interleaved"]
+
+
+@pytest.mark.benchmark(group="F3")
+def test_f3_new_data_probes_query_stem(benchmark):
+    preds = predicates(200)
+    values = data_values(500)
+
+    def path():
+        ps = PSoup(SCHEMA)
+        for p in preds:
+            ps.register_query(p, window=10_000)
+        for i, v in enumerate(values):
+            ps.push(v, timestamp=i + 1)
+
+    benchmark(path)
+
+
+@pytest.mark.benchmark(group="F3")
+def test_f3_new_query_probes_data_stem(benchmark):
+    preds = predicates(200)
+    values = data_values(500)
+
+    def path():
+        ps = PSoup(SCHEMA)
+        for i, v in enumerate(values):
+            ps.push(v, timestamp=i + 1)
+        for p in preds:
+            ps.register_query(p, window=10_000)
+
+    benchmark(path)

@@ -1,0 +1,60 @@
+"""F4 — Figure 4: the PostgreSQL-style one-shot execution path.
+
+TelegraphCQ keeps the classic parse -> optimize -> iterate pipeline for
+snapshot queries over static tables.  The benchmark drives it through
+the full SQL front end (scan, filter, projection, hash join) and checks
+the results against hand-computed answers.
+"""
+
+import pytest
+
+from repro.core.engine import TelegraphCQServer
+from repro.core.tuples import Schema
+
+from benchmarks.conftest import print_table
+
+N_EMPS = 2000
+N_DEPTS = 40
+
+
+def build_server():
+    srv = TelegraphCQServer()
+    srv.create_table(
+        Schema.of("emps", "emp_id", "dept", "salary"),
+        [(i, f"d{i % N_DEPTS}", 30_000 + (i * 137) % 90_000)
+         for i in range(N_EMPS)])
+    srv.create_table(
+        Schema.of("depts", "dept", "building"),
+        [(f"d{i}", f"b{i % 5}") for i in range(N_DEPTS)])
+    return srv
+
+
+def run_queries(srv):
+    selection = srv.submit(
+        "SELECT emp_id FROM emps WHERE salary > 100000")
+    join = srv.submit(
+        "SELECT * FROM emps, depts WHERE emps.dept = depts.dept "
+        "and emps.salary > 100000 and depts.building = 'b0'")
+    return selection.fetch(), join.fetch()
+
+
+def test_f4_shape():
+    srv = build_server()
+    selection, join = run_queries(srv)
+    expected_selection = sum(
+        1 for i in range(N_EMPS) if 30_000 + (i * 137) % 90_000 > 100_000)
+    expected_join = sum(
+        1 for i in range(N_EMPS)
+        if 30_000 + (i * 137) % 90_000 > 100_000 and (i % N_DEPTS) % 5 == 0)
+    print_table("F4: snapshot path over static tables",
+                ["query", "rows", "expected"],
+                [("selection", len(selection), expected_selection),
+                 ("join", len(join), expected_join)])
+    assert len(selection) == expected_selection
+    assert len(join) == expected_join
+
+
+@pytest.mark.benchmark(group="F4")
+def test_f4_snapshot_timing(benchmark):
+    srv = build_server()
+    benchmark(run_queries, srv)

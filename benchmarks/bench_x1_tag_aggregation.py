@@ -1,0 +1,65 @@
+"""X1 (extension) — §4.3's TAG integration: in-network aggregation.
+
+The paper's roadmap item: "the integration of TelegraphCQ with the TAG
+system for aggregation over ad hoc sensor networks".  TAG's own headline
+result ([MFHH02]) is the radio message saving: each epoch, in-network
+aggregation sends one partial state record per mote, while centralized
+collection pays one message per *hop* per reading.
+
+Measured: message counts over a network-size sweep; value equivalence
+(lossless TAG == centralized for every decomposable aggregate); loss
+behaviour (TAG degrades to underestimates, never overestimates).
+"""
+
+import pytest
+
+from repro.ingress.tag import (CentralizedAggregator, RoutingTree,
+                               TagAggregator)
+
+from benchmarks.conftest import print_table
+
+EPOCHS = 10
+
+
+def test_x1_shape():
+    rows = []
+    for n in (20, 60, 150):
+        tree = RoutingTree(n, radio=3, seed=6)
+        tag = TagAggregator(tree, fn="AVG")
+        central = CentralizedAggregator(tree, fn="AVG")
+        tag_values = [r["value"] for r in tag.run(EPOCHS)]
+        central_values = [r["value"] for r in central.run(EPOCHS)]
+        assert tag_values == pytest.approx(central_values)
+        rows.append((n, tree.depth, tag.messages_sent,
+                     central.messages_sent,
+                     central.messages_sent / tag.messages_sent))
+    print_table(f"X1: radio messages over {EPOCHS} epochs, "
+                "TAG vs centralized",
+                ["motes", "tree depth", "tag msgs", "central msgs",
+                 "saving"], rows)
+    # one message per mote per epoch for TAG, regardless of depth
+    for (n, _d, tag_msgs, central_msgs, saving) in rows:
+        assert tag_msgs == EPOCHS * (n - 1)
+        assert saving > 1.5
+    # the saving grows with network size (deeper trees)
+    assert rows[-1][4] > rows[0][4]
+
+
+def test_x1_loss_underestimates_count():
+    tree = RoutingTree(50, radio=4, seed=7)
+    lossless = TagAggregator(tree, fn="COUNT")
+    lossy = TagAggregator(tree, fn="COUNT", loss_rate=0.2, seed=8)
+    full = [r["value"] for r in lossless.run(5)]
+    degraded = [r["value"] for r in lossy.run(5)]
+    assert all(v == 50 for v in full)
+    assert all(v <= 50 for v in degraded)
+    assert lossy.messages_lost > 0
+
+
+@pytest.mark.benchmark(group="X1")
+@pytest.mark.parametrize("kind", ["tag", "centralized"])
+def test_x1_epoch_timing(benchmark, kind):
+    tree = RoutingTree(100, radio=3, seed=6)
+    agg = TagAggregator(tree) if kind == "tag" else \
+        CentralizedAggregator(tree)
+    benchmark(agg.run_epoch)

@@ -1,0 +1,100 @@
+"""X3 (extension) — §4.3's Egress Modules: result delivery at scale.
+
+"To efficiently support result delivery to large numbers of clients, we
+will need operators that provide aggregation and buffering services."
+
+Measured:
+
+* fan-out cost — delivering one result stream to N subscribers via the
+  batching FanoutEgress vs N independent per-tuple pushes: the batched
+  path makes ~results/batch_size delivery calls per client and handles
+  each upstream tuple once;
+* mobile-client replay — PullEgress serves disconnect/reconnect cycles
+  with exact resumption, and reports precisely how much a client that
+  overslept the retention window missed.
+"""
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.egress.egress import FanoutEgress, PullEgress, PushEgress
+from repro.fjords.fjord import Fjord
+from tests.conftest import ListFeed
+
+from benchmarks.conftest import print_table
+
+S = Schema.of("results", "v")
+N_RESULTS = 2000
+N_CLIENTS = 50
+
+
+def rows(n=N_RESULTS):
+    return [S.make(i, timestamp=i) for i in range(n)]
+
+
+def run_fanout(batch_size):
+    egress = FanoutEgress(batch_size=batch_size)
+    calls = {"n": 0}
+    for i in range(N_CLIENTS):
+        egress.subscribe(f"c{i}", lambda b: calls.__setitem__(
+            "n", calls["n"] + 1))
+    f = Fjord()
+    f.connect(ListFeed(rows(), chunk=64), egress)
+    f.run_until_finished()
+    return calls["n"], egress.tuples_seen
+
+
+def run_per_tuple_push():
+    egress = PushEgress()
+    calls = {"n": 0}
+    for i in range(N_CLIENTS):
+        egress.subscribe(f"c{i}", lambda t: calls.__setitem__(
+            "n", calls["n"] + 1))
+    f = Fjord()
+    f.connect(ListFeed(rows(), chunk=64), egress)
+    f.run_until_finished()
+    return calls["n"]
+
+
+def test_x3_shape():
+    push_calls = run_per_tuple_push()
+    table = [("push (per tuple)", push_calls, "-")]
+    for batch in (16, 64, 256):
+        calls, seen = run_fanout(batch)
+        assert seen == N_RESULTS          # upstream handled once
+        table.append((f"fanout batch={batch}", calls,
+                      f"{push_calls / calls:.0f}x"))
+    print_table(f"X3: delivery calls for {N_RESULTS} results x "
+                f"{N_CLIENTS} clients",
+                ["strategy", "delivery calls", "vs per-tuple"], table)
+    assert push_calls == N_RESULTS * N_CLIENTS
+    calls_64, _ = run_fanout(64)
+    # batching collapses delivery calls by ~the batch factor
+    assert calls_64 <= push_calls / 32
+
+
+def test_x3_mobile_client_replay():
+    egress = PullEgress(retention=500)
+    egress.register_client("laptop")       # attentive
+    egress.register_client("phone")        # sleeps through most of it
+    f = Fjord()
+    f.connect(ListFeed(rows(), chunk=64), egress)
+    fed = 0
+    # interleave feeding with the laptop's periodic fetches
+    while not all(m.finished for m in f.modules):
+        f.step()
+        batch, missed = egress.fetch("laptop")
+        assert missed == 0
+        if batch:
+            egress.acknowledge("laptop", batch[-1][0])
+            fed += len(batch)
+    assert fed == N_RESULTS                # attentive client saw it all
+    phone_batch, phone_missed = egress.fetch("phone")
+    assert len(phone_batch) == 500         # retention window
+    assert phone_missed == N_RESULTS - 500
+
+
+@pytest.mark.benchmark(group="X3")
+@pytest.mark.parametrize("batch", [1, 64])
+def test_x3_fanout_timing(benchmark, batch):
+    benchmark(run_fanout, batch)

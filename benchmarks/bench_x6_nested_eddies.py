@@ -1,0 +1,117 @@
+"""X6 (extension) — §2.2: nested eddies bound adaptivity overhead.
+
+"Each individual Eddy provides a scope for adaptivity; modules at the
+input or output of an Eddy are not considered in the Eddy's adaptive
+decision-making, and thus, do not contribute to the overhead thereof."
+
+Workload: a 2-way join plus k filters per source.  Compared:
+
+* flat   — one eddy over 2 SteMs + 2k filters: the routing policy picks
+  among up to 2k+2 candidates per step;
+* nested — one eddy over 2 SteMs + 2 per-source filter scopes: the
+  outer policy sees at most 4 candidates, the inner scopes each see k.
+
+Expected shape: identical results; the *outer* decision count is
+independent of k in the nested layout while the flat layout's candidate
+set (and per-decision cost) grows with k.
+"""
+
+import pytest
+
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.nested_eddy import nested_filter_scope
+from repro.core.routing import LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.query.predicates import ColumnComparison, Comparison
+from tests.conftest import ListFeed, values_of
+
+from benchmarks.conftest import print_table
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+JOIN = ColumnComparison("S.k", "==", "T.k")
+N = 600
+
+
+def rows():
+    import random
+    rng = random.Random(9)
+    out = []
+    for i in range(N):
+        out.append(S.make(rng.randrange(5), rng.randrange(100),
+                          timestamp=i))
+        out.append(T.make(rng.randrange(5), rng.randrange(100),
+                          timestamp=i))
+    return out
+
+
+def filters_for(source, column, k):
+    # conjunctive range fence: x > 2, x > 4, ..., all mostly passing
+    return [Comparison(f"{source}.{column}", ">", 2 * i) for i in range(k)]
+
+
+def run_flat(k):
+    ops = [SteMOperator(SteM("S", ["S.k"]), [JOIN]),
+           SteMOperator(SteM("T", ["T.k"]), [JOIN])]
+    ops += [FilterOperator(p, name=f"sf{i}")
+            for i, p in enumerate(filters_for("S", "x", k))]
+    ops += [FilterOperator(p, name=f"tf{i}")
+            for i, p in enumerate(filters_for("T", "y", k))]
+    eddy = Eddy(ops, output_sources={"S", "T"},
+                policy=LotteryPolicy(seed=1))
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(rows()), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    return sink, eddy, eddy.routing_decisions
+
+
+def run_nested(k):
+    s_scope = nested_filter_scope(filters_for("S", "x", k), "S",
+                                  policy=LotteryPolicy(seed=2))
+    t_scope = nested_filter_scope(filters_for("T", "y", k), "T",
+                                  policy=LotteryPolicy(seed=3))
+    ops = [SteMOperator(SteM("S", ["S.k"]), [JOIN]),
+           SteMOperator(SteM("T", ["T.k"]), [JOIN]),
+           s_scope, t_scope]
+    eddy = Eddy(ops, output_sources={"S", "T"},
+                policy=LotteryPolicy(seed=1))
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(rows()), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    inner = (s_scope.inner.routing_decisions
+             + t_scope.inner.routing_decisions)
+    return sink, eddy, eddy.routing_decisions, inner
+
+
+def test_x6_shape():
+    table = []
+    outer_by_k = {}
+    for k in (2, 4, 8):
+        flat_sink, _e, flat_decisions = run_flat(k)
+        nested_sink, _e2, outer, inner = run_nested(k)
+        assert values_of(nested_sink.results) == \
+            values_of(flat_sink.results)
+        outer_by_k[k] = outer
+        table.append((k, flat_decisions, outer, inner))
+    print_table("X6: routing decisions, flat vs scoped "
+                f"({N} tuples/stream)",
+                ["filters/source", "flat decisions", "nested outer",
+                 "nested inner"], table)
+    # the outer eddy's decision load does not grow with filter count
+    assert outer_by_k[8] <= outer_by_k[2] * 1.2
+    # while the flat eddy keeps making (more and costlier) decisions
+    assert table[-1][1] > table[-1][2] * 2
+
+
+@pytest.mark.benchmark(group="X6")
+@pytest.mark.parametrize("layout", ["flat", "nested"])
+def test_x6_layout_timing(benchmark, layout):
+    fn = run_flat if layout == "flat" else run_nested
+    benchmark(fn, 6)

@@ -1,0 +1,127 @@
+"""X7 (extension) — §4.3: the cluster-based TelegraphCQ.
+
+"We are currently extending the Flux module to serve as the basis of
+the cluster-based implementation of TelegraphCQ."  CACQ becomes the
+consumer of a Flux-partitioned dataflow: every machine runs the full
+query set over its hash partition of the streams (co-partitioned on the
+join key).
+
+Measured:
+
+* **correctness** — merged per-query deliveries equal the single-engine
+  CACQ reference, for selections and joins, on 1/2/4-machine clusters;
+* **scaling** — ticks to drain fall as machines are added (per-machine
+  service rate is the bottleneck);
+* **failover** — a mid-run crash with process pairs changes nothing.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cacq import CACQEngine
+from repro.core.tuples import Schema
+from repro.flux.cluster import Cluster
+from repro.flux.parallel_cacq import ParallelCACQ
+from repro.query.predicates import And, ColumnComparison, Comparison
+
+from benchmarks.conftest import print_table
+
+TRADES = Schema.of("trades", "sym", "price")
+QUOTES = Schema.of("quotes", "sym", "bid")
+SPECS = [
+    (("trades",), Comparison("price", ">", 40)),
+    (("trades", "quotes"),
+     ColumnComparison("trades.sym", "==", "quotes.sym")),
+    (("trades", "quotes"),
+     And(ColumnComparison("trades.sym", "==", "quotes.sym"),
+         Comparison("quotes.bid", ">", 60))),
+]
+N = 3000
+
+
+def workload(seed=8):
+    rng = random.Random(seed)
+    syms = [f"s{i}" for i in range(24)]
+    rows = []
+    for i in range(N):
+        if rng.random() < 0.5:
+            rows.append(TRADES.make(rng.choice(syms),
+                                    float(rng.randrange(100)),
+                                    timestamp=i))
+        else:
+            rows.append(QUOTES.make(rng.choice(syms),
+                                    float(rng.randrange(100)),
+                                    timestamp=i))
+    return rows
+
+
+def reference_counts(rows):
+    engine = CACQEngine()
+    engine.register_stream(TRADES)
+    engine.register_stream(QUOTES)
+    queries = [engine.add_query(list(streams), predicate)
+               for streams, predicate in SPECS]
+    for t in rows:
+        (stream,) = t.sources
+        engine.push_tuple(stream,
+                          t.schema.make(*t.values, timestamp=t.timestamp))
+    return [q.delivered for q in queries]
+
+
+def run_cluster(rows, n_machines, replication=0, fail_at=None):
+    cluster = Cluster()
+    for i in range(n_machines):
+        cluster.add_machine(f"m{i}", speed=50)
+    engine = ParallelCACQ(cluster, partition_column="sym",
+                          n_partitions=max(8, 2 * n_machines),
+                          replication=replication)
+    engine.register_stream(TRADES)
+    engine.register_stream(QUOTES)
+    for streams, predicate in SPECS:
+        engine.add_query(streams, predicate)
+    i = 0
+    ticks = 0
+    while i < len(rows) or engine.flux.unacked_total():
+        engine.tick(rows[i:i + 200])
+        i = min(len(rows), i + 200)
+        ticks += 1
+        if fail_at is not None and ticks == fail_at:
+            engine.fail_machine("m1")
+        assert ticks < 50_000
+    return engine, ticks
+
+
+def test_x7_shape():
+    reference = reference_counts(workload())
+    rows_table = []
+    ticks_by_n = {}
+    for n_machines in (1, 2, 4):
+        engine, ticks = run_cluster(workload(), n_machines)
+        assert engine.delivered_counts() == reference
+        ticks_by_n[n_machines] = ticks
+        rows_table.append((n_machines, ticks,
+                           ticks_by_n[1] / ticks))
+    print_table(f"X7: parallel CACQ over Flux ({N} tuples, "
+                f"{len(SPECS)} queries)",
+                ["machines", "ticks to drain", "speedup vs 1"],
+                rows_table)
+    assert ticks_by_n[2] < ticks_by_n[1] * 0.7
+    assert ticks_by_n[4] < ticks_by_n[2] * 0.8
+
+
+def test_x7_failover_preserves_answers():
+    reference = reference_counts(workload())
+    engine, _ticks = run_cluster(workload(), 4, replication=1, fail_at=4)
+    assert engine.delivered_counts() == reference
+    assert engine.flux.lost_tuples == 0
+    print_table("X7b: mid-run crash with process pairs",
+                ["query", "delivered", "reference"],
+                [(i, got, ref) for i, (got, ref) in
+                 enumerate(zip(engine.delivered_counts(), reference))])
+
+
+@pytest.mark.benchmark(group="X7")
+@pytest.mark.parametrize("n_machines", [1, 4])
+def test_x7_cluster_timing(benchmark, n_machines):
+    benchmark(lambda: run_cluster(workload(), n_machines))

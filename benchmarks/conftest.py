@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one figure or prose claim of the paper
+(see DESIGN.md section 4).  Conventions:
+
+* ``test_*_shape`` functions check the *qualitative* claim (who wins, by
+  roughly what factor) and print the series as rows — run with ``-s`` to
+  see them;
+* plain ``test_*`` functions carry pytest-benchmark timings of the hot
+  path, so regressions are visible run to run.
+
+Run everything:  pytest benchmarks/ --benchmark-only
+Shapes only:     pytest benchmarks/ -k shape -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render one experiment's series the way the paper would tabulate
+    it.  Visible under ``pytest -s``."""
+    widths = [max(len(str(h)), max((len(f"{r[i]:.4g}" if
+                                        isinstance(r[i], float)
+                                        else str(r[i]))
+                                   for r in rows), default=0))
+              for i, h in enumerate(header)]
+
+    def fmt(row):
+        cells = []
+        for i, cell in enumerate(row):
+            text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            cells.append(text.rjust(widths[i]))
+        return "  ".join(cells)
+
+    print(f"\n== {title} ==")
+    print(fmt(header))
+    for row in rows:
+        print(fmt(row))

@@ -1,0 +1,108 @@
+"""repro — a reproduction of *TelegraphCQ: Continuous Dataflow
+Processing for an Uncertain World* (Chandrasekaran et al., CIDR 2003).
+
+The package implements the full TelegraphCQ stack in pure Python:
+
+* **Fjords** (:mod:`repro.fjords`) — the push/pull inter-module queue
+  API and the cooperative dataflow scheduler;
+* **adaptive core** (:mod:`repro.core`) — eddies, routing policies,
+  SteMs, grouped filters, the CACQ shared-CQ engine, PSoup, window
+  semantics, the EO/DU executor, and the server facade;
+* **query language** (:mod:`repro.query`) — the SQL subset with the
+  paper's for-loop ``WindowIs`` clause, catalog, and optimizer;
+* **ingress** (:mod:`repro.ingress`) — pull/push source wrappers,
+  streamers, and synthetic workload generators;
+* **storage** (:mod:`repro.storage`) — buffer pool, pages, and a
+  log-structured spill store for out-of-core streams;
+* **Flux** (:mod:`repro.flux`) — partitioned-parallel dataflow with
+  online repartitioning and process-pair fault tolerance over a
+  simulated cluster;
+* **Juggle** (:mod:`repro.juggle`) — online reordering by preference;
+* **baselines** (:mod:`repro.baselines`) — static plans, per-query CQ
+  processing, and a NiagaraCQ-style grouped engine;
+* **monitor** (:mod:`repro.monitor`) — runtime statistics and QoS load
+  shedding.
+
+Quickstart::
+
+    from repro import TelegraphCQServer, Schema
+
+    server = TelegraphCQServer()
+    server.create_stream(Schema.of("trades", "sym", "price"))
+    cursor = server.submit("SELECT * FROM trades WHERE price > 100")
+    server.push("trades", "MSFT", 101.5)
+    print(cursor.fetch())
+"""
+
+from repro.core.adaptivity import AdaptivityController, ControlledEddy
+from repro.core.cacq import CACQEngine, ContinuousQuery
+from repro.core.eddy import Eddy, EddyOperator, FilterOperator, SteMOperator
+from repro.core.engine import ClientProxy, Cursor, TelegraphCQServer
+from repro.core.executor import DispatchUnit, ExecutionObject, Executor
+from repro.core.grouped_filter import GroupedFilter
+from repro.core.psoup import OnDemandPSoup, PSoup, PSoupQuery
+from repro.core.routing import (BatchingDirective, FixedPolicy,
+                                GreedySelectivityPolicy, LotteryPolicy,
+                                RandomPolicy, RankPolicy, RoutingPolicy)
+from repro.core.nested_eddy import SubEddyOperator, nested_filter_scope
+from repro.core.psoup_spill import PeriodicQuery, SpillingQueryStore
+from repro.core.stem import CacheSteM, RendezvousBuffer, SteM
+from repro.storage.broadcast import (BroadcastReader, BroadcastSchedule,
+                                     expected_wait)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.spill import SpillStore
+from repro.storage.spooled_stream import SpooledStream
+from repro.egress.egress import (FanoutEgress, PullEgress, PushEgress,
+                                 TranscodingEgress)
+from repro.core.tuples import Column, Punctuation, Schema, Tuple
+from repro.core.windows import (ForLoopSpec, HistoricalStore,
+                                WindowedQueryRunner, WindowIs)
+from repro.errors import (ClusterError, ExecutionError, ParseError,
+                          PlanError, QueryError, SchemaError, StorageError,
+                          TelegraphError)
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink, Module, SinkModule, SourceModule
+from repro.fjords.queues import ExchangeQueue, FjordQueue, PullQueue, PushQueue
+from repro.flux.cluster import Cluster, GroupCountState, Machine
+from repro.flux.flux import Flux
+from repro.flux.parallel_cacq import CACQPartitionState, ParallelCACQ
+from repro.juggle.juggle import Juggle
+from repro.ingress.sensor_proxy import SensorProxy
+from repro.ingress.tess import SimulatedWebForm, TessWrapper
+from repro.ingress.tag import (CentralizedAggregator, RoutingTree,
+                               TagAggregator)
+from repro.monitor.qos import LoadShedder
+from repro.query.catalog import Catalog
+from repro.query.dataflow_script import DataflowScript, parse_script
+from repro.query.parser import parse, parse_predicate
+from repro.query.predicates import (And, ColumnComparison, Comparison, Not,
+                                    Or, Predicate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivityController", "And", "BatchingDirective", "CACQEngine", "CacheSteM", "Catalog",
+    "ClientProxy", "Cluster", "ClusterError", "CollectingSink", "Column",
+    "ColumnComparison", "Comparison", "ContinuousQuery", "Cursor",
+    "CentralizedAggregator", "DataflowScript", "DispatchUnit", "Eddy",
+    "EddyOperator", "ExchangeQueue",
+    "ExecutionError", "ExecutionObject", "Executor", "FanoutEgress",
+    "Fjord", "FjordQueue",
+    "FilterOperator", "FixedPolicy", "Flux", "ForLoopSpec",
+    "GreedySelectivityPolicy", "GroupCountState", "GroupedFilter",
+    "HistoricalStore", "Juggle", "LoadShedder", "LotteryPolicy", "Machine",
+    "Module", "Not", "OnDemandPSoup", "Or", "ParseError", "PlanError",
+    "Predicate", "PSoup", "PSoupQuery", "PullEgress", "PullQueue",
+    "Punctuation", "PushEgress",
+    "PushQueue", "QueryError", "RandomPolicy", "RendezvousBuffer",
+    "RankPolicy", "RoutingPolicy", "RoutingTree", "Schema", "SchemaError",
+    "SensorProxy", "SinkModule", "SourceModule", "SteM", "SteMOperator",
+    "StorageError", "TagAggregator", "TelegraphCQServer", "TelegraphError",
+    "TranscodingEgress", "Tuple", "WindowIs", "WindowedQueryRunner",
+    "parse", "parse_predicate", "parse_script",
+    "BroadcastReader", "BroadcastSchedule", "BufferPool", "PeriodicQuery",
+    "SimulatedWebForm", "SpillStore", "SpillingQueryStore",
+    "SpooledStream", "SubEddyOperator", "TessWrapper", "expected_wait",
+    "nested_filter_scope", "ControlledEddy", "CACQPartitionState",
+    "ParallelCACQ",
+]

@@ -1,0 +1,1 @@
+"""baselines subpackage of the TelegraphCQ reproduction."""

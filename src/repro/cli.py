@@ -1,0 +1,273 @@
+"""A command-line client for the TelegraphCQ server.
+
+Section 2: "Client communication to Telegraph can be done via TCP/IP
+sockets ... or via local command-line interfaces."  This is the local
+interface: an interactive shell (or script runner) speaking the query
+language plus a small set of control commands.
+
+Commands (each statement ends with ``;``):
+
+    CREATE STREAM name (col, col, ...);
+    CREATE TABLE name (col, ...);
+    INSERT INTO table VALUES (v, v, ...);
+    PUSH stream v, v, ... [@ timestamp];
+    CLOSE STREAM name;
+    SELECT ...;                 -- snapshot results print immediately;
+                                -- continuous/windowed queries get a
+                                -- cursor id
+    FETCH n;                    -- drain cursor n
+    CANCEL n;                   -- cancel continuous cursor n
+    STEP [k];                   -- run k executor rounds (default 1)
+    RUN;                        -- run the executor to quiescence
+    STATS;                      -- engine statistics
+    HELP; QUIT;
+
+Run interactively:  python -m repro.cli
+Run a script:       python -m repro.cli script.tcq
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import Cursor, TelegraphCQServer
+from repro.core.tuples import Schema, Tuple
+from repro.errors import TelegraphError
+
+
+def _parse_value(raw: str) -> Any:
+    raw = raw.strip()
+    if raw.startswith(("'", '"')) and raw.endswith(raw[0]) and len(raw) >= 2:
+        return raw[1:-1]
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _format_rows(rows: List[Tuple], limit: int = 50) -> str:
+    if not rows:
+        return "(no rows)"
+    header = rows[0].schema.column_names()
+    body = [[str(v) for v in t.values] for t in rows[:limit]]
+    widths = [max(len(h), *(len(r[i]) for r in body))
+              for i, h in enumerate(header)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in body]
+    if len(rows) > limit:
+        lines.append(f"... ({len(rows) - limit} more)")
+    return "\n".join(lines)
+
+
+class TelegraphShell:
+    """Stateful statement interpreter over one server instance.
+
+    ``execute`` returns the printable response for one statement, so
+    the shell is fully testable without a TTY.
+    """
+
+    def __init__(self, server: Optional[TelegraphCQServer] = None):
+        self.server = server or TelegraphCQServer()
+        self.cursors: Dict[int, Cursor] = {}
+        self.done = False
+
+    # -- statement dispatch ------------------------------------------------
+    def execute(self, statement: str) -> str:
+        statement = statement.strip().rstrip(";").strip()
+        if not statement:
+            return ""
+        try:
+            return self._dispatch(statement)
+        except TelegraphError as exc:
+            return f"error: {exc}"
+
+    def _dispatch(self, statement: str) -> str:
+        upper = statement.upper()
+        if upper in ("QUIT", "EXIT"):
+            self.done = True
+            return "bye"
+        if upper == "HELP":
+            return __doc__.split("Commands", 1)[1]
+        if upper == "STATS":
+            return self._stats()
+        if upper == "RUN":
+            steps = self.server.run_until_quiescent()
+            return f"quiescent after {steps} step(s)"
+        if upper.startswith("STEP"):
+            return self._step(statement)
+        if upper.startswith("CREATE STREAM"):
+            return self._create(statement, stream=True)
+        if upper.startswith("CREATE TABLE"):
+            return self._create(statement, stream=False)
+        if upper.startswith("INSERT INTO"):
+            return self._insert(statement)
+        if upper.startswith("PUSH"):
+            return self._push(statement)
+        if upper.startswith("CLOSE STREAM"):
+            name = statement.split()[2]
+            self.server.close_stream(name)
+            return f"stream {name} closed"
+        if upper.startswith("FETCH"):
+            return self._fetch(statement)
+        if upper.startswith("CANCEL"):
+            return self._cancel(statement)
+        if upper.startswith("SELECT"):
+            return self._select(statement)
+        return f"error: unrecognised statement {statement.split()[0]!r}"
+
+    # -- DDL / DML -------------------------------------------------------------
+    def _create(self, statement: str, stream: bool) -> str:
+        open_paren = statement.find("(")
+        close_paren = statement.rfind(")")
+        if open_paren == -1 or close_paren == -1:
+            raise TelegraphError(
+                "CREATE needs a column list: CREATE STREAM s (a, b);")
+        name = statement[:open_paren].split()[2]
+        columns = [c.strip() for c in
+                   statement[open_paren + 1:close_paren].split(",")
+                   if c.strip()]
+        schema = Schema.of(name, *columns)
+        if stream:
+            self.server.create_stream(schema)
+            return f"stream {name} ({', '.join(columns)})"
+        self.server.create_table(schema)
+        return f"table {name} ({', '.join(columns)})"
+
+    def _insert(self, statement: str) -> str:
+        upper = statement.upper()
+        values_at = upper.find("VALUES")
+        if values_at == -1:
+            raise TelegraphError("INSERT INTO t VALUES (v, ...);")
+        table = statement[len("INSERT INTO"):values_at].strip()
+        raw = statement[values_at + len("VALUES"):].strip()
+        if raw.startswith("(") and raw.endswith(")"):
+            raw = raw[1:-1]
+        values = [_parse_value(v) for v in raw.split(",")]
+        entry = self.server.catalog.lookup(table)
+        if entry.is_stream:
+            raise TelegraphError(
+                f"{table!r} is a stream; use PUSH instead")
+        rows = self.server.tables[table]
+        rows.append(entry.schema.make(*values, timestamp=len(rows)))
+        return "1 row"
+
+    def _push(self, statement: str) -> str:
+        body = statement[len("PUSH"):].strip()
+        timestamp = None
+        if "@" in body:
+            body, _at, ts_text = body.rpartition("@")
+            timestamp = int(ts_text.strip())
+        parts = body.strip().split(None, 1)
+        if len(parts) != 2:
+            raise TelegraphError("PUSH stream v, v, ... [@ ts];")
+        stream, raw_values = parts
+        values = [_parse_value(v) for v in raw_values.split(",")]
+        self.server.push(stream, *values, timestamp=timestamp)
+        self.server.step()
+        return "pushed"
+
+    # -- queries ---------------------------------------------------------------
+    def _select(self, statement: str) -> str:
+        cursor = self.server.submit(statement)
+        if cursor.kind == "snapshot":
+            return _format_rows(cursor.fetch())
+        self.cursors[cursor.cursor_id] = cursor
+        return (f"cursor {cursor.cursor_id} open "
+                f"({cursor.kind} query); FETCH {cursor.cursor_id}; "
+                f"to read results")
+
+    def _fetch(self, statement: str) -> str:
+        cursor = self._cursor_of(statement)
+        if cursor.kind == "windowed":
+            windows = cursor.fetch_windows()
+            if not windows:
+                return "(no complete windows yet)"
+            blocks = []
+            for t, rows in windows:
+                blocks.append(f"-- window t={t} ({len(rows)} rows)")
+                blocks.append(_format_rows(rows))
+            return "\n".join(blocks)
+        rows = cursor.fetch()
+        return _format_rows(rows)
+
+    def _cancel(self, statement: str) -> str:
+        cursor = self._cursor_of(statement)
+        self.server.cancel(cursor)
+        return f"cursor {cursor.cursor_id} cancelled"
+
+    def _cursor_of(self, statement: str) -> Cursor:
+        parts = statement.split()
+        if len(parts) != 2 or not parts[1].isdigit():
+            raise TelegraphError(f"{parts[0]} needs a cursor id")
+        cursor = self.cursors.get(int(parts[1]))
+        if cursor is None:
+            raise TelegraphError(f"no cursor {parts[1]}")
+        return cursor
+
+    # -- control ------------------------------------------------------------------
+    def _step(self, statement: str) -> str:
+        parts = statement.split()
+        k = int(parts[1]) if len(parts) > 1 else 1
+        for _ in range(k):
+            self.server.step()
+        return f"stepped {k}"
+
+    def _stats(self) -> str:
+        stats = self.server.stats()
+        lines = [f"ingested tuples : {stats['ingested']}",
+                 f"standing queries: {stats['continuous_queries']}",
+                 f"shared engines  : {stats['cacq_engines']}",
+                 f"execution objs  : {stats['executor']['eos']}"]
+        for stream, n in stats["streams"].items():
+            lines.append(f"stream {stream}: {n} tuples stored")
+        return "\n".join(lines)
+
+    # -- drivers ------------------------------------------------------------------
+    def run_script(self, text: str) -> List[str]:
+        """Execute every ';'-terminated statement; returns responses."""
+        out = []
+        for statement in text.split(";"):
+            if statement.strip():
+                out.append(self.execute(statement + ";"))
+            if self.done:
+                break
+        return out
+
+    def repl(self, stdin=None, stdout=None) -> None:  # pragma: no cover
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        buffer = ""
+        stdout.write("TelegraphCQ shell — HELP; for commands\n")
+        while not self.done:
+            stdout.write("telegraph> " if not buffer else "        -> ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            buffer += line
+            while ";" in buffer:
+                statement, _sep, buffer = buffer.partition(";")
+                response = self.execute(statement + ";")
+                if response:
+                    stdout.write(response + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    argv = sys.argv[1:] if argv is None else argv
+    shell = TelegraphShell()
+    if argv:
+        with open(argv[0]) as f:
+            for response in shell.run_script(f.read()):
+                if response:
+                    print(response)
+        return 0
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

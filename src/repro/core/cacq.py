@@ -1,0 +1,328 @@
+"""CACQ: Continuously Adaptive Continuous Queries (Section 3.1, [MSHR02]).
+
+CACQ modifies the eddy to execute *many* queries simultaneously: the eddy
+runs a single "super-query" — the disjunction of all client queries — and
+every tuple carries **lineage** (a query bitmap) recording which queries
+are still interested in it.  The two sharing mechanisms are:
+
+* **grouped filters** — one shared index per (stream, attribute) holds
+  the single-variable boolean factors of every query, so one probe
+  evaluates all of them (:mod:`repro.core.grouped_filter`);
+* **shared SteMs** — one SteM per stream holds each base tuple once; all
+  join queries over a stream pair probe the same state.
+
+Query bitmaps are plain Python integers, so the engine supports an
+unbounded number of simultaneous queries; queries can be added and
+removed while data is flowing (the robustness requirement of Section
+1.1).
+
+The engine is deliberately independent of the Fjord scheduler so it can
+be benchmarked head-to-head against the per-query and NiagaraCQ-style
+baselines; :class:`CACQModule` packages it as a Fjord module for use
+inside the full TelegraphCQ server.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple
+
+from repro.core.grouped_filter import GroupedFilter
+from repro.core.routing import LotteryPolicy, RoutingPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema, Tuple
+from repro.errors import QueryError
+from repro.query.predicates import (ALWAYS_TRUE, ColumnComparison, Comparison,
+                                    Predicate, decompose)
+
+
+class ContinuousQuery:
+    """One registered client query.
+
+    ``footprint`` is the set of streams the query reads (Section 4.2.2's
+    query footprint); ``predicate`` its WHERE clause.  Results are
+    appended to :attr:`results` or pushed through ``callback``.
+    """
+
+    def __init__(self, qid: int, footprint: FrozenSet[str],
+                 predicate: Predicate,
+                 callback: Optional[Callable[[Tuple], None]] = None,
+                 name: str = ""):
+        self.qid = qid
+        self.bit = 1 << qid
+        self.footprint = footprint
+        self.predicate = predicate
+        decomposed = decompose(predicate)
+        self.single_factors = decomposed.single_variable
+        self.join_factors = decomposed.equijoins
+        self.residual = decomposed.residual_predicate()
+        self.callback = callback
+        self.name = name or f"q{qid}"
+        self.results: List[Tuple] = []
+        self.delivered = 0
+
+    def deliver(self, t: Tuple) -> None:
+        self.delivered += 1
+        if self.callback is not None:
+            self.callback(t)
+        else:
+            self.results.append(t)
+
+    def __repr__(self) -> str:
+        return (f"ContinuousQuery({self.name}, over="
+                f"{'|'.join(sorted(self.footprint))}, {self.predicate!r})")
+
+
+class CACQEngine:
+    """The shared continuous-query processor.
+
+    Typical use::
+
+        engine = CACQEngine()
+        engine.register_stream(Schema.of("trades", "sym", "price"))
+        q = engine.add_query(["trades"], Comparison("price", ">", 50.0))
+        engine.push("trades", sym="MSFT", price=55.0)
+        assert q.results
+    """
+
+    def __init__(self, policy: Optional[RoutingPolicy] = None):
+        self.policy = policy if policy is not None else LotteryPolicy()
+        self.schemas: Dict[str, Schema] = {}
+        self.queries: Dict[int, ContinuousQuery] = {}
+        self._next_qid = itertools.count()
+        # Shared state: grouped filters keyed by (stream, attribute);
+        # one SteM per stream, created when a join query first needs it.
+        self.filters: Dict[TypingTuple[str, str], GroupedFilter] = {}
+        self.stems: Dict[str, SteM] = {}
+        # Join registry: unordered stream pair -> [(query bit, predicate)].
+        self._pair_factors: Dict[FrozenSet[str],
+                                 List[TypingTuple[int, ColumnComparison]]] = \
+            defaultdict(list)
+        # Masks: which query bits read each stream / each footprint.
+        self._source_mask: Dict[str, int] = defaultdict(int)
+        self._footprint_mask: Dict[FrozenSet[str], int] = defaultdict(int)
+        self.tuples_in = 0
+        self.results_out = 0
+        self.filter_probes = 0
+        self.stem_probes = 0
+
+    # -- catalog -------------------------------------------------------------
+    def register_stream(self, schema: Schema) -> None:
+        if not schema.name:
+            raise QueryError("stream schema needs a name")
+        self.schemas[schema.name] = schema
+
+    # -- query management ------------------------------------------------------
+    def add_query(self, streams: Sequence[str], predicate: Predicate,
+                  callback: Optional[Callable[[Tuple], None]] = None,
+                  name: str = "") -> ContinuousQuery:
+        """Register a continuous query over ``streams`` and fold it into
+        the running shared state — no pause, no replanning of other
+        queries (the paper's on-the-fly sharing adaptivity)."""
+        for s in streams:
+            if s not in self.schemas:
+                raise QueryError(f"unknown stream {s!r}; register it first")
+        footprint = frozenset(streams)
+        query = ContinuousQuery(next(self._next_qid), footprint, predicate,
+                                callback=callback, name=name)
+        self.queries[query.qid] = query
+        self._footprint_mask[footprint] |= query.bit
+        for s in footprint:
+            self._source_mask[s] |= query.bit
+
+        for factor in query.single_factors:
+            stream = self._stream_of_column(factor.column, footprint)
+            attr = factor.column.rsplit(".", 1)[-1]
+            gf = self.filters.get((stream, attr))
+            if gf is None:
+                gf = GroupedFilter(attr)
+                self.filters[(stream, attr)] = gf
+            gf.add(Comparison(attr, factor.op, factor.value), query.qid)
+
+        for factor in query.join_factors:
+            pair = frozenset(factor.sources())
+            if len(pair) != 2:
+                raise QueryError(
+                    f"join factor {factor!r} must span exactly two streams")
+            self._pair_factors[pair].append((query.bit, factor))
+            for s in pair:
+                if s not in self.stems:
+                    self.stems[s] = SteM(s)
+                col = factor.left if factor.left.startswith(s + ".") \
+                    else factor.right
+                self.stems[s].add_index(col)
+        return query
+
+    def remove_query(self, query: ContinuousQuery) -> None:
+        """Unregister a query; shared state used only by it is pruned."""
+        if query.qid not in self.queries:
+            raise QueryError(f"query {query.name} is not registered")
+        del self.queries[query.qid]
+        self._footprint_mask[query.footprint] &= ~query.bit
+        for s in query.footprint:
+            self._source_mask[s] &= ~query.bit
+        for gf in self.filters.values():
+            gf.remove_query(query.qid)
+        for pair, factors in list(self._pair_factors.items()):
+            kept = [(bit, f) for (bit, f) in factors if bit != query.bit]
+            if kept:
+                self._pair_factors[pair] = kept
+            else:
+                del self._pair_factors[pair]
+
+    def _stream_of_column(self, column: str,
+                          footprint: FrozenSet[str]) -> str:
+        """Resolve which stream a factor's column belongs to."""
+        if "." in column:
+            stream = column.rsplit(".", 1)[0]
+            if stream not in self.schemas:
+                raise QueryError(f"column {column!r} names unknown stream")
+            return stream
+        owners = [s for s in footprint
+                  if self.schemas[s].has_column(column)]
+        if len(owners) != 1:
+            raise QueryError(
+                f"column {column!r} is ambiguous or unknown over "
+                f"{sorted(footprint)}; qualify it")
+        return owners[0]
+
+    # -- data path ------------------------------------------------------------
+    def push(self, stream: str, *, timestamp: Optional[int] = None,
+             **values: Any) -> List[Tuple]:
+        """Ingest one tuple (by column name) into ``stream``."""
+        schema = self.schemas.get(stream)
+        if schema is None:
+            raise QueryError(f"unknown stream {stream!r}")
+        row = tuple(values[c] for c in schema.column_names())
+        return self.push_tuple(stream, schema.make(*row, timestamp=timestamp))
+
+    def push_tuple(self, stream: str, t: Tuple) -> List[Tuple]:
+        """Route one already-built tuple through the super-query.
+
+        Returns the delivered result tuples (they are also handed to
+        each query's callback / results list).
+        """
+        self.tuples_in += 1
+        t.queries = self._source_mask.get(stream, 0)
+        if not t.queries:
+            return []
+        delivered: List[Tuple] = []
+        worklist: List[Tuple] = [t]
+        while worklist:
+            current = worklist.pop()
+            produced = self._route(current, delivered)
+            worklist.extend(produced)
+        self.results_out += len(delivered)
+        return delivered
+
+    def _route(self, t: Tuple, delivered: List[Tuple]) -> List[Tuple]:
+        """Drive one tuple through filters, its home build, and probes;
+        returns newly generated join matches for further routing."""
+        produced: List[Tuple] = []
+        if len(t.sources) == 1:
+            (stream,) = t.sources
+            # 1. grouped filters for this stream: one probe per shared
+            # index evaluates every registered query's factors at once.
+            for (s, attr), gf in list(self.filters.items()):
+                if s != stream:
+                    continue
+                registered = gf.registered_mask
+                if not (t.queries & registered):
+                    continue
+                satisfied = self._mask(gf.matching(t[attr]))
+                self.filter_probes += 1
+                t.queries &= ~(registered & ~satisfied)
+                if not t.queries:
+                    return produced
+            # 2. build into the home SteM so later arrivals find it.
+            stem = self.stems.get(stream)
+            if stem is not None:
+                stem.build(t)
+        # 3. deliver to selection-only (or completed-join) queries.
+        self._deliver(t, delivered)
+        # 4. probe the SteMs of partner streams.
+        produced.extend(self._probe_partners(t))
+        return produced
+
+    def _probe_partners(self, t: Tuple) -> List[Tuple]:
+        out: List[Tuple] = []
+        for pair, factors in self._pair_factors.items():
+            partners = pair - t.sources
+            if len(partners) != 1:
+                continue
+            (partner,) = partners
+            stem = self.stems.get(partner)
+            if stem is None:
+                continue
+            pair_mask = 0
+            for bit, _factor in factors:
+                pair_mask |= bit
+            if not (t.queries & pair_mask):
+                continue
+            matches = self._shared_probe(stem, t, factors, pair_mask)
+            self.stem_probes += 1
+            out.extend(matches)
+        return out
+
+    def _shared_probe(self, stem: SteM, prober: Tuple,
+                      factors: Sequence[TypingTuple[int, ColumnComparison]],
+                      pair_mask: int) -> List[Tuple]:
+        """Probe a shared SteM on behalf of every join query at once.
+
+        Candidates come from the union of per-predicate index lookups;
+        each candidate pair is materialised once, and the match's query
+        bitmap keeps only the queries whose join factor holds.
+        """
+        seen_ids: Set[int] = set()
+        matches: List[Tuple] = []
+        for bit, factor in factors:
+            if not (prober.queries & bit):
+                continue
+            for stored in stem.probe_stored(prober, [factor]):
+                if stored.tid in seen_ids:
+                    continue
+                seen_ids.add(stored.tid)
+                joined = prober.concat(stored)
+                alive = joined.queries
+                # Re-check every pair factor on the materialised match:
+                # queries joining on a different column must not survive.
+                for other_bit, other_factor in factors:
+                    if alive & other_bit and not other_factor.matches(joined):
+                        alive &= ~other_bit
+                # Queries not joining this pair at all cannot use a
+                # composite tuple that spans it.
+                alive &= pair_mask
+                if alive:
+                    joined.queries = alive
+                    matches.append(joined)
+        return matches
+
+    def _deliver(self, t: Tuple, delivered: List[Tuple]) -> None:
+        eligible = t.queries & self._footprint_mask.get(t.sources, 0)
+        if not eligible:
+            return
+        for query in list(self.queries.values()):
+            if not (eligible & query.bit):
+                continue
+            if query.residual is ALWAYS_TRUE or query.residual.matches(t):
+                query.deliver(t)
+                delivered.append(t)
+
+    def _mask(self, qids: Iterable[int]) -> int:
+        mask = 0
+        for qid in qids:
+            mask |= 1 << qid
+        return mask
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "queries": len(self.queries),
+            "tuples_in": self.tuples_in,
+            "results_out": self.results_out,
+            "filter_probes": self.filter_probes,
+            "stem_probes": self.stem_probes,
+            "grouped_filters": len(self.filters),
+            "stems": {s: len(st) for s, st in self.stems.items()},
+        }

@@ -1,0 +1,386 @@
+"""The Eddy: continuously adaptive tuple routing (Section 2.2, [AH00]).
+
+An eddy sits between a set of commutative operators, intercepting every
+tuple that flows into or out of them.  For each tuple it repeatedly picks
+an eligible operator (one that applies and has not yet seen the tuple),
+hands the tuple over, collects any generated tuples (join matches) for
+further routing, and emits the tuple once every connected module has
+successfully handled it.
+
+The implementation notes map to the paper like so:
+
+* tuple "done" bitmaps — :attr:`repro.core.tuples.Tuple.done`, one bit
+  per connected operator, assigned at eddy construction;
+* "bounce back" — an operator's :meth:`EddyOperator.handle` returns
+  ``passed=False`` to reject the tuple (a failed filter), and returned
+  match tuples re-enter the routing loop;
+* shutdown — the eddy is a Fjord module; EOS on all inputs finishes it;
+* routing policy & batching — pluggable (:mod:`repro.core.routing`),
+  including the §4.3 "adapting adaptivity" knobs.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple)
+
+from repro.core.routing import BatchingDirective, PER_TUPLE, RoutingPolicy, RandomPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Punctuation, Tuple
+from repro.errors import ExecutionError, PlanError
+from repro.fjords.module import Module
+from repro.query.predicates import ColumnComparison, Predicate
+
+
+class HandleResult:
+    """What an operator tells the eddy after handling one tuple."""
+
+    __slots__ = ("outputs", "passed")
+
+    def __init__(self, outputs: Sequence[Tuple] = (), passed: bool = True):
+        self.outputs = outputs
+        self.passed = passed
+
+
+_PASS = HandleResult()
+_FAIL = HandleResult(passed=False)
+
+
+class EddyOperator:
+    """A unit of work connected to an eddy.
+
+    Unlike a Fjord module, an eddy operator is invoked synchronously by
+    its eddy (the eddy *is* the Fjord module); this mirrors the paper's
+    picture of operator inputs and outputs all being connected to the
+    eddy.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.bit = 0            # assigned by the owning eddy
+        self.seen = 0
+        self.passed_count = 0
+        # Windowed selectivity estimate (EWMA) so drifting data changes
+        # the estimate quickly; used by GreedySelectivityPolicy.
+        self._ewma_selectivity = 1.0
+        self._ewma_alpha = 0.02
+
+    def applies_to(self, t: Tuple) -> bool:
+        """Does this operator need to see ``t`` at all?"""
+        raise NotImplementedError
+
+    def must_run_first(self, t: Tuple) -> bool:
+        """Routing constraint: True if this operator must handle ``t``
+        before any unconstrained operator (SteM builds, so state is
+        saved before the tuple goes probing)."""
+        return False
+
+    def handle(self, t: Tuple) -> HandleResult:
+        raise NotImplementedError
+
+    def observed_selectivity(self) -> float:
+        return self._ewma_selectivity
+
+    def cost_estimate(self) -> float:
+        """Advertised per-tuple work, in arbitrary but consistent
+        units; RankPolicy divides by drop rate."""
+        return 1.0
+
+    def _observe(self, passed: bool) -> None:
+        self.seen += 1
+        if passed:
+            self.passed_count += 1
+        self._ewma_selectivity += self._ewma_alpha * (
+            (1.0 if passed else 0.0) - self._ewma_selectivity)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FilterOperator(EddyOperator):
+    """A selection connected to an eddy."""
+
+    def __init__(self, predicate: Predicate, name: str = "", cost: int = 0):
+        super().__init__(name or f"filter[{predicate!r}]")
+        self.predicate = predicate
+        self.cost = cost
+        self._needed_sources = predicate.sources()
+
+    def cost_estimate(self) -> float:
+        return 1.0 + self.cost
+
+    def applies_to(self, t: Tuple) -> bool:
+        # A filter applies once the tuple carries every source the
+        # predicate mentions; unqualified predicates apply to any tuple
+        # that has the column.
+        if self._needed_sources:
+            return self._needed_sources <= t.sources
+        return all(t.schema.has_column(c) for c in self.predicate.columns())
+
+    def handle(self, t: Tuple) -> HandleResult:
+        if self.cost:
+            acc = 0
+            for i in range(self.cost):
+                acc += i
+        ok = self.predicate.matches(t)
+        self._observe(ok)
+        if not ok:
+            # The tuple may already live inside a SteM; probes skip dead
+            # tuples so no inconsistent matches appear later.
+            t.dead = True
+        return _PASS if ok else _FAIL
+
+
+class SteMOperator(EddyOperator):
+    """A SteM connected to an eddy.
+
+    Home-source base tuples build; everything else probes using the
+    subset of the query's join predicates that connect the prober to
+    this SteM's source.
+    """
+
+    def __init__(self, stem: SteM, join_predicates: Sequence[ColumnComparison],
+                 name: str = "", probe_cost: int = 0):
+        super().__init__(name or stem.name)
+        self.stem = stem
+        self.join_predicates = list(join_predicates)
+        self.probe_cost = probe_cost
+        self._home = stem.source
+
+    def cost_estimate(self) -> float:
+        return 1.0 + self.probe_cost
+
+    def applies_to(self, t: Tuple) -> bool:
+        if self._home in t.sources:
+            return True          # build (or no-op for composites)
+        return bool(self._applicable_predicates(t))
+
+    def must_run_first(self, t: Tuple) -> bool:
+        # Build before any probing so the state is durable.
+        return t.sources == frozenset((self._home,))
+
+    def _applicable_predicates(self, t: Tuple) -> List[ColumnComparison]:
+        """Join factors with one side on the prober and the other on
+        this SteM's home source."""
+        out = []
+        for pred in self.join_predicates:
+            srcs = pred.sources()
+            if self._home in srcs and (srcs - {self._home}) <= t.sources \
+                    and len(srcs) > 1:
+                out.append(pred)
+        return out
+
+    def handle(self, t: Tuple) -> HandleResult:
+        if self._home in t.sources:
+            if t.sources == frozenset((self._home,)):
+                self.stem.build(t)
+            self._observe(True)
+            return _PASS
+        if self.probe_cost:
+            acc = 0
+            for i in range(self.probe_cost):
+                acc += i
+        preds = self._applicable_predicates(t)
+        matches = self.stem.probe(t, preds)
+        self._observe(bool(matches))
+        return HandleResult(outputs=matches, passed=True)
+
+
+class Eddy(Module):
+    """The adaptive routing module, packaged as a Fjord module.
+
+    ``output_sources`` is the query footprint: a tuple reaches the eddy
+    output only when it spans all of them and every applicable operator
+    has handled it.  A selection-only query over stream S has footprint
+    {S}; a join over S and T has footprint {S, T}.
+    """
+
+    MAX_ROUTING_DEPTH = 10_000
+
+    def __init__(self, operators: Sequence[EddyOperator],
+                 output_sources: Iterable[str],
+                 policy: Optional[RoutingPolicy] = None,
+                 batching: BatchingDirective = PER_TUPLE,
+                 arity_in: int = 1, name: str = "",
+                 dedupe_output: Optional[bool] = None):
+        super().__init__(name=name or "eddy", arity_in=arity_in)
+        if not operators:
+            raise PlanError("an eddy needs at least one operator")
+        if len(operators) > 62:
+            raise PlanError("at most 62 operators per eddy (bitmap width)")
+        self.operators = list(operators)
+        for i, op in enumerate(self.operators):
+            op.bit = 1 << i
+        self.output_sources = frozenset(output_sources)
+        self.policy = policy if policy is not None else RandomPolicy()
+        self.batching = batching
+        n_stems = sum(1 for op in self.operators
+                      if isinstance(op, SteMOperator))
+        # Multi-path duplicates can only arise with 3+ SteMs.
+        self.dedupe_output = (n_stems >= 3 if dedupe_output is None
+                              else dedupe_output)
+        self._emitted: Set[frozenset] = set()
+        # Batching state: one cached decision per "routing situation"
+        # (done bitmap + source set), reused batch_size times.
+        self._route_cache: Dict[TypingTuple[int, frozenset], TypingTuple] = {}
+        self.routing_decisions = 0
+        self.tuples_routed = 0
+        self.outputs_emitted = 0
+
+    # -- the routing loop ---------------------------------------------------
+    def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
+        results: List[Tuple] = []
+        worklist: List[Tuple] = [item]
+        depth = 0
+        while worklist:
+            depth += 1
+            if depth > self.MAX_ROUTING_DEPTH:
+                raise ExecutionError(
+                    f"{self.name}: routing loop exceeded "
+                    f"{self.MAX_ROUTING_DEPTH} steps for one input tuple")
+            t = worklist.pop()
+            self.tuples_routed += 1
+            alive = True
+            while alive:
+                eligible = self._eligible(t)
+                if not eligible:
+                    if self._should_emit(t):
+                        results.append(t)
+                    break
+                op = self._choose(t, eligible)
+                t.mark_done(op.bit)
+                self.policy.on_route(op)
+                result = op.handle(t)
+                self.policy.on_return(op, len(result.outputs))
+                for out in result.outputs:
+                    self._fix_composite_done(out)
+                    # The producing operator has by definition handled
+                    # its own output (a SteM's home bit is re-set by the
+                    # fix-up; sub-eddies rely on this explicitly).
+                    out.mark_done(op.bit)
+                    worklist.append(out)
+                if not result.passed:
+                    alive = False
+        return results
+
+    def _fix_composite_done(self, t: Tuple) -> None:
+        """Recompute a join match's SteM done-bits.
+
+        A match inherits its parents' *filter* bits (those predicates
+        hold on the concatenation), but parent probe-bits must not carry
+        over: an {S,T} composite still has to probe SteM_U even though
+        both parents did — that was a different logical operation.  SteMs
+        whose home source the match already spans are marked done (no
+        build, no self-probe); all others are cleared so routing visits
+        them.
+        """
+        for op in self.operators:
+            if isinstance(op, SteMOperator):
+                if op.stem.source in t.sources:
+                    t.done |= op.bit
+                else:
+                    t.done &= ~op.bit
+
+    def _eligible(self, t: Tuple) -> List[EddyOperator]:
+        constrained: List[EddyOperator] = []
+        unconstrained: List[EddyOperator] = []
+        for op in self.operators:
+            if t.done & op.bit:
+                continue
+            if not op.applies_to(t):
+                continue
+            if op.must_run_first(t):
+                constrained.append(op)
+            else:
+                unconstrained.append(op)
+        return constrained if constrained else unconstrained
+
+    def _choose(self, t: Tuple,
+                eligible: List[EddyOperator]) -> EddyOperator:
+        if len(eligible) == 1:
+            return eligible[0]
+        if self.batching.batch_size > 1 or self.batching.fix_sequence:
+            return self._choose_batched(t, eligible)
+        self.routing_decisions += 1
+        return self.policy.choose(t, eligible)
+
+    def _choose_batched(self, t: Tuple,
+                        eligible: List[EddyOperator]) -> EddyOperator:
+        """Amortised routing: reuse a cached decision for tuples in the
+        same routing situation, refreshing it every ``batch_size`` uses.
+
+        With ``fix_sequence`` one policy consultation ranks the whole
+        eligible set (by asking the policy repeatedly against shrinking
+        candidate sets) and the stored order serves the batch.
+        """
+        key = (t.done, t.sources)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            choice_by_name, uses_left = cached
+            if uses_left > 0:
+                chosen = next((op for op in eligible
+                               if op.name in choice_by_name), None)
+                if chosen is not None:
+                    self._route_cache[key] = (choice_by_name, uses_left - 1)
+                    return chosen
+        self.routing_decisions += 1
+        if self.batching.fix_sequence:
+            # Rank the full eligible set once.
+            remaining = list(eligible)
+            order: List[str] = []
+            while remaining:
+                pick = self.policy.choose(t, remaining)
+                order.append(pick.name)
+                remaining.remove(pick)
+            chosen_names: Set[str] = {order[0]}
+            chosen = eligible[[op.name for op in eligible].index(order[0])]
+        else:
+            chosen = self.policy.choose(t, eligible)
+            chosen_names = {chosen.name}
+        self._route_cache[key] = (chosen_names, self.batching.batch_size - 1)
+        return chosen
+
+    def _should_emit(self, t: Tuple) -> bool:
+        if t.dead or not self.output_sources <= t.sources:
+            return False
+        if self.dedupe_output:
+            key = t.base_id_set()
+            if key in self._emitted:
+                return False
+            self._emitted.add(key)
+        self.outputs_emitted += 1
+        return True
+
+    # -- punctuation / windows ----------------------------------------------
+    def on_punctuation(self, punctuation: Punctuation, port: int) -> None:
+        if punctuation.kind == Punctuation.WINDOW_BOUNDARY:
+            self._emitted.clear()
+        self.emit(punctuation)
+
+    def evict_stems_before(self, timestamp: int) -> int:
+        """Window expiry across every connected SteM."""
+        evicted = 0
+        for op in self.operators:
+            if isinstance(op, SteMOperator):
+                evicted += op.stem.evict_before(timestamp)
+        return evicted
+
+    # -- introspection ------------------------------------------------------
+    def operator(self, name: str) -> EddyOperator:
+        for op in self.operators:
+            if op.name == name:
+                return op
+        raise PlanError(f"{self.name}: no operator named {name!r}")
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "tuples_routed": self.tuples_routed,
+            "routing_decisions": self.routing_decisions,
+            "outputs": self.outputs_emitted,
+            "policy": self.policy.describe(),
+            "operators": {
+                op.name: {
+                    "seen": op.seen,
+                    "selectivity": op.observed_selectivity(),
+                } for op in self.operators
+            },
+        }

@@ -1,0 +1,436 @@
+"""The TelegraphCQ server (Figure 5): FrontEnd + Executor + Wrapper glue.
+
+This is the facade a client uses.  The paper's three processes become
+three cooperating components over in-memory queues standing in for the
+shared-memory segments:
+
+* the **FrontEnd** role — :meth:`TelegraphCQServer.submit`: parse,
+  analyse, optimize into an adaptive plan, and place it on the query
+  plan queue (QPQueue) for the executor to fold in dynamically;
+* the **Executor** role — :class:`repro.core.executor.Executor` hosting
+  Execution Objects by query footprint class; continuous selection/join
+  queries run in the shared CACQ engine of their class, windowed queries
+  run as incremental Dispatch Units;
+* the **Wrapper** role — :meth:`push` / :class:`repro.ingress` feed
+  streams; every arrival is materialised in the stream's historical
+  store (so new queries can see old data) and routed to the live CQs.
+
+Results land in per-client output queues drained through
+:class:`Cursor` objects; a :class:`ClientProxy` multiplexes many cursors
+onto one connection, spilling into extra proxies beyond the cursor cap —
+matching the proxy service on the right of Figure 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple as TypingTuple, Union)
+
+from repro.core.cacq import CACQEngine, ContinuousQuery
+from repro.core.executor import DispatchUnit, Executor
+from repro.core.tuples import Schema, Tuple
+from repro.core.windows import HistoricalStore
+from repro.errors import ExecutionError, QueryError
+from repro.fjords.queues import EMPTY, PushQueue
+from repro.query.ast import QuerySpec
+from repro.query.catalog import Catalog
+from repro.query.optimizer import CompiledQuery, WindowedPlan, compile_query
+from repro.query.parser import parse
+from repro.query.predicates import Predicate
+
+
+class Cursor:
+    """A client's handle on one submitted query.
+
+    Continuous results are drained with :meth:`fetch` (pull) or observed
+    via ``on_result`` (push); windowed queries produce a sequence of
+    sets read with :meth:`fetch_windows`.
+    """
+
+    def __init__(self, cursor_id: int, kind: str, client: str,
+                 on_result: Optional[Callable[[Tuple], None]] = None):
+        self.cursor_id = cursor_id
+        self.kind = kind
+        self.client = client
+        self.on_result = on_result
+        self._queue: PushQueue = PushQueue(name=f"out[{cursor_id}]")
+        self._windows: List[TypingTuple[int, List[Tuple]]] = []
+        self.closed = False
+        self.delivered = 0
+        #: set for continuous cursors: the underlying CACQ query.
+        self.continuous_query: Optional[ContinuousQuery] = None
+        self.compiled: Optional[CompiledQuery] = None
+
+    # -- engine side -------------------------------------------------------
+    def _deliver(self, t: Tuple) -> None:
+        self.delivered += 1
+        if self.on_result is not None:
+            self.on_result(t)
+        else:
+            self._queue.push(t)
+
+    def _deliver_window(self, t: int, rows: List[Tuple]) -> None:
+        self.delivered += len(rows)
+        self._windows.append((t, rows))
+        if self.on_result is not None:
+            for row in rows:
+                self.on_result(row)
+
+    # -- client side -------------------------------------------------------
+    def fetch(self, limit: int = 0) -> List[Tuple]:
+        """Drain buffered results (all of them when ``limit`` is 0)."""
+        out: List[Tuple] = []
+        while not limit or len(out) < limit:
+            item = self._queue.pop()
+            if item is EMPTY:
+                break
+            out.append(item)
+        return out
+
+    def fetch_windows(self) -> List[TypingTuple[int, List[Tuple]]]:
+        """The windowed sequence-of-sets computed so far."""
+        out, self._windows = self._windows, []
+        return out
+
+    def pending(self) -> int:
+        return len(self._queue) + sum(len(r) for _t, r in self._windows)
+
+    def __repr__(self) -> str:
+        return f"Cursor(#{self.cursor_id}, {self.kind}, {self.client})"
+
+
+class ClientProxy:
+    """Multiplexes cursors for one client connection (Figure 5's proxy).
+
+    A real connection caps open cursors; beyond ``max_cursors`` the
+    engine transparently opens another proxy, as the paper describes.
+    """
+
+    def __init__(self, client: str, max_cursors: int = 16):
+        self.client = client
+        self.max_cursors = max_cursors
+        self.cursors: List[Cursor] = []
+
+    @property
+    def has_room(self) -> bool:
+        return len(self.cursors) < self.max_cursors
+
+
+class _WindowedQueryState:
+    """Incremental execution state for one windowed query DU."""
+
+    def __init__(self, plan: WindowedPlan, spec_iter, cursor: Cursor,
+                 server: "TelegraphCQServer"):
+        self.plan = plan
+        self.iterator = spec_iter
+        self.cursor = cursor
+        self.server = server
+        self.pending: Optional[TypingTuple[int, Dict[str, TypingTuple[int, int]]]] = None
+        self.done = False
+        self.windows_evaluated = 0
+
+    def step(self, batch: int) -> bool:
+        """Evaluate up to ``batch`` ready windows."""
+        worked = False
+        for _ in range(max(1, batch)):
+            if self.done:
+                return worked
+            if self.pending is None:
+                try:
+                    instance = next(self.iterator)
+                except StopIteration:
+                    self.done = True
+                    return worked
+                self.pending = (instance.t, instance.bounds)
+            t, bounds = self.pending
+            if not self._ready(bounds):
+                return worked
+            window_data: Dict[str, List[Tuple]] = {}
+            for binding, (lo, hi) in bounds.items():
+                window_data[binding] = self.server._window_tuples(
+                    self.plan.compiled, binding, lo, hi)
+            # Inputs without a WindowIs are static tables (§4.1.1): the
+            # whole table participates in every window.
+            for binding in getattr(self.plan, "static_bindings", ()):
+                obj = dict(self.plan.compiled.bindings)[binding]
+                window_data[binding] = self.server._rebind(
+                    self.server.tables.get(obj, []), binding, obj)
+            rows = self.plan.evaluate(window_data)
+            self.cursor._deliver_window(t, rows)
+            self.windows_evaluated += 1
+            self.pending = None
+            worked = True
+        return worked
+
+    def _ready(self, bounds: Dict[str, TypingTuple[int, int]]) -> bool:
+        """A window fires once no more data can arrive inside it: every
+        stream's clock is strictly past the right end, or closed."""
+        for binding, (_lo, hi) in bounds.items():
+            obj = self.plan.compiled and dict(
+                self.plan.compiled.bindings)[binding]
+            if self.server._stream_closed.get(obj, False):
+                continue
+            clock = self.server._stream_clock.get(obj)
+            if clock is None or clock <= hi:
+                return False
+        return True
+
+
+class TelegraphCQServer:
+    """The whole system, one object."""
+
+    def __init__(self, max_cursors_per_proxy: int = 16):
+        self.catalog = Catalog()
+        self.executor = Executor()
+        self.stores: Dict[str, HistoricalStore] = {}
+        self.tables: Dict[str, List[Tuple]] = {}
+        self._stream_clock: Dict[str, int] = {}
+        self._stream_closed: Dict[str, bool] = {}
+        #: one shared CQ engine per footprint-class root.
+        self._cacq: Dict[str, CACQEngine] = {}
+        #: remembers (streams, predicate, cursor) so class merges can
+        #: rebuild a combined engine.
+        self._cq_registry: List[TypingTuple[TypingTuple[str, ...], Predicate,
+                                            Cursor]] = []
+        self._proxies: Dict[str, List[ClientProxy]] = {}
+        self.max_cursors_per_proxy = max_cursors_per_proxy
+        self._next_cursor = itertools.count(1)
+        self.tuples_ingested = 0
+
+    # -- DDL ----------------------------------------------------------------
+    def create_stream(self, schema: Schema) -> None:
+        self.catalog.create_stream(schema)
+        self.stores[schema.name] = HistoricalStore(schema.name)
+        self._stream_closed[schema.name] = False
+
+    def create_table(self, schema: Schema,
+                     rows: Sequence[Sequence[Any]] = ()) -> None:
+        self.catalog.create_table(schema)
+        self.tables[schema.name] = [
+            schema.make(*row, timestamp=i) for i, row in enumerate(rows)]
+
+    # -- ingress (the Wrapper role) ------------------------------------------------
+    def push(self, stream: str, *values: Any,
+             timestamp: Optional[int] = None) -> None:
+        entry = self.catalog.lookup(stream)
+        if not entry.is_stream:
+            raise QueryError(f"{stream!r} is a table; use create_table rows")
+        ts = timestamp if timestamp is not None else \
+            self._stream_clock.get(stream, 0) + 1
+        t = entry.schema.make(*values, timestamp=ts)
+        self.push_tuple(stream, t)
+
+    def push_tuple(self, stream: str, t: Tuple) -> None:
+        if self._stream_closed.get(stream):
+            raise ExecutionError(f"stream {stream!r} is closed")
+        self.tuples_ingested += 1
+        self.stores[stream].append(t)
+        self._stream_clock[stream] = t.timestamp
+        for engine in self._engines_reading(stream):
+            clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
+            engine.push_tuple(stream, clone)
+
+    def _engines_reading(self, stream: str) -> List[CACQEngine]:
+        return [engine for engine in self._cacq.values()
+                if stream in engine.schemas
+                and engine._source_mask.get(stream, 0)]
+
+    def close_stream(self, stream: str) -> None:
+        """Declare end-of-stream: remaining windows become evaluable."""
+        self.catalog.lookup(stream)
+        self._stream_closed[stream] = True
+
+    # -- the FrontEnd role ---------------------------------------------------------
+    def submit(self, query: Union[str, QuerySpec], client: str = "default",
+               on_result: Optional[Callable[[Tuple], None]] = None,
+               env: Optional[Dict[str, int]] = None) -> Cursor:
+        """Parse, optimize, and fold the query into the running system.
+
+        ``env`` binds free window variables; ``ST`` defaults to the
+        current global clock + 1 (the query's start time).
+        """
+        spec = parse(query) if isinstance(query, str) else query
+        compiled = compile_query(spec, self.catalog)
+        cursor = self._open_cursor(compiled.kind, client, on_result)
+        cursor.compiled = compiled
+        if compiled.kind == "snapshot":
+            self._run_snapshot(compiled, cursor)
+        elif compiled.kind == "continuous":
+            self._register_continuous(compiled, cursor)
+        else:
+            self._register_windowed(compiled, cursor, env)
+        return cursor
+
+    def _open_cursor(self, kind: str, client: str,
+                     on_result: Optional[Callable[[Tuple], None]]) -> Cursor:
+        cursor = Cursor(next(self._next_cursor), kind, client, on_result)
+        proxies = self._proxies.setdefault(client, [])
+        proxy = next((p for p in proxies if p.has_room), None)
+        if proxy is None:
+            proxy = ClientProxy(client, self.max_cursors_per_proxy)
+            proxies.append(proxy)
+        proxy.cursors.append(cursor)
+        return cursor
+
+    # -- snapshot path (Figure 4) ---------------------------------------------------
+    def _run_snapshot(self, compiled: CompiledQuery, cursor: Cursor) -> None:
+        window_data: Dict[str, List[Tuple]] = {}
+        for binding, obj in compiled.bindings:
+            data = self.tables.get(obj, [])
+            window_data[binding] = self._rebind(data, binding, obj)
+        real_plan = _make_snapshot_plan(compiled, self.catalog)
+        for row in real_plan.evaluate(window_data):
+            cursor._deliver(row)
+        cursor.closed = True
+
+    # -- continuous path (CACQ) -------------------------------------------------------
+    def _register_continuous(self, compiled: CompiledQuery,
+                             cursor: Cursor) -> None:
+        streams = tuple(b for b, _o in compiled.bindings)
+        for binding, obj in compiled.bindings:
+            if binding != obj:
+                raise QueryError(
+                    "continuous self-join aliases are not supported; "
+                    "use a windowed for-loop query instead")
+            if not self.catalog.lookup(obj).is_stream:
+                raise QueryError(
+                    "continuous queries must range over streams only")
+        root = self.executor.footprints.class_of(streams)
+        engine = self._engine_for_class(root, streams)
+        cq = engine.add_query(list(streams), compiled.predicate,
+                              callback=cursor._deliver,
+                              name=f"cursor{cursor.cursor_id}")
+        cursor.continuous_query = cq
+        self._cq_registry.append((streams, compiled.predicate, cursor))
+        # Ensure the class has an executor presence so stats show it.
+        self.executor.eo_for(streams)
+
+    def _engine_for_class(self, root: str,
+                          streams: Sequence[str]) -> CACQEngine:
+        """The class's shared engine; merges engines when a new query
+        bridges previously-disjoint classes."""
+        # Engines whose streams now belong to this root (class_of is a
+        # pure lookup here since those streams were unioned before).
+        absorbed = [
+            r for r, eng in list(self._cacq.items())
+            if self.executor.footprints.class_of(list(eng.schemas)) == root]
+        if len(absorbed) > 1:
+            engine = self._rebuild_merged_engine(root, absorbed)
+        elif len(absorbed) == 1:
+            engine = self._cacq.pop(absorbed[0])
+            self._cacq[root] = engine
+        else:
+            engine = CACQEngine()
+            self._cacq[root] = engine
+        for s in streams:
+            if s not in engine.schemas:
+                engine.register_stream(self.catalog.lookup(s).schema)
+        return engine
+
+    def _rebuild_merged_engine(self, root: str,
+                               absorbed: List[str]) -> CACQEngine:
+        merged = CACQEngine()
+        old_engines = [self._cacq.pop(r) for r in absorbed]
+        seen_streams = set()
+        for old in old_engines:
+            for name, schema in old.schemas.items():
+                if name not in seen_streams:
+                    merged.register_stream(schema)
+                    seen_streams.add(name)
+        for streams, predicate, cursor in self._cq_registry:
+            if cursor.continuous_query is None:
+                continue
+            if any(s in seen_streams for s in streams):
+                for s in streams:
+                    if s not in merged.schemas:
+                        merged.register_stream(
+                            self.catalog.lookup(s).schema)
+                        seen_streams.add(s)
+                cursor.continuous_query = merged.add_query(
+                    list(streams), predicate, callback=cursor._deliver,
+                    name=f"cursor{cursor.cursor_id}")
+        self._cacq[root] = merged
+        return merged
+
+    def cancel(self, cursor: Cursor) -> None:
+        """Remove a continuous query from the running system."""
+        if cursor.continuous_query is None:
+            cursor.closed = True
+            return
+        for engine in self._cacq.values():
+            if cursor.continuous_query.qid in engine.queries:
+                engine.remove_query(cursor.continuous_query)
+                break
+        self._cq_registry = [(s, p, c) for (s, p, c) in self._cq_registry
+                             if c is not cursor]
+        cursor.continuous_query = None
+        cursor.closed = True
+
+    # -- windowed path ------------------------------------------------------------------
+    def _register_windowed(self, compiled: CompiledQuery, cursor: Cursor,
+                           env: Optional[Dict[str, int]]) -> None:
+        plan = compiled.window_plan
+        assert plan is not None
+        bound_env = dict(env or {})
+        if "ST" not in bound_env:
+            bound_env["ST"] = self._global_clock() + 1
+        spec = plan.build_spec(bound_env)
+        state = _WindowedQueryState(plan, iter(spec), cursor, self)
+        du = DispatchUnit(
+            f"windowed-{cursor.cursor_id}", DispatchUnit.MODE_SINGLE_EDDY,
+            step=state.step, is_finished=lambda: state.done)
+        self.executor.enqueue_plan(compiled.footprint, du)
+
+    def _window_tuples(self, compiled: CompiledQuery, binding: str,
+                       lo: int, hi: int) -> List[Tuple]:
+        obj = dict(compiled.bindings)[binding]
+        if obj in self.stores:
+            raw = self.stores[obj].scan(lo, hi)
+        else:
+            raw = [t for t in self.tables.get(obj, ())
+                   if t.timestamp is not None and lo <= t.timestamp <= hi]
+        return self._rebind(raw, binding, obj)
+
+    def _rebind(self, tuples: List[Tuple], binding: str,
+                obj: str) -> List[Tuple]:
+        if binding == obj:
+            return list(tuples)
+        alias_schema = self.catalog.alias_schema(obj, binding)
+        return [Tuple(alias_schema, t.values, timestamp=t.timestamp)
+                for t in tuples]
+
+    def _global_clock(self) -> int:
+        return max(self._stream_clock.values(), default=0)
+
+    # -- driving the executor -------------------------------------------------------
+    def step(self, batch: int = 16) -> bool:
+        return self.executor.step(batch)
+
+    def run_until_quiescent(self, max_steps: int = 100_000) -> int:
+        return self.executor.run_until_quiescent(max_steps)
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "ingested": self.tuples_ingested,
+            "streams": {s: len(store) for s, store in self.stores.items()},
+            "continuous_queries": sum(
+                len(e.queries) for e in self._cacq.values()),
+            "cacq_engines": len(self._cacq),
+            "executor": self.executor.stats(),
+            "proxies": {client: len(proxies)
+                        for client, proxies in self._proxies.items()},
+        }
+
+
+def _make_snapshot_plan(compiled: CompiledQuery,
+                        catalog: Catalog) -> WindowedPlan:
+    """A windowed plan with a degenerate all-of-the-table window; reuses
+    the filters/join/aggregate pipeline for snapshot queries."""
+    from repro.query.ast import ForLoopClause, NumberExpr, WindowClause
+    clause = ForLoopClause(
+        "t", NumberExpr(0), (NumberExpr(0), "==", NumberExpr(0)),
+        ("=", NumberExpr(-1)),
+        tuple(WindowClause(b, NumberExpr(0), NumberExpr(1 << 60))
+              for b, _o in compiled.bindings))
+    return WindowedPlan(compiled, clause, catalog)

@@ -1,0 +1,260 @@
+"""The TelegraphCQ Executor: Execution Objects and Dispatch Units
+(Section 4.2.2).
+
+The executor maps "our shared continuous processing model onto a thread
+structure that will allow for adaptivity while incurring minimal
+overhead".  The design points reproduced here:
+
+* **Execution Objects (EOs)** — the units the OS would schedule (one
+  system thread each).  Here they are cooperatively scheduled by
+  :class:`Executor.step`; each EO owns a scheduler over its DUs.
+* **Dispatch Units (DUs)** — non-preemptive work abstractions following
+  the Fjords model: ``run_once`` does a bounded quantum and returns.
+  A DU can host (mode 1) a traditional one-shot plan, (mode 2) a
+  single-eddy dataflow, or (mode 3) a shared continuous-query eddy —
+  the three modes the paper lists.
+* **Query classes by footprint** — queries over overlapping stream sets
+  land in the same EO (so they can share SteMs and grouped filters);
+  disjoint footprints get separate EOs.  Implemented with a union-find
+  over stream names, maintained online as queries come and go.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Set, Tuple as TypingTuple)
+
+from repro.errors import ExecutionError
+from repro.fjords.fjord import Fjord
+
+
+class DispatchUnit:
+    """A non-preemptive unit of work inside an EO."""
+
+    #: paper's three DU modes.
+    MODE_TRADITIONAL = 1
+    MODE_SINGLE_EDDY = 2
+    MODE_SHARED_CQ = 3
+
+    def __init__(self, name: str, mode: int,
+                 step: Callable[[int], bool],
+                 is_finished: Callable[[], bool] = lambda: False):
+        self.name = name
+        self.mode = mode
+        self._step = step
+        self._is_finished = is_finished
+        self.quanta = 0
+        self.busy_quanta = 0
+
+    def run_once(self, batch: int = 16) -> bool:
+        """One quantum; returns True if progress was made."""
+        self.quanta += 1
+        worked = self._step(batch)
+        if worked:
+            self.busy_quanta += 1
+        return worked
+
+    @property
+    def finished(self) -> bool:
+        return self._is_finished()
+
+    @classmethod
+    def from_fjord(cls, fjord: Fjord, mode: int = MODE_SINGLE_EDDY,
+                   name: str = "") -> "DispatchUnit":
+        return cls(name or fjord.name, mode,
+                   step=lambda batch: fjord.step(batch),
+                   is_finished=lambda: all(m.finished for m in fjord.modules))
+
+    def __repr__(self) -> str:
+        return f"DispatchUnit({self.name}, mode={self.mode})"
+
+
+class ExecutionObject:
+    """One would-be system thread hosting DUs under a local scheduler.
+
+    Scheduling policies: ``round_robin`` gives every DU one quantum per
+    pass; ``busy_first`` favours DUs that made progress last time (a
+    cheap approximation of demand-driven scheduling).
+    """
+
+    POLICIES = ("round_robin", "busy_first")
+
+    def __init__(self, eo_id: int, policy: str = "round_robin"):
+        if policy not in self.POLICIES:
+            raise ExecutionError(f"unknown EO policy {policy!r}")
+        self.eo_id = eo_id
+        self.policy = policy
+        self.dispatch_units: List[DispatchUnit] = []
+        self._last_worked: Dict[str, bool] = {}
+        self.passes = 0
+
+    def add(self, du: DispatchUnit) -> None:
+        self.dispatch_units.append(du)
+
+    def remove(self, name: str) -> None:
+        self.dispatch_units = [du for du in self.dispatch_units
+                               if du.name != name]
+        self._last_worked.pop(name, None)
+
+    def step(self, batch: int = 16) -> bool:
+        """One pass over the DUs; returns True if any progressed."""
+        self.passes += 1
+        order = list(self.dispatch_units)
+        if self.policy == "busy_first":
+            order.sort(key=lambda du: not self._last_worked.get(du.name,
+                                                                True))
+        worked = False
+        for du in order:
+            if du.finished:
+                continue
+            du_worked = du.run_once(batch)
+            self._last_worked[du.name] = du_worked
+            worked = worked or du_worked
+        return worked
+
+    @property
+    def live_units(self) -> int:
+        return sum(1 for du in self.dispatch_units if not du.finished)
+
+    def __repr__(self) -> str:
+        return f"ExecutionObject(#{self.eo_id}, {len(self.dispatch_units)} DUs)"
+
+
+class FootprintClasses:
+    """Online union-find over stream names.
+
+    ``class_of(footprint)`` unions the footprint's streams and returns
+    the representative — queries whose footprints transitively overlap
+    share a class, disjoint ones do not (the paper's initial policy:
+    "we create query classes for disjoint sets of footprints").
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+        self._rank: Dict[str, int] = {}
+
+    def _find(self, stream: str) -> str:
+        parent = self._parent.setdefault(stream, stream)
+        self._rank.setdefault(stream, 0)
+        if parent != stream:
+            root = self._find(parent)
+            self._parent[stream] = root
+            return root
+        return stream
+
+    def _union(self, a: str, b: str) -> str:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def class_of(self, footprint: Iterable[str]) -> str:
+        streams = list(footprint)
+        if not streams:
+            raise ExecutionError("empty query footprint")
+        root = self._find(streams[0])
+        for s in streams[1:]:
+            root = self._union(root, s)
+        return root
+
+    def peek(self, footprint: Iterable[str]) -> Set[str]:
+        """The set of current class representatives the footprint's
+        streams belong to, WITHOUT unioning (introspection)."""
+        return {self._find(s) for s in footprint}
+
+
+class Executor:
+    """EO manager + the query-plan queue (Figure 5's QPQueue).
+
+    New work arrives via :meth:`enqueue_plan` (from the FrontEnd) and is
+    "dynamically folded into the running executor" at the start of the
+    next step, as in the paper.
+    """
+
+    def __init__(self, eo_policy: str = "round_robin"):
+        self.eo_policy = eo_policy
+        self._eos: Dict[str, ExecutionObject] = {}
+        self._next_eo_id = itertools.count()
+        self.footprints = FootprintClasses()
+        #: the QPQueue: (footprint, DU) pairs awaiting fold-in.
+        self._plan_queue: List[TypingTuple[FrozenSet[str], DispatchUnit]] = []
+        self.steps = 0
+
+    # -- FrontEnd side ----------------------------------------------------------
+    def enqueue_plan(self, footprint: Iterable[str],
+                     du: DispatchUnit) -> None:
+        self._plan_queue.append((frozenset(footprint), du))
+
+    # -- executor side -----------------------------------------------------------
+    def _fold_in_new_plans(self) -> int:
+        folded = 0
+        while self._plan_queue:
+            footprint, du = self._plan_queue.pop(0)
+            eo = self.eo_for(footprint)
+            eo.add(du)
+            folded += 1
+        return folded
+
+    def eo_for(self, footprint: Iterable[str]) -> ExecutionObject:
+        """The EO responsible for a footprint's query class.
+
+        Unioning may merge previously distinct classes (a new query
+        spans two stream groups); their EOs are merged too.
+        """
+        before = self.footprints.peek(footprint)
+        root = self.footprints.class_of(footprint)
+        stale = [rep for rep in before if rep != root and rep in self._eos]
+        if root not in self._eos:
+            # Reuse a merged EO if one exists, else create fresh.
+            if stale:
+                self._eos[root] = self._eos.pop(stale.pop(0))
+            else:
+                self._eos[root] = ExecutionObject(next(self._next_eo_id),
+                                                  policy=self.eo_policy)
+        for rep in stale:
+            merged = self._eos.pop(rep)
+            for du in merged.dispatch_units:
+                self._eos[root].add(du)
+        return self._eos[root]
+
+    def step(self, batch: int = 16) -> bool:
+        """One scheduling round over every EO."""
+        self.steps += 1
+        self._fold_in_new_plans()
+        worked = False
+        for eo in self._eos.values():
+            worked = eo.step(batch) or worked
+        return worked
+
+    def run_until_quiescent(self, max_steps: int = 1_000_000,
+                            batch: int = 16) -> int:
+        steps = 0
+        while steps < max_steps:
+            steps += 1
+            if not self.step(batch):
+                break
+        return steps
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def execution_objects(self) -> List[ExecutionObject]:
+        return list(self._eos.values())
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "eos": len(self._eos),
+            "dus": sum(len(eo.dispatch_units) for eo in self._eos.values()),
+            "steps": self.steps,
+            "per_eo": {
+                str(root): {
+                    "dus": [du.name for du in eo.dispatch_units],
+                    "passes": eo.passes,
+                }
+                for root, eo in self._eos.items()
+            },
+        }

@@ -1,0 +1,200 @@
+"""Grouped filters: shared indexes over query predicates (Section 3.1).
+
+"A grouped filter is an index for single-variable boolean factors over
+the same attribute."  When a CACQ query arrives it is decomposed into
+boolean factors; each single-variable factor ``attr op constant`` is
+inserted into the grouped filter for ``attr``.  When a data tuple is
+routed through the filter, one probe determines *which queries'* factors
+it satisfies — O(log n + answers) instead of evaluating every query's
+predicate separately (experiment E4 measures exactly this).
+
+Index layout per attribute:
+
+* equality      — hash map value -> query ids;
+* inequality    — hash map value -> query ids (matches are "everyone
+  except the ids registered at this exact value");
+* ``>`` / ``>=`` — a sorted array of thresholds: the factors satisfied by
+  tuple value v are a *prefix* (all thresholds below v), found by
+  bisection;
+* ``<`` / ``<=`` — symmetric, a suffix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Dict, List, Set, Tuple as TypingTuple
+
+from repro.errors import QueryError
+from repro.query.predicates import Comparison
+
+
+class GroupedFilter:
+    """One grouped filter indexes every registered single-variable factor
+    over a single attribute.
+
+    A query may register several factors on the same attribute (e.g.
+    ``50 < price AND price < 60``); the query satisfies the filter only
+    if *all* its factors match, which the probe handles by counting
+    satisfied factors per query.
+    """
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        # op -> structure; see module docstring.
+        self._eq: Dict[Any, Set[int]] = {}
+        self._ne: Dict[Any, Set[int]] = {}
+        self._ne_all: Set[int] = set()
+        self._gt: List[TypingTuple[Any, int]] = []   # sorted (threshold, qid)
+        self._ge: List[TypingTuple[Any, int]] = []
+        self._lt: List[TypingTuple[Any, int]] = []
+        self._le: List[TypingTuple[Any, int]] = []
+        #: factors registered per query on this attribute.
+        self._factor_count: Dict[int, int] = {}
+        #: bitmap of registered query ids, maintained incrementally so
+        #: the CACQ hot path never rebuilds it.
+        self.registered_mask = 0
+        self.probes = 0
+
+    # -- registration --------------------------------------------------------
+    def add(self, factor: Comparison, query_id: int) -> None:
+        """Insert one boolean factor belonging to ``query_id``."""
+        if factor.column != self.attribute:
+            raise QueryError(
+                f"factor on {factor.column!r} inserted into grouped filter "
+                f"for {self.attribute!r}")
+        op, value = factor.op, factor.value
+        if op == "==":
+            self._eq.setdefault(value, set()).add(query_id)
+        elif op == "!=":
+            self._ne.setdefault(value, set()).add(query_id)
+            self._ne_all.add(query_id)
+        elif op == ">":
+            insort(self._gt, (value, query_id))
+        elif op == ">=":
+            insort(self._ge, (value, query_id))
+        elif op == "<":
+            insort(self._lt, (value, query_id))
+        elif op == "<=":
+            insort(self._le, (value, query_id))
+        else:  # pragma: no cover - Comparison already validates ops
+            raise QueryError(f"unsupported operator {op!r}")
+        self._factor_count[query_id] = self._factor_count.get(query_id, 0) + 1
+        self.registered_mask |= 1 << query_id
+
+    def remove_query(self, query_id: int) -> None:
+        """Drop every factor registered by ``query_id`` (query removal
+        "on the fly", Section 1.1's shared-processing robustness)."""
+        if query_id not in self._factor_count:
+            return
+        for mapping in (self._eq, self._ne):
+            empty = []
+            for value, ids in mapping.items():
+                ids.discard(query_id)
+                if not ids:
+                    empty.append(value)
+            for value in empty:
+                del mapping[value]
+        self._ne_all.discard(query_id)
+        for attr in ("_gt", "_ge", "_lt", "_le"):
+            entries = getattr(self, attr)
+            setattr(self, attr,
+                    [(v, q) for (v, q) in entries if q != query_id])
+        del self._factor_count[query_id]
+        self.registered_mask &= ~(1 << query_id)
+
+    @property
+    def registered_queries(self) -> Set[int]:
+        return set(self._factor_count)
+
+    def __len__(self) -> int:
+        """Total number of registered factors."""
+        return sum(self._factor_count.values())
+
+    # -- probing -------------------------------------------------------------
+    def matching(self, value: Any) -> Set[int]:
+        """The ids of queries *all* of whose factors on this attribute
+        are satisfied by ``value``."""
+        self.probes += 1
+        satisfied: Dict[int, int] = {}
+
+        def credit(qid: int) -> None:
+            satisfied[qid] = satisfied.get(qid, 0) + 1
+
+        for qid in self._eq.get(value, ()):
+            credit(qid)
+        if self._ne_all:
+            excluded = self._ne.get(value, set())
+            for qid in self._ne_all:
+                if qid not in excluded:
+                    credit(qid)
+        # value > threshold  <=>  threshold < value: prefix strictly below.
+        idx = bisect_left(self._gt, (value, -1))
+        for i in range(idx):
+            credit(self._gt[i][1])
+        # value >= threshold: prefix up to and including value.
+        idx = bisect_right(self._ge, (value, float("inf")))
+        for i in range(idx):
+            credit(self._ge[i][1])
+        # value < threshold: suffix strictly above.
+        idx = bisect_right(self._lt, (value, float("inf")))
+        for i in range(idx, len(self._lt)):
+            credit(self._lt[i][1])
+        # value <= threshold: suffix from value.
+        idx = bisect_left(self._le, (value, -1))
+        for i in range(idx, len(self._le)):
+            credit(self._le[i][1])
+
+        return {qid for qid, n in satisfied.items()
+                if n == self._factor_count[qid]}
+
+    def probe_cost_estimate(self) -> int:
+        """Rough comparisons per probe — logarithmic in factors plus
+        matches; the naive alternative is len(self)."""
+        import math
+        n = len(self)
+        return max(1, int(math.log2(n + 1)))
+
+
+class NaiveFilterBank:
+    """The unshared baseline: evaluate every query's factors one by one.
+
+    Used by experiment E4 and the per-query baseline engine to quantify
+    what grouped filters buy.
+    """
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self._factors: Dict[int, List[Comparison]] = {}
+        self.probes = 0
+        self.comparisons = 0
+
+    def add(self, factor: Comparison, query_id: int) -> None:
+        if factor.column != self.attribute:
+            raise QueryError(
+                f"factor on {factor.column!r} inserted into bank for "
+                f"{self.attribute!r}")
+        self._factors.setdefault(query_id, []).append(factor)
+
+    def remove_query(self, query_id: int) -> None:
+        self._factors.pop(query_id, None)
+
+    @property
+    def registered_queries(self) -> Set[int]:
+        return set(self._factors)
+
+    def __len__(self) -> int:
+        return sum(len(f) for f in self._factors.values())
+
+    def matching(self, value: Any) -> Set[int]:
+        self.probes += 1
+        out: Set[int] = set()
+        for qid, factors in self._factors.items():
+            ok = True
+            for f in factors:
+                self.comparisons += 1
+                if not f.evaluate(value):
+                    ok = False
+                    break
+            if ok:
+                out.add(qid)
+        return out

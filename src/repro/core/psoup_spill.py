@@ -1,0 +1,233 @@
+"""Spilling Query SteMs to disk, with periodicity-driven prefetch
+(Section 4.3, "Disk-based issues and QoS").
+
+"In scenarios with huge numbers of queries with periodically active
+windows, the Query SteMs (in addition to Data SteMs) may need to be
+flushed to disk.  In this case, the periodic nature of the windows
+provides knowledge that can be exploited for prefetching queries from
+the disk."
+
+Model:
+
+* each standing query has a **periodic activation schedule**: it is
+  active for ``active_for`` time units out of every ``period`` (a
+  report that runs for the first minute of every hour, say);
+* memory holds at most ``memory_capacity`` query entries; the rest are
+  spilled (pickled into a :class:`~repro.storage.spill.SpillStore`);
+* a tuple arriving while an *active* query is spilled causes a **query
+  fault** — a synchronous load the arriving data must wait on;
+* the **prefetcher** uses the schedules: queries activating within
+  ``prefetch_horizon`` time units are loaded in the background, so the
+  fault never happens.
+
+Experiment X5 measures faults with and without prefetching; the paper's
+expectation is that periodicity makes them almost entirely avoidable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from typing import Dict, List, Optional, Set, Tuple as TypingTuple
+
+from repro.core.tuples import Tuple
+from repro.errors import QueryError, StorageError
+from repro.query.predicates import Predicate
+from repro.storage.spill import SpillStore
+
+
+class PeriodicQuery:
+    """A standing query active for ``active_for`` of every ``period``."""
+
+    __slots__ = ("qid", "predicate", "period", "active_for", "phase",
+                 "matches")
+
+    def __init__(self, qid: int, predicate: Predicate, period: int,
+                 active_for: int, phase: int = 0):
+        if period < 1 or not (0 < active_for <= period):
+            raise QueryError(
+                "need 0 < active_for <= period for a periodic query")
+        self.qid = qid
+        self.predicate = predicate
+        self.period = period
+        self.active_for = active_for
+        self.phase = phase % period
+        self.matches = 0
+
+    def is_active(self, now: int) -> bool:
+        return (now - self.phase) % self.period < self.active_for
+
+    def next_activation(self, now: int) -> int:
+        """The first instant >= now at which the query is active."""
+        offset = (now - self.phase) % self.period
+        if offset < self.active_for:
+            return now
+        return now + (self.period - offset)
+
+
+class SpillingQueryStore:
+    """The bounded-memory home of periodic queries.
+
+    Entries move between a resident set and the spill log; the
+    accounting separates synchronous faults (bad: data waited) from
+    asynchronous prefetches (fine: hidden by the schedule).
+    """
+
+    def __init__(self, memory_capacity: int,
+                 spill: Optional[SpillStore] = None,
+                 prefetch_horizon: int = 0):
+        if memory_capacity < 1:
+            raise StorageError("memory capacity must be >= 1")
+        self.memory_capacity = memory_capacity
+        self.prefetch_horizon = prefetch_horizon
+        self.spill = spill if spill is not None else SpillStore()
+        self._resident: Dict[int, PeriodicQuery] = {}
+        self._spilled: Set[int] = set()
+        self._schedules: Dict[int, TypingTuple[int, int, int]] = {}
+        self._next_qid = itertools.count()
+        self.faults = 0
+        self.prefetches = 0
+        self.evictions = 0
+
+    # -- registration ------------------------------------------------------
+    def register(self, predicate: Predicate, period: int, active_for: int,
+                 phase: int = 0) -> int:
+        query = PeriodicQuery(next(self._next_qid), predicate, period,
+                              active_for, phase)
+        self._schedules[query.qid] = (period, active_for, query.phase)
+        self._admit(query)
+        return query.qid
+
+    def _admit(self, query: PeriodicQuery) -> None:
+        self._make_room(exclude=query.qid)
+        self._resident[query.qid] = query
+        self._spilled.discard(query.qid)
+
+    def _make_room(self, exclude: int, now: int = 0) -> None:
+        while len(self._resident) >= self.memory_capacity:
+            victim_id = self._pick_victim(exclude, now)
+            if victim_id is None:
+                raise StorageError(
+                    "query store cannot make room: memory_capacity too "
+                    "small to hold even the working entry")
+            self._spill_out(victim_id)
+
+    def _pick_victim(self, exclude: int, now: int) -> Optional[int]:
+        """Evict the resident query whose next activation is furthest
+        away — the schedule-aware analogue of Belady's rule.  If every
+        candidate is currently active the store thrashes (spills an
+        active query) rather than failing: correctness is preserved at
+        a fault cost, like any overcommitted cache."""
+        best = None
+        best_when = -1
+        for qid, query in self._resident.items():
+            if qid == exclude or query.is_active(now):
+                continue
+            when = query.next_activation(now + 1)
+            if when > best_when:
+                best_when = when
+                best = qid
+        if best is not None:
+            return best
+        for qid in self._resident:           # thrash mode
+            if qid != exclude:
+                return qid
+        return None
+
+    def _spill_out(self, qid: int) -> None:
+        query = self._resident.pop(qid)
+        blob = pickle.dumps(
+            (query.predicate, query.period, query.active_for, query.phase,
+             query.matches), protocol=pickle.HIGHEST_PROTOCOL)
+        # reuse the page log as a blob store keyed by qid
+        from repro.storage.pages import Page
+        page = Page(qid, "querystem", capacity=1)
+        page.rows = [(0, blob)]
+        page.min_ts = page.max_ts = 0
+        self.spill.write_page(page)
+        self._spilled.add(qid)
+        self.evictions += 1
+
+    def _load(self, qid: int, now: int, prefetch: bool) -> PeriodicQuery:
+        page = self.spill.read_page(qid)
+        (_ts, blob) = page.rows[0]
+        predicate, period, active_for, phase, matches = pickle.loads(blob)
+        query = PeriodicQuery(qid, predicate, period, active_for, phase)
+        query.matches = matches
+        self._make_room(exclude=qid, now=now)
+        self._resident[qid] = query
+        self._spilled.discard(qid)
+        if prefetch:
+            self.prefetches += 1
+        else:
+            self.faults += 1
+        return query
+
+    # -- the data path -----------------------------------------------------
+    def prefetch_for(self, now: int) -> int:
+        """Background-load queries activating within the horizon."""
+        if not self.prefetch_horizon:
+            return 0
+        loaded = 0
+        for qid in list(self._spilled):
+            period, active_for, phase = self._schedules[qid]
+            # next activation computed from the schedule alone — the
+            # spilled entry need not be touched to decide.
+            offset = (now - phase) % period
+            if offset < active_for:
+                next_active = now
+            else:
+                next_active = now + (period - offset)
+            if next_active - now <= self.prefetch_horizon:
+                if len(self._resident) < self.memory_capacity or \
+                        self._pick_victim(qid, now) is not None:
+                    self._load(qid, now, prefetch=True)
+                    loaded += 1
+        return loaded
+
+    def route(self, t: Tuple) -> List[int]:
+        """Evaluate the tuple against every *active* query, faulting in
+        any active query that was spilled.  Returns matching qids.
+
+        Each active query is evaluated immediately after its residency
+        is ensured, so the answer is exact even when the store thrashes
+        (more simultaneously-active queries than memory capacity).
+        """
+        now = t.timestamp if t.timestamp is not None else 0
+        self.prefetch_for(now)
+        matched: List[int] = []
+        for qid, (period, active_for, phase) in self._schedules.items():
+            if (now - phase) % period >= active_for:
+                continue
+            query = self._resident.get(qid)
+            if query is None:
+                query = self._load(qid, now, prefetch=False)
+            if query.predicate.matches(t):
+                query.matches += 1
+                matched.append(qid)
+        return matched
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    @property
+    def spilled_count(self) -> int:
+        return len(self._spilled)
+
+    def total_matches(self) -> int:
+        total = sum(q.matches for q in self._resident.values())
+        for qid in self._spilled:
+            page = self.spill.read_page(qid)
+            total += pickle.loads(page.rows[0][1])[4]
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "resident": self.resident_count,
+            "spilled": self.spilled_count,
+            "faults": self.faults,
+            "prefetches": self.prefetches,
+            "evictions": self.evictions,
+        }

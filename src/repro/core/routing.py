@@ -1,0 +1,208 @@
+"""Eddy routing policies (Section 2.2, Section 4.3, [AH00]).
+
+The eddy consults a routing policy for every tuple (or batch — see
+:class:`BatchingDirective`) to pick which eligible operator the tuple
+visits next.  Policies implemented:
+
+* :class:`FixedPolicy` — a static priority order: this is exactly what a
+  conventional optimizer would freeze into a plan, and is the baseline
+  an adaptive eddy is measured against (experiment E1);
+* :class:`RandomPolicy` — the naive adaptive strawman;
+* :class:`LotteryPolicy` — the ticket scheme of [AH00]: an operator is
+  credited a ticket when a tuple is routed to it and debited when it
+  returns tuples, so operators with low selectivity (big filters) win
+  more lotteries and see tuples earlier.  Tickets decay over a sliding
+  "banking window" so the policy keeps adapting when selectivities
+  drift;
+* :class:`GreedySelectivityPolicy` — deterministically routes to the
+  lowest observed-selectivity operator; an ablation point between fixed
+  and lottery.
+
+"Adapting adaptivity" (Section 4.3) is exposed through
+:class:`BatchingDirective`: the eddy can amortise one routing decision
+over a batch of tuples and/or freeze a whole operator sequence,
+trading adaptivity for per-tuple overhead (experiment E8).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence, TYPE_CHECKING
+
+from repro.core.tuples import Tuple
+from repro.errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.eddy import EddyOperator
+
+
+class RoutingPolicy:
+    """Strategy interface consulted by the eddy."""
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        raise NotImplementedError
+
+    def on_route(self, op: "EddyOperator") -> None:
+        """Called when a tuple is handed to ``op``."""
+
+    def on_return(self, op: "EddyOperator", n_outputs: int) -> None:
+        """Called when ``op`` hands ``n_outputs`` tuples back."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedPolicy(RoutingPolicy):
+    """Route in a frozen order — the static plan.
+
+    ``order`` lists operator names, highest priority first.  Operators
+    not named sort last in registration order.
+    """
+
+    def __init__(self, order: Sequence[str]):
+        self._rank: Dict[str, int] = {name: i for i, name in enumerate(order)}
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        return min(eligible,
+                   key=lambda op: self._rank.get(op.name, len(self._rank)))
+
+    def describe(self) -> str:
+        order = sorted(self._rank, key=self._rank.get)
+        return f"FixedPolicy({' -> '.join(order)})"
+
+
+class RandomPolicy(RoutingPolicy):
+    """Uniform random choice among eligible operators."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        return self._rng.choice(list(eligible))
+
+
+class LotteryPolicy(RoutingPolicy):
+    """The [AH00] ticket lottery.
+
+    Each operator holds tickets; routing holds a lottery weighted by
+    ticket count (plus one, so starved operators still get explored).
+    Crediting on route and debiting on return makes tickets a running
+    estimate of (1 - selectivity); decay keeps the estimate fresh — the
+    banking-window idea that lets the eddy re-adapt after a selectivity
+    drift.
+    """
+
+    def __init__(self, seed: int = 0, decay: float = 0.99,
+                 decay_every: int = 100, explore: float = 0.05):
+        self._rng = random.Random(seed)
+        self._tickets: Dict[str, float] = {}
+        self.decay = decay
+        self.decay_every = decay_every
+        self.explore = explore
+        self._routed = 0
+
+    def tickets(self, op: "EddyOperator") -> float:
+        return self._tickets.get(op.name, 0.0)
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        ops = list(eligible)
+        if len(ops) == 1:
+            return ops[0]
+        if self.explore and self._rng.random() < self.explore:
+            return self._rng.choice(ops)
+        weights = [self._tickets.get(op.name, 0.0) + 1.0 for op in ops]
+        total = sum(weights)
+        pick = self._rng.random() * total
+        cumulative = 0.0
+        for op, w in zip(ops, weights):
+            cumulative += w
+            if pick <= cumulative:
+                return op
+        return ops[-1]
+
+    def on_route(self, op: "EddyOperator") -> None:
+        self._tickets[op.name] = self._tickets.get(op.name, 0.0) + 1.0
+        self._routed += 1
+        if self.decay_every and self._routed % self.decay_every == 0:
+            for name in self._tickets:
+                self._tickets[name] *= self.decay
+
+    def on_return(self, op: "EddyOperator", n_outputs: int) -> None:
+        if n_outputs:
+            self._tickets[op.name] = max(
+                0.0, self._tickets.get(op.name, 0.0) - float(n_outputs))
+
+    def describe(self) -> str:
+        return (f"LotteryPolicy(decay={self.decay}, "
+                f"explore={self.explore})")
+
+
+class GreedySelectivityPolicy(RoutingPolicy):
+    """Deterministically route to the operator with the lowest observed
+    selectivity; ties broken by name for reproducibility.
+
+    Pure exploitation: adapts to drift only through each operator's own
+    windowed selectivity estimate, with none of the lottery's built-in
+    exploration.  An ablation point for E1/E8.
+    """
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        return min(eligible, key=lambda op: (op.observed_selectivity(),
+                                             op.name))
+
+
+class RankPolicy(RoutingPolicy):
+    """Rank-based routing: the classic optimal filter ordering.
+
+    For independent commutative filters the optimal order is ascending
+    ``rank = cost / (1 - selectivity)`` — cheap, selective operators
+    first.  The eddy version recomputes ranks from *observed* (windowed)
+    selectivities and the operators' advertised per-tuple costs, so it
+    both matches the textbook order in steady state and re-ranks under
+    drift.  Compared to the lottery it has no exploration randomness;
+    compared to GreedySelectivityPolicy it accounts for operator cost,
+    which matters once expensive probes (remote indexes) join the mix.
+    """
+
+    def choose(self, t: Tuple,
+               eligible: Sequence["EddyOperator"]) -> "EddyOperator":
+        def rank(op: "EddyOperator") -> float:
+            drop_rate = 1.0 - op.observed_selectivity()
+            if drop_rate <= 0.0:
+                return float("inf")
+            return op.cost_estimate() / drop_rate
+
+        return min(eligible, key=lambda op: (rank(op), op.name))
+
+
+class BatchingDirective:
+    """The two §4.3 knobs as a single configuration object.
+
+    * ``batch_size`` — how many consecutive tuples reuse one routing
+      decision.  1 = per-tuple routing (maximum adaptivity, maximum
+      overhead); larger batches amortise the policy call.
+    * ``fix_sequence`` — when True, one policy consultation fixes the
+      *entire remaining operator order* for the tuple (and, combined
+      with batching, for the whole batch): the "fixing operators" knob.
+    """
+
+    __slots__ = ("batch_size", "fix_sequence")
+
+    def __init__(self, batch_size: int = 1, fix_sequence: bool = False):
+        if batch_size < 1:
+            raise PlanError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.fix_sequence = fix_sequence
+
+    def __repr__(self) -> str:
+        return (f"BatchingDirective(batch={self.batch_size}, "
+                f"fixed={self.fix_sequence})")
+
+
+#: Per-tuple, fully adaptive — the default eddy configuration.
+PER_TUPLE = BatchingDirective(1, fix_sequence=False)

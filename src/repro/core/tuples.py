@@ -1,0 +1,315 @@
+"""Tuples, schemas, and lineage — the currency of every dataflow module.
+
+TelegraphCQ routes *individual tuples* between operators, so each tuple
+carries a small amount of routing state ("lineage", Section 2.2 and 3.1 of
+the paper):
+
+* ``done`` — a bitmap recording which eddy-connected modules have already
+  processed the tuple, so the routing policy never revisits a module;
+* ``queries`` — a bitmap of continuous queries that are still interested
+  in the tuple (CACQ tuple lineage).  A cleared bit means some predicate
+  of that query rejected the tuple.
+
+Schemas are deliberately lightweight: a named, ordered list of columns.
+Joins concatenate schemas; the resulting *composite* tuple remembers the
+set of sources it spans, which is what a SteM needs to distinguish build
+tuples (``sources == {T}``) from probe tuples (``T not in sources``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as TypingTuple
+
+from repro.errors import SchemaError
+
+_tuple_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column of a schema.
+
+    ``dtype`` is advisory (used for validation when constructing tuples
+    with ``Schema.make``); the engine itself is dynamically typed, like
+    the paper's enhanced surrogate objects.
+    """
+
+    name: str
+    dtype: type = object
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype.__name__}"
+
+
+class Schema:
+    """An ordered set of columns belonging to one or more sources.
+
+    A schema over a base stream has a single source (its stream name).
+    Joining two tuples produces a schema whose source set is the union;
+    column names are qualified (``source.column``) when ambiguous.
+    """
+
+    __slots__ = ("columns", "sources", "_index", "name")
+
+    def __init__(self, columns: Sequence[Column], sources: Iterable[str] = (),
+                 name: str = ""):
+        self.columns: TypingTuple[Column, ...] = tuple(columns)
+        self.sources: frozenset = frozenset(sources) or (
+            frozenset({name}) if name else frozenset())
+        self.name = name
+        self._index: Dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            if col.name in self._index:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            self._index[col.name] = i
+        # Allow unqualified access where unambiguous: "price" resolves to
+        # "S.price" if exactly one column has that suffix.
+        suffix_counts: Dict[str, int] = {}
+        for col in self.columns:
+            if "." in col.name:
+                suffix_counts.setdefault(col.name.rsplit(".", 1)[1], 0)
+                suffix_counts[col.name.rsplit(".", 1)[1]] += 1
+        for col in self.columns:
+            if "." in col.name:
+                suffix = col.name.rsplit(".", 1)[1]
+                if suffix_counts[suffix] == 1 and suffix not in self._index:
+                    self._index[suffix] = self._index[col.name]
+
+    @classmethod
+    def of(cls, name: str, *column_names: str) -> "Schema":
+        """Convenience constructor: ``Schema.of("S", "a", "b")``."""
+        return cls([Column(c) for c in column_names], name=name)
+
+    def index_of(self, column: str) -> int:
+        """Return the position of ``column``, raising :class:`SchemaError`
+        if the schema does not contain it.
+
+        Qualified names (``S.price``) resolve against a single-source
+        schema for stream ``S`` even though its columns are stored
+        unqualified, so predicates written against join output also
+        apply to base tuples.
+        """
+        idx = self._index.get(column)
+        if idx is not None:
+            return idx
+        idx = self._qualified_fallback(column)
+        if idx is not None:
+            return idx
+        raise SchemaError(
+            f"schema {set(self.sources) or self.name} has no column "
+            f"{column!r}; columns are {[c.name for c in self.columns]}")
+
+    def _qualified_fallback(self, column: str) -> Optional[int]:
+        if "." not in column or len(self.sources) != 1:
+            return None
+        prefix, suffix = column.rsplit(".", 1)
+        if prefix in self.sources:
+            return self._index.get(suffix)
+        return None
+
+    def has_column(self, column: str) -> bool:
+        if column in self._index:
+            return True
+        return self._qualified_fallback(column) is not None
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def make(self, *values: Any, timestamp: Optional[int] = None) -> "Tuple":
+        """Build a tuple of this schema, validating arity and dtypes."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        for col, val in zip(self.columns, values):
+            if col.dtype is not object and val is not None \
+                    and not isinstance(val, col.dtype):
+                raise SchemaError(
+                    f"column {col.name!r} expects {col.dtype.__name__}, "
+                    f"got {type(val).__name__} ({val!r})")
+        return Tuple(self, tuple(values), timestamp=timestamp)
+
+    def join(self, other: "Schema") -> "Schema":
+        """Concatenate with ``other``.
+
+        Every not-yet-qualified column is qualified with its owning
+        source label so join predicates written as ``S.col == T.col``
+        always resolve; unqualified access remains available for
+        suffixes that stay unambiguous (see ``__init__``).
+        """
+        cols: List[Column] = []
+        for schema in (self, other):
+            label = schema.name or "|".join(sorted(schema.sources)) or "x"
+            for col in schema.columns:
+                if "." not in col.name:
+                    cols.append(Column(f"{label}.{col.name}", col.dtype))
+                else:
+                    cols.append(col)
+        return Schema(cols, sources=self.sources | other.sources)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns and self.sources == other.sources
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.sources))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"Schema<{'|'.join(sorted(self.sources))}>({cols})"
+
+
+class Tuple:
+    """A data tuple plus its routing lineage.
+
+    Tuples are *logically* immutable in their values; the lineage fields
+    (``done``, ``queries``) mutate as the tuple moves through an eddy,
+    exactly as in the paper where "each tuple must have some additional
+    state with which it is associated".
+    """
+
+    __slots__ = ("schema", "values", "timestamp", "done", "queries", "tid",
+                 "base_ids", "max_base", "dead")
+
+    def __init__(self, schema: Schema, values: TypingTuple[Any, ...],
+                 timestamp: Optional[int] = None, done: int = 0,
+                 queries: int = -1):
+        self.schema = schema
+        self.values = values
+        self.timestamp = timestamp
+        self.done = done          # bitmap of eddy modules already visited
+        self.queries = queries    # CACQ lineage: -1 == all queries alive
+        self.tid = next(_tuple_ids)
+        # Join lineage: which base tuples this (possibly composite) tuple
+        # was assembled from.  None means "just myself" — kept lazy so
+        # base-tuple creation stays cheap.
+        self.base_ids: Optional[frozenset] = None
+        self.max_base = self.tid
+        # Set by a failed filter after the tuple was already built into a
+        # SteM: probes skip dead tuples, keeping eddy plans consistent
+        # with selection semantics no matter the routing order chosen.
+        self.dead = False
+
+    def base_id_set(self) -> frozenset:
+        """The set of constituent base tuple ids (for output dedup)."""
+        if self.base_ids is None:
+            return frozenset((self.tid,))
+        return self.base_ids
+
+    def __getitem__(self, column: str) -> Any:
+        return self.values[self.schema.index_of(column)]
+
+    def get(self, column: str, default: Any = None) -> Any:
+        if self.schema.has_column(column):
+            return self.values[self.schema.index_of(column)]
+        return default
+
+    @property
+    def sources(self) -> frozenset:
+        """The set of base streams this (possibly composite) tuple spans."""
+        return self.schema.sources
+
+    def mark_done(self, module_bit: int) -> None:
+        """Record that the eddy module with bitmask ``module_bit`` has
+        finished with this tuple."""
+        self.done |= module_bit
+
+    def is_done(self, all_bits: int) -> bool:
+        """True once every module in ``all_bits`` has handled the tuple."""
+        return self.done & all_bits == all_bits
+
+    def kill_query(self, query_bit: int) -> None:
+        """CACQ lineage: drop query ``query_bit`` from the interested set."""
+        if self.queries == -1:
+            raise ValueError(
+                "tuple lineage not initialised for per-query tracking; "
+                "set t.queries to a concrete bitmap first")
+        self.queries &= ~query_bit
+
+    def concat(self, other: "Tuple", schema: Optional[Schema] = None) -> "Tuple":
+        """Concatenate with ``other`` to form a join-result tuple.
+
+        The result timestamp is the max of the inputs (the instant at
+        which the match could first exist); lineage bitmaps are
+        intersected, because a join output is only alive for queries that
+        both inputs are still alive for.
+        """
+        joined_schema = schema if schema is not None else \
+            self.schema.join(other.schema)
+        ts = None
+        if self.timestamp is not None or other.timestamp is not None:
+            ts = max(self.timestamp or 0, other.timestamp or 0)
+        out = Tuple(joined_schema, self.values + other.values, timestamp=ts)
+        out.queries = self.queries & other.queries
+        # A join result has already been through every module either of
+        # its parents has visited, and descends from both lineages.
+        out.done = self.done | other.done
+        out.base_ids = self.base_id_set() | other.base_id_set()
+        out.max_base = max(self.max_base, other.max_base)
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {c.name: v for c, v in zip(self.schema.columns, self.values)}
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same schema shape and same values.
+
+        Lineage and tid are deliberately excluded — two tuples carrying
+        the same data are equal regardless of their routing history.
+        """
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (self.values == other.values
+                and self.schema.sources == other.schema.sources
+                and self.timestamp == other.timestamp)
+
+    def __hash__(self) -> int:
+        return hash((self.values, self.schema.sources, self.timestamp))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{c.name}={v!r}" for c, v in zip(self.schema.columns, self.values))
+        ts = f" @{self.timestamp}" if self.timestamp is not None else ""
+        return f"Tuple({pairs}{ts})"
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """Control messages that flow through queues alongside data tuples.
+
+    ``END_OF_STREAM`` tells downstream modules that a source is finished;
+    the eddy uses it to shut down connected modules (Section 2.2).
+    ``WINDOW_BOUNDARY`` separates the output sets of consecutive windows,
+    so a client sees the paper's "sequence of sets" (Section 4.1.1).
+    """
+
+    kind: str
+    source: str = ""
+    payload: Any = None
+
+    END_OF_STREAM = "eos"
+    WINDOW_BOUNDARY = "window"
+
+    @classmethod
+    def eos(cls, source: str = "") -> "Punctuation":
+        return cls(cls.END_OF_STREAM, source)
+
+    @classmethod
+    def window_boundary(cls, payload: Any = None) -> "Punctuation":
+        return cls(cls.WINDOW_BOUNDARY, payload=payload)
+
+
+def is_eos(item: Any) -> bool:
+    """True when ``item`` is an end-of-stream punctuation."""
+    return isinstance(item, Punctuation) and item.kind == Punctuation.END_OF_STREAM

@@ -1,0 +1,281 @@
+"""Window semantics for TelegraphCQ queries (Section 4.1).
+
+TelegraphCQ declares the *sequence of windows* a query runs over with a
+for-loop construct::
+
+    for(t = initial; continue_condition(t); change(t)) {
+        WindowIs(StreamA, left_end(t), right_end(t));
+        ...
+    }
+
+For every value of the loop variable ``t`` the query executes over the
+set of tuples inside each stream's window, and the client receives the
+output as a *sequence of sets*, one per loop iteration.  This module
+provides:
+
+* :class:`WindowIs` — one stream's ``(left_end(t), right_end(t))``;
+* :class:`ForLoopSpec` — the loop itself, iterable over
+  :class:`WindowInstance` objects; constructors for the paper's query
+  classes (snapshot, landmark, sliding/hopping, backward-moving, and
+  band-join windows);
+* :class:`HistoricalStore` — an ordered per-stream tuple log supporting
+  efficient timestamp range scans (the "scanner driven by window
+  descriptors" of Section 4.2.3);
+* :class:`WindowedQueryRunner` — executes an arbitrary per-window
+  evaluation function over the loop, yielding the sequence of sets.
+
+Timestamps here are *logical* (tuple sequence numbers) by default, which
+the paper notes makes window memory requirements knowable a priori;
+physical-time streams work identically as long as tuples arrive in
+timestamp order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as TypingTuple)
+
+from repro.core.tuples import Tuple
+from repro.errors import QueryError
+
+
+class WindowIs:
+    """``WindowIs(stream, left_end(t), right_end(t))`` — both ends are
+    functions of the loop variable and both are inclusive, matching the
+    paper's examples."""
+
+    __slots__ = ("stream", "left_end", "right_end")
+
+    def __init__(self, stream: str,
+                 left_end: Callable[[int], int],
+                 right_end: Callable[[int], int]):
+        self.stream = stream
+        self.left_end = left_end
+        self.right_end = right_end
+
+    def bounds(self, t: int) -> TypingTuple[int, int]:
+        return self.left_end(t), self.right_end(t)
+
+    def __repr__(self) -> str:
+        return f"WindowIs({self.stream})"
+
+
+class WindowInstance:
+    """One iteration of the for-loop: the loop value and each stream's
+    inclusive window bounds."""
+
+    __slots__ = ("t", "bounds")
+
+    def __init__(self, t: int, bounds: Dict[str, TypingTuple[int, int]]):
+        self.t = t
+        self.bounds = bounds
+
+    def bounds_for(self, stream: str) -> TypingTuple[int, int]:
+        try:
+            return self.bounds[stream]
+        except KeyError:
+            raise QueryError(
+                f"no WindowIs declared for stream {stream!r}") from None
+
+    def __repr__(self) -> str:
+        return f"WindowInstance(t={self.t}, {self.bounds})"
+
+
+class ForLoopSpec:
+    """The paper's low-level window mechanism.
+
+    ``initial`` seeds the loop variable, ``condition`` keeps it running,
+    ``change`` advances it, and ``windows`` holds one :class:`WindowIs`
+    per stream.  Iterating the spec yields :class:`WindowInstance`s.
+
+    ``max_iterations`` is a safety net for specs whose condition never
+    fails (continuous standing queries): iteration stops there rather
+    than spinning forever, and streaming executors re-enter where they
+    left off.
+    """
+
+    def __init__(self, initial: int, condition: Callable[[int], bool],
+                 change: Callable[[int], int],
+                 windows: Sequence[WindowIs],
+                 max_iterations: int = 1_000_000):
+        if not windows:
+            raise QueryError("a for-loop needs at least one WindowIs")
+        seen = set()
+        for w in windows:
+            if w.stream in seen:
+                raise QueryError(
+                    f"duplicate WindowIs for stream {w.stream!r}")
+            seen.add(w.stream)
+        self.initial = initial
+        self.condition = condition
+        self.change = change
+        self.windows = list(windows)
+        self.max_iterations = max_iterations
+
+    def __iter__(self) -> Iterator[WindowInstance]:
+        t = self.initial
+        iterations = 0
+        while self.condition(t) and iterations < self.max_iterations:
+            yield WindowInstance(
+                t, {w.stream: w.bounds(t) for w in self.windows})
+            t = self.change(t)
+            iterations += 1
+
+    def streams(self) -> List[str]:
+        return [w.stream for w in self.windows]
+
+    # -- constructors for the paper's window classes -------------------------
+
+    @classmethod
+    def snapshot(cls, stream: str, left: int, right: int) -> "ForLoopSpec":
+        """Execute exactly once over one fixed window (paper example 1:
+        ``for(; t==0; t=-1) WindowIs(S, 1, 5)``)."""
+        return cls(initial=0, condition=lambda t: t == 0,
+                   change=lambda t: -1,
+                   windows=[WindowIs(stream, lambda t: left,
+                                     lambda t: right)])
+
+    @classmethod
+    def landmark(cls, stream: str, anchor: int, start: int, stop: int,
+                 step: int = 1) -> "ForLoopSpec":
+        """Fixed left end at ``anchor``, right end sweeping ``start`` to
+        ``stop`` inclusive (paper example 2)."""
+        return cls(initial=start, condition=lambda t: t <= stop,
+                   change=lambda t: t + step,
+                   windows=[WindowIs(stream, lambda t: anchor,
+                                     lambda t: t)])
+
+    @classmethod
+    def sliding(cls, stream: str, width: int, start: int, stop: int,
+                hop: int = 1) -> "ForLoopSpec":
+        """Both ends move forward together; ``hop`` > 1 gives the paper's
+        hopping window (example 3 is width 5, hop 5)."""
+        if width < 1:
+            raise QueryError("window width must be >= 1")
+        return cls(initial=start, condition=lambda t: t < stop,
+                   change=lambda t: t + hop,
+                   windows=[WindowIs(stream, lambda t: t - width + 1,
+                                     lambda t: t)])
+
+    @classmethod
+    def backward(cls, stream: str, width: int, start: int, stop: int,
+                 hop: int = 1) -> "ForLoopSpec":
+        """Windows moving in the reverse-timestamp direction — the
+        "browsing system" of Section 4.1.1 where a user walks backwards
+        through history from the present."""
+        return cls(initial=start, condition=lambda t: t >= stop,
+                   change=lambda t: t - hop,
+                   windows=[WindowIs(stream, lambda t: t - width + 1,
+                                     lambda t: t)])
+
+    @classmethod
+    def band(cls, streams: Sequence[str], width: int, start: int,
+             stop: int, hop: int = 1) -> "ForLoopSpec":
+        """The temporal band-join shape (paper example 4): the same
+        sliding window applied to several streams in unison."""
+        return cls(initial=start, condition=lambda t: t < stop,
+                   change=lambda t: t + hop,
+                   windows=[WindowIs(s, lambda t: t - width + 1,
+                                     lambda t: t) for s in streams])
+
+    def hop_exceeds_width(self) -> bool:
+        """True when consecutive windows leave gaps — Section 4.1.2 notes
+        such queries never see parts of the stream.  Only meaningful for
+        arithmetic-progression loops; detected by sampling."""
+        it = iter(self)
+        try:
+            first = next(it)
+            second = next(it)
+        except StopIteration:
+            return False
+        for stream in self.streams():
+            lo1, hi1 = first.bounds_for(stream)
+            lo2, _hi2 = second.bounds_for(stream)
+            if lo2 > hi1 + 1:
+                return True
+        return False
+
+
+class HistoricalStore:
+    """An append-only, timestamp-ordered tuple log for one stream.
+
+    Backs windows over "the portion of the stream that has already
+    arrived".  Appends must be non-decreasing in timestamp; range scans
+    bisect on timestamps, so a scan is O(log n + answer).
+    """
+
+    def __init__(self, stream: str):
+        self.stream = stream
+        self._tuples: List[Tuple] = []
+        self._timestamps: List[int] = []
+
+    def append(self, t: Tuple) -> None:
+        if t.timestamp is None:
+            raise QueryError(
+                f"stream {self.stream!r}: windowed tuples need timestamps")
+        if self._timestamps and t.timestamp < self._timestamps[-1]:
+            raise QueryError(
+                f"stream {self.stream!r}: out-of-order timestamp "
+                f"{t.timestamp} after {self._timestamps[-1]}")
+        self._tuples.append(t)
+        self._timestamps.append(t.timestamp)
+
+    def extend(self, tuples: Iterable[Tuple]) -> None:
+        for t in tuples:
+            self.append(t)
+
+    def scan(self, left: int, right: int) -> List[Tuple]:
+        """All tuples with ``left <= timestamp <= right``."""
+        lo = bisect_left(self._timestamps, left)
+        hi = bisect_right(self._timestamps, right)
+        return self._tuples[lo:hi]
+
+    def latest_timestamp(self) -> Optional[int]:
+        return self._timestamps[-1] if self._timestamps else None
+
+    def truncate_before(self, timestamp: int) -> int:
+        """Discard tuples older than ``timestamp``; returns the count.
+
+        The storage manager calls this once no standing window can reach
+        that far back.
+        """
+        cut = bisect_left(self._timestamps, timestamp)
+        if cut:
+            del self._tuples[:cut]
+            del self._timestamps[:cut]
+        return cut
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+
+class WindowedQueryRunner:
+    """Executes a query body over a for-loop's window sequence.
+
+    ``evaluate`` receives ``{stream: [tuples in that stream's window]}``
+    and returns the result rows for that window; the runner yields
+    ``(loop_value, results)`` pairs — the paper's sequence of sets, each
+    set tagged with its instant.
+    """
+
+    def __init__(self, spec: ForLoopSpec,
+                 stores: Dict[str, HistoricalStore],
+                 evaluate: Callable[[Dict[str, List[Tuple]]], List[Tuple]]):
+        for stream in spec.streams():
+            if stream not in stores:
+                raise QueryError(
+                    f"no historical store for stream {stream!r}")
+        self.spec = spec
+        self.stores = stores
+        self.evaluate = evaluate
+
+    def __iter__(self) -> Iterator[TypingTuple[int, List[Tuple]]]:
+        for instance in self.spec:
+            window_data = {
+                stream: self.stores[stream].scan(*instance.bounds_for(stream))
+                for stream in self.spec.streams()
+            }
+            yield instance.t, self.evaluate(window_data)
+
+    def run(self) -> List[TypingTuple[int, List[Tuple]]]:
+        return list(self)

@@ -1,0 +1,1 @@
+"""Egress modules: managed result delivery (Section 4.3)."""

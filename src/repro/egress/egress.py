@@ -1,0 +1,254 @@
+"""Egress modules — managed result delivery (Section 4.3, "Egress
+Modules").
+
+"Analogous to our ingress modules, we also plan to investigate
+mechanisms for managing and delivering results, which will be
+encapsulated in egress operators."  The paper sketches four
+responsibilities, each implemented here:
+
+* **push-based** delivery — clients are continually streamed results
+  (:class:`PushEgress`);
+* **pull-based** delivery — results are logged and retrieved
+  intermittently (:class:`PullEgress`);
+* **fault tolerance for mobile clients** that "periodically become
+  disconnected" — :class:`PullEgress` buffers per client with bounded
+  retention and replays from each client's last acknowledged sequence
+  number;
+* **transcoding** for clients with different capabilities, and
+  **aggregation/buffering** "to efficiently support result delivery to
+  large numbers of clients" — :class:`TranscodingEgress` and
+  :class:`FanoutEgress` (one upstream result stream shared by any
+  number of subscribers, with per-subscriber format functions and
+  batch delivery).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple as TypingTuple
+
+from repro.core.tuples import Tuple
+from repro.errors import ExecutionError
+from repro.fjords.module import Module
+
+
+class PushEgress(Module):
+    """Continually streams results to registered client callbacks.
+
+    A slow client (its callback raises or its ``ready`` gate returns
+    False) does not block the dataflow: its results buffer up to
+    ``per_client_buffer`` and then the oldest are dropped, counted per
+    client — streaming delivery must never exert unbounded backpressure
+    on the engine.
+    """
+
+    def __init__(self, name: str = "", per_client_buffer: int = 1024):
+        super().__init__(name=name or "push-egress", arity_out=0)
+        self.per_client_buffer = per_client_buffer
+        self._clients: Dict[str, Dict[str, Any]] = {}
+
+    def subscribe(self, client: str,
+                  callback: Callable[[Tuple], None],
+                  ready: Optional[Callable[[], bool]] = None) -> None:
+        if client in self._clients:
+            raise ExecutionError(f"client {client!r} already subscribed")
+        self._clients[client] = {
+            "callback": callback,
+            "ready": ready or (lambda: True),
+            "buffer": deque(),
+            "delivered": 0,
+            "dropped": 0,
+        }
+
+    def unsubscribe(self, client: str) -> None:
+        self._clients.pop(client, None)
+
+    def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
+        for state in self._clients.values():
+            buffer: Deque[Tuple] = state["buffer"]
+            buffer.append(item)
+            if len(buffer) > self.per_client_buffer:
+                buffer.popleft()
+                state["dropped"] += 1
+            self._drain(state)
+        return ()
+
+    def _drain(self, state: Dict[str, Any]) -> None:
+        buffer: Deque[Tuple] = state["buffer"]
+        while buffer and state["ready"]():
+            t = buffer.popleft()
+            try:
+                state["callback"](t)
+            except Exception:
+                # A failing client loses this tuple, not the dataflow.
+                state["dropped"] += 1
+                continue
+            state["delivered"] += 1
+
+    def flush(self) -> None:
+        """Retry delivery to clients that were previously not ready."""
+        for state in self._clients.values():
+            self._drain(state)
+
+    def client_stats(self, client: str) -> Dict[str, int]:
+        state = self._clients.get(client)
+        if state is None:
+            raise ExecutionError(f"unknown client {client!r}")
+        return {"delivered": state["delivered"],
+                "dropped": state["dropped"],
+                "buffered": len(state["buffer"])}
+
+    def _finish(self) -> None:
+        self.flush()
+        self.finished = True
+
+
+class PullEgress(Module):
+    """Logs results for intermittent retrieval — the mobile-client
+    story.
+
+    Every result gets a sequence number.  A client fetches "everything
+    since my last acknowledged sequence number"; after a disconnection
+    (even one where the response was lost) the same fetch repeats
+    exactly, so delivery to each client is effectively at-least-once
+    with client-side dedup by sequence number, or exactly-once if the
+    client acknowledges.  ``retention`` bounds the log; clients that
+    stay away too long are told how much they missed.
+    """
+
+    def __init__(self, name: str = "", retention: int = 10_000):
+        super().__init__(name=name or "pull-egress", arity_out=0)
+        self.retention = retention
+        self._log: Deque[TypingTuple[int, Tuple]] = deque()
+        self._seq = itertools.count(1)
+        self._acked: Dict[str, int] = {}
+        self.truncated_to = 0          # lowest seq still retained - 1
+
+    def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
+        self._log.append((next(self._seq), item))
+        while len(self._log) > self.retention:
+            seq, _t = self._log.popleft()
+            self.truncated_to = seq
+        return ()
+
+    def register_client(self, client: str) -> None:
+        self._acked.setdefault(client, self.truncated_to)
+
+    def fetch(self, client: str,
+              limit: int = 0) -> TypingTuple[List[TypingTuple[int, Tuple]], int]:
+        """Results after the client's last ack.
+
+        Returns ``(batch, missed)`` where ``missed`` counts results that
+        aged out of retention while the client was disconnected.
+        """
+        if client not in self._acked:
+            raise ExecutionError(
+                f"client {client!r} not registered with {self.name}")
+        since = self._acked[client]
+        missed = max(0, self.truncated_to - since)
+        out = [(seq, t) for seq, t in self._log if seq > since]
+        if limit:
+            out = out[:limit]
+        return out, missed
+
+    def acknowledge(self, client: str, seq: int) -> None:
+        if client not in self._acked:
+            raise ExecutionError(f"client {client!r} not registered")
+        self._acked[client] = max(self._acked[client], seq)
+
+    def _finish(self) -> None:
+        self.finished = True
+
+
+class TranscodingEgress(Module):
+    """Re-encodes results per downstream capability.
+
+    ``transcode`` maps a result tuple to whatever the client's device
+    can handle (a projected tuple, a string, a dict...).  Items the
+    transcoder rejects (returns None) are counted, not delivered —
+    e.g. a numeric-only pager dropping text columns.
+    """
+
+    def __init__(self, transcode: Callable[[Tuple], Optional[Any]],
+                 sink: Callable[[Any], None], name: str = ""):
+        super().__init__(name=name or "transcode-egress",
+                         arity_out=0)
+        self.transcode = transcode
+        self.sink = sink
+        self.delivered = 0
+        self.rejected = 0
+
+    def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
+        encoded = self.transcode(item)
+        if encoded is None:
+            self.rejected += 1
+            return ()
+        self.sink(encoded)
+        self.delivered += 1
+        return ()
+
+    def _finish(self) -> None:
+        self.finished = True
+
+
+class FanoutEgress(Module):
+    """Aggregation and buffering for large client populations.
+
+    One upstream result stream; N subscribers each receive *batches*
+    (delivered when ``batch_size`` accumulates or on an explicit/EOS
+    flush) — the paper's "operators that provide aggregation and
+    buffering services" for overlay delivery networks.  Work is shared:
+    the upstream tuple is handled once no matter how many subscribers
+    exist; only the per-subscriber batch append is per-client.
+    """
+
+    def __init__(self, name: str = "", batch_size: int = 32):
+        super().__init__(name=name or "fanout-egress", arity_out=0)
+        self.batch_size = batch_size
+        self._subscribers: Dict[str, Dict[str, Any]] = {}
+        self.tuples_seen = 0
+
+    def subscribe(self, client: str,
+                  deliver_batch: Callable[[List[Any]], None],
+                  fmt: Optional[Callable[[Tuple], Any]] = None) -> None:
+        if client in self._subscribers:
+            raise ExecutionError(f"client {client!r} already subscribed")
+        self._subscribers[client] = {
+            "deliver": deliver_batch,
+            "fmt": fmt or (lambda t: t),
+            "pending": [],
+            "batches": 0,
+        }
+
+    def unsubscribe(self, client: str) -> None:
+        self._subscribers.pop(client, None)
+
+    def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
+        self.tuples_seen += 1
+        for state in self._subscribers.values():
+            state["pending"].append(state["fmt"](item))
+            if len(state["pending"]) >= self.batch_size:
+                self._ship(state)
+        return ()
+
+    def _ship(self, state: Dict[str, Any]) -> None:
+        if not state["pending"]:
+            return
+        batch, state["pending"] = state["pending"], []
+        state["deliver"](batch)
+        state["batches"] += 1
+
+    def flush(self) -> None:
+        for state in self._subscribers.values():
+            self._ship(state)
+
+    def batches_shipped(self, client: str) -> int:
+        state = self._subscribers.get(client)
+        if state is None:
+            raise ExecutionError(f"unknown client {client!r}")
+        return state["batches"]
+
+    def _finish(self) -> None:
+        self.flush()
+        self.finished = True

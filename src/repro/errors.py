@@ -1,0 +1,60 @@
+"""Exception hierarchy for the TelegraphCQ reproduction.
+
+Every error raised by the library derives from :class:`TelegraphError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from runtime conditions.
+"""
+
+from __future__ import annotations
+
+
+class TelegraphError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(TelegraphError):
+    """A tuple, predicate, or query referenced a non-existent column or
+    used a value of the wrong type for a declared column."""
+
+
+class QueryError(TelegraphError):
+    """A query was malformed: parse failure, unknown stream, unsupported
+    construct, or an inconsistent window specification."""
+
+
+class ParseError(QueryError):
+    """The query text could not be parsed.
+
+    Carries the offending position so clients can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}, near {snippet!r})"
+        super().__init__(message)
+
+
+class PlanError(TelegraphError):
+    """A dataflow graph was assembled inconsistently: dangling ports,
+    cycles where none are allowed, or modules wired to the wrong arity."""
+
+
+class ExecutionError(TelegraphError):
+    """The executor hit an unrecoverable condition while running a plan."""
+
+
+class StorageError(TelegraphError):
+    """The storage manager failed: buffer pool exhausted with all pages
+    pinned, a spill file is corrupt, or a page id is unknown."""
+
+
+class ClusterError(TelegraphError):
+    """A simulated cluster operation failed: unknown machine, machine
+    already dead, or an unrecoverable partition loss."""
+
+
+class QosError(TelegraphError):
+    """A quality-of-service contract could not be satisfied."""

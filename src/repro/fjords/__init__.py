@@ -1,0 +1,1 @@
+"""fjords subpackage of the TelegraphCQ reproduction."""

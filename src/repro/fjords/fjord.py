@@ -1,0 +1,124 @@
+"""The Fjord: a dataflow graph of modules connected by queues, plus the
+cooperative scheduler that drives it.
+
+A Fjord owns the wiring (``connect``) and the run loop (``run`` /
+``run_until_quiescent``).  Scheduling is round-robin with an idle
+detector: a pass over every module in which nobody reports progress and
+every source is exhausted means the dataflow is quiescent.
+
+This is the single-plan analogue of the TelegraphCQ Execution Object; the
+multi-query executor in :mod:`repro.core.executor` hosts many Fjords as
+Dispatch Units inside scheduler-controlled EOs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.errors import PlanError
+from repro.fjords.module import Module
+from repro.fjords.queues import FjordQueue, PushQueue
+
+
+class Fjord:
+    """A runnable dataflow graph."""
+
+    def __init__(self, name: str = "fjord", default_capacity: int = 0):
+        self.name = name
+        self.default_capacity = default_capacity
+        self.modules: List[Module] = []
+        self.queues: List[FjordQueue] = []
+        self._names: Dict[str, Module] = {}
+
+    # -- construction ------------------------------------------------------
+    def add(self, module: Module) -> Module:
+        """Register a module; names must be unique within the Fjord."""
+        if module.name in self._names:
+            raise PlanError(f"duplicate module name {module.name!r}")
+        self.modules.append(module)
+        self._names[module.name] = module
+        return module
+
+    def connect(self, producer: Module, consumer: Module,
+                out_port: int = 0, in_port: int = 0,
+                queue_cls: Type[FjordQueue] = PushQueue,
+                capacity: Optional[int] = None,
+                overflow: str = "refuse") -> FjordQueue:
+        """Wire ``producer.out_port`` to ``consumer.in_port`` with a fresh
+        queue of the requested flavour and return the queue."""
+        for m in (producer, consumer):
+            if m not in self.modules:
+                self.add(m)
+        cap = self.default_capacity if capacity is None else capacity
+        queue = queue_cls(capacity=cap, overflow=overflow,
+                          name=f"{producer.name}->{consumer.name}")
+        producer.bind_output(out_port, queue)
+        consumer.bind_input(in_port, queue)
+        self.queues.append(queue)
+        return queue
+
+    def module(self, name: str) -> Module:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise PlanError(f"no module named {name!r} in {self.name}") from None
+
+    def validate(self) -> None:
+        """Check every port is bound before running."""
+        for m in self.modules:
+            m._require_wired()
+
+    # -- execution -----------------------------------------------------
+    def step(self, batch: Optional[int] = None) -> bool:
+        """One scheduling pass over every unfinished module.
+
+        Returns True if any module made progress.
+        """
+        worked = False
+        for m in self.modules:
+            if m.finished:
+                continue
+            result = m.run_once(batch)
+            worked = worked or result.worked
+        return worked
+
+    def run(self, max_steps: int = 1_000_000,
+            batch: Optional[int] = None) -> int:
+        """Run until quiescent (no module makes progress) or until
+        ``max_steps`` scheduling passes have elapsed.
+
+        Returns the number of passes taken.  A dataflow with live push
+        sources never quiesces; cap it with ``max_steps`` or stop the
+        sources first.
+        """
+        self.validate()
+        steps = 0
+        while steps < max_steps:
+            steps += 1
+            if not self.step(batch):
+                break
+        return steps
+
+    def run_until_finished(self, max_steps: int = 1_000_000,
+                           batch: Optional[int] = None) -> int:
+        """Run until *every* module reports finished (EOS fully
+        propagated), raising :class:`PlanError` on stall."""
+        self.validate()
+        steps = 0
+        while steps < max_steps:
+            steps += 1
+            self.step(batch)
+            if all(m.finished for m in self.modules):
+                return steps
+        stuck = [m.name for m in self.modules if not m.finished]
+        raise PlanError(
+            f"{self.name}: modules {stuck} did not finish within "
+            f"{max_steps} passes")
+
+    # -- introspection ---------------------------------------------------
+    def queue_stats(self) -> Dict[str, dict]:
+        return {q.name: q.stats.snapshot() for q in self.queues}
+
+    def __repr__(self) -> str:
+        return (f"Fjord({self.name}, {len(self.modules)} modules, "
+                f"{len(self.queues)} queues)")

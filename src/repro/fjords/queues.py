@@ -1,0 +1,185 @@
+"""Fjord queues: the push/pull connective tissue between modules.
+
+Section 2.3 of the paper describes Fjords as an API that lets pairs of
+modules be connected by *various types of queues* so that a single plan
+can mix streaming (push) and static (pull) sources:
+
+* a **push queue** uses non-blocking enqueue and dequeue — when the queue
+  is empty the consumer simply gets "no data" back and can yield;
+* a **pull queue** uses blocking semantics — the consumer's dequeue
+  drives the producer until data appears (the iterator model);
+* **Exchange** semantics (blocking dequeue, non-blocking enqueue) fall
+  out as a combination.
+
+This is a single-threaded, cooperatively scheduled engine, so "blocking"
+is modelled by *pumping*: a pull queue owns a callback that runs the
+producer until it yields data or declares end-of-stream.  Every queue
+keeps counters (enqueued/dequeued/dropped/high-water) that the monitoring
+layer and the QoS load-shedder read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, Optional
+
+from repro.errors import PlanError
+
+#: Returned by non-blocking dequeues when no data is available.  A unique
+#: sentinel (not None) so that queues can carry None as a legitimate value.
+EMPTY = object()
+
+
+class QueueStats:
+    """Counters shared by every queue flavour."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "high_water")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.high_water = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "high_water": self.high_water,
+        }
+
+
+class FjordQueue:
+    """Base queue: bounded FIFO with non-blocking operations.
+
+    ``capacity`` of 0 means unbounded.  Subclasses choose the semantics
+    of an enqueue against a full queue and a dequeue against an empty
+    one.
+    """
+
+    #: What to do when a bounded queue is full: "refuse" returns False
+    #: from push (backpressure), "drop_newest" discards the incoming
+    #: item, "drop_oldest" evicts the head to make room.
+    OVERFLOW_POLICIES = ("refuse", "drop_newest", "drop_oldest")
+
+    def __init__(self, capacity: int = 0, overflow: str = "refuse",
+                 name: str = ""):
+        if overflow not in self.OVERFLOW_POLICIES:
+            raise PlanError(f"unknown overflow policy {overflow!r}")
+        self.capacity = capacity
+        self.overflow = overflow
+        self.name = name
+        self.stats = QueueStats()
+        self._items: Deque[Any] = deque()
+
+    # -- producer side ---------------------------------------------------
+    def push(self, item: Any) -> bool:
+        """Non-blocking enqueue.  Returns False iff the item was refused
+        or dropped (so producers can implement backpressure)."""
+        if self.capacity and len(self._items) >= self.capacity:
+            if self.overflow == "refuse":
+                return False
+            if self.overflow == "drop_newest":
+                self.stats.dropped += 1
+                return False
+            # drop_oldest: evict head, admit the new item.
+            self._items.popleft()
+            self.stats.dropped += 1
+        self._items.append(item)
+        self.stats.enqueued += 1
+        if len(self._items) > self.stats.high_water:
+            self.stats.high_water = len(self._items)
+        return True
+
+    def push_all(self, items: Iterable[Any]) -> int:
+        """Enqueue each item; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.push(item):
+                accepted += 1
+        return accepted
+
+    # -- consumer side ---------------------------------------------------
+    def pop(self) -> Any:
+        """Non-blocking dequeue: returns :data:`EMPTY` when nothing is
+        buffered (push semantics — control returns to the consumer)."""
+        if not self._items:
+            return EMPTY
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else EMPTY
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:  # truthiness == "has data", len may be 0
+        return True
+
+    @property
+    def is_full(self) -> bool:
+        return bool(self.capacity) and len(self._items) >= self.capacity
+
+    def fill_fraction(self) -> float:
+        """Occupancy in [0, 1]; unbounded queues report 0 when empty and
+        scale against the observed high-water mark instead."""
+        if self.capacity:
+            return len(self._items) / self.capacity
+        if not self.stats.high_water:
+            return 0.0
+        return len(self._items) / self.stats.high_water
+
+    def __repr__(self) -> str:
+        cap = self.capacity or "inf"
+        return (f"{type(self).__name__}({self.name or 'anon'}, "
+                f"len={len(self._items)}, cap={cap})")
+
+
+class PushQueue(FjordQueue):
+    """Non-blocking enqueue *and* dequeue — the streaming connection.
+
+    Exactly the base behaviour; the class exists so plans read naturally
+    (``PushQueue`` vs ``PullQueue`` declares intent).
+    """
+
+
+class PullQueue(FjordQueue):
+    """Blocking-dequeue semantics via a producer pump.
+
+    When the consumer pops an empty queue, the queue invokes its
+    ``producer`` callback repeatedly; the callback should run the
+    producing module one step and return True while it may still yield
+    data.  This reproduces the iterator model on top of the same queue
+    machinery, which is the point of Fjords: modules don't know which
+    flavour they are attached to.
+    """
+
+    def __init__(self, capacity: int = 0, overflow: str = "refuse",
+                 name: str = "", producer: Optional[Callable[[], bool]] = None,
+                 max_pump: int = 1_000_000):
+        super().__init__(capacity=capacity, overflow=overflow, name=name)
+        self.producer = producer
+        self.max_pump = max_pump
+
+    def pop(self) -> Any:
+        if not self._items and self.producer is not None:
+            pumps = 0
+            while not self._items and pumps < self.max_pump:
+                alive = self.producer()
+                pumps += 1
+                if not alive:
+                    break
+        return super().pop()
+
+
+class ExchangeQueue(PullQueue):
+    """Graefe-style Exchange semantics: producers push asynchronously
+    (non-blocking enqueue) while the consumer blocks on dequeue.
+
+    In our cooperative model this is a PullQueue whose pump runs the
+    producer side of an exchange; it exists mainly so Flux, which the
+    paper calls "a generalization of the Exchange module", has the
+    precise primitive to generalise.
+    """

@@ -1,0 +1,1 @@
+"""flux subpackage of the TelegraphCQ reproduction."""

@@ -1,0 +1,184 @@
+"""A simulated shared-nothing cluster (substrate for Flux, Section 2.4).
+
+The paper's Flux experiments ran on a real cluster; here machines are
+simulated with a discrete clock: each tick, an alive machine processes
+up to ``speed`` queued work items into its local partition states.
+Machines can fail (losing their queue contents and partition state,
+exactly the failure model Flux is designed around) and can be
+heterogeneous in speed, which is one of the imbalance sources online
+repartitioning must absorb.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple as TypingTuple
+
+from repro.core.tuples import Tuple
+from repro.errors import ClusterError
+
+
+class PartitionState:
+    """Movable consumer state for one partition.
+
+    Flux's state-movement protocol ships these objects between machines;
+    concrete subclasses define the operator semantics.
+    """
+
+    def apply(self, t: Tuple) -> None:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """State volume (tuples/groups) — the cost driver of a move."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """A deep-copyable representation, for replicas."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_snapshot(cls, snap: Any) -> "PartitionState":
+        raise NotImplementedError
+
+
+class GroupCountState(PartitionState):
+    """Per-group counters — a partitioned COUNT GROUP BY consumer."""
+
+    def __init__(self, key_column: str):
+        self.key_column = key_column
+        self.counts: Dict[Any, int] = {}
+        self.applied = 0
+
+    def apply(self, t: Tuple) -> None:
+        key = t[self.key_column]
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.applied += 1
+
+    def size(self) -> int:
+        return len(self.counts)
+
+    def snapshot(self) -> Any:
+        return (self.key_column, dict(self.counts), self.applied)
+
+    @classmethod
+    def from_snapshot(cls, snap: Any) -> "GroupCountState":
+        key_column, counts, applied = snap
+        state = cls(key_column)
+        state.counts = dict(counts)
+        state.applied = applied
+        return state
+
+
+class Machine:
+    """One simulated shared-nothing node."""
+
+    def __init__(self, machine_id: str, speed: int = 100):
+        if speed < 1:
+            raise ClusterError("machine speed must be >= 1")
+        self.machine_id = machine_id
+        self.speed = speed
+        self.alive = True
+        #: queued work: (partition id, sequence number, tuple).
+        self.queue: Deque[TypingTuple[int, int, Tuple]] = deque()
+        #: hosted partition states by partition id.
+        self.partitions: Dict[int, PartitionState] = {}
+        self.processed = 0
+        self.busy_ticks = 0
+        self.idle_ticks = 0
+        self.lost_partitions: Dict[int, PartitionState] = {}
+
+    def enqueue(self, pid: int, seq: int, t: Tuple) -> None:
+        if not self.alive:
+            raise ClusterError(
+                f"enqueue on dead machine {self.machine_id}")
+        self.queue.append((pid, seq, t))
+
+    def step(self) -> List[TypingTuple[int, int]]:
+        """Process up to ``speed`` items; returns (pid, seq) acks."""
+        if not self.alive:
+            return []
+        acks: List[TypingTuple[int, int]] = []
+        budget = self.speed
+        while budget and self.queue:
+            pid, seq, t = self.queue.popleft()
+            state = self.partitions.get(pid)
+            if state is not None:
+                state.apply(t)
+            acks.append((pid, seq))
+            budget -= 1
+        if acks:
+            self.busy_ticks += 1
+        else:
+            self.idle_ticks += 1
+        self.processed += len(acks)
+        return acks
+
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def fail(self) -> None:
+        """Crash: queue contents and partition states are lost.
+
+        The lost state is stashed on ``lost_partitions`` purely for the
+        simulator's post-mortem accounting (how much work was lost); no
+        recovery path reads it.
+        """
+        self.alive = False
+        self.queue.clear()
+        self.lost_partitions = dict(self.partitions)
+        self.partitions.clear()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return (f"Machine({self.machine_id}, {state}, speed={self.speed}, "
+                f"backlog={len(self.queue)})")
+
+
+class Cluster:
+    """The set of machines plus a global tick counter."""
+
+    def __init__(self) -> None:
+        self.machines: Dict[str, Machine] = {}
+        self.ticks = 0
+
+    def add_machine(self, machine_id: str, speed: int = 100) -> Machine:
+        if machine_id in self.machines:
+            raise ClusterError(f"duplicate machine id {machine_id!r}")
+        m = Machine(machine_id, speed)
+        self.machines[machine_id] = m
+        return m
+
+    def machine(self, machine_id: str) -> Machine:
+        try:
+            return self.machines[machine_id]
+        except KeyError:
+            raise ClusterError(f"unknown machine {machine_id!r}") from None
+
+    def alive_machines(self) -> List[Machine]:
+        return [m for m in self.machines.values() if m.alive]
+
+    def step(self) -> Dict[str, List[TypingTuple[int, int]]]:
+        """Advance every machine one tick; returns per-machine acks."""
+        self.ticks += 1
+        return {mid: m.step() for mid, m in self.machines.items()
+                if m.alive}
+
+    def fail(self, machine_id: str) -> Machine:
+        m = self.machine(machine_id)
+        if not m.alive:
+            raise ClusterError(f"machine {machine_id!r} is already dead")
+        m.fail()
+        return m
+
+    def total_processed(self) -> int:
+        return sum(m.processed for m in self.machines.values())
+
+    def imbalance(self) -> float:
+        """max/mean backlog across alive machines (1.0 = balanced)."""
+        backlogs = [m.backlog() for m in self.alive_machines()]
+        if not backlogs:
+            return 0.0
+        mean = sum(backlogs) / len(backlogs)
+        if mean == 0:
+            return 1.0
+        return max(backlogs) / mean

@@ -1,0 +1,358 @@
+"""Flux: the Fault-tolerant, Load-balancing eXchange (Section 2.4).
+
+Flux generalises Graefe's Exchange: it partitions an input stream across
+consumer instances on a cluster and, unlike Exchange, can
+
+* **repartition online** — when machine backlogs diverge, a partition is
+  moved from the most loaded to the least loaded machine.  The state
+  movement protocol pauses the partition's input (new tuples buffer
+  inside Flux), waits for the old host to drain the partition's queued
+  work, ships the state, then replays the buffer to the new host — the
+  paper's "buffering and reordering mechanisms";
+* **fail over** — with ``replication = 1`` each partition keeps a
+  process-pair replica on another machine receiving the same input; on
+  a crash the replica is promoted and no data is lost, because every
+  in-flight tuple is tracked until *both* copies acknowledge it;
+* expose a **QoS knob** — replication costs duplicate work (throughput)
+  and buys zero-loss recovery; degree 0 trades the reverse.  Experiment
+  E7 measures both sides.
+
+Delivery tracking: each routed tuple carries a sequence number and an
+*acknowledgement set* — the machine ids still expected to apply it.  A
+machine's crash removes it from every pending set (it will never ack);
+whatever was pending **only** on the dead machine is replayed to the
+partition's new home.  With a live replica nothing is ever pending only
+on the primary, which is exactly why process pairs lose nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple as TypingTuple
+
+from repro.core.tuples import Tuple
+from repro.errors import ClusterError
+from repro.flux.cluster import Cluster, Machine, PartitionState
+
+
+class PartitionMove:
+    """Bookkeeping for one in-progress state movement."""
+
+    __slots__ = ("pid", "source", "target", "buffered", "state_size")
+
+    def __init__(self, pid: int, source: str, target: str):
+        self.pid = pid
+        self.source = source
+        self.target = target
+        self.buffered: Deque[TypingTuple[int, Tuple]] = deque()
+        self.state_size = 0
+
+
+class Flux:
+    """The operator: partitioned routing + balancing + failover."""
+
+    def __init__(self, cluster: Cluster, n_partitions: int,
+                 key_fn: Callable[[Tuple], Any],
+                 state_factory: Callable[[], PartitionState],
+                 replication: int = 0,
+                 rebalance_every: int = 0,
+                 imbalance_threshold: float = 2.0):
+        if replication not in (0, 1):
+            raise ClusterError("replication degree must be 0 or 1")
+        machines = cluster.alive_machines()
+        if not machines:
+            raise ClusterError("cluster has no machines")
+        if replication and len(machines) < 2:
+            raise ClusterError("replication needs at least two machines")
+        self.cluster = cluster
+        self.n_partitions = n_partitions
+        self.key_fn = key_fn
+        self.state_factory = state_factory
+        self.replication = replication
+        self.rebalance_every = rebalance_every
+        self.imbalance_threshold = imbalance_threshold
+        self._seq = itertools.count()
+        # Placement: round-robin primaries; replicas offset by one so a
+        # process pair never shares a machine.
+        self.primary: Dict[int, str] = {}
+        self.replica: Dict[int, str] = {}
+        for pid in range(n_partitions):
+            host = machines[pid % len(machines)]
+            host.partitions[pid] = state_factory()
+            self.primary[pid] = host.machine_id
+            if replication:
+                mirror = machines[(pid + 1) % len(machines)]
+                mirror.partitions[pid] = state_factory()
+                self.replica[pid] = mirror.machine_id
+        #: per-partition in-flight ledger: seq -> (tuple, machines that
+        #: still owe an acknowledgement).
+        self._unacked: Dict[int, Dict[int, TypingTuple[Tuple, Set[str]]]] = \
+            {pid: {} for pid in range(n_partitions)}
+        self._moves: Dict[int, PartitionMove] = {}
+        self.routed = 0
+        self.moves_completed = 0
+        self.state_moved = 0
+        self.recovered_partitions = 0
+        self.lost_tuples = 0
+        self.replayed_tuples = 0
+        self.backlog_history: List[Dict[str, int]] = []
+
+    # -- routing --------------------------------------------------------------
+    @staticmethod
+    def _stable_hash(value: Any) -> int:
+        """A hash that is identical across processes (Python's str hash
+        is randomized per run, which would make partition placement —
+        and so benchmarks — nondeterministic)."""
+        if isinstance(value, int):
+            return value
+        if isinstance(value, str):
+            return zlib.crc32(value.encode())
+        return zlib.crc32(repr(value).encode())
+
+    def partition_of(self, t: Tuple) -> int:
+        return self._stable_hash(self.key_fn(t)) % self.n_partitions
+
+    def route(self, tuples: List[Tuple]) -> int:
+        """Send tuples towards their partitions' hosts."""
+        for t in tuples:
+            pid = self.partition_of(t)
+            seq = next(self._seq)
+            move = self._moves.get(pid)
+            if move is not None:
+                move.buffered.append((seq, t))   # paused for movement
+                continue
+            self._send(pid, seq, t)
+        self.routed += len(tuples)
+        return len(tuples)
+
+    def _send(self, pid: int, seq: int, t: Tuple) -> None:
+        targets = [self.primary[pid]]
+        mirror = self.replica.get(pid)
+        if mirror is not None:
+            targets.append(mirror)
+        self._unacked[pid][seq] = (t, set(targets))
+        for machine_id in targets:
+            self.cluster.machine(machine_id).enqueue(pid, seq, t)
+
+    # -- the simulation loop -----------------------------------------------------
+    def tick(self, arriving: Optional[List[Tuple]] = None) -> int:
+        """One epoch: route arrivals, let machines work, collect acks,
+        progress moves, maybe rebalance.  Returns fully-acked count."""
+        if arriving:
+            self.route(arriving)
+        acked = self._collect_acks(self.cluster.step())
+        self._progress_moves()
+        if self.rebalance_every and \
+                self.cluster.ticks % self.rebalance_every == 0:
+            self.maybe_rebalance()
+        self.backlog_history.append(
+            {m.machine_id: m.backlog()
+             for m in self.cluster.alive_machines()})
+        return acked
+
+    def _collect_acks(self,
+                      acks: Dict[str, List[TypingTuple[int, int]]]) -> int:
+        done = 0
+        for machine_id, machine_acks in acks.items():
+            for pid, seq in machine_acks:
+                entry = self._unacked[pid].get(seq)
+                if entry is None:
+                    continue
+                _t, pending = entry
+                pending.discard(machine_id)
+                if not pending:
+                    del self._unacked[pid][seq]
+                    done += 1
+        return done
+
+    # -- online repartitioning -----------------------------------------------------
+    def maybe_rebalance(self) -> Optional[int]:
+        """Move one partition off the most backlogged machine when the
+        cluster is imbalanced; returns the moved pid or None."""
+        alive = self.cluster.alive_machines()
+        if len(alive) < 2 or self._moves:
+            return None
+        if self.cluster.imbalance() < self.imbalance_threshold:
+            return None
+        loaded = max(alive, key=Machine.backlog)
+        light = min(alive, key=Machine.backlog)
+        if loaded.machine_id == light.machine_id or loaded.backlog() == 0:
+            return None
+        candidates = [pid for pid, host in self.primary.items()
+                      if host == loaded.machine_id
+                      and self.replica.get(pid) != light.machine_id]
+        if not candidates:
+            return None
+        # Move the partition with the largest queued share on the loaded
+        # machine — relieves the most pressure per move.
+        queued: Dict[int, int] = {pid: 0 for pid in candidates}
+        for pid, _seq, _t in loaded.queue:
+            if pid in queued:
+                queued[pid] += 1
+        pid = max(candidates, key=lambda p: queued[p])
+        if queued[pid] == 0:
+            return None
+        self._moves[pid] = PartitionMove(pid, loaded.machine_id,
+                                         light.machine_id)
+        return pid
+
+    def _progress_moves(self) -> None:
+        """A move completes once the source drains the partition's
+        queued work; then the state ships and the buffer replays."""
+        for pid, move in list(self._moves.items()):
+            source = self.cluster.machine(move.source)
+            if source.alive and any(q_pid == pid
+                                    for q_pid, _s, _t in source.queue):
+                continue  # still draining
+            target = self.cluster.machine(move.target)
+            if source.alive and pid in source.partitions:
+                state = source.partitions.pop(pid)
+            else:
+                state = self._state_from_replica(pid)
+            target.partitions[pid] = state
+            self.primary[pid] = move.target
+            self.state_moved += state.size()
+            move.state_size = state.size()
+            del self._moves[pid]
+            self.moves_completed += 1
+            for seq, t in move.buffered:
+                self._send(pid, seq, t)
+
+    def _state_from_replica(self, pid: int) -> PartitionState:
+        mirror_id = self.replica.get(pid)
+        if mirror_id is not None:
+            mirror = self.cluster.machine(mirror_id)
+            if mirror.alive and pid in mirror.partitions:
+                snap = mirror.partitions[pid].snapshot()
+                return type(mirror.partitions[pid]).from_snapshot(snap)
+        return self.state_factory()
+
+    # -- failover -------------------------------------------------------------------
+    def on_machine_failure(self, machine_id: str) -> Dict[str, int]:
+        """React to a crash: promote replicas or restart partitions,
+        replay whatever was pending only on the dead machine, and
+        re-establish replication.  Call after ``cluster.fail(...)``.
+        """
+        dead = self.cluster.machine(machine_id)
+        if dead.alive:
+            raise ClusterError(
+                f"machine {machine_id!r} has not failed; call "
+                "cluster.fail() first")
+        alive = self.cluster.alive_machines()
+        if not alive:
+            raise ClusterError("no surviving machines to recover onto")
+        # Abort any move touching the dead machine.  Tuples buffered for
+        # a paused partition were never sent anywhere, so they must be
+        # re-sent once the partition has a live home again.
+        move_buffered: Dict[int, List[TypingTuple[int, Tuple]]] = {}
+        for pid, move in list(self._moves.items()):
+            if machine_id in (move.source, move.target):
+                move_buffered[pid] = list(move.buffered)
+                del self._moves[pid]
+
+        promoted = 0
+        restarted = 0
+        replayed = 0
+        for pid in range(self.n_partitions):
+            lost_primary = self.primary[pid] == machine_id
+            lost_replica = self.replica.get(pid) == machine_id
+            # The dead machine will never acknowledge anything.
+            orphans: List[TypingTuple[int, Tuple]] = []
+            for seq, (t, pending) in list(self._unacked[pid].items()):
+                if machine_id in pending:
+                    pending.discard(machine_id)
+                if not pending:
+                    # Pending only on the dead machine -> lost in its
+                    # queue; must be replayed to the new home.
+                    orphans.append((seq, t))
+                    del self._unacked[pid][seq]
+            replay_orphans = False
+            if lost_primary:
+                mirror_id = self.replica.get(pid)
+                if mirror_id and self.cluster.machine(mirror_id).alive:
+                    # Process-pair failover: the replica already received
+                    # (or applied) every orphan, so nothing replays.
+                    self.primary[pid] = mirror_id
+                    del self.replica[pid]
+                    promoted += 1
+                else:
+                    new_home = min(alive, key=Machine.backlog)
+                    lost = dead.lost_partitions.get(pid)
+                    self.lost_tuples += lost.applied if lost is not None \
+                        and hasattr(lost, "applied") else 0
+                    new_home.partitions[pid] = self.state_factory()
+                    self.primary[pid] = new_home.machine_id
+                    restarted += 1
+                    replay_orphans = True
+            elif lost_replica:
+                # The primary still holds everything; orphans (pending
+                # only on the dead replica) are already applied upstream.
+                del self.replica[pid]
+            if replay_orphans:
+                for seq, t in orphans:
+                    self._send(pid, seq, t)
+                    replayed += 1
+                self.replayed_tuples += len(orphans)
+            if (lost_primary or lost_replica) and self.replication:
+                self._respawn_replica(pid)
+            for seq, t in move_buffered.get(pid, ()):
+                self._send(pid, seq, t)
+                replayed += 1
+        self.recovered_partitions += promoted + restarted
+        return {"promoted": promoted, "restarted": restarted,
+                "replayed": replayed}
+
+    def _respawn_replica(self, pid: int) -> None:
+        """Re-establish the process pair: snapshot the primary's state
+        onto a fresh mirror and forward the primary's queued work so the
+        copies converge."""
+        alive = self.cluster.alive_machines()
+        primary_id = self.primary[pid]
+        options = [m for m in alive if m.machine_id != primary_id]
+        if not options or pid in self.replica:
+            return
+        mirror = min(options, key=Machine.backlog)
+        primary = self.cluster.machine(primary_id)
+        state = primary.partitions.get(pid)
+        if state is None:
+            return
+        mirror.partitions[pid] = type(state).from_snapshot(state.snapshot())
+        self.replica[pid] = mirror.machine_id
+        # Mirror must also see what the primary has queued but not yet
+        # applied, and owes an ack for each.
+        for q_pid, seq, t in primary.queue:
+            if q_pid != pid:
+                continue
+            entry = self._unacked[pid].get(seq)
+            if entry is not None:
+                entry[1].add(mirror.machine_id)
+            mirror.enqueue(pid, seq, t)
+
+    # -- results ------------------------------------------------------------
+    def merged_counts(self) -> Dict[Any, int]:
+        """Union the per-partition group counts from current primaries
+        (meaningful for GroupCountState consumers)."""
+        out: Dict[Any, int] = {}
+        for pid, host in self.primary.items():
+            machine = self.cluster.machine(host)
+            state = machine.partitions.get(pid)
+            if state is None:
+                continue
+            for key, count in getattr(state, "counts", {}).items():
+                out[key] = out.get(key, 0) + count
+        return out
+
+    def unacked_total(self) -> int:
+        return sum(len(v) for v in self._unacked.values())
+
+    def drain(self, max_ticks: int = 100_000) -> int:
+        """Run ticks with no new input until everything is acked."""
+        ticks = 0
+        while self.unacked_total() and ticks < max_ticks:
+            self.tick()
+            ticks += 1
+        if self.unacked_total():
+            raise ClusterError("flux failed to drain in-flight tuples")
+        return ticks

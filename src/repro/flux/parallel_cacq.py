@@ -1,0 +1,191 @@
+"""Cluster-based TelegraphCQ: CACQ partitioned over Flux (Section 4.3).
+
+"We are currently extending the Flux module to serve as the basis of
+the cluster-based implementation of TelegraphCQ."  This module is that
+integration: the shared continuous-query engine becomes the *consumer
+operator* of a Flux-partitioned dataflow.
+
+* Every machine hosts one :class:`CACQPartitionState` — a complete CACQ
+  engine holding the full query set but seeing only its hash partition
+  of the input.
+* Streams are partitioned on the **join key**, so every join match is
+  partition-local (the classic hash-partitioned join); selection-only
+  queries are correct under any partitioning.
+* Flux supplies what CACQ alone lacks at cluster scale: online
+  repartitioning when machines fall behind, and process-pair failover —
+  the partition state (query set, per-query delivery counts, SteM
+  contents) is snapshottable, so a promoted replica resumes with no
+  lost matches and future joins intact.
+
+:class:`ParallelCACQ` is the user-facing facade: register streams and
+queries once; push tuples; read merged per-query delivery counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple as TypingTuple
+
+from repro.core.cacq import CACQEngine
+from repro.core.tuples import Schema, Tuple
+from repro.errors import QueryError
+from repro.flux.cluster import Cluster, PartitionState
+from repro.flux.flux import Flux
+from repro.query.predicates import Predicate
+
+
+class CACQPartitionState(PartitionState):
+    """One partition's share of the shared CQ engine.
+
+    The snapshot carries everything a replica or a moved partition
+    needs: stream schemas, the query specs, per-query delivery counts,
+    and the SteM contents (as raw rows) so in-flight join state
+    survives relocation.
+    """
+
+    def __init__(self, schemas: Sequence[Schema],
+                 query_specs: Sequence[TypingTuple[TypingTuple[str, ...],
+                                                   Predicate]]):
+        self._schemas = list(schemas)
+        self._specs = [(tuple(streams), predicate)
+                       for streams, predicate in query_specs]
+        self.engine = CACQEngine()
+        for schema in self._schemas:
+            self.engine.register_stream(schema)
+        self._queries = [
+            self.engine.add_query(list(streams), predicate,
+                                  callback=lambda t: None,
+                                  name=f"pq{i}")
+            for i, (streams, predicate) in enumerate(self._specs)]
+        self.applied = 0
+
+    # -- consumer contract ----------------------------------------------------
+    def apply(self, t: Tuple) -> None:
+        (stream,) = t.sources
+        self.engine.push_tuple(stream, t)
+        self.applied += 1
+
+    def size(self) -> int:
+        return self.applied + sum(len(s) for s in
+                                  self.engine.stems.values())
+
+    def delivered(self) -> List[int]:
+        return [q.delivered for q in self._queries]
+
+    # -- snapshot / restore ------------------------------------------------------
+    def snapshot(self) -> Any:
+        stem_rows = {
+            source: [(t.values, t.timestamp, t.queries)
+                     for t in stem.contents()]
+            for source, stem in self.engine.stems.items()}
+        return {
+            "schemas": self._schemas,
+            "specs": self._specs,
+            "delivered": self.delivered(),
+            "applied": self.applied,
+            "stem_rows": stem_rows,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Any) -> "CACQPartitionState":
+        state = cls(snap["schemas"], snap["specs"])
+        for query, count in zip(state._queries, snap["delivered"]):
+            query.delivered = count
+        state.applied = snap["applied"]
+        schema_by_name = {s.name: s for s in state._schemas}
+        for source, rows in snap["stem_rows"].items():
+            stem = state.engine.stems.get(source)
+            if stem is None:
+                continue
+            for values, timestamp, queries in rows:
+                t = Tuple(schema_by_name[source], tuple(values),
+                          timestamp=timestamp)
+                t.queries = queries
+                stem.build(t)
+        return state
+
+
+class ParallelCACQ:
+    """The cluster-parallel shared-CQ engine."""
+
+    def __init__(self, cluster: Cluster, partition_column: str,
+                 n_partitions: int = 8, replication: int = 0,
+                 rebalance_every: int = 0):
+        self.cluster = cluster
+        self.partition_column = partition_column
+        self._schemas: List[Schema] = []
+        self._specs: List[TypingTuple[TypingTuple[str, ...], Predicate]] = []
+        self._flux: Optional[Flux] = None
+        self._flux_kwargs = dict(n_partitions=n_partitions,
+                                 replication=replication,
+                                 rebalance_every=rebalance_every)
+
+    # -- setup (before the first push) -----------------------------------------
+    def register_stream(self, schema: Schema) -> None:
+        self._require_not_started()
+        for s in self._schemas:
+            if s.name == schema.name:
+                raise QueryError(f"stream {schema.name!r} already exists")
+        if not schema.has_column(self.partition_column):
+            raise QueryError(
+                f"stream {schema.name!r} lacks partition column "
+                f"{self.partition_column!r}; co-partitioned joins need "
+                f"it on every stream")
+        self._schemas.append(schema)
+
+    def add_query(self, streams: Sequence[str],
+                  predicate: Predicate) -> int:
+        """Register a query on every partition; returns its index."""
+        self._require_not_started()
+        known = {s.name for s in self._schemas}
+        for stream in streams:
+            if stream not in known:
+                raise QueryError(f"unknown stream {stream!r}")
+        self._specs.append((tuple(streams), predicate))
+        return len(self._specs) - 1
+
+    def _require_not_started(self) -> None:
+        if self._flux is not None:
+            raise QueryError(
+                "this parallel engine is already running; register "
+                "streams and queries before the first push")
+
+    def _ensure_started(self) -> Flux:
+        if self._flux is None:
+            schemas = list(self._schemas)
+            specs = list(self._specs)
+            column = self.partition_column
+            self._flux = Flux(
+                self.cluster,
+                key_fn=lambda t: t[column],
+                state_factory=lambda: CACQPartitionState(schemas, specs),
+                **self._flux_kwargs)
+        return self._flux
+
+    # -- runtime --------------------------------------------------------------
+    def tick(self, arriving: Optional[List[Tuple]] = None) -> int:
+        return self._ensure_started().tick(arriving)
+
+    def drain(self) -> int:
+        return self._ensure_started().drain()
+
+    def fail_machine(self, machine_id: str) -> Dict[str, int]:
+        flux = self._ensure_started()
+        self.cluster.fail(machine_id)
+        return flux.on_machine_failure(machine_id)
+
+    # -- results ----------------------------------------------------------------
+    def delivered_counts(self) -> List[int]:
+        """Per-query delivery counts merged across partitions."""
+        flux = self._ensure_started()
+        totals = [0] * len(self._specs)
+        for pid, host in flux.primary.items():
+            state = self.cluster.machine(host).partitions.get(pid)
+            if state is None:
+                continue
+            for i, count in enumerate(state.delivered()):
+                totals[i] += count
+        return totals
+
+    @property
+    def flux(self) -> Flux:
+        return self._ensure_started()

@@ -1,0 +1,1 @@
+"""ingress subpackage of the TelegraphCQ reproduction."""

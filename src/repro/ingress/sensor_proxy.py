@@ -1,0 +1,172 @@
+"""The sensor proxy: an ingress module that talks *back* to its network
+(Section 2.1 / [MF02], "Fjording the Stream").
+
+"More sophisticated Ingress modules can be built that can also send
+messages back to the network.  For example a sensor proxy may send
+control messages to adjust the sample rate of a sensor network based on
+the queries that are currently being processed."
+
+The proxy sits between a simulated mote field and the engine:
+
+* queries *register interest* in attributes with a desired period;
+* the proxy computes, per mote, the slowest sample period that still
+  satisfies every interested query, and sends a (simulated) control
+  message whenever that changes;
+* with no interested queries, motes idle at a heartbeat rate — which is
+  exactly the power saving the Fjords paper measured.
+
+The mote field is simulated: each mote produces one reading per elapsed
+period, and counts samples taken (the proxy's success metric is samples
+*not* taken).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple as TypingTuple
+
+from repro.core.tuples import Schema, Tuple
+from repro.errors import ExecutionError
+
+#: A mote that never needs to sample still reports at this period so
+#: liveness is observable.
+HEARTBEAT_PERIOD = 256
+
+
+class SimulatedMote:
+    """One sensor node: samples on command, at its current period."""
+
+    def __init__(self, mote_id: int, seed: int = 0):
+        self.mote_id = mote_id
+        self.period = HEARTBEAT_PERIOD
+        self._next_sample_at = 1
+        self.samples_taken = 0
+        self.control_messages = 0
+        self._state = (mote_id * 2654435761 + seed) & 0xFFFFFFFF
+
+    def set_period(self, period: int) -> None:
+        if period != self.period:
+            self.period = period
+            self.control_messages += 1
+
+    def _rand(self) -> float:
+        # xorshift: deterministic, no global random state
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return x / 0xFFFFFFFF
+
+    def tick(self, now: int) -> Optional[TypingTuple[float, float]]:
+        """Returns (temperature, voltage) if the mote samples now."""
+        if now < self._next_sample_at:
+            return None
+        self._next_sample_at = now + self.period
+        self.samples_taken += 1
+        temp = 20.0 + 5.0 * math.sin(now / 50.0) + (self._rand() - 0.5)
+        volt = 3.0 - now * 1e-5
+        return round(temp, 3), round(volt, 4)
+
+
+class Interest:
+    """One query's sampling requirement."""
+
+    __slots__ = ("interest_id", "motes", "period")
+
+    def __init__(self, interest_id: int, motes: Optional[Set[int]],
+                 period: int):
+        self.interest_id = interest_id
+        self.motes = motes          # None == all motes
+        self.period = period
+
+
+class SensorProxy:
+    """Query-aware ingress for a mote field.
+
+    ``register_interest(motes, period)`` is called when a query over the
+    sensor stream starts (motes=None means every mote);
+    ``withdraw(interest)`` when it is cancelled.  ``step()`` advances
+    the simulated field one time unit and returns any new readings.
+    """
+
+    def __init__(self, n_motes: int, schema: Optional[Schema] = None,
+                 seed: int = 0):
+        if n_motes < 1:
+            raise ExecutionError("a sensor field needs at least one mote")
+        self.motes = [SimulatedMote(i, seed=seed) for i in range(n_motes)]
+        self.schema = schema or Schema.of(
+            "SensorReadings", "ts", "sensor_id", "temperature", "voltage")
+        self._interests: Dict[int, Interest] = {}
+        self._ids = itertools.count()
+        self.clock = 0
+        self.readings_produced = 0
+
+    # -- the control plane -------------------------------------------------
+    def register_interest(self, motes: Optional[Iterable[int]],
+                          period: int) -> Interest:
+        if period < 1:
+            raise ExecutionError("sample period must be >= 1")
+        mote_set = None if motes is None else set(motes)
+        if mote_set is not None:
+            unknown = mote_set - {m.mote_id for m in self.motes}
+            if unknown:
+                raise ExecutionError(f"unknown motes {sorted(unknown)}")
+        interest = Interest(next(self._ids), mote_set, period)
+        self._interests[interest.interest_id] = interest
+        self._retune()
+        return interest
+
+    def withdraw(self, interest: Interest) -> None:
+        if interest.interest_id not in self._interests:
+            raise ExecutionError("interest is not registered")
+        del self._interests[interest.interest_id]
+        self._retune()
+
+    def _retune(self) -> None:
+        """Push the loosest satisfying period to every mote."""
+        for mote in self.motes:
+            periods = [i.period for i in self._interests.values()
+                       if i.motes is None or mote.mote_id in i.motes]
+            mote.set_period(min(periods) if periods else HEARTBEAT_PERIOD)
+
+    def required_period(self, mote_id: int) -> int:
+        return self.motes[mote_id].period
+
+    # -- the data plane --------------------------------------------------------
+    def step(self) -> List[Tuple]:
+        """Advance time one unit; returns the readings sampled now."""
+        self.clock += 1
+        out: List[Tuple] = []
+        for mote in self.motes:
+            sample = mote.tick(self.clock)
+            if sample is not None:
+                temp, volt = sample
+                out.append(self.schema.make(self.clock, mote.mote_id,
+                                            temp, volt,
+                                            timestamp=self.clock))
+        self.readings_produced += len(out)
+        return out
+
+    def run(self, ticks: int) -> List[Tuple]:
+        out: List[Tuple] = []
+        for _ in range(ticks):
+            out.extend(self.step())
+        return out
+
+    # -- accounting -------------------------------------------------------------
+    def total_samples(self) -> int:
+        return sum(m.samples_taken for m in self.motes)
+
+    def total_control_messages(self) -> int:
+        return sum(m.control_messages for m in self.motes)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "clock": self.clock,
+            "interests": len(self._interests),
+            "samples": self.total_samples(),
+            "control_messages": self.total_control_messages(),
+            "readings": self.readings_produced,
+        }

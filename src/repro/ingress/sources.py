@@ -1,0 +1,204 @@
+"""Data sources: the external world, simulated (Section 4.2.3).
+
+TelegraphCQ's Wrapper process supports two kinds of sources:
+
+1. **Pull sources**, "as found in traditional federated database
+   systems" — the wrapper asks for the next batch;
+2. **Push sources**, where either the wrapper connects out
+   (*push-client*) or the source connects in (*push-server*) and data
+   arrives whenever the source feels like it.
+
+Because the paper's real sources (web forms, sensor motes, P2P networks)
+need a network, each class here simulates the *timing and control*
+behaviour of its kind against in-memory data: push sources own an
+arrival schedule and release tuples only when the simulated clock
+reaches them; pull sources return data on demand; the remote index
+charges a per-lookup latency, which is what the hybrid-join experiment
+(E2) needs from a "TeSS-wrapped web lookup".
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.tuples import Schema, Tuple
+from repro.errors import ExecutionError
+
+
+class DataSource:
+    """Base class; concrete sources implement :meth:`poll`.
+
+    ``poll(now, budget)`` returns at most ``budget`` tuples available at
+    simulated time ``now`` and sets :attr:`exhausted` when no more data
+    will ever come.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.exhausted = False
+        self.produced = 0
+
+    def poll(self, now: int, budget: int) -> List[Tuple]:
+        raise NotImplementedError
+
+
+class PullSource(DataSource):
+    """A pull source hands out the next batch whenever asked."""
+
+    kind = "pull"
+
+    def __init__(self, name: str, tuples: Iterable[Tuple]):
+        super().__init__(name)
+        self._iter = iter(tuples)
+
+    def poll(self, now: int, budget: int) -> List[Tuple]:
+        out: List[Tuple] = []
+        for _ in range(budget):
+            try:
+                out.append(next(self._iter))
+            except StopIteration:
+                self.exhausted = True
+                break
+        self.produced += len(out)
+        return out
+
+
+class PushSource(DataSource):
+    """A push source releases tuples according to its arrival schedule.
+
+    ``schedule`` maps each tuple to its arrival time; the default
+    derives arrival times from tuple timestamps.  Polling before a
+    tuple's arrival time yields nothing — the wrapper must cope with
+    quiet sources without blocking, which is the whole point of Fjords.
+    """
+
+    kind = "push"
+
+    def __init__(self, name: str, tuples: Sequence[Tuple],
+                 arrival_times: Optional[Sequence[int]] = None,
+                 mode: str = "push-server"):
+        super().__init__(name)
+        if mode not in ("push-server", "push-client"):
+            raise ExecutionError(f"unknown push mode {mode!r}")
+        self.mode = mode
+        self._tuples = list(tuples)
+        if arrival_times is None:
+            arrival_times = [t.timestamp or 0 for t in self._tuples]
+        if len(arrival_times) != len(self._tuples):
+            raise ExecutionError("arrival schedule length mismatch")
+        self._arrivals = list(arrival_times)
+        self._next = 0
+
+    def poll(self, now: int, budget: int) -> List[Tuple]:
+        out: List[Tuple] = []
+        while (self._next < len(self._tuples) and len(out) < budget
+               and self._arrivals[self._next] <= now):
+            out.append(self._tuples[self._next])
+            self._next += 1
+        if self._next >= len(self._tuples):
+            self.exhausted = True
+        self.produced += len(out)
+        return out
+
+    def pending_at(self, now: int) -> int:
+        """How many tuples have arrived but not been polled — queue
+        growth under overload, read by the QoS experiments."""
+        n = 0
+        i = self._next
+        while i < len(self._tuples) and self._arrivals[i] <= now:
+            n += 1
+            i += 1
+        return n
+
+
+class BurstySource(PushSource):
+    """A push source with bursty arrivals: ``rate`` tuples per tick
+    normally, ``rate * burst_factor`` during bursts."""
+
+    def __init__(self, name: str, tuples: Sequence[Tuple], rate: float = 1.0,
+                 burst_every: int = 0, burst_len: int = 0,
+                 burst_factor: float = 10.0):
+        arrivals: List[int] = []
+        clock = 0.0
+        tick = 0
+        interval = 1.0 / rate if rate > 0 else 1.0
+        for i, _t in enumerate(tuples):
+            in_burst = (burst_every and burst_len and
+                        int(clock) % burst_every < burst_len)
+            step = interval / burst_factor if in_burst else interval
+            clock += step
+            tick = int(clock)
+            arrivals.append(tick)
+        super().__init__(name, tuples, arrival_times=arrivals)
+
+
+class FileSource(PullSource):
+    """Reads a CSV file into a stream — the paper's "local file reader"
+    ingress module.  Values are parsed as int, then float, then str."""
+
+    kind = "pull"
+
+    def __init__(self, name: str, path: str, schema: Schema,
+                 has_header: bool = True,
+                 timestamp_column: Optional[str] = None):
+        self.path = path
+        self.schema = schema
+        tuples = list(self._read(path, schema, has_header, timestamp_column))
+        super().__init__(name, tuples)
+
+    @staticmethod
+    def _parse(raw: str) -> Any:
+        for caster in (int, float):
+            try:
+                return caster(raw)
+            except ValueError:
+                continue
+        return raw
+
+    def _read(self, path: str, schema: Schema, has_header: bool,
+              timestamp_column: Optional[str]) -> Iterator[Tuple]:
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            if has_header:
+                next(reader, None)
+            for i, row in enumerate(reader):
+                values = tuple(self._parse(v) for v in row)
+                ts = i
+                if timestamp_column is not None:
+                    ts = values[schema.index_of(timestamp_column)]
+                yield Tuple(schema, values, timestamp=ts)
+
+
+class RemoteIndexSource:
+    """A simulated remote lookup index (a TeSS-wrapped web form).
+
+    ``lookup(key)`` returns the matching tuples after charging
+    ``latency_cost`` units of simulated work; the access-method choice
+    in the hybrid-join experiment is between paying this repeatedly and
+    scanning a local stream.  Latency can be changed mid-run to model a
+    remote source slowing down.
+    """
+
+    def __init__(self, name: str, tuples: Iterable[Tuple], key_column: str,
+                 latency_cost: int = 100):
+        self.name = name
+        self.key_column = key_column
+        self.latency_cost = latency_cost
+        self._index: Dict[Any, List[Tuple]] = {}
+        for t in tuples:
+            self._index.setdefault(t[key_column], []).append(t)
+        self.lookups = 0
+        self.work_charged = 0
+
+    def lookup(self, key: Any) -> List[Tuple]:
+        self.lookups += 1
+        self.work_charged += self.latency_cost
+        # Burn deterministic CPU proportional to the simulated latency so
+        # wall-clock benchmarks see the cost too.
+        acc = 0
+        for i in range(self.latency_cost):
+            acc += i
+        return list(self._index.get(key, ()))

@@ -1,0 +1,164 @@
+"""TeSS — the Telegraph Screen Scraper, simulated (Section 2.1).
+
+"Most Ingress modules are fairly traditional wrappers, such as an
+HTML/XML screen scraper (called 'TeSS', the Telegraph Screen Scraper)
+... the TeSS module is able to pass bindings into remote websites to
+perform lookups."
+
+Offline, the *website* is simulated but the wrapper mechanics are real:
+
+* a :class:`SimulatedWebForm` holds a relation behind a form with a
+  declared binding pattern (which columns may be bound on submission),
+  page-sized results with follow-up "next page" fetches, per-request
+  latency, and a transient failure rate;
+* :class:`TessWrapper` is the ingress module: it accepts *binding
+  tuples* (e.g. an S tuple whose join column binds the form's input),
+  submits the form, paginates, parses the "scraped" rows into tuples of
+  the declared schema, retries transient failures, and memoises
+  previous lookups in a :class:`~repro.core.stem.CacheSteM` — the
+  [HN96] caching the paper attaches to expensive methods.
+
+The wrapper exposes the asynchronous-index-join surface of Section 2.2:
+``lookup(bindings)`` returns matching tuples; a
+:class:`~repro.core.stem.RendezvousBuffer` upstream holds probe tuples
+while requests are outstanding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as TypingTuple
+
+from repro.core.stem import CacheSteM
+from repro.core.tuples import Schema, Tuple
+from repro.errors import ExecutionError
+
+
+class WebFormError(ExecutionError):
+    """A form submission failed permanently (after retries)."""
+
+
+class SimulatedWebForm:
+    """The remote side: a relation behind an HTML form.
+
+    ``bindable`` declares the form's input fields (the binding pattern);
+    submissions binding any other column are rejected, like a real form
+    would simply not offer that input.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Tuple],
+                 bindable: Sequence[str], page_size: int = 10,
+                 latency_cost: int = 50, failure_rate: float = 0.0,
+                 seed: int = 0):
+        self.name = name
+        self.schema = schema
+        self.bindable = tuple(bindable)
+        for col in self.bindable:
+            schema.index_of(col)                # validate eagerly
+        self._rows = list(rows)
+        self.page_size = page_size
+        self.latency_cost = latency_cost
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.requests = 0
+        self.failures_injected = 0
+
+    def submit(self, bindings: Dict[str, Any],
+               page: int = 0) -> TypingTuple[List[TypingTuple], bool]:
+        """One HTTP round trip: returns (raw rows, has_more).
+
+        Raw rows are plain value tuples — the "HTML" the wrapper parses.
+        Raises ExecutionError on a (transient) failure.
+        """
+        unknown = set(bindings) - set(self.bindable)
+        if unknown:
+            raise WebFormError(
+                f"form {self.name!r} has no input field(s) "
+                f"{sorted(unknown)}; bindable: {list(self.bindable)}")
+        self.requests += 1
+        acc = 0
+        for i in range(self.latency_cost):      # simulated latency
+            acc += i
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.failures_injected += 1
+            raise ExecutionError(f"form {self.name!r}: transient error")
+        matching = [t.values for t in self._rows
+                    if all(t[col] == value
+                           for col, value in bindings.items())]
+        start = page * self.page_size
+        chunk = matching[start:start + self.page_size]
+        return chunk, start + self.page_size < len(matching)
+
+
+class TessWrapper:
+    """The ingress wrapper over a simulated web form."""
+
+    def __init__(self, form: SimulatedWebForm, max_retries: int = 3,
+                 cache_capacity: int = 1024):
+        self.form = form
+        self.max_retries = max_retries
+        #: previous expensive lookups, cached per the [HN96] pattern.
+        self.cache = CacheSteM(form.schema.name or form.name,
+                               capacity=cache_capacity,
+                               index_columns=list(form.bindable))
+        self._cached_keys: set = set()
+        self.lookups = 0
+        self.cache_hits = 0
+        self.retries = 0
+
+    def lookup(self, bindings: Dict[str, Any]) -> List[Tuple]:
+        """Bind the form's inputs and scrape every result page.
+
+        Single-column bindings are served from the cache when the same
+        binding was looked up before; multi-column bindings always hit
+        the form (the cache indexes one column at a time).
+        """
+        self.lookups += 1
+        cache_key = tuple(sorted(bindings.items()))
+        if cache_key in self._cached_keys:
+            self.cache_hits += 1
+            return self._from_cache(bindings)
+        rows: List[Tuple] = []
+        page = 0
+        has_more = True
+        while has_more:
+            raw, has_more = self._submit_with_retry(bindings, page)
+            for values in raw:
+                rows.append(Tuple(self.form.schema, values,
+                                  timestamp=len(rows)))
+            page += 1
+        for t in rows:
+            self.cache.build(t)
+        self._cached_keys.add(cache_key)
+        return rows
+
+    def _from_cache(self, bindings: Dict[str, Any]) -> List[Tuple]:
+        out = []
+        for t in self.cache.contents():
+            if all(t[col] == value for col, value in bindings.items()):
+                out.append(t)
+        return out
+
+    def _submit_with_retry(self, bindings: Dict[str, Any],
+                           page: int) -> TypingTuple[List, bool]:
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.form.submit(bindings, page)
+            except WebFormError:
+                raise                           # permanent: bad binding
+            except ExecutionError as exc:
+                last_error = exc
+                if attempt < self.max_retries:
+                    self.retries += 1
+        raise WebFormError(
+            f"form {self.form.name!r} failed after "
+            f"{self.max_retries} retries: {last_error}")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "cache_hits": self.cache_hits,
+            "requests": self.form.requests,
+            "retries": self.retries,
+        }

@@ -1,0 +1,1 @@
+"""juggle subpackage of the TelegraphCQ reproduction."""

@@ -1,0 +1,1 @@
+"""monitor subpackage of the TelegraphCQ reproduction."""

@@ -1,0 +1,1 @@
+"""query subpackage of the TelegraphCQ reproduction."""

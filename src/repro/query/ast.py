@@ -1,0 +1,186 @@
+"""Abstract syntax for the TelegraphCQ query subset.
+
+The parser produces a :class:`QuerySpec`; the optimizer lowers it onto
+the adaptive machinery (CACQ registration, eddy plan, or windowed
+runner).  Window-bound expressions are tiny arithmetic ASTs over the
+loop variable and named constants (``ST``), compiled to closures by
+:meth:`Expr.compile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple as TypingTuple
+
+from repro.errors import QueryError
+from repro.query.predicates import Predicate
+
+
+# -- arithmetic expressions (window bounds, loop headers) ---------------------
+
+class Expr:
+    """Integer arithmetic over the loop variable and named constants."""
+
+    def compile(self) -> Callable[[Dict[str, int]], int]:
+        raise NotImplementedError
+
+    def variables(self) -> set:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NumberExpr(Expr):
+    value: float
+
+    def compile(self) -> Callable[[Dict[str, int]], int]:
+        v = self.value
+        return lambda env: v
+
+    def variables(self) -> set:
+        return set()
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    name: str
+
+    def compile(self) -> Callable[[Dict[str, int]], int]:
+        name = self.name
+        def lookup(env: Dict[str, int]) -> int:
+            try:
+                return env[name]
+            except KeyError:
+                raise QueryError(
+                    f"unbound variable {name!r} in window expression; "
+                    f"bind it when submitting the query") from None
+        return lookup
+
+    def variables(self) -> set:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOpExpr(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    _FNS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a // b if isinstance(a, int) and isinstance(b, int)
+        else a / b,
+    }
+
+    def compile(self) -> Callable[[Dict[str, int]], int]:
+        fn = self._FNS[self.op]
+        lhs = self.left.compile()
+        rhs = self.right.compile()
+        return lambda env: fn(lhs(env), rhs(env))
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# -- query structure ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: a plain column, ``*``, or an aggregate call."""
+
+    column: Optional[str]          # None for '*'
+    aggregate: Optional[str] = None
+    alias: str = ""
+
+    @property
+    def is_star(self) -> bool:
+        return self.column is None and self.aggregate is None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            if self.column is None:
+                return self.aggregate.lower()        # COUNT(*) -> "count"
+            return f"{self.aggregate.lower()}_{self.column.replace('.', '_')}"
+        return self.column or "*"
+
+    def __repr__(self) -> str:
+        if self.is_star:
+            return "*"
+        if self.aggregate:
+            return f"{self.aggregate}({self.column or '*'})"
+        return self.column or "*"
+
+
+@dataclass(frozen=True)
+class FromSource:
+    """A stream/table reference with an optional alias (self-joins)."""
+
+    name: str
+    alias: str = ""
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class WindowClause:
+    """One ``WindowIs(stream, left, right)`` statement."""
+
+    stream: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class ForLoopClause:
+    """The parsed for-loop header + body."""
+
+    variable: str
+    initial: Expr
+    #: condition: (left expr, comparison op, right expr)
+    condition: TypingTuple[Expr, str, Expr]
+    #: update: (op, operand expr) where op in {"+=", "-=", "="}
+    update: TypingTuple[str, Expr]
+    windows: TypingTuple[WindowClause, ...]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """The full parsed query."""
+
+    select_items: TypingTuple[SelectItem, ...]
+    sources: TypingTuple[FromSource, ...]
+    predicate: Predicate
+    for_loop: Optional[ForLoopClause] = None
+    distinct: bool = False
+    group_by: TypingTuple[str, ...] = ()
+    order_by: Optional[TypingTuple[str, bool]] = None   # (column, descending)
+    text: str = ""
+
+    @property
+    def is_windowed(self) -> bool:
+        return self.for_loop is not None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(item.aggregate for item in self.select_items)
+
+    def bindings(self) -> List[str]:
+        return [s.binding for s in self.sources]
+
+    def __repr__(self) -> str:
+        return f"QuerySpec({self.text.strip()[:60]}...)" if self.text else \
+            f"QuerySpec(select={self.select_items}, from={self.sources})"

@@ -1,0 +1,236 @@
+"""The explicit dataflow scripting language (Section 2).
+
+"Dataflows are initiated by clients either via an ad hoc query language
+(a basic version of SQL), or via a scripting language for representing
+dataflow graphs explicitly."  This is that second language: a line-
+oriented script that names nodes and wires edges, compiled onto the
+Fjord machinery.  Example::
+
+    # comments start with '#'
+    node src    = source
+    node hot    = select(temperature > 30)
+    node ids    = project(sensor_id, temperature)
+    node dedup  = dupelim
+    node top    = limit(100)
+    node out    = sink
+
+    edge src -> hot
+    edge hot -> ids
+    edge ids -> dedup
+    edge dedup -> top [capacity=64]
+    edge top -> out
+
+Node kinds:
+
+=============  =====================================================
+``source``      placeholder; the caller binds a SourceModule by name
+``sink``        a CollectingSink is created (or bind your own)
+``select(p)``   :class:`~repro.core.operators.Select` with predicate p
+``project(a,b)``/``project(out=in,...)``  projection / rename
+``dupelim``     duplicate elimination
+``sort(col)`` / ``sort(col desc)``        sort
+``limit(n)``    first n tuples
+``union``       2-input bag union
+``juggle(col)`` online reordering classified by column
+=============  =====================================================
+
+Edge options in ``[...]``: ``capacity=N`` (bounded queue), ``pull``
+(PullQueue flavour).  The result is a ready-to-run
+:class:`~repro.fjords.fjord.Fjord`; sinks are retrievable by node name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.core.operators import (DupElim, Limit, Project, Select, Sort,
+                                  Union)
+from repro.errors import ParseError, PlanError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink, Module
+from repro.fjords.queues import PullQueue, PushQueue
+from repro.juggle.juggle import Juggle
+from repro.query.parser import parse_predicate
+
+_NODE_RE = re.compile(
+    r"^node\s+(?P<name>\w+)\s*=\s*(?P<kind>\w+)\s*(\((?P<args>.*)\))?\s*$")
+_EDGE_RE = re.compile(
+    r"^edge\s+(?P<src>\w+)(\.(?P<outport>\d+))?\s*->\s*"
+    r"(?P<dst>\w+)(\.(?P<inport>\d+))?\s*(\[(?P<opts>[^\]]*)\])?\s*$")
+
+
+class ScriptNode:
+    __slots__ = ("name", "kind", "args", "line_no")
+
+    def __init__(self, name: str, kind: str, args: str, line_no: int):
+        self.name = name
+        self.kind = kind
+        self.args = args or ""
+        self.line_no = line_no
+
+
+class ScriptEdge:
+    __slots__ = ("src", "out_port", "dst", "in_port", "capacity", "pull",
+                 "line_no")
+
+    def __init__(self, src: str, out_port: int, dst: str, in_port: int,
+                 capacity: int, pull: bool, line_no: int):
+        self.src = src
+        self.out_port = out_port
+        self.dst = dst
+        self.in_port = in_port
+        self.capacity = capacity
+        self.pull = pull
+        self.line_no = line_no
+
+
+class DataflowScript:
+    """A parsed script; :meth:`build` instantiates it as a Fjord."""
+
+    def __init__(self, nodes: List[ScriptNode], edges: List[ScriptEdge],
+                 text: str):
+        self.nodes = {n.name: n for n in nodes}
+        self.edges = edges
+        self.text = text
+
+    # -- compilation ------------------------------------------------------
+    def build(self, bindings: Optional[Dict[str, Module]] = None,
+              name: str = "scripted") -> Fjord:
+        """Instantiate the graph.
+
+        ``bindings`` supplies modules for ``source`` nodes (required)
+        and optionally overrides ``sink`` nodes.
+        """
+        bindings = dict(bindings or {})
+        fjord = Fjord(name)
+        modules: Dict[str, Module] = {}
+        for node in self.nodes.values():
+            modules[node.name] = self._instantiate(node, bindings)
+            modules[node.name].name = node.name
+            fjord.add(modules[node.name])
+        for edge in self.edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in modules:
+                    raise PlanError(
+                        f"line {edge.line_no}: edge references unknown "
+                        f"node {endpoint!r}")
+            fjord.connect(modules[edge.src], modules[edge.dst],
+                          out_port=edge.out_port, in_port=edge.in_port,
+                          queue_cls=PullQueue if edge.pull else PushQueue,
+                          capacity=edge.capacity)
+        return fjord
+
+    def _instantiate(self, node: ScriptNode,
+                     bindings: Dict[str, Module]) -> Module:
+        kind = node.kind.lower()
+        args = node.args.strip()
+        if kind == "source":
+            module = bindings.get(node.name)
+            if module is None:
+                raise PlanError(
+                    f"line {node.line_no}: source node {node.name!r} "
+                    f"needs a binding (pass bindings={{{node.name!r}: "
+                    f"<SourceModule>}})")
+            return module
+        if kind == "sink":
+            return bindings.get(node.name) or CollectingSink(node.name)
+        if kind == "select":
+            return Select(parse_predicate(args))
+        if kind == "project":
+            columns = self._parse_projection(args, node.line_no)
+            return Project(columns)
+        if kind == "dupelim":
+            return DupElim()
+        if kind == "sort":
+            parts = args.split()
+            if not parts:
+                raise PlanError(
+                    f"line {node.line_no}: sort needs a column")
+            descending = len(parts) > 1 and parts[1].lower() == "desc"
+            return Sort(parts[0], descending=descending)
+        if kind == "limit":
+            try:
+                return Limit(int(args))
+            except ValueError:
+                raise PlanError(
+                    f"line {node.line_no}: limit needs an integer") from None
+        if kind == "union":
+            return Union()
+        if kind == "juggle":
+            column = args.strip()
+            if not column:
+                raise PlanError(
+                    f"line {node.line_no}: juggle needs a column")
+            return Juggle(classify=lambda t, _c=column: t[_c])
+        raise PlanError(
+            f"line {node.line_no}: unknown node kind {node.kind!r}")
+
+    @staticmethod
+    def _parse_projection(args: str, line_no: int):
+        if not args.strip():
+            raise PlanError(f"line {line_no}: project needs columns")
+        items = [a.strip() for a in args.split(",")]
+        if any("=" in item for item in items):
+            mapping = {}
+            for item in items:
+                if "=" not in item:
+                    raise PlanError(
+                        f"line {line_no}: mix of renamed and plain "
+                        f"columns; rename all or none")
+                out, _eq, src = item.partition("=")
+                mapping[out.strip()] = src.strip()
+            return mapping
+        return items
+
+    def sinks(self, fjord: Fjord) -> Dict[str, CollectingSink]:
+        """The sink modules of a built fjord, by node name."""
+        return {name: fjord.module(name)
+                for name, node in self.nodes.items()
+                if node.kind.lower() == "sink"
+                and isinstance(fjord.module(name), CollectingSink)}
+
+
+def parse_script(text: str) -> DataflowScript:
+    """Parse the scripting language into a :class:`DataflowScript`."""
+    nodes: List[ScriptNode] = []
+    edges: List[ScriptEdge] = []
+    seen = set()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            name = node_match.group("name")
+            if name in seen:
+                raise ParseError(f"duplicate node {name!r} "
+                                 f"(line {line_no})")
+            seen.add(name)
+            nodes.append(ScriptNode(name, node_match.group("kind"),
+                                    node_match.group("args"), line_no))
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            opts = edge_match.group("opts") or ""
+            capacity = 0
+            pull = False
+            for opt in filter(None, (o.strip() for o in opts.split(","))):
+                if opt.startswith("capacity="):
+                    capacity = int(opt.split("=", 1)[1])
+                elif opt == "pull":
+                    pull = True
+                else:
+                    raise ParseError(
+                        f"unknown edge option {opt!r} (line {line_no})")
+            edges.append(ScriptEdge(
+                edge_match.group("src"),
+                int(edge_match.group("outport") or 0),
+                edge_match.group("dst"),
+                int(edge_match.group("inport") or 0),
+                capacity, pull, line_no))
+            continue
+        raise ParseError(f"cannot parse script line {line_no}: {raw!r}")
+    if not nodes:
+        raise ParseError("script defines no nodes")
+    return DataflowScript(nodes, edges, text)

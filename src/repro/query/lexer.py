@@ -1,0 +1,106 @@
+"""Tokenizer for the TelegraphCQ query subset.
+
+Covers the paper's examples verbatim: SELECT / FROM / WHERE with
+comparisons, AND/OR/NOT, aliases, aggregate calls, and the for-loop
+window clause::
+
+    for (t = ST; t < ST + 50; t += 5) {
+        WindowIs(ClosingStockPrices, t - 4, t);
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "as", "and", "or", "not", "for",
+    "windowis", "group", "by", "distinct", "order", "asc", "desc",
+}
+
+#: Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = ["<=", ">=", "==", "!=", "<>", "++", "--", "+=", "-=",
+             "<", ">", "=", "+", "-", "*", "/", "(", ")", "{", "}",
+             ",", ";", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan the query text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            # SQL comment... but '--' is also the decrement operator.
+            # Inside a for-loop header decrement always follows an
+            # identifier; comments follow whitespace/line starts.  We
+            # disambiguate by what precedes: an identifier means the
+            # operator.
+            if tokens and tokens[-1].kind == "ident":
+                tokens.append(Token("op", "--", i))
+                i += 2
+                continue
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, i + 1)
+            if end == -1:
+                raise ParseError("unterminated string literal", i, text)
+            tokens.append(Token("string", text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or
+                             (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A trailing dot followed by a letter is qualified
+                    # access (42.foo is nonsense, but guard anyway).
+                    if j + 1 < n and not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word.lower() if kind == "keyword"
+                                else word, i))
+            i = j
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,370 @@
+"""Recursive-descent parser for the TelegraphCQ query subset.
+
+Accepts every query in Section 4.1 of the paper verbatim, e.g.::
+
+    SELECT closingPrice, timestamp
+    FROM ClosingStockPrices
+    WHERE stockSymbol = 'MSFT' and closingPrice > 50.00
+    for (t = 101; t <= 1000; t++) {
+        WindowIs(ClosingStockPrices, 101, t);
+    }
+
+The WHERE grammar produces :mod:`repro.query.predicates` objects
+directly; comparisons between two column references become
+:class:`ColumnComparison` (join factors), everything else becomes
+:class:`Comparison` boolean factors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple as TypingTuple
+
+from repro.errors import ParseError
+from repro.query.ast import (BinOpExpr, Expr, ForLoopClause, FromSource,
+                             NumberExpr, QuerySpec, SelectItem, VarExpr,
+                             WindowClause)
+from repro.query.lexer import Token, tokenize
+from repro.query.predicates import (ALWAYS_TRUE, And, ColumnComparison,
+                                    Comparison, Not, Or, Predicate)
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max", "stddev"}
+_COMPARE_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """One-shot parser; use the module-level :func:`parse`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word.upper()}, got {token.text!r}",
+                             token.position, self.text)
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._next()
+        if not token.is_op(op):
+            raise ParseError(f"expected {op!r}, got {token.text!r}",
+                             token.position, self.text)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._next()
+        if token.kind != "ident":
+            raise ParseError(f"expected identifier, got {token.text!r}",
+                             token.position, self.text)
+        return token
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> QuerySpec:
+        self._expect_keyword("select")
+        distinct = False
+        if self._peek().is_keyword("distinct"):
+            self._next()
+            distinct = True
+        items = self._select_list()
+        self._expect_keyword("from")
+        sources = self._from_list()
+        predicate: Predicate = ALWAYS_TRUE
+        if self._peek().is_keyword("where"):
+            self._next()
+            predicate = self._or_expr()
+        group_by: TypingTuple[str, ...] = ()
+        if self._peek().is_keyword("group"):
+            self._next()
+            self._expect_keyword("by")
+            group_by = tuple(self._column_list())
+        order_by = None
+        if self._peek().is_keyword("order"):
+            self._next()
+            self._expect_keyword("by")
+            column = self._colref()
+            descending = False
+            if self._peek().is_keyword("desc"):
+                self._next()
+                descending = True
+            elif self._peek().is_keyword("asc"):
+                self._next()
+            order_by = (column, descending)
+        for_loop = None
+        if self._peek().is_keyword("for"):
+            for_loop = self._for_loop()
+        if self._peek().is_op(";"):
+            self._next()
+        tail = self._peek()
+        if tail.kind != "eof":
+            raise ParseError(f"unexpected trailing input {tail.text!r}",
+                             tail.position, self.text)
+        return QuerySpec(tuple(items), tuple(sources), predicate,
+                         for_loop=for_loop, distinct=distinct,
+                         group_by=group_by, order_by=order_by,
+                         text=self.text)
+
+    def _select_list(self) -> List[SelectItem]:
+        items = [self._select_item()]
+        while self._peek().is_op(","):
+            self._next()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.is_op("*"):
+            self._next()
+            return SelectItem(None)
+        if token.kind == "ident" and token.text.lower() in _AGGREGATES \
+                and self._peek(1).is_op("("):
+            agg = self._next().text.upper()
+            self._expect_op("(")
+            inner: Optional[str] = None
+            if self._peek().is_op("*"):
+                self._next()
+            else:
+                inner = self._colref()
+            self._expect_op(")")
+            alias = self._maybe_alias()
+            return SelectItem(inner, aggregate=agg, alias=alias)
+        column = self._colref()
+        if self._peek().is_op("."):
+            # ident '.' '*'  — the paper writes "Select c2.*".
+            self._next()
+            self._expect_op("*")
+            return SelectItem(None, alias=column)
+        alias = self._maybe_alias()
+        return SelectItem(column, alias=alias)
+
+    def _maybe_alias(self) -> str:
+        if self._peek().is_keyword("as"):
+            self._next()
+            return self._expect_ident().text
+        return ""
+
+    def _colref(self) -> str:
+        name = self._expect_ident().text
+        if self._peek().is_op(".") and self._peek(1).kind == "ident":
+            self._next()
+            name = f"{name}.{self._expect_ident().text}"
+        return name
+
+    def _column_list(self) -> List[str]:
+        cols = [self._colref()]
+        while self._peek().is_op(","):
+            self._next()
+            cols.append(self._colref())
+        return cols
+
+    def _from_list(self) -> List[FromSource]:
+        sources = [self._from_source()]
+        while self._peek().is_op(","):
+            self._next()
+            sources.append(self._from_source())
+        return sources
+
+    def _from_source(self) -> FromSource:
+        name = self._expect_ident().text
+        alias = ""
+        if self._peek().is_keyword("as"):
+            self._next()
+            alias = self._expect_ident().text
+        elif self._peek().kind == "ident":
+            alias = self._next().text
+        return FromSource(name, alias)
+
+    # -- predicates --------------------------------------------------------
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self._peek().is_keyword("or"):
+            self._next()
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self._peek().is_keyword("and"):
+            self._next()
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Predicate:
+        if self._peek().is_keyword("not"):
+            self._next()
+            return Not(self._not_expr())
+        if self._peek().is_op("("):
+            self._next()
+            inner = self._or_expr()
+            self._expect_op(")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        left_kind, left = self._operand()
+        op_token = self._next()
+        if op_token.kind != "op" or op_token.text not in _COMPARE_OPS:
+            raise ParseError(
+                f"expected comparison operator, got {op_token.text!r}",
+                op_token.position, self.text)
+        op = op_token.text
+        right_kind, right = self._operand()
+        if left_kind == "column" and right_kind == "column":
+            return ColumnComparison(left, op, right)
+        if left_kind == "column":
+            return Comparison(left, op, right)
+        if right_kind == "column":
+            from repro.query.predicates import FLIPPED
+            return Comparison(right, FLIPPED[op], left)
+        raise ParseError("comparison between two literals",
+                         op_token.position, self.text)
+
+    def _operand(self) -> TypingTuple[str, object]:
+        token = self._peek()
+        if token.kind == "ident":
+            return "column", self._colref()
+        if token.kind == "number":
+            self._next()
+            text = token.text
+            return "literal", (float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self._next()
+            return "literal", token.text
+        if token.is_op("-") and self._peek(1).kind == "number":
+            self._next()
+            num = self._next()
+            return "literal", -(float(num.text) if "." in num.text
+                                else int(num.text))
+        raise ParseError(f"expected column or literal, got {token.text!r}",
+                         token.position, self.text)
+
+    # -- the for-loop window clause ---------------------------------------------
+    def _for_loop(self) -> ForLoopClause:
+        self._expect_keyword("for")
+        self._expect_op("(")
+        variable = "t"
+        initial: Expr = NumberExpr(0)
+        if not self._peek().is_op(";"):
+            variable = self._expect_ident().text
+            self._expect_op("=")
+            initial = self._expr()
+        self._expect_op(";")
+        cond_left = self._expr()
+        cmp_token = self._next()
+        if cmp_token.kind != "op" or cmp_token.text not in _COMPARE_OPS:
+            raise ParseError(
+                f"expected loop condition comparison, got {cmp_token.text!r}",
+                cmp_token.position, self.text)
+        cond_right = self._expr()
+        self._expect_op(";")
+        update = self._loop_update(variable)
+        self._expect_op(")")
+        self._expect_op("{")
+        windows: List[WindowClause] = []
+        while self._peek().is_keyword("windowis"):
+            windows.append(self._window_is())
+        self._expect_op("}")
+        if not windows:
+            raise ParseError("for-loop needs at least one WindowIs",
+                             self._peek().position, self.text)
+        return ForLoopClause(variable, initial,
+                             (cond_left, cmp_token.text, cond_right),
+                             update, tuple(windows))
+
+    def _loop_update(self, variable: str) -> TypingTuple[str, Expr]:
+        name = self._expect_ident().text
+        if name != variable:
+            raise ParseError(
+                f"loop update must assign {variable!r}, got {name!r}",
+                self._peek().position, self.text)
+        token = self._next()
+        if token.is_op("++"):
+            return ("+=", NumberExpr(1))
+        if token.is_op("--"):
+            return ("-=", NumberExpr(1))
+        if token.is_op("+="):
+            return ("+=", self._expr())
+        if token.is_op("-="):
+            return ("-=", self._expr())
+        if token.is_op("="):
+            return ("=", self._expr())
+        raise ParseError(f"bad loop update operator {token.text!r}",
+                         token.position, self.text)
+
+    def _window_is(self) -> WindowClause:
+        self._expect_keyword("windowis")
+        self._expect_op("(")
+        stream = self._expect_ident().text
+        self._expect_op(",")
+        left = self._expr()
+        self._expect_op(",")
+        right = self._expr()
+        self._expect_op(")")
+        self._expect_op(";")
+        return WindowClause(stream, left, right)
+
+    # -- arithmetic expressions -------------------------------------------------
+    def _expr(self) -> Expr:
+        left = self._term()
+        while self._peek().is_op("+") or self._peek().is_op("-"):
+            op = self._next().text
+            left = BinOpExpr(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while self._peek().is_op("*") or self._peek().is_op("/"):
+            op = self._next().text
+            left = BinOpExpr(op, left, self._factor())
+        return left
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            text = token.text
+            return NumberExpr(float(text) if "." in text else int(text))
+        if token.kind == "ident":
+            self._next()
+            return VarExpr(token.text)
+        if token.is_op("-"):
+            self._next()
+            inner = self._factor()
+            if isinstance(inner, NumberExpr):
+                return NumberExpr(-inner.value)
+            return BinOpExpr("-", NumberExpr(0), inner)
+        if token.is_op("("):
+            self._next()
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        raise ParseError(f"bad expression token {token.text!r}",
+                         token.position, self.text)
+
+
+def parse(text: str) -> QuerySpec:
+    """Parse a TelegraphCQ query string into a :class:`QuerySpec`."""
+    return Parser(text).parse()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a bare boolean expression (``price > 10 and sym = 'A'``)
+    into a :class:`Predicate` — used by the dataflow scripting language
+    and handy for building engines programmatically."""
+    parser = Parser(text)
+    predicate = parser._or_expr()
+    tail = parser._peek()
+    if tail.kind != "eof":
+        raise ParseError(f"unexpected trailing input {tail.text!r}",
+                         tail.position, text)
+    return predicate

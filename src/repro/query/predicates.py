@@ -1,0 +1,384 @@
+"""Predicates: boolean factors over tuples.
+
+CACQ (Section 3.1) decomposes each query's WHERE clause into *boolean
+factors*.  Single-variable factors (``price > 50``) go into grouped
+filters; multi-variable factors (``s.sym == t.sym``) become SteM probe
+predicates.  This module provides the predicate algebra, comparison
+operators, and the decomposition.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, List, Set
+
+from repro.core.tuples import Tuple
+from repro.errors import QueryError
+
+#: Comparison operator symbols to functions.
+OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: The flipped operator for each comparison (used when normalising
+#: ``value op column`` to ``column op' value``).
+FLIPPED: Dict[str, str] = {
+    "==": "==", "=": "=", "!=": "!=", "<>": "<>",
+    "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+#: Logical negation of each operator (used by NOT push-down).
+NEGATED: Dict[str, str] = {
+    "==": "!=", "=": "!=", "!=": "==", "<>": "==",
+    "<": ">=", "<=": ">", ">": "<=", ">=": "<",
+}
+
+
+class Predicate:
+    """Base class.  Predicates are immutable and hashable so grouped
+    filters and the optimizer can dedupe them."""
+
+    def matches(self, t: Tuple) -> bool:
+        raise NotImplementedError
+
+    def columns(self) -> Set[str]:
+        """Every column name this predicate reads."""
+        raise NotImplementedError
+
+    def sources(self) -> FrozenSet[str]:
+        """Base streams referenced via qualified names (``S.price``);
+        unqualified columns contribute nothing."""
+        return frozenset(
+            c.rsplit(".", 1)[0] for c in self.columns() if "." in c)
+
+    def conjuncts(self) -> List["Predicate"]:
+        """Flatten a conjunction into boolean factors; non-AND predicates
+        return themselves."""
+        return [self]
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Always matches; the empty WHERE clause."""
+
+    def matches(self, t: Tuple) -> bool:
+        return True
+
+    def columns(self) -> Set[str]:
+        return set()
+
+    def conjuncts(self) -> List[Predicate]:
+        return []
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash("TruePredicate")
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+ALWAYS_TRUE = TruePredicate()
+
+
+class Comparison(Predicate):
+    """A single-variable boolean factor: ``column op constant``.
+
+    These are the predicates grouped filters index (Section 3.1).
+    """
+
+    __slots__ = ("column", "op", "value", "_fn")
+
+    def __init__(self, column: str, op: str, value: Any):
+        if op not in OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = "==" if op == "=" else ("!=" if op == "<>" else op)
+        self.value = value
+        self._fn = OPS[op]
+
+    def matches(self, t: Tuple) -> bool:
+        actual = t.get(self.column, _MISSING)
+        if actual is _MISSING or actual is None:
+            return False
+        try:
+            return self._fn(actual, self.value)
+        except TypeError:
+            return False
+
+    def evaluate(self, value: Any) -> bool:
+        """Apply the comparison to a raw value (grouped-filter probes)."""
+        try:
+            return self._fn(value, self.value)
+        except TypeError:
+            return False
+
+    def columns(self) -> Set[str]:
+        return {self.column}
+
+    def negate(self) -> "Comparison":
+        return Comparison(self.column, NEGATED[self.op], self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Comparison):
+            return NotImplemented
+        return (self.column, self.op, self.value) == \
+            (other.column, other.op, other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.column, self.op, self.value))
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+class ColumnComparison(Predicate):
+    """A multi-variable boolean factor: ``left_column op right_column``.
+
+    Equality column comparisons spanning two sources are join predicates
+    and get compiled into SteM probes; inequality ones (band joins,
+    ``c2.closingPrice > c1.closingPrice``) are evaluated as post-join
+    filters.
+    """
+
+    __slots__ = ("left", "op", "right", "_fn")
+
+    def __init__(self, left: str, op: str, right: str):
+        if op not in OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.left = left
+        self.op = "==" if op == "=" else ("!=" if op == "<>" else op)
+        self.right = right
+        self._fn = OPS[op]
+
+    def matches(self, t: Tuple) -> bool:
+        lhs = t.get(self.left, _MISSING)
+        rhs = t.get(self.right, _MISSING)
+        if lhs is _MISSING or rhs is _MISSING:
+            return False
+        try:
+            return self._fn(lhs, rhs)
+        except TypeError:
+            return False
+
+    def is_equijoin(self) -> bool:
+        return self.op == "==" and len(self.sources()) == 2
+
+    def columns(self) -> Set[str]:
+        return {self.left, self.right}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnComparison):
+            return NotImplemented
+        return (self.left, self.op, self.right) == \
+            (other.left, other.op, other.right)
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class And(Predicate):
+    """Conjunction; flattens nested ANDs into boolean factors."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        flat: List[Predicate] = []
+        for p in parts:
+            if isinstance(p, And):
+                flat.extend(p.parts)
+            elif isinstance(p, TruePredicate):
+                continue
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def matches(self, t: Tuple) -> bool:
+        return all(p.matches(t) for p in self.parts)
+
+    def columns(self) -> Set[str]:
+        out: Set[str] = set()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def conjuncts(self) -> List[Predicate]:
+        out: List[Predicate] = []
+        for p in self.parts:
+            out.extend(p.conjuncts())
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, And):
+            return NotImplemented
+        return self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("And", self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction.  Kept whole (not decomposed into factors); CACQ treats
+    a disjunctive factor as opaque and evaluates it directly."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        flat: List[Predicate] = []
+        for p in parts:
+            if isinstance(p, Or):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def matches(self, t: Tuple) -> bool:
+        return any(p.matches(t) for p in self.parts)
+
+    def columns(self) -> Set[str]:
+        out: Set[str] = set()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Or):
+            return NotImplemented
+        return self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation; ``Not(Comparison)`` normalises to the flipped operator."""
+
+    __slots__ = ("part",)
+
+    def __new__(cls, part: Predicate):
+        if isinstance(part, Comparison):
+            return part.negate()
+        if isinstance(part, Not):
+            return part.part
+        return super().__new__(cls)
+
+    def __init__(self, part: Predicate):
+        if isinstance(part, (Comparison,)):
+            return  # __new__ already returned the normalised form
+        self.part = part
+
+    def matches(self, t: Tuple) -> bool:
+        return not self.part.matches(t)
+
+    def columns(self) -> Set[str]:
+        return self.part.columns()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Not):
+            return NotImplemented
+        return self.part == other.part
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.part))
+
+    def __repr__(self) -> str:
+        return f"NOT {self.part!r}"
+
+
+def rewrite_columns(predicate: Predicate, resolve) -> Predicate:
+    """Rebuild a predicate with every column name mapped through
+    ``resolve`` (used to qualify parsed predicates against a FROM list).
+    """
+    if isinstance(predicate, Comparison):
+        return Comparison(resolve(predicate.column), predicate.op,
+                          predicate.value)
+    if isinstance(predicate, ColumnComparison):
+        return ColumnComparison(resolve(predicate.left), predicate.op,
+                                resolve(predicate.right))
+    if isinstance(predicate, And):
+        return And(*(rewrite_columns(p, resolve) for p in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(*(rewrite_columns(p, resolve) for p in predicate.parts))
+    if isinstance(predicate, Not):
+        return Not(rewrite_columns(predicate.part, resolve))
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    raise QueryError(f"cannot rewrite predicate of type {type(predicate)}")
+
+
+def decompose(predicate: Predicate) -> "DecomposedPredicate":
+    """Split a predicate into the three factor classes CACQ needs.
+
+    Returns single-variable factors (grouped-filter candidates),
+    equijoin factors (SteM probes), and a residue of everything else
+    (disjunctions, band-join inequalities) evaluated as an opaque
+    post-filter.
+    """
+    singles: List[Comparison] = []
+    joins: List[ColumnComparison] = []
+    residual: List[Predicate] = []
+    for factor in predicate.conjuncts():
+        if isinstance(factor, Comparison):
+            singles.append(factor)
+        elif isinstance(factor, ColumnComparison) and factor.is_equijoin():
+            joins.append(factor)
+        else:
+            residual.append(factor)
+    return DecomposedPredicate(singles, joins, residual)
+
+
+class DecomposedPredicate:
+    """The result of :func:`decompose`."""
+
+    __slots__ = ("single_variable", "equijoins", "residual")
+
+    def __init__(self, single_variable: List[Comparison],
+                 equijoins: List[ColumnComparison],
+                 residual: List[Predicate]):
+        self.single_variable = single_variable
+        self.equijoins = equijoins
+        self.residual = residual
+
+    def residual_predicate(self) -> Predicate:
+        if not self.residual:
+            return ALWAYS_TRUE
+        if len(self.residual) == 1:
+            return self.residual[0]
+        return And(*self.residual)
+
+    def __repr__(self) -> str:
+        return (f"Decomposed(single={self.single_variable}, "
+                f"joins={self.equijoins}, residual={self.residual})")

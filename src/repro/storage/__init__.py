@@ -1,0 +1,1 @@
+"""storage subpackage of the TelegraphCQ reproduction."""

@@ -1,0 +1,168 @@
+"""The buffer pool: bounded page frames between streams and the spill log.
+
+"The buffer pool manager must be tuned to both accept new bursty
+streaming data, as well as service queries that access historical data"
+(Section 4.3).  This pool supports the two replacement policies the E14
+ablation compares:
+
+* **LRU** — classic least-recently-used;
+* **CLOCK** — second-chance approximation, cheaper bookkeeping.
+
+Pages are pinned while in use; eviction only considers unpinned frames,
+and dirty victims are written to the :class:`~repro.storage.spill.
+SpillStore` first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.pages import Page
+from repro.storage.spill import SpillStore
+
+
+class BufferPool:
+    """A fixed number of page frames with pluggable replacement."""
+
+    POLICIES = ("lru", "clock")
+
+    def __init__(self, n_frames: int, spill: Optional[SpillStore] = None,
+                 policy: str = "lru"):
+        if n_frames < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        if policy not in self.POLICIES:
+            raise StorageError(f"unknown replacement policy {policy!r}")
+        self.n_frames = n_frames
+        self.policy = policy
+        self.spill = spill if spill is not None else SpillStore()
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._ref_bits: Dict[int, bool] = {}
+        self._clock_hand: List[int] = []
+        self._hand_pos = 0
+        self._next_page_id = itertools.count()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- page lifecycle ------------------------------------------------------
+    def new_page(self, stream: str, capacity: int) -> Page:
+        """Allocate a fresh page, resident and unpinned."""
+        page = Page(next(self._next_page_id), stream, capacity)
+        self._admit(page)
+        return page
+
+    def get_page(self, page_id: int) -> Page:
+        """Fetch a page, from a frame (hit) or the spill log (miss)."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.hits += 1
+            self._touch(page_id)
+            return page
+        self.misses += 1
+        page = self.spill.read_page(page_id)
+        self._admit(page)
+        return page
+
+    def pin(self, page: Page) -> Page:
+        page.pin_count += 1
+        return page
+
+    def unpin(self, page: Page) -> None:
+        if page.pin_count <= 0:
+            raise StorageError(f"page {page.page_id} is not pinned")
+        page.pin_count -= 1
+
+    def discard_page(self, page_id: int) -> None:
+        """Drop a page everywhere (frame + spill) — used when stream
+        truncation retires pages no window can reach."""
+        page = self._frames.pop(page_id, None)
+        if page is not None and page.pin_count:
+            raise StorageError(
+                f"cannot discard pinned page {page_id}")
+        self._ref_bits.pop(page_id, None)
+        if page_id in self._clock_hand:
+            self._clock_hand.remove(page_id)
+        self.spill.drop_page(page_id)
+
+    def flush_all(self) -> int:
+        """Write every dirty resident page to the spill log."""
+        flushed = 0
+        for page in self._frames.values():
+            if page.dirty:
+                self.spill.write_page(page)
+                page.dirty = False
+                flushed += 1
+        return flushed
+
+    # -- internals -------------------------------------------------------------
+    def _admit(self, page: Page) -> None:
+        while len(self._frames) >= self.n_frames:
+            self._evict_one()
+        self._frames[page.page_id] = page
+        self._ref_bits[page.page_id] = True
+        self._clock_hand.append(page.page_id)
+
+    def _touch(self, page_id: int) -> None:
+        if self.policy == "lru":
+            self._frames.move_to_end(page_id)
+        else:
+            self._ref_bits[page_id] = True
+
+    def _evict_one(self) -> None:
+        victim = self._pick_victim()
+        if victim is None:
+            raise StorageError(
+                "buffer pool exhausted: every frame is pinned")
+        page = self._frames.pop(victim)
+        self._ref_bits.pop(victim, None)
+        if victim in self._clock_hand:
+            self._clock_hand.remove(victim)
+        if page.dirty or not self.spill.contains(page.page_id):
+            self.spill.write_page(page)
+            page.dirty = False
+        self.evictions += 1
+
+    def _pick_victim(self) -> Optional[int]:
+        if self.policy == "lru":
+            for page_id, page in self._frames.items():  # LRU order
+                if page.pin_count == 0:
+                    return page_id
+            return None
+        # CLOCK: sweep, clearing reference bits; evict the first page
+        # with a clear bit and no pins.  Two sweeps guarantee progress.
+        n = len(self._clock_hand)
+        for _ in range(2 * n):
+            if not self._clock_hand:
+                return None
+            self._hand_pos %= len(self._clock_hand)
+            page_id = self._clock_hand[self._hand_pos]
+            page = self._frames[page_id]
+            if page.pin_count == 0 and not self._ref_bits.get(page_id):
+                return page_id
+            self._ref_bits[page_id] = False
+            self._hand_pos += 1
+        return None
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "frames": self.n_frames,
+            "resident": self.resident,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+            "spill_writes": self.spill.writes,
+            "spill_reads": self.spill.reads,
+        }

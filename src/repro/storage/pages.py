@@ -1,0 +1,94 @@
+"""Fixed-capacity tuple pages — the unit of buffering and spilling.
+
+The TelegraphCQ storage manager must "accept new bursty streaming data,
+as well as service queries that access historical data" (Section 4.3).
+Pages hold a bounded run of timestamp-ordered tuples from one stream and
+remember their timestamp range, so a window scan can skip pages that
+cannot intersect the window without fetching them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple as TypingTuple
+
+from repro.core.tuples import Schema, Tuple
+from repro.errors import StorageError
+
+
+class Page:
+    """A bounded, append-only run of tuples from a single stream."""
+
+    __slots__ = ("page_id", "stream", "capacity", "rows", "min_ts",
+                 "max_ts", "pin_count", "dirty")
+
+    def __init__(self, page_id: int, stream: str, capacity: int):
+        if capacity < 1:
+            raise StorageError("page capacity must be >= 1")
+        self.page_id = page_id
+        self.stream = stream
+        self.capacity = capacity
+        #: rows are stored as plain value tuples + timestamp; the schema
+        #: lives with the stream, not in every page.
+        self.rows: List[TypingTuple[Any, ...]] = []
+        self.min_ts: Optional[int] = None
+        self.max_ts: Optional[int] = None
+        self.pin_count = 0
+        self.dirty = False
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.rows) >= self.capacity
+
+    def append(self, t: Tuple) -> None:
+        if self.is_full:
+            raise StorageError(f"page {self.page_id} is full")
+        if t.timestamp is None:
+            raise StorageError("spooled tuples need timestamps")
+        self.rows.append((t.timestamp,) + t.values)
+        if self.min_ts is None:
+            self.min_ts = t.timestamp
+        self.max_ts = t.timestamp
+        self.dirty = True
+
+    def tuples(self, schema: Schema) -> List[Tuple]:
+        """Re-materialise the page's rows under the stream schema."""
+        return [Tuple(schema, row[1:], timestamp=row[0])
+                for row in self.rows]
+
+    def tuples_in_window(self, schema: Schema, left: int,
+                         right: int) -> List[Tuple]:
+        return [Tuple(schema, row[1:], timestamp=row[0])
+                for row in self.rows if left <= row[0] <= right]
+
+    def overlaps(self, left: int, right: int) -> bool:
+        if self.min_ts is None:
+            return False
+        return not (self.max_ts < left or self.min_ts > right)
+
+    def to_payload(self) -> dict:
+        """A picklable snapshot for the spill store."""
+        return {
+            "page_id": self.page_id,
+            "stream": self.stream,
+            "capacity": self.capacity,
+            "rows": self.rows,
+            "min_ts": self.min_ts,
+            "max_ts": self.max_ts,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Page":
+        page = cls(payload["page_id"], payload["stream"],
+                   payload["capacity"])
+        page.rows = payload["rows"]
+        page.min_ts = payload["min_ts"]
+        page.max_ts = payload["max_ts"]
+        page.dirty = False
+        return page
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (f"Page({self.page_id}, {self.stream}, n={len(self.rows)}, "
+                f"ts=[{self.min_ts},{self.max_ts}])")

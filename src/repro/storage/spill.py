@@ -1,0 +1,105 @@
+"""Log-structured spill store for pages evicted from the buffer pool.
+
+Section 4.3 observes that streaming writes are sequential, so "a
+log-structured file system would enhance write performance".  The spill
+store is exactly that: evicted pages are pickled and *appended* to a
+single log file; a page table maps page id to its latest (offset,
+length).  Rewriting a page appends a new version and forgets the old
+offset — reclaimed by :meth:`vacuum`, which compacts the log.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple as TypingTuple
+
+from repro.errors import StorageError
+from repro.storage.pages import Page
+
+
+class SpillStore:
+    """Append-only page log with an in-memory page table."""
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="telegraph-spill-",
+                                        suffix=".log")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._offsets: Dict[int, TypingTuple[int, int]] = {}
+        self._file = open(path, "a+b")
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+
+    def write_page(self, page: Page) -> None:
+        """Append the page to the log (sequential write)."""
+        blob = pickle.dumps(page.to_payload(),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(blob)
+        self._file.flush()
+        self._offsets[page.page_id] = (offset, len(blob))
+        self.writes += 1
+        self.bytes_written += len(blob)
+
+    def read_page(self, page_id: int) -> Page:
+        entry = self._offsets.get(page_id)
+        if entry is None:
+            raise StorageError(f"page {page_id} is not in the spill store")
+        offset, length = entry
+        self._file.seek(offset)
+        blob = self._file.read(length)
+        if len(blob) != length:
+            raise StorageError(
+                f"spill log truncated: page {page_id} at {offset}")
+        self.reads += 1
+        return Page.from_payload(pickle.loads(blob))
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._offsets
+
+    def drop_page(self, page_id: int) -> None:
+        """Forget a page (its bytes are reclaimed at the next vacuum)."""
+        self._offsets.pop(page_id, None)
+
+    def vacuum(self) -> int:
+        """Compact the log: rewrite only live page versions.
+
+        Returns the number of bytes reclaimed.
+        """
+        live = {}
+        for page_id in list(self._offsets):
+            live[page_id] = self.read_page(page_id)
+        old_size = self._file.seek(0, os.SEEK_END)
+        self._file.close()
+        self._file = open(self.path, "w+b")
+        self._offsets.clear()
+        for page in live.values():
+            self.write_page(page)
+        new_size = self._file.seek(0, os.SEEK_END)
+        return max(0, old_size - new_size)
+
+    def size_bytes(self) -> int:
+        return self._file.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._offsets)

@@ -1,0 +1,108 @@
+"""Out-of-core stream storage: append through the buffer pool, scan by
+window descriptor.
+
+This is the piece CACQ/PSoup lacked ("restricted their processing to
+data that could fit in memory") and TelegraphCQ adds: streamed data is
+"prepared for materialization in the buffer pool (and possibly to
+disk)", and historical windows are read back through a scanner.
+
+A :class:`SpooledStream` appends arriving tuples into pages allocated
+from a shared :class:`~repro.storage.buffer_pool.BufferPool`; a page
+directory (page id -> timestamp range) lets window scans fetch only
+overlapping pages, wherever they currently live.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple as TypingTuple
+
+from repro.core.tuples import Schema, Tuple
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pages import Page
+
+
+class SpooledStream:
+    """One stream's spooled history."""
+
+    def __init__(self, schema: Schema, pool: BufferPool,
+                 page_capacity: int = 128):
+        if not schema.name:
+            raise StorageError("spooled stream schema needs a name")
+        if pool.n_frames < 2:
+            # One frame is permanently busy with the open (pinned) page;
+            # scans need at least one more to fault cold pages into.
+            raise StorageError(
+                "a spooled stream needs a buffer pool with >= 2 frames")
+        self.schema = schema
+        self.pool = pool
+        self.page_capacity = page_capacity
+        #: page directory: (page_id, min_ts, max_ts) in append order.
+        self._directory: List[TypingTuple[int, int, int]] = []
+        self._current: Optional[Page] = None
+        self.appended = 0
+
+    # -- write path -----------------------------------------------------------
+    def append(self, t: Tuple) -> None:
+        if self._current is None or self._current.is_full:
+            self._seal_current()
+            self._current = self.pool.new_page(self.schema.name,
+                                               self.page_capacity)
+            self.pool.pin(self._current)
+        self._current.append(t)
+        self.appended += 1
+
+    def extend(self, tuples: Iterable[Tuple]) -> None:
+        for t in tuples:
+            self.append(t)
+
+    def _seal_current(self) -> None:
+        if self._current is not None and len(self._current):
+            self._directory.append((self._current.page_id,
+                                    self._current.min_ts,
+                                    self._current.max_ts))
+            self.pool.unpin(self._current)
+            self._current = None
+
+    def seal(self) -> None:
+        """Finish the open page (e.g. at end of a burst)."""
+        self._seal_current()
+
+    # -- read path ------------------------------------------------------------
+    def scan_window(self, left: int, right: int) -> List[Tuple]:
+        """All tuples with ``left <= ts <= right``, fetching cold pages
+        through the buffer pool."""
+        out: List[Tuple] = []
+        for page_id, min_ts, max_ts in self._directory:
+            if max_ts < left or min_ts > right:
+                continue
+            page = self.pool.get_page(page_id)
+            self.pool.pin(page)
+            try:
+                out.extend(page.tuples_in_window(self.schema, left, right))
+            finally:
+                self.pool.unpin(page)
+        if self._current is not None:
+            out.extend(self._current.tuples_in_window(self.schema,
+                                                      left, right))
+        return out
+
+    def truncate_before(self, timestamp: int) -> int:
+        """Drop whole pages whose every tuple precedes ``timestamp``."""
+        dropped = 0
+        kept: List[TypingTuple[int, int, int]] = []
+        for page_id, min_ts, max_ts in self._directory:
+            if max_ts < timestamp:
+                self.pool.discard_page(page_id)
+                dropped += 1
+            else:
+                kept.append((page_id, min_ts, max_ts))
+        self._directory = kept
+        return dropped
+
+    @property
+    def page_count(self) -> int:
+        return len(self._directory) + (1 if self._current else 0)
+
+    def __len__(self) -> int:
+        return self.appended

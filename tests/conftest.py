@@ -1,0 +1,77 @@
+"""Shared test fixtures and reference implementations.
+
+The reference implementations here (nested-loop join, brute-force
+predicate evaluation) are deliberately dumb: tests compare every clever
+structure in the library against them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.core.tuples import Schema, Tuple
+from repro.fjords.module import SourceModule
+from repro.query.predicates import Predicate
+
+
+class ListFeed(SourceModule):
+    """A Fjord source that replays a list then signals EOS."""
+
+    def __init__(self, rows: Sequence, name: str = "feed", chunk: int = 8):
+        super().__init__(name)
+        self.rows = list(rows)
+        self.chunk = chunk
+        self._i = 0
+
+    def generate(self, batch: int):
+        out = []
+        take = min(batch, self.chunk)
+        for _ in range(take):
+            if self._i >= len(self.rows):
+                self.exhausted = True
+                break
+            out.append(self.rows[self._i])
+            self._i += 1
+        if self._i >= len(self.rows):
+            self.exhausted = True
+        return out
+
+
+def canonical(t: Tuple) -> tuple:
+    """A column-order-insensitive key for a tuple: its (name, value)
+    pairs sorted by column name.  Join results can legitimately differ
+    in column order depending on which side probed."""
+    return tuple(sorted(t.as_dict().items()))
+
+
+def reference_join(left: Iterable[Tuple], right: Iterable[Tuple],
+                   predicate: Predicate,
+                   extra: Optional[Predicate] = None) -> List[tuple]:
+    """Nested-loop ground truth: the multiset of joined rows in
+    canonical form."""
+    out = []
+    for a in left:
+        for b in right:
+            joined = a.concat(b)
+            if predicate.matches(joined) and (
+                    extra is None or extra.matches(joined)):
+                out.append(canonical(joined))
+    return sorted(out)
+
+
+def values_of(tuples: Iterable[Tuple]) -> List[tuple]:
+    """Order-insensitive comparison key for result sets."""
+    return sorted(canonical(t) for t in tuples)
+
+
+@pytest.fixture
+def stock_schema():
+    from repro.ingress.generators import CLOSING_STOCK_PRICES
+    return CLOSING_STOCK_PRICES
+
+
+@pytest.fixture
+def simple_schema():
+    return Schema.of("S", "a", "b")

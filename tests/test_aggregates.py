@@ -1,0 +1,218 @@
+"""Unit + property tests for incremental aggregates, including the
+landmark-vs-sliding state asymmetry of Section 4.1.2."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregates import (AvgAggregate, CountAggregate,
+                                   MaxAggregate, MinAggregate,
+                                   NaiveSlidingExtreme, SlidingAvg,
+                                   SlidingCount, SlidingMax, SlidingMin,
+                                   SlidingSum, StdDevAggregate,
+                                   SumAggregate, make_aggregate)
+from repro.errors import QueryError
+
+
+class TestLandmarkAggregates:
+    def test_count(self):
+        agg = CountAggregate()
+        for _ in range(5):
+            agg.add(1)
+        assert agg.result() == 5
+
+    def test_sum_empty_is_none(self):
+        assert SumAggregate().result() is None
+
+    def test_sum(self):
+        agg = SumAggregate()
+        for v in (1, 2, 3):
+            agg.add(v)
+        assert agg.result() == 6
+
+    def test_avg(self):
+        agg = AvgAggregate()
+        for v in (1, 2, 3, 4):
+            agg.add(v)
+        assert agg.result() == 2.5
+
+    def test_min_max(self):
+        mn, mx = MinAggregate(), MaxAggregate()
+        for v in (3, 1, 4, 1, 5):
+            mn.add(v)
+            mx.add(v)
+        assert mn.result() == 1
+        assert mx.result() == 5
+
+    def test_landmark_max_state_is_constant(self):
+        agg = MaxAggregate()
+        for v in range(10_000):
+            agg.add(v)
+        assert agg.state_size() == 1   # the paper's O(1) claim
+
+    def test_stddev(self):
+        agg = StdDevAggregate()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            agg.add(v)
+        assert agg.result() == pytest.approx(2.138, abs=1e-3)
+        assert agg.mean() == pytest.approx(5.0)
+
+    def test_stddev_degenerate(self):
+        agg = StdDevAggregate()
+        assert agg.result() is None
+        agg.add(1.0)
+        assert agg.result() == 0.0
+
+    def test_fresh_returns_empty_instance(self):
+        agg = SumAggregate()
+        agg.add(5)
+        assert agg.fresh().result() is None
+
+
+class TestSlidingAggregates:
+    def test_sliding_sum_with_retraction(self):
+        agg = SlidingSum()
+        agg.add(1)
+        agg.add(2)
+        agg.add(3)
+        agg.remove(1)
+        assert agg.result() == 5
+
+    def test_sliding_count(self):
+        agg = SlidingCount()
+        agg.add(1)
+        agg.add(2)
+        agg.remove(1)
+        assert agg.result() == 1
+
+    def test_sliding_avg(self):
+        agg = SlidingAvg()
+        for v in (10, 20, 30):
+            agg.add(v)
+        agg.remove(10)
+        assert agg.result() == 25.0
+
+    def test_sliding_max_basic(self):
+        agg = SlidingMax()
+        for v in (3, 1, 4):
+            agg.add(v)
+        assert agg.result() == 4
+        agg.remove(3)
+        assert agg.result() == 4
+        agg.remove(1)
+        agg.remove(4)
+        assert agg.result() is None
+
+    def test_sliding_max_retracts_maximum(self):
+        agg = SlidingMax()
+        for v in (9, 2, 5):
+            agg.add(v)
+        agg.remove(9)
+        assert agg.result() == 5
+
+    def test_sliding_min(self):
+        agg = SlidingMin()
+        for v in (3, 1, 4):
+            agg.add(v)
+        agg.remove(3)
+        assert agg.result() == 1
+        agg.remove(1)
+        assert agg.result() == 4
+
+    def test_out_of_order_removal_rejected(self):
+        agg = SlidingMax()
+        agg.add(1)
+        agg.add(2)
+        with pytest.raises(QueryError, match="out of order"):
+            agg.remove(2)
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(QueryError):
+            SlidingMax().remove(1)
+
+    def test_sliding_max_state_grows_with_window(self):
+        """Section 4.1.2: sliding MAX needs window-sized state (for
+        descending input every element is retained)."""
+        agg = SlidingMax()
+        for v in range(100, 0, -1):
+            agg.add(v)
+        assert agg.state_size() >= 100
+
+    def test_naive_extreme_equivalence(self):
+        naive = NaiveSlidingExtreme(max, "MAX")
+        smart = SlidingMax()
+        window = []
+        for v in (5, 3, 8, 1, 8, 2):
+            naive.add(v)
+            smart.add(v)
+            window.append(v)
+            if len(window) > 3:
+                evicted = window.pop(0)
+                naive.remove(evicted)
+                smart.remove(evicted)
+            assert naive.result() == smart.result() == max(window)
+
+
+class TestRegistry:
+    def test_make_landmark(self):
+        assert isinstance(make_aggregate("max"), MaxAggregate)
+
+    def test_make_sliding(self):
+        assert isinstance(make_aggregate("max", sliding=True), SlidingMax)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_aggregate("Count"), CountAggregate)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            make_aggregate("median")
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       st.integers(1, 20))
+def test_sliding_max_matches_bruteforce(values, width):
+    """Property: the monotonic-deque sliding MAX equals a rescan of the
+    window at every step."""
+    agg = SlidingMax()
+    window = []
+    for v in values:
+        agg.add(v)
+        window.append(v)
+        if len(window) > width:
+            agg.remove(window.pop(0))
+        assert agg.result() == max(window)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       st.integers(1, 20))
+def test_sliding_min_matches_bruteforce(values, width):
+    agg = SlidingMin()
+    window = []
+    for v in values:
+        agg.add(v)
+        window.append(v)
+        if len(window) > width:
+            agg.remove(window.pop(0))
+        assert agg.result() == min(window)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=100))
+def test_landmark_extremes_match_builtins(values):
+    mn, mx = MinAggregate(), MaxAggregate()
+    for v in values:
+        mn.add(v)
+        mx.add(v)
+    assert mn.result() == min(values)
+    assert mx.result() == max(values)
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2,
+                max_size=100))
+def test_welford_matches_two_pass(values):
+    import math
+    agg = StdDevAggregate()
+    for v in values:
+        agg.add(v)
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert agg.result() == pytest.approx(math.sqrt(var), rel=1e-6,
+                                         abs=1e-6)

@@ -1,0 +1,213 @@
+"""Tests for the three baselines: static iterator plans, per-query CQ
+processing, and the NiagaraCQ-style grouped engine — including their
+agreement with CACQ on answers (they differ in cost, never results)."""
+
+import pytest
+
+from repro.baselines.niagara import NiagaraEngine
+from repro.baselines.per_query import PerQueryEngine
+from repro.baselines.static_plan import (FilterIterator, HashJoinIterator,
+                                         ProjectIterator, ScanIterator,
+                                         StaticFilterPlan, best_static_work)
+from repro.core.cacq import CACQEngine
+from repro.core.tuples import Schema
+from repro.errors import PlanError, QueryError
+from repro.query.predicates import And, ColumnComparison, Comparison
+from tests.conftest import values_of
+
+TRADES = Schema.of("trades", "sym", "price")
+
+
+def trades_rows(n=30):
+    return [TRADES.make(["A", "B", "C"][i % 3], float(i), timestamp=i)
+            for i in range(n)]
+
+
+class TestIterators:
+    def test_scan_filter_project(self):
+        rows = trades_rows()
+        plan = ProjectIterator(
+            FilterIterator(ScanIterator(rows), Comparison("price", ">", 20)),
+            ["sym"])
+        out = list(plan)
+        assert len(out) == 9
+        assert out[0].schema.column_names() == ["sym"]
+
+    def test_hash_join(self):
+        ref = Schema.of("ref", "sym", "sector")
+        ref_rows = [ref.make("A", "tech"), ref.make("B", "bank")]
+        join = HashJoinIterator(ScanIterator(ref_rows),
+                                ScanIterator(trades_rows(6)),
+                                build_key="sym", probe_key="sym")
+        out = list(join)
+        assert len(out) == 4            # A and B trades match, C doesn't
+
+    def test_hash_join_residual(self):
+        ref = Schema.of("ref", "sym", "floor")
+        join = HashJoinIterator(
+            ScanIterator([ref.make("A", 10.0)]),
+            ScanIterator(trades_rows(9)),
+            build_key="sym", probe_key="sym",
+            residual=ColumnComparison("trades.price", ">", "ref.floor"))
+        assert all(t["trades.price"] > 10 for t in join)
+
+
+class TestStaticFilterPlan:
+    def test_orders_by_estimates(self):
+        p_loose = Comparison("price", ">", -1)      # passes everything
+        p_tight = Comparison("price", ">", 25)
+        plan = StaticFilterPlan([p_loose, p_tight],
+                                estimated_selectivities=[0.99, 0.1])
+        assert plan.predicates[0] is p_tight
+
+    def test_estimate_arity_checked(self):
+        with pytest.raises(PlanError):
+            StaticFilterPlan([Comparison("price", ">", 1)],
+                             estimated_selectivities=[0.5, 0.5])
+
+    def test_work_accounting_short_circuits(self):
+        rows = trades_rows(10)
+        tight_first = StaticFilterPlan([Comparison("price", ">", 100),
+                                        Comparison("price", ">", -1)])
+        tight_first.run(rows)
+        loose_first = StaticFilterPlan([Comparison("price", ">", -1),
+                                        Comparison("price", ">", 100)])
+        loose_first.run(rows)
+        assert tight_first.evaluations == 10       # second never runs
+        assert loose_first.evaluations == 20
+
+    def test_results_independent_of_order(self):
+        rows = trades_rows(30)
+        preds = [Comparison("price", ">", 5), Comparison("sym", "==", "A")]
+        a = StaticFilterPlan(list(preds)).run(rows)
+        b = StaticFilterPlan(list(reversed(preds))).run(rows)
+        assert values_of(a) == values_of(b)
+
+    def test_best_static_work_oracle(self):
+        rows = trades_rows(20)
+        preds = [Comparison("price", ">", 100),    # kills everything
+                 Comparison("sym", "==", "A")]
+        work, order = best_static_work(rows, preds)
+        # best order runs the killer filter first: 20 + 0 evaluations
+        assert work == 20
+        assert order[0] == 0
+
+
+class TestPerQueryEngine:
+    def test_selection(self):
+        engine = PerQueryEngine()
+        engine.register_stream(TRADES)
+        q = engine.add_query(["trades"], Comparison("price", ">", 10))
+        for t in trades_rows(20):
+            engine.push_tuple("trades", t)
+        assert len(q.results) == 9
+
+    def test_evaluation_cost_linear_in_queries(self):
+        engine = PerQueryEngine()
+        engine.register_stream(TRADES)
+        for i in range(50):
+            engine.add_query(["trades"], Comparison("price", ">", i))
+        engine.push("trades", sym="A", price=100.0)
+        assert engine.predicate_evaluations == 50    # no sharing
+
+    def test_join(self):
+        quotes = Schema.of("quotes", "sym", "bid")
+        engine = PerQueryEngine()
+        engine.register_stream(TRADES)
+        engine.register_stream(quotes)
+        q = engine.add_query(
+            ["trades", "quotes"],
+            ColumnComparison("trades.sym", "==", "quotes.sym"))
+        engine.push("trades", sym="A", price=1.0, timestamp=1)
+        engine.push("quotes", sym="A", bid=2.0, timestamp=2)
+        assert len(q.results) == 1
+
+    def test_three_stream_join_unsupported(self):
+        engine = PerQueryEngine()
+        for name in ("a", "b", "c"):
+            engine.register_stream(Schema.of(name, "k"))
+        q = engine.add_query(["a", "b", "c"], Comparison("k", ">", 0))
+        with pytest.raises(QueryError):
+            engine.push("a", k=1)
+
+
+class TestNiagaraEngine:
+    def test_equality_groups_hash(self):
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        qa = engine.add_query(["trades"], Comparison("sym", "==", "A"))
+        qb = engine.add_query(["trades"], Comparison("sym", "==", "B"))
+        engine.push("trades", sym="A", price=1.0)
+        assert len(qa.results) == 1
+        assert len(qb.results) == 0
+        # equality groups never scan
+        assert engine.stats()["range_scans"] == 0
+
+    def test_range_groups_scan_linearly(self):
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        for i in range(20):
+            engine.add_query(["trades"], Comparison("price", ">", i))
+        engine.push("trades", sym="A", price=100.0)
+        assert engine.stats()["range_scans"] == 20    # the published gap
+
+    def test_multi_factor_query(self):
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        q = engine.add_query(["trades"],
+                             And(Comparison("sym", "==", "A"),
+                                 Comparison("price", ">", 10)))
+        engine.push("trades", sym="A", price=20.0)
+        engine.push("trades", sym="A", price=5.0)
+        engine.push("trades", sym="B", price=20.0)
+        assert len(q.results) == 1
+
+    def test_join_queries_rejected(self):
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        with pytest.raises(QueryError):
+            engine.add_query(["trades", "trades2"],
+                             Comparison("price", ">", 0))
+
+    def test_remove_query(self):
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        q = engine.add_query(["trades"], Comparison("price", ">", 0))
+        engine.remove_query(q)
+        engine.push("trades", sym="A", price=1.0)
+        assert q.results == []
+
+    def test_residual_only_query(self):
+        from repro.query.predicates import Or
+        engine = NiagaraEngine()
+        engine.register_stream(TRADES)
+        q = engine.add_query(["trades"],
+                             Or(Comparison("sym", "==", "A"),
+                                Comparison("price", ">", 90)))
+        engine.push("trades", sym="B", price=95.0)
+        engine.push("trades", sym="B", price=5.0)
+        assert len(q.results) == 1
+
+
+class TestThreeEnginesAgree:
+    def test_same_selection_answers(self):
+        predicates = [Comparison("price", ">", 10),
+                      And(Comparison("sym", "==", "A"),
+                          Comparison("price", "<", 25))]
+        engines = []
+        for cls in (CACQEngine, PerQueryEngine, NiagaraEngine):
+            engine = cls()
+            engine.register_stream(TRADES)
+            queries = [engine.add_query(["trades"], p) for p in predicates]
+            engines.append((engine, queries))
+        for t in trades_rows(40):
+            for engine, _qs in engines:
+                engine.push_tuple("trades",
+                                  TRADES.make(*t.values,
+                                              timestamp=t.timestamp))
+        reference = None
+        for _engine, queries in engines:
+            answer = [values_of(q.results) for q in queries]
+            if reference is None:
+                reference = answer
+            assert answer == reference

@@ -1,0 +1,100 @@
+"""Tests for the broadcast-disk page scheduler (§4.3 / [AAFZ95])."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.broadcast import (BroadcastReader, BroadcastSchedule,
+                                     expected_wait)
+
+
+def zipf_weights(n_pages, s=1.2):
+    return {p: 1.0 / (p + 1) ** s for p in range(n_pages)}
+
+
+class TestSchedule:
+    def test_flat_program_covers_every_page_once(self):
+        schedule = BroadcastSchedule({p: 1.0 for p in range(10)})
+        assert sorted(schedule.program) == list(range(10))
+        assert schedule.cycle_length == 10
+
+    def test_multi_disk_repeats_hot_pages(self):
+        schedule = BroadcastSchedule(zipf_weights(30), n_disks=3)
+        hot_airs = len(schedule.air_slots[0])
+        cold_airs = len(schedule.air_slots[29])
+        assert hot_airs > cold_airs
+        # every page still airs at least once per major cycle
+        assert set(schedule.air_slots) == set(range(30))
+
+    def test_spacing_inverse_to_frequency(self):
+        schedule = BroadcastSchedule(zipf_weights(30), n_disks=3)
+        assert schedule.spacing(0) < schedule.spacing(29)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            BroadcastSchedule({})
+        with pytest.raises(StorageError):
+            BroadcastSchedule({0: -1.0})
+        with pytest.raises(StorageError):
+            BroadcastSchedule({0: 1.0}, n_disks=0)
+
+    def test_disks_capped_at_page_count(self):
+        schedule = BroadcastSchedule({0: 1.0, 1: 0.5}, n_disks=10)
+        assert schedule.n_disks == 2
+
+
+class TestReader:
+    def test_wait_counts_slots_until_airing(self):
+        schedule = BroadcastSchedule({p: 1.0 for p in range(5)})
+        # flat program is [0,1,2,3,4]
+        reader = BroadcastReader(schedule, position=0)
+        assert reader.wait_for(0) == 0
+        assert reader.wait_for(3) == 2       # position advanced past 0
+        assert reader.wait_for(0) == 1       # wraps around
+
+    def test_unknown_page(self):
+        schedule = BroadcastSchedule({0: 1.0})
+        with pytest.raises(StorageError):
+            BroadcastReader(schedule).wait_for(9)
+
+    def test_mean_wait_tracks_total(self):
+        schedule = BroadcastSchedule({p: 1.0 for p in range(8)})
+        reader = BroadcastReader(schedule)
+        rng = random.Random(0)
+        for _ in range(100):
+            reader.wait_for(rng.randrange(8))
+        assert reader.mean_wait() == reader.total_wait / 100
+
+
+class TestSquareRootRule:
+    def test_multi_disk_beats_flat_on_skew(self):
+        weights = zipf_weights(40, s=1.5)
+        flat = BroadcastSchedule(weights, n_disks=1)
+        tiered = BroadcastSchedule(weights, n_disks=3)
+        assert expected_wait(tiered, weights) < \
+            0.8 * expected_wait(flat, weights)
+
+    def test_flat_is_fine_on_uniform(self):
+        weights = {p: 1.0 for p in range(40)}
+        flat = BroadcastSchedule(weights, n_disks=1)
+        tiered = BroadcastSchedule(weights, n_disks=3)
+        # tiering uniform data buys nothing (and shouldn't cost much)
+        assert expected_wait(tiered, weights) <= \
+            1.3 * expected_wait(flat, weights)
+
+    def test_simulated_reader_agrees_with_analysis(self):
+        weights = zipf_weights(40, s=1.5)
+        rng = random.Random(1)
+        pages = list(weights)
+        probs = [weights[p] for p in pages]
+
+        def simulate(schedule):
+            reader = BroadcastReader(schedule, position=0)
+            for _ in range(3000):
+                reader.wait_for(rng.choices(pages, weights=probs)[0])
+            return reader.mean_wait()
+
+        flat_wait = simulate(BroadcastSchedule(weights, n_disks=1))
+        tiered_wait = simulate(BroadcastSchedule(weights, n_disks=3))
+        assert tiered_wait < flat_wait

@@ -1,0 +1,120 @@
+"""Tests for the command-line shell."""
+
+import pytest
+
+from repro.cli import TelegraphShell, _format_rows, _parse_value
+from repro.core.tuples import Schema
+
+
+class TestHelpers:
+    def test_parse_value_types(self):
+        assert _parse_value("42") == 42
+        assert _parse_value("4.5") == 4.5
+        assert _parse_value("'MSFT'") == "MSFT"
+        assert _parse_value('"IBM"') == "IBM"
+        assert _parse_value("bare") == "bare"
+
+    def test_format_rows(self):
+        s = Schema.of("s", "a", "b")
+        out = _format_rows([s.make(1, "xx"), s.make(22, "y")])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[2]
+
+    def test_format_empty(self):
+        assert _format_rows([]) == "(no rows)"
+
+    def test_format_truncates(self):
+        s = Schema.of("s", "a")
+        out = _format_rows([s.make(i) for i in range(60)])
+        assert "more" in out.splitlines()[-1]
+
+
+class TestShellStatements:
+    def test_full_session(self):
+        shell = TelegraphShell()
+        responses = shell.run_script("""
+            CREATE STREAM trades (sym, price);
+            SELECT * FROM trades WHERE price > 10;
+            PUSH trades 'MSFT', 20.5;
+            PUSH trades 'IBM', 5.0;
+            FETCH 1;
+            STATS;
+        """)
+        assert responses[0].startswith("stream trades")
+        assert "cursor 1 open" in responses[1]
+        assert responses[2] == responses[3] == "pushed"
+        assert "MSFT" in responses[4]
+        assert "IBM" not in responses[4]
+        assert "ingested tuples : 2" in responses[5]
+
+    def test_snapshot_prints_immediately(self):
+        shell = TelegraphShell()
+        out = shell.run_script("""
+            CREATE TABLE emps (name, salary);
+            INSERT INTO emps VALUES ('ada', 100);
+            INSERT INTO emps VALUES ('bob', 50);
+            SELECT name FROM emps WHERE salary > 70;
+        """)
+        assert out[1] == out[2] == "1 row"
+        assert "ada" in out[3] and "bob" not in out[3]
+
+    def test_windowed_query_fetch(self):
+        shell = TelegraphShell()
+        out = shell.run_script("""
+            CREATE STREAM s (v);
+            SELECT * FROM s for (t = 1; t <= 2; t++) {
+                WindowIs(s, t, t);
+            };
+        """)
+        # NB: the for-loop contains no ';' splitting hazards beyond
+        # WindowIs' own — run_script splits on ';', so feed statements
+        # individually when they embed semicolons:
+        shell2 = TelegraphShell()
+        shell2.execute("CREATE STREAM s (v);")
+        resp = shell2.execute(
+            "SELECT * FROM s for (t = 1; t <= 2; t++) "
+            "{ WindowIs(s, t, t); }")
+        assert "cursor 1 open" in resp
+        shell2.execute("PUSH s 10 @ 1")
+        shell2.execute("PUSH s 20 @ 2")
+        shell2.execute("CLOSE STREAM s")
+        shell2.execute("RUN")
+        fetched = shell2.execute("FETCH 1")
+        assert "window t=1" in fetched and "window t=2" in fetched
+
+    def test_cancel(self):
+        shell = TelegraphShell()
+        shell.execute("CREATE STREAM s (v);")
+        shell.execute("SELECT * FROM s WHERE v > 0;")
+        assert "cancelled" in shell.execute("CANCEL 1;")
+        assert "error" in shell.execute("CANCEL 9;")
+
+    def test_insert_into_stream_rejected(self):
+        shell = TelegraphShell()
+        shell.execute("CREATE STREAM s (v);")
+        assert "use PUSH" in shell.execute("INSERT INTO s VALUES (1);")
+
+    def test_push_to_table_rejected(self):
+        shell = TelegraphShell()
+        shell.execute("CREATE TABLE t (v);")
+        assert "error" in shell.execute("PUSH t 1;")
+
+    def test_errors_are_messages_not_exceptions(self):
+        shell = TelegraphShell()
+        assert shell.execute("SELECT * FROM ghost;").startswith("error")
+        assert shell.execute("FROB;").startswith("error")
+        assert shell.execute("CREATE STREAM broken;").startswith("error")
+
+    def test_step_and_run(self):
+        shell = TelegraphShell()
+        assert shell.execute("STEP 3;") == "stepped 3"
+        assert "quiescent" in shell.execute("RUN;")
+
+    def test_quit(self):
+        shell = TelegraphShell()
+        assert shell.execute("QUIT;") == "bye"
+        assert shell.done
+
+    def test_help(self):
+        assert "FETCH" in TelegraphShell().execute("HELP;")

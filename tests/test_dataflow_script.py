@@ -1,0 +1,201 @@
+"""Tests for the explicit dataflow scripting language (Section 2)."""
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.errors import ParseError, PlanError
+from repro.query.dataflow_script import DataflowScript, parse_script
+from repro.query.parser import parse_predicate
+from repro.query.predicates import And, Comparison
+from tests.conftest import ListFeed
+
+S = Schema.of("S", "sensor_id", "temperature")
+
+
+def rows(values):
+    return [S.make(i % 3, v, timestamp=i) for i, v in enumerate(values)]
+
+
+class TestParsePredicate:
+    def test_simple(self):
+        pred = parse_predicate("temperature > 30")
+        assert pred == Comparison("temperature", ">", 30)
+
+    def test_conjunction(self):
+        pred = parse_predicate("temperature > 30 and sensor_id = 1")
+        assert isinstance(pred, And)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("temperature > 30 banana")
+
+
+class TestScriptParsing:
+    def test_nodes_and_edges(self):
+        script = parse_script("""
+            # a comment
+            node src = source
+            node hot = select(temperature > 30)
+            node out = sink
+            edge src -> hot
+            edge hot -> out [capacity=8]
+        """)
+        assert set(script.nodes) == {"src", "hot", "out"}
+        assert len(script.edges) == 2
+        assert script.edges[1].capacity == 8
+
+    def test_ports_in_edges(self):
+        script = parse_script("""
+            node a = source
+            node b = source
+            node u = union
+            node out = sink
+            edge a -> u.0
+            edge b -> u.1
+            edge u -> out
+        """)
+        ports = {(e.src, e.in_port) for e in script.edges}
+        assert ("a", 0) in ports and ("b", 1) in ports
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ParseError, match="duplicate node"):
+            parse_script("node a = source\nnode a = sink")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_script("node a = source\nwibble wobble")
+
+    def test_unknown_edge_option_rejected(self):
+        with pytest.raises(ParseError, match="unknown edge option"):
+            parse_script("""
+                node a = source
+                node b = sink
+                edge a -> b [turbo]
+            """)
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ParseError, match="no nodes"):
+            parse_script("# only a comment\n")
+
+
+class TestScriptExecution:
+    def build_and_run(self, text, data):
+        script = parse_script(text)
+        fjord = script.build(bindings={"src": ListFeed(data, "src")})
+        fjord.run_until_finished()
+        return script.sinks(fjord)["out"]
+
+    def test_select_project_pipeline(self):
+        sink = self.build_and_run("""
+            node src = source
+            node hot = select(temperature > 25)
+            node slim = project(temperature)
+            node out = sink
+            edge src -> hot
+            edge hot -> slim
+            edge slim -> out
+        """, rows([10, 30, 20, 40]))
+        assert [t["temperature"] for t in sink.results] == [30, 40]
+        assert sink.results[0].schema.column_names() == ["temperature"]
+
+    def test_project_rename(self):
+        sink = self.build_and_run("""
+            node src = source
+            node slim = project(temp=temperature)
+            node out = sink
+            edge src -> slim
+            edge slim -> out
+        """, rows([7]))
+        assert sink.results[0]["temp"] == 7
+
+    def test_dupelim_sort_limit(self):
+        sink = self.build_and_run("""
+            node src = source
+            node d = dupelim
+            node s = sort(temperature desc)
+            node top = limit(2)
+            node out = sink
+            edge src -> d
+            edge d -> s
+            edge s -> top
+            edge top -> out
+        """, rows([5, 5, 9, 1, 9]))
+        # dupelim on (sensor_id, temperature) pairs, then sort desc
+        temps = [t["temperature"] for t in sink.results]
+        assert temps == sorted(temps, reverse=True)
+        assert len(temps) == 2
+
+    def test_union_two_sources(self):
+        script = parse_script("""
+            node a = source
+            node b = source
+            node u = union
+            node out = sink
+            edge a -> u.0
+            edge b -> u.1
+            edge u -> out
+        """)
+        fjord = script.build(bindings={
+            "a": ListFeed(rows([1, 2]), "a"),
+            "b": ListFeed(rows([3]), "b"),
+        })
+        fjord.run_until_finished()
+        assert len(script.sinks(fjord)["out"].results) == 3
+
+    def test_juggle_node(self):
+        script = parse_script("""
+            node src = source
+            node j = juggle(sensor_id)
+            node out = sink
+            edge src -> j
+            edge j -> out
+        """)
+        fjord = script.build(bindings={"src": ListFeed(rows([1, 2, 3]),
+                                                       "src")})
+        fjord.module("j").set_preference(2, 10.0)
+        fjord.run_until_finished()
+        assert len(script.sinks(fjord)["out"].results) == 3
+
+    def test_missing_source_binding(self):
+        script = parse_script(
+            "node src = source\nnode out = sink\nedge src -> out")
+        with pytest.raises(PlanError, match="needs a binding"):
+            script.build()
+
+    def test_custom_sink_binding(self):
+        from repro.fjords.module import CollectingSink
+        script = parse_script(
+            "node src = source\nnode out = sink\nedge src -> out")
+        my_sink = CollectingSink("mine")
+        fjord = script.build(bindings={"src": ListFeed(rows([1]), "src"),
+                                       "out": my_sink})
+        fjord.run_until_finished()
+        assert len(my_sink.results) == 1
+
+    def test_unknown_node_kind(self):
+        script = parse_script("node x = blender(9)")
+        with pytest.raises(PlanError, match="unknown node kind"):
+            script.build()
+
+    def test_edge_to_unknown_node(self):
+        script = parse_script("""
+            node src = source
+            node out = sink
+            edge src -> ghost
+        """)
+        with pytest.raises(PlanError, match="unknown"):
+            script.build(bindings={"src": ListFeed([], "src")})
+
+    def test_pull_edge_flavour(self):
+        script = parse_script("""
+            node src = source
+            node out = sink
+            edge src -> out [pull]
+        """)
+        feed = ListFeed(rows([1, 2]), "src")
+        fjord = script.build(bindings={"src": feed})
+        from repro.fjords.queues import PullQueue
+        assert isinstance(fjord.queues[0], PullQueue)
+        fjord.queues[0].producer = lambda: feed.run_once().worked
+        fjord.run_until_finished()
+        assert len(script.sinks(fjord)["out"].results) == 2

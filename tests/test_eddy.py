@@ -1,0 +1,278 @@
+"""Tests for the Eddy: routing correctness under every policy, join
+equivalence with ground truth, lineage consistency, and the batching
+knobs.  The key invariant everywhere: *an eddy's result set must not
+depend on the routing policy* — adaptivity changes cost, never answers.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.routing import (BatchingDirective, FixedPolicy,
+                                GreedySelectivityPolicy, LotteryPolicy,
+                                RandomPolicy)
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.errors import PlanError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.query.predicates import ColumnComparison, Comparison
+from tests.conftest import ListFeed, reference_join, values_of
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+U = Schema.of("U", "k", "z")
+JOIN_ST = ColumnComparison("S.k", "==", "T.k")
+JOIN_TU = ColumnComparison("T.k", "==", "U.k")
+JOIN_SU = ColumnComparison("S.k", "==", "U.k")
+
+
+def run_eddy(operators, rows, output_sources, policy=None, batching=None,
+             dedupe=None):
+    eddy = Eddy(operators, output_sources=output_sources, policy=policy,
+                batching=batching or BatchingDirective(1),
+                dedupe_output=dedupe)
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(rows), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    return sink, eddy
+
+
+def two_stream_rows(n=12, seed=1):
+    import random
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append(S.make(rng.randrange(4), i, timestamp=i))
+        rows.append(T.make(rng.randrange(4), i * 10, timestamp=i))
+    return rows
+
+
+ALL_POLICIES = [
+    RandomPolicy(seed=7),
+    FixedPolicy(["stem[S]", "stem[T]"]),
+    LotteryPolicy(seed=7),
+    GreedySelectivityPolicy(),
+]
+
+
+class TestFilterOnlyEddy:
+    def test_single_filter(self):
+        rows = [S.make(i, i, timestamp=i) for i in range(10)]
+        sink, _ = run_eddy([FilterOperator(Comparison("k", ">", 5))],
+                           rows, {"S"})
+        assert len(sink.results) == 4
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_conjunction_policy_independent(self, policy):
+        rows = [S.make(i % 4, i % 3, timestamp=i) for i in range(60)]
+        ops = [FilterOperator(Comparison("k", ">", 0), name="f1"),
+               FilterOperator(Comparison("x", ">", 0), name="f2")]
+        sink, _ = run_eddy(ops, rows, {"S"}, policy=policy)
+        expected = sum(1 for i in range(60) if i % 4 > 0 and i % 3 > 0)
+        assert len(sink.results) == expected
+
+    def test_filter_marks_dead(self):
+        op = FilterOperator(Comparison("k", ">", 5))
+        t = S.make(1, 1)
+        op.handle(t)
+        assert t.dead
+
+    def test_selectivity_ewma_reacts_to_drift(self):
+        op = FilterOperator(Comparison("k", ">", 0))
+        for _ in range(200):
+            op.handle(S.make(1, 0))      # all pass
+        high = op.observed_selectivity()
+        for _ in range(200):
+            op.handle(S.make(0, 0))      # all fail
+        assert high > 0.9
+        assert op.observed_selectivity() < 0.1
+
+
+class TestTwoWayJoin:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_join_matches_reference_all_policies(self, policy):
+        rows = two_stream_rows()
+        stems = [SteM("S", ["S.k"]), SteM("T", ["T.k"])]
+        ops = [SteMOperator(stems[0], [JOIN_ST]),
+               SteMOperator(stems[1], [JOIN_ST])]
+        sink, _ = run_eddy(ops, rows, {"S", "T"}, policy=policy)
+        s_rows = [r for r in rows if "S" in r.sources]
+        t_rows = [r for r in rows if "T" in r.sources]
+        expected = len(reference_join(s_rows, t_rows, JOIN_ST))
+        assert len(sink.results) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_join_with_filter_any_order(self, seed):
+        rows = two_stream_rows(seed=seed)
+        stems = [SteM("S", ["S.k"]), SteM("T", ["T.k"])]
+        ops = [SteMOperator(stems[0], [JOIN_ST]),
+               SteMOperator(stems[1], [JOIN_ST]),
+               FilterOperator(Comparison("S.x", ">", 3))]
+        sink, _ = run_eddy(ops, rows, {"S", "T"},
+                           policy=RandomPolicy(seed=seed))
+        s_rows = [r for r in rows if "S" in r.sources]
+        t_rows = [r for r in rows if "T" in r.sources]
+        expected = reference_join(s_rows, t_rows, JOIN_ST,
+                                  extra=Comparison("S.x", ">", 3))
+        assert values_of(sink.results) == expected
+
+    def test_base_tuples_never_emitted(self):
+        rows = two_stream_rows()
+        stems = [SteM("S"), SteM("T")]
+        ops = [SteMOperator(stems[0], [JOIN_ST]),
+               SteMOperator(stems[1], [JOIN_ST])]
+        sink, _ = run_eddy(ops, rows, {"S", "T"})
+        assert all(t.sources == frozenset({"S", "T"})
+                   for t in sink.results)
+
+    def test_build_constraint_runs_first(self):
+        stem_op = SteMOperator(SteM("S"), [JOIN_ST])
+        assert stem_op.must_run_first(S.make(1, 2))
+        assert not stem_op.must_run_first(T.make(1, 2))
+
+
+class TestThreeWayJoin:
+    @pytest.mark.parametrize("policy", [RandomPolicy(seed=3),
+                                        LotteryPolicy(seed=3)])
+    def test_three_way_equals_reference(self, policy):
+        import random
+        rng = random.Random(5)
+        rows = []
+        for i in range(8):
+            rows.append(S.make(rng.randrange(3), i, timestamp=i))
+            rows.append(T.make(rng.randrange(3), i, timestamp=i))
+            rows.append(U.make(rng.randrange(3), i, timestamp=i))
+        stems = [SteM("S", ["S.k"]), SteM("T", ["T.k"]), SteM("U", ["U.k"])]
+        ops = [SteMOperator(stems[0], [JOIN_ST, JOIN_SU]),
+               SteMOperator(stems[1], [JOIN_ST, JOIN_TU]),
+               SteMOperator(stems[2], [JOIN_TU, JOIN_SU])]
+        sink, eddy = run_eddy(ops, rows, {"S", "T", "U"}, policy=policy)
+        # Ground truth: nested loops.
+        s_rows = [r for r in rows if "S" in r.sources]
+        t_rows = [r for r in rows if "T" in r.sources]
+        u_rows = [r for r in rows if "U" in r.sources]
+        expected = 0
+        for a in s_rows:
+            for b in t_rows:
+                for c in u_rows:
+                    if a["k"] == b["k"] == c["k"]:
+                        expected += 1
+        assert len(sink.results) == expected
+        # every result spans all three sources exactly once
+        seen = {tuple(sorted(t.base_id_set())) for t in sink.results}
+        assert len(seen) == len(sink.results)
+
+    def test_output_dedup_enabled_automatically_for_three_stems(self):
+        stems = [SteM("S"), SteM("T"), SteM("U")]
+        ops = [SteMOperator(stems[0], [JOIN_ST, JOIN_SU]),
+               SteMOperator(stems[1], [JOIN_ST, JOIN_TU]),
+               SteMOperator(stems[2], [JOIN_TU, JOIN_SU])]
+        eddy = Eddy(ops, output_sources={"S", "T", "U"})
+        assert eddy.dedupe_output
+        two = Eddy(ops[:2], output_sources={"S", "T"})
+        assert not two.dedupe_output
+
+
+class TestBatchingKnobs:
+    def test_batching_reduces_routing_decisions(self):
+        rows = [S.make(i % 4, i % 3, timestamp=i) for i in range(400)]
+        ops_a = [FilterOperator(Comparison("k", ">", 0), name="f1"),
+                 FilterOperator(Comparison("x", ">", 0), name="f2")]
+        _, per_tuple = run_eddy(ops_a, rows, {"S"},
+                                policy=LotteryPolicy(seed=1),
+                                batching=BatchingDirective(1))
+        ops_b = [FilterOperator(Comparison("k", ">", 0), name="f1"),
+                 FilterOperator(Comparison("x", ">", 0), name="f2")]
+        _, batched = run_eddy(ops_b, rows, {"S"},
+                              policy=LotteryPolicy(seed=1),
+                              batching=BatchingDirective(64))
+        assert batched.routing_decisions < per_tuple.routing_decisions / 4
+
+    def test_batching_preserves_results(self):
+        rows = [S.make(i % 4, i % 3, timestamp=i) for i in range(200)]
+        results = []
+        for batch in (1, 16, 128):
+            ops = [FilterOperator(Comparison("k", ">", 0), name="f1"),
+                   FilterOperator(Comparison("x", ">", 0), name="f2")]
+            sink, _ = run_eddy(ops, rows, {"S"},
+                               policy=LotteryPolicy(seed=2),
+                               batching=BatchingDirective(batch))
+            results.append(len(sink.results))
+        assert results[0] == results[1] == results[2]
+
+    def test_fix_sequence_mode(self):
+        rows = [S.make(i % 4, i % 3, timestamp=i) for i in range(200)]
+        ops = [FilterOperator(Comparison("k", ">", 0), name="f1"),
+               FilterOperator(Comparison("x", ">", 0), name="f2")]
+        sink, eddy = run_eddy(
+            ops, rows, {"S"}, policy=LotteryPolicy(seed=2),
+            batching=BatchingDirective(32, fix_sequence=True))
+        expected = sum(1 for i in range(200) if i % 4 > 0 and i % 3 > 0)
+        assert len(sink.results) == expected
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(PlanError):
+            BatchingDirective(0)
+
+
+class TestEddyConstruction:
+    def test_needs_operators(self):
+        with pytest.raises(PlanError):
+            Eddy([], output_sources={"S"})
+
+    def test_bitmap_width_cap(self):
+        ops = [FilterOperator(Comparison("k", ">", i), name=f"f{i}")
+               for i in range(63)]
+        with pytest.raises(PlanError, match="62"):
+            Eddy(ops, output_sources={"S"})
+
+    def test_operator_lookup(self):
+        op = FilterOperator(Comparison("k", ">", 1), name="f1")
+        eddy = Eddy([op], output_sources={"S"})
+        assert eddy.operator("f1") is op
+        with pytest.raises(PlanError):
+            eddy.operator("nope")
+
+    def test_stats_shape(self):
+        rows = [S.make(i, i, timestamp=i) for i in range(5)]
+        sink, eddy = run_eddy([FilterOperator(Comparison("k", ">", 2))],
+                              rows, {"S"})
+        stats = eddy.stats()
+        assert stats["tuples_routed"] == 5
+        assert "policy" in stats
+
+    def test_evict_stems_before(self):
+        stem = SteM("S")
+        op = SteMOperator(stem, [JOIN_ST])
+        eddy = Eddy([op], output_sources={"S", "T"})
+        for ts in range(6):
+            stem.build(S.make(1, ts, timestamp=ts))
+        assert eddy.evict_stems_before(3) == 3
+        assert len(stem) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 3),
+                          st.integers(0, 3)),
+                min_size=1, max_size=40),
+       st.integers(0, 5))
+def test_eddy_join_policy_invariance(arrivals, seed):
+    """Property: eddy join output under a random policy equals the
+    nested-loop reference for arbitrary interleavings."""
+    rows = []
+    for i, (is_s, k, v) in enumerate(arrivals):
+        if is_s:
+            rows.append(S.make(k, v, timestamp=i))
+        else:
+            rows.append(T.make(k, v * 10, timestamp=i))
+    stems = [SteM("S", ["S.k"]), SteM("T", ["T.k"])]
+    ops = [SteMOperator(stems[0], [JOIN_ST]),
+           SteMOperator(stems[1], [JOIN_ST])]
+    sink, _ = run_eddy(ops, rows, {"S", "T"}, policy=RandomPolicy(seed=seed))
+    s_rows = [r for r in rows if "S" in r.sources]
+    t_rows = [r for r in rows if "T" in r.sources]
+    expected = len(reference_join(s_rows, t_rows, JOIN_ST))
+    assert len(sink.results) == expected

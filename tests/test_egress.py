@@ -1,0 +1,185 @@
+"""Tests for egress modules: push/pull delivery, mobile-client replay,
+transcoding, and fan-out batching."""
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.egress.egress import (FanoutEgress, PullEgress, PushEgress,
+                                 TranscodingEgress)
+from repro.errors import ExecutionError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from tests.conftest import ListFeed
+
+S = Schema.of("S", "v")
+
+
+def rows(n):
+    return [S.make(i, timestamp=i) for i in range(n)]
+
+
+def run_through(module, items):
+    f = Fjord()
+    f.connect(ListFeed(items), module)
+    f.run_until_finished()
+    return module
+
+
+class TestPushEgress:
+    def test_streams_to_all_clients(self):
+        egress = PushEgress()
+        got_a, got_b = [], []
+        egress.subscribe("a", got_a.append)
+        egress.subscribe("b", got_b.append)
+        run_through(egress, rows(5))
+        assert len(got_a) == len(got_b) == 5
+
+    def test_duplicate_subscription_rejected(self):
+        egress = PushEgress()
+        egress.subscribe("a", lambda t: None)
+        with pytest.raises(ExecutionError):
+            egress.subscribe("a", lambda t: None)
+
+    def test_slow_client_buffers_then_drops(self):
+        egress = PushEgress(per_client_buffer=3)
+        got = []
+        gate = {"open": False}
+        egress.subscribe("slow", got.append, ready=lambda: gate["open"])
+        run_through(egress, rows(10))
+        stats = egress.client_stats("slow")
+        assert stats["dropped"] == 7          # only 3 buffered
+        assert got == []
+        gate["open"] = True
+        egress.flush()
+        assert len(got) == 3
+
+    def test_failing_callback_does_not_break_dataflow(self):
+        egress = PushEgress()
+        calls = {"n": 0}
+
+        def flaky(t):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("client crashed")
+
+        egress.subscribe("flaky", flaky)
+        run_through(egress, rows(4))
+        stats = egress.client_stats("flaky")
+        assert stats["delivered"] == 3
+        assert stats["dropped"] == 1
+
+    def test_unsubscribe(self):
+        egress = PushEgress()
+        got = []
+        egress.subscribe("a", got.append)
+        egress.unsubscribe("a")
+        run_through(egress, rows(3))
+        assert got == []
+
+    def test_unknown_client_stats(self):
+        with pytest.raises(ExecutionError):
+            PushEgress().client_stats("ghost")
+
+
+class TestPullEgress:
+    def test_fetch_since_last_ack(self):
+        egress = PullEgress()
+        egress.register_client("phone")
+        run_through(egress, rows(5))
+        batch, missed = egress.fetch("phone")
+        assert missed == 0
+        assert [t["v"] for _seq, t in batch] == [0, 1, 2, 3, 4]
+
+    def test_reconnect_replays_unacked(self):
+        """The connection drops after a fetch whose response was lost:
+        the same results come again."""
+        egress = PullEgress()
+        egress.register_client("phone")
+        run_through(egress, rows(3))
+        first, _ = egress.fetch("phone")
+        again, _ = egress.fetch("phone")       # no ack in between
+        assert [seq for seq, _t in first] == [seq for seq, _t in again]
+        egress.acknowledge("phone", first[-1][0])
+        after, _ = egress.fetch("phone")
+        assert after == []
+
+    def test_retention_reports_missed(self):
+        egress = PullEgress(retention=3)
+        egress.register_client("phone")
+        run_through(egress, rows(10))
+        batch, missed = egress.fetch("phone")
+        assert len(batch) == 3
+        assert missed == 7
+
+    def test_independent_clients(self):
+        egress = PullEgress()
+        egress.register_client("a")
+        egress.register_client("b")
+        run_through(egress, rows(4))
+        batch_a, _ = egress.fetch("a")
+        egress.acknowledge("a", batch_a[-1][0])
+        assert egress.fetch("a")[0] == []
+        assert len(egress.fetch("b")[0]) == 4
+
+    def test_fetch_limit(self):
+        egress = PullEgress()
+        egress.register_client("a")
+        run_through(egress, rows(10))
+        batch, _ = egress.fetch("a", limit=4)
+        assert len(batch) == 4
+
+    def test_unregistered_client_rejected(self):
+        egress = PullEgress()
+        with pytest.raises(ExecutionError):
+            egress.fetch("ghost")
+        with pytest.raises(ExecutionError):
+            egress.acknowledge("ghost", 1)
+
+
+class TestTranscodingEgress:
+    def test_transcodes(self):
+        got = []
+        egress = TranscodingEgress(
+            transcode=lambda t: f"v={t['v']}", sink=got.append)
+        run_through(egress, rows(3))
+        assert got == ["v=0", "v=1", "v=2"]
+
+    def test_rejections_counted(self):
+        got = []
+        egress = TranscodingEgress(
+            transcode=lambda t: t["v"] if t["v"] % 2 == 0 else None,
+            sink=got.append)
+        run_through(egress, rows(6))
+        assert got == [0, 2, 4]
+        assert egress.rejected == 3
+
+
+class TestFanoutEgress:
+    def test_batches_per_subscriber(self):
+        egress = FanoutEgress(batch_size=4)
+        batches_a, batches_b = [], []
+        egress.subscribe("a", batches_a.append)
+        egress.subscribe("b", batches_b.append,
+                         fmt=lambda t: t["v"] * 10)
+        run_through(egress, rows(10))       # EOS flushes the remainder
+        assert [len(b) for b in batches_a] == [4, 4, 2]
+        assert batches_b[0] == [0, 10, 20, 30]
+
+    def test_shared_upstream_handling(self):
+        egress = FanoutEgress(batch_size=2)
+        for i in range(50):
+            egress.subscribe(f"c{i}", lambda b: None)
+        run_through(egress, rows(8))
+        assert egress.tuples_seen == 8        # once, not 8*50
+
+    def test_batches_shipped_counter(self):
+        egress = FanoutEgress(batch_size=2)
+        egress.subscribe("a", lambda b: None)
+        run_through(egress, rows(5))
+        assert egress.batches_shipped("a") == 3
+
+    def test_duplicate_subscriber_rejected(self):
+        egress = FanoutEgress()
+        egress.subscribe("a", lambda b: None)
+        with pytest.raises(ExecutionError):
+            egress.subscribe("a", lambda b: None)

@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Run as subprocesses so each example is exercised exactly the way a user
+would run it (fresh interpreter, no shared state)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(example):
+    result = subprocess.run(
+        [sys.executable, str(example)], capture_output=True, text=True,
+        timeout=180)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_every_example_is_covered():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 7

@@ -1,0 +1,174 @@
+"""Tests for the Executor: EOs, DUs, footprint classes, dynamic plan
+fold-in, and EO merging when a query bridges classes."""
+
+import pytest
+
+from repro.core.executor import (DispatchUnit, ExecutionObject, Executor,
+                                 FootprintClasses)
+from repro.errors import ExecutionError
+
+
+def counting_du(name, work=3, mode=DispatchUnit.MODE_SHARED_CQ):
+    """A DU that reports progress ``work`` times, then finishes."""
+    state = {"left": work}
+
+    def step(batch):
+        if state["left"] <= 0:
+            return False
+        state["left"] -= 1
+        return True
+
+    return DispatchUnit(name, mode, step,
+                        is_finished=lambda: state["left"] <= 0), state
+
+
+class TestDispatchUnit:
+    def test_run_counts_quanta(self):
+        du, _ = counting_du("x", work=2)
+        assert du.run_once()
+        assert du.run_once()
+        assert not du.run_once()
+        assert du.quanta == 3
+        assert du.busy_quanta == 2
+
+    def test_modes_exposed(self):
+        assert DispatchUnit.MODE_TRADITIONAL == 1
+        assert DispatchUnit.MODE_SINGLE_EDDY == 2
+        assert DispatchUnit.MODE_SHARED_CQ == 3
+
+    def test_from_fjord(self):
+        from repro.core.tuples import Schema
+        from repro.fjords.fjord import Fjord
+        from repro.fjords.module import CollectingSink
+        from tests.conftest import ListFeed
+        S = Schema.of("S", "v")
+        f = Fjord()
+        f.connect(ListFeed([S.make(i) for i in range(5)]), CollectingSink())
+        du = DispatchUnit.from_fjord(f)
+        while not du.finished:
+            du.run_once()
+        assert du.finished
+
+
+class TestExecutionObject:
+    def test_round_robin_runs_all(self):
+        eo = ExecutionObject(0)
+        du1, s1 = counting_du("a", work=2)
+        du2, s2 = counting_du("b", work=2)
+        eo.add(du1)
+        eo.add(du2)
+        eo.step()
+        assert s1["left"] == 1 and s2["left"] == 1
+
+    def test_finished_dus_skipped(self):
+        eo = ExecutionObject(0)
+        du, state = counting_du("a", work=1)
+        eo.add(du)
+        eo.step()
+        quanta = du.quanta
+        eo.step()
+        assert du.quanta == quanta       # not re-run after finishing
+        assert eo.live_units == 0
+
+    def test_remove(self):
+        eo = ExecutionObject(0)
+        du, _ = counting_du("a")
+        eo.add(du)
+        eo.remove("a")
+        assert not eo.dispatch_units
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionObject(0, policy="fifo")
+
+    def test_busy_first_policy_runs(self):
+        eo = ExecutionObject(0, policy="busy_first")
+        du, _ = counting_du("a", work=3)
+        eo.add(du)
+        assert eo.step()
+
+
+class TestFootprintClasses:
+    def test_disjoint_footprints_distinct(self):
+        fc = FootprintClasses()
+        a = fc.class_of(["s1"])
+        b = fc.class_of(["s2"])
+        assert a != b
+
+    def test_overlap_merges(self):
+        fc = FootprintClasses()
+        fc.class_of(["s1"])
+        fc.class_of(["s2"])
+        merged = fc.class_of(["s1", "s2"])
+        assert fc.class_of(["s1"]) == fc.class_of(["s2"]) == merged
+
+    def test_transitive_merge(self):
+        fc = FootprintClasses()
+        fc.class_of(["a", "b"])
+        fc.class_of(["b", "c"])
+        assert fc.class_of(["a"]) == fc.class_of(["c"])
+
+    def test_empty_footprint_rejected(self):
+        with pytest.raises(ExecutionError):
+            FootprintClasses().class_of([])
+
+    def test_peek_does_not_union(self):
+        fc = FootprintClasses()
+        fc.class_of(["a"])
+        fc.class_of(["b"])
+        assert len(fc.peek(["a", "b"])) == 2
+        # still distinct afterwards
+        assert fc.class_of(["a"]) != fc.class_of(["b"])
+
+
+class TestExecutor:
+    def test_fold_in_on_step(self):
+        ex = Executor()
+        du, state = counting_du("a", work=2)
+        ex.enqueue_plan(["s1"], du)
+        assert not ex.execution_objects
+        ex.step()
+        assert len(ex.execution_objects) == 1
+        assert state["left"] == 1
+
+    def test_disjoint_queries_get_separate_eos(self):
+        ex = Executor()
+        ex.enqueue_plan(["s1"], counting_du("a")[0])
+        ex.enqueue_plan(["s2"], counting_du("b")[0])
+        ex.step()
+        assert len(ex.execution_objects) == 2
+
+    def test_overlapping_queries_share_an_eo(self):
+        ex = Executor()
+        ex.enqueue_plan(["s1"], counting_du("a")[0])
+        ex.enqueue_plan(["s1", "s2"], counting_du("b")[0])
+        ex.step()
+        assert len(ex.execution_objects) == 1
+        assert len(ex.execution_objects[0].dispatch_units) == 2
+
+    def test_bridging_query_merges_eos(self):
+        ex = Executor()
+        ex.enqueue_plan(["s1"], counting_du("a")[0])
+        ex.enqueue_plan(["s2"], counting_du("b")[0])
+        ex.step()
+        assert len(ex.execution_objects) == 2
+        ex.enqueue_plan(["s1", "s2"], counting_du("bridge")[0])
+        ex.step()
+        assert len(ex.execution_objects) == 1
+        names = {du.name for du in ex.execution_objects[0].dispatch_units}
+        assert names == {"a", "b", "bridge"}
+
+    def test_run_until_quiescent(self):
+        ex = Executor()
+        du, state = counting_du("a", work=5)
+        ex.enqueue_plan(["s1"], du)
+        ex.run_until_quiescent()
+        assert state["left"] == 0
+
+    def test_stats(self):
+        ex = Executor()
+        ex.enqueue_plan(["s1"], counting_du("a")[0])
+        ex.step()
+        stats = ex.stats()
+        assert stats["eos"] == 1
+        assert stats["dus"] == 1

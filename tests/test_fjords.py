@@ -1,0 +1,177 @@
+"""Unit tests for the Module contract and the Fjord graph/scheduler."""
+
+import pytest
+
+from repro.core.tuples import Punctuation, Schema, Tuple
+from repro.errors import PlanError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import (CollectingSink, Module, SinkModule,
+                                 SourceModule, StepResult)
+from repro.fjords.queues import PullQueue, PushQueue
+from tests.conftest import ListFeed
+
+S = Schema.of("S", "v")
+
+
+def rows(n):
+    return [S.make(i, timestamp=i) for i in range(n)]
+
+
+class Doubler(Module):
+    def process(self, item, port):
+        out = Tuple(item.schema, tuple(v * 2 for v in item.values),
+                    timestamp=item.timestamp)
+        return (out,)
+
+
+class TestModuleContract:
+    def test_process_pipeline(self):
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(rows(5)), Doubler())
+        f.connect(f.module("Doubler"), sink)
+        f.run_until_finished()
+        assert [t["v"] for t in sink.results] == [0, 2, 4, 6, 8]
+
+    def test_eos_propagates(self):
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(rows(1)), sink)
+        f.run_until_finished()
+        assert sink.finished
+
+    def test_unbound_port_rejected(self):
+        f = Fjord()
+        f.add(Doubler())
+        with pytest.raises(PlanError, match="unbound"):
+            f.run()
+
+    def test_bind_out_of_range_port(self):
+        m = Doubler()
+        with pytest.raises(PlanError):
+            m.bind_input(3, PushQueue())
+        with pytest.raises(PlanError):
+            m.bind_output(3, PushQueue())
+
+    def test_duplicate_module_names_rejected(self):
+        f = Fjord()
+        f.add(Doubler())
+        with pytest.raises(PlanError, match="duplicate"):
+            f.add(Doubler())
+
+    def test_module_lookup(self):
+        f = Fjord()
+        d = Doubler()
+        f.add(d)
+        assert f.module("Doubler") is d
+        with pytest.raises(PlanError):
+            f.module("nope")
+
+    def test_tuples_in_out_counters(self):
+        f = Fjord()
+        d = Doubler()
+        f.connect(ListFeed(rows(4)), d)
+        f.connect(d, CollectingSink())
+        f.run_until_finished()
+        assert d.tuples_in == 4
+        assert d.tuples_out == 4
+
+    def test_on_end_of_stream_flush(self):
+        class Buffering(Module):
+            def __init__(self):
+                super().__init__("buf")
+                self._held = []
+
+            def process(self, item, port):
+                self._held.append(item)
+                return ()
+
+            def on_end_of_stream(self):
+                return self._held
+
+        f = Fjord()
+        sink = CollectingSink()
+        buf = Buffering()
+        f.connect(ListFeed(rows(3)), buf)
+        f.connect(buf, sink)
+        f.run_until_finished()
+        assert len(sink.results) == 3
+
+    def test_punctuation_forwards_by_default(self):
+        f = Fjord()
+        sink = CollectingSink()
+        d = Doubler()
+        feed = ListFeed(rows(2) + [Punctuation.window_boundary()] + rows(1))
+        f.connect(feed, d)
+        f.connect(d, sink)
+        f.run_until_finished()
+        kinds = [type(x).__name__ for x in sink.log]
+        assert "Punctuation" in kinds
+
+
+class TestSinks:
+    def test_collecting_sink_windows(self):
+        sink = CollectingSink()
+        f = Fjord()
+        feed = ListFeed(rows(2) + [Punctuation.window_boundary()] +
+                        rows(3) + [Punctuation.window_boundary()])
+        f.connect(feed, sink)
+        f.run_until_finished()
+        assert [len(w) for w in sink.windows()] == [2, 3]
+
+    def test_collecting_sink_trailing_open_window(self):
+        sink = CollectingSink()
+        f = Fjord()
+        f.connect(ListFeed(rows(2) + [Punctuation.window_boundary()] +
+                           rows(1)), sink)
+        f.run_until_finished()
+        assert [len(w) for w in sink.windows()] == [2, 1]
+
+    def test_sink_module_results(self):
+        sink = SinkModule()
+        f = Fjord()
+        f.connect(ListFeed(rows(3)), sink)
+        f.run_until_finished()
+        assert len(sink.results) == 3
+
+
+class TestScheduler:
+    def test_run_returns_pass_count(self):
+        f = Fjord()
+        f.connect(ListFeed(rows(10), chunk=2), CollectingSink())
+        passes = f.run()
+        assert passes >= 2
+
+    def test_run_until_finished_raises_on_stall(self):
+        class Stuck(SourceModule):
+            def generate(self, batch):
+                return ()        # never exhausts, never produces
+
+        f = Fjord()
+        f.connect(Stuck("stuck"), CollectingSink())
+        with pytest.raises(PlanError, match="did not finish"):
+            f.run_until_finished(max_steps=10)
+
+    def test_queue_stats_exposed(self):
+        f = Fjord()
+        f.connect(ListFeed(rows(3)), CollectingSink())
+        f.run_until_finished()
+        stats = f.queue_stats()
+        assert len(stats) == 1
+        (entry,) = stats.values()
+        assert entry["enqueued"] >= 3   # 3 tuples + EOS
+
+    def test_pull_queue_wiring(self):
+        # A consumer on a pull queue drives the producer via the pump.
+        f = Fjord()
+        feed = ListFeed(rows(3))
+        sink = CollectingSink()
+        q = f.connect(feed, sink, queue_cls=PullQueue)
+        q.producer = lambda: feed.run_once().worked
+        f.run_until_finished()
+        assert len(sink.results) == 3
+
+    def test_step_result_constants(self):
+        assert StepResult.DONE.finished
+        assert StepResult.BUSY.worked and not StepResult.BUSY.finished
+        assert not StepResult.IDLE.worked

@@ -1,0 +1,233 @@
+"""Tests for Flux and the simulated cluster: partitioned routing,
+online repartitioning, process-pair failover, and the replication knob.
+The load-stress invariant everywhere: the merged group counts after a
+run must equal ground truth — balancing and recovery change latency,
+never answers (except unreplicated loss, which is measured)."""
+
+import random
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.errors import ClusterError
+from repro.flux.cluster import Cluster, GroupCountState, Machine
+from repro.flux.flux import Flux
+
+S = Schema.of("pkts", "key")
+
+
+def make_data(n=2000, n_keys=20, zipf=1.0, seed=0):
+    rng = random.Random(seed)
+    weights = [1.0 / (k + 1) ** zipf for k in range(n_keys)]
+    return [S.make(rng.choices(range(n_keys), weights=weights)[0],
+                   timestamp=i) for i in range(n)]
+
+
+def make_flux(speeds=(50, 50, 50, 50), **kwargs):
+    cluster = Cluster()
+    for i, speed in enumerate(speeds):
+        cluster.add_machine(f"m{i}", speed=speed)
+    flux = Flux(cluster, n_partitions=8, key_fn=lambda t: t["key"],
+                state_factory=lambda: GroupCountState("key"), **kwargs)
+    return cluster, flux
+
+
+def run_to_completion(flux, data, batch=100, fail=None, max_ticks=50_000):
+    """Feed data in batches; optionally fail a machine at a tick.
+    Returns ticks taken."""
+    i = 0
+    tick = 0
+    while i < len(data) or flux.unacked_total():
+        batch_rows = data[i:i + batch]
+        i += len(batch_rows)
+        flux.tick(batch_rows)
+        tick += 1
+        if fail is not None and tick == fail[1]:
+            flux.cluster.fail(fail[0])
+            flux.on_machine_failure(fail[0])
+        if tick > max_ticks:
+            raise AssertionError("flux made no progress")
+    return tick
+
+
+def ground_truth(data):
+    out = {}
+    for t in data:
+        out[t["key"]] = out.get(t["key"], 0) + 1
+    return out
+
+
+class TestCluster:
+    def test_machine_processes_at_speed(self):
+        m = Machine("m0", speed=3)
+        m.partitions[0] = GroupCountState("key")
+        for i in range(10):
+            m.enqueue(0, i, S.make(1, timestamp=i))
+        acks = m.step()
+        assert len(acks) == 3
+        assert m.backlog() == 7
+
+    def test_dead_machine_rejects_enqueue(self):
+        m = Machine("m0")
+        m.fail()
+        with pytest.raises(ClusterError):
+            m.enqueue(0, 0, S.make(1))
+
+    def test_fail_stashes_lost_state(self):
+        m = Machine("m0")
+        state = GroupCountState("key")
+        state.apply(S.make(1))
+        m.partitions[0] = state
+        m.fail()
+        assert m.lost_partitions[0].applied == 1
+        assert not m.partitions
+
+    def test_duplicate_machine_rejected(self):
+        c = Cluster()
+        c.add_machine("m0")
+        with pytest.raises(ClusterError):
+            c.add_machine("m0")
+
+    def test_double_failure_rejected(self):
+        c = Cluster()
+        c.add_machine("m0")
+        c.fail("m0")
+        with pytest.raises(ClusterError, match="already dead"):
+            c.fail("m0")
+
+    def test_imbalance_metric(self):
+        c = Cluster()
+        a = c.add_machine("a")
+        b = c.add_machine("b")
+        a.partitions[0] = GroupCountState("key")
+        for i in range(10):
+            a.enqueue(0, i, S.make(1))
+        assert c.imbalance() == 2.0      # 10 vs 0 -> max/mean = 10/5
+
+
+class TestRoutingCorrectness:
+    def test_counts_exact_without_failures(self):
+        data = make_data()
+        _c, flux = make_flux()
+        run_to_completion(flux, data)
+        assert flux.merged_counts() == ground_truth(data)
+
+    def test_partitioning_is_by_key(self):
+        _c, flux = make_flux()
+        t1 = S.make(5, timestamp=1)
+        t2 = S.make(5, timestamp=2)
+        assert flux.partition_of(t1) == flux.partition_of(t2)
+
+    def test_replication_validates_machine_count(self):
+        c = Cluster()
+        c.add_machine("only")
+        with pytest.raises(ClusterError, match="two machines"):
+            Flux(c, 4, lambda t: 0, lambda: GroupCountState("key"),
+                 replication=1)
+
+    def test_bad_replication_degree(self):
+        c = Cluster()
+        c.add_machine("m0")
+        with pytest.raises(ClusterError):
+            Flux(c, 4, lambda t: 0, lambda: GroupCountState("key"),
+                 replication=2)
+
+    def test_replica_never_colocated_with_primary(self):
+        _c, flux = make_flux(replication=1)
+        for pid in range(flux.n_partitions):
+            assert flux.primary[pid] != flux.replica[pid]
+
+
+class TestLoadBalancing:
+    def test_rebalancing_beats_static_on_slow_machine(self):
+        data = make_data(n=4000)
+        _c, static = make_flux(speeds=(10, 100, 100, 100))
+        static_ticks = run_to_completion(static, data)
+        data2 = make_data(n=4000)
+        _c, adaptive = make_flux(speeds=(10, 100, 100, 100),
+                                 rebalance_every=5,
+                                 imbalance_threshold=1.5)
+        adaptive_ticks = run_to_completion(adaptive, data2)
+        assert adaptive.moves_completed > 0
+        assert adaptive_ticks < static_ticks * 0.6
+        assert adaptive.merged_counts() == ground_truth(data2)
+
+    def test_no_rebalance_when_balanced(self):
+        data = make_data(n=1000)
+        _c, flux = make_flux(rebalance_every=5, imbalance_threshold=2.0)
+        run_to_completion(flux, data)
+        # homogeneous machines + 8 partitions: no pressure to move
+        assert flux.moves_completed <= 1
+
+    def test_state_moves_accounted(self):
+        data = make_data(n=4000)
+        _c, flux = make_flux(speeds=(5, 100, 100, 100),
+                             rebalance_every=5, imbalance_threshold=1.5)
+        run_to_completion(flux, data)
+        if flux.moves_completed:
+            assert flux.state_moved > 0
+
+    def test_results_correct_while_moving(self):
+        """Tuples arriving during a state movement buffer and replay."""
+        data = make_data(n=6000, zipf=2.0)    # heavy skew forces moves
+        _c, flux = make_flux(speeds=(10, 80, 80, 80), rebalance_every=3,
+                             imbalance_threshold=1.2)
+        run_to_completion(flux, data, batch=200)
+        assert flux.merged_counts() == ground_truth(data)
+
+
+class TestFailover:
+    def test_process_pair_zero_loss(self):
+        data = make_data(n=3000)
+        _c, flux = make_flux(replication=1)
+        run_to_completion(flux, data, fail=("m1", 10))
+        assert flux.merged_counts() == ground_truth(data)
+        assert flux.lost_tuples == 0
+
+    def test_unreplicated_failure_loses_applied_work(self):
+        data = make_data(n=3000)
+        _c, flux = make_flux(replication=0)
+        run_to_completion(flux, data, fail=("m1", 10))
+        total = sum(flux.merged_counts().values())
+        assert total + flux.lost_tuples == len(data)
+        assert flux.lost_tuples > 0
+
+    def test_replica_failure_is_transparent(self):
+        data = make_data(n=2000)
+        _c, flux = make_flux(replication=1)
+        # pick a machine that is a replica for some partition
+        victim = flux.replica[0]
+        run_to_completion(flux, data, fail=(victim, 8))
+        assert flux.merged_counts() == ground_truth(data)
+
+    def test_replication_reestablished_after_failover(self):
+        data = make_data(n=2000)
+        _c, flux = make_flux(replication=1)
+        run_to_completion(flux, data, fail=("m1", 8))
+        for pid in range(flux.n_partitions):
+            assert pid in flux.replica
+            assert flux.primary[pid] != flux.replica[pid]
+
+    def test_failure_without_cluster_fail_rejected(self):
+        _c, flux = make_flux()
+        with pytest.raises(ClusterError, match="has not failed"):
+            flux.on_machine_failure("m0")
+
+    def test_replication_duplicates_work(self):
+        """The QoS knob: replication costs ~2x processed work."""
+        data = make_data(n=2000)
+        _c0, plain = make_flux(replication=0)
+        run_to_completion(plain, data)
+        data2 = make_data(n=2000)
+        _c1, mirrored = make_flux(replication=1)
+        run_to_completion(mirrored, data2)
+        plain_work = plain.cluster.total_processed()
+        mirrored_work = mirrored.cluster.total_processed()
+        assert mirrored_work > 1.8 * plain_work
+
+    def test_failure_during_rebalance(self):
+        data = make_data(n=5000, zipf=2.0)
+        _c, flux = make_flux(speeds=(10, 80, 80, 80), replication=1,
+                             rebalance_every=3, imbalance_threshold=1.2)
+        run_to_completion(flux, data, batch=200, fail=("m2", 12))
+        assert flux.merged_counts() == ground_truth(data)

@@ -1,0 +1,157 @@
+"""Tests for grouped filters, including equivalence with the naive
+per-query bank over random predicate workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouped_filter import GroupedFilter, NaiveFilterBank
+from repro.errors import QueryError
+from repro.query.predicates import Comparison
+
+
+class TestGroupedFilter:
+    def test_wrong_attribute_rejected(self):
+        gf = GroupedFilter("price")
+        with pytest.raises(QueryError):
+            gf.add(Comparison("volume", ">", 1), 0)
+
+    def test_equality(self):
+        gf = GroupedFilter("sym")
+        gf.add(Comparison("sym", "==", "MSFT"), 0)
+        gf.add(Comparison("sym", "==", "IBM"), 1)
+        assert gf.matching("MSFT") == {0}
+        assert gf.matching("IBM") == {1}
+        assert gf.matching("AAPL") == set()
+
+    def test_inequality(self):
+        gf = GroupedFilter("sym")
+        gf.add(Comparison("sym", "!=", "MSFT"), 0)
+        assert gf.matching("IBM") == {0}
+        assert gf.matching("MSFT") == set()
+
+    def test_greater_than_prefix(self):
+        gf = GroupedFilter("p")
+        for i, threshold in enumerate([10, 20, 30]):
+            gf.add(Comparison("p", ">", threshold), i)
+        assert gf.matching(25) == {0, 1}
+        assert gf.matching(5) == set()
+        assert gf.matching(31) == {0, 1, 2}
+        assert gf.matching(20) == {0}      # strict
+
+    def test_ge_includes_boundary(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", ">=", 20), 0)
+        assert gf.matching(20) == {0}
+        assert gf.matching(19.99) == set()
+
+    def test_less_than_suffix(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", "<", 10), 0)
+        gf.add(Comparison("p", "<", 20), 1)
+        assert gf.matching(15) == {1}
+        assert gf.matching(5) == {0, 1}
+        assert gf.matching(10) == {1}      # strict
+
+    def test_le_includes_boundary(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", "<=", 10), 0)
+        assert gf.matching(10) == {0}
+        assert gf.matching(10.01) == set()
+
+    def test_multi_factor_range_per_query(self):
+        """A query registering 10 < p < 20 matches only when BOTH factors
+        hold."""
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", ">", 10), 0)
+        gf.add(Comparison("p", "<", 20), 0)
+        assert gf.matching(15) == {0}
+        assert gf.matching(25) == set()
+        assert gf.matching(5) == set()
+
+    def test_remove_query(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", ">", 10), 0)
+        gf.add(Comparison("p", "==", 5), 1)
+        gf.remove_query(0)
+        assert gf.matching(50) == set()
+        assert gf.matching(5) == {1}
+        assert gf.registered_queries == {1}
+        assert gf.registered_mask == 0b10
+
+    def test_remove_unknown_is_noop(self):
+        gf = GroupedFilter("p")
+        gf.remove_query(99)
+
+    def test_len_counts_factors(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", ">", 10), 0)
+        gf.add(Comparison("p", "<", 20), 0)
+        assert len(gf) == 2
+
+    def test_registered_mask_incremental(self):
+        gf = GroupedFilter("p")
+        gf.add(Comparison("p", ">", 1), 3)
+        assert gf.registered_mask == 1 << 3
+
+    def test_string_thresholds(self):
+        gf = GroupedFilter("sym")
+        gf.add(Comparison("sym", ">", "M"), 0)
+        assert gf.matching("N") == {0}
+        assert gf.matching("A") == set()
+
+
+class TestNaiveBank:
+    def test_same_answers_as_grouped(self):
+        gf = GroupedFilter("p")
+        bank = NaiveFilterBank("p")
+        preds = [(">", 10, 0), ("<", 50, 0), ("==", 30, 1), (">=", 5, 2)]
+        for op, value, qid in preds:
+            gf.add(Comparison("p", op, value), qid)
+            bank.add(Comparison("p", op, value), qid)
+        for probe in (0, 5, 10, 29, 30, 31, 50, 100):
+            assert gf.matching(probe) == bank.matching(probe)
+
+    def test_comparison_counter(self):
+        bank = NaiveFilterBank("p")
+        for qid in range(10):
+            bank.add(Comparison("p", ">", qid), qid)
+        bank.matching(100)
+        assert bank.comparisons == 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+                          st.integers(-50, 50)),
+                min_size=1, max_size=30),
+       st.lists(st.integers(-60, 60), min_size=1, max_size=20))
+def test_grouped_filter_matches_naive_bank(factors, probes):
+    """Property: for any predicate set (one factor per query) and any
+    probe values, the indexed filter and the naive bank agree."""
+    gf = GroupedFilter("p")
+    bank = NaiveFilterBank("p")
+    for qid, (op, value) in enumerate(factors):
+        gf.add(Comparison("p", op, value), qid)
+        bank.add(Comparison("p", op, value), qid)
+    for probe in probes:
+        assert gf.matching(probe) == bank.matching(probe)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9),
+                          st.sampled_from(["<", ">", "==", ">=", "<="]),
+                          st.integers(-20, 20)),
+                min_size=1, max_size=40),
+       st.integers(-25, 25))
+def test_multi_factor_queries_match_direct_evaluation(entries, probe):
+    """Property: queries registering multiple factors match iff every
+    factor holds."""
+    from collections import defaultdict
+    gf = GroupedFilter("p")
+    by_query = defaultdict(list)
+    for qid, op, value in entries:
+        factor = Comparison("p", op, value)
+        gf.add(factor, qid)
+        by_query[qid].append(factor)
+    expected = {qid for qid, fs in by_query.items()
+                if all(f.evaluate(probe) for f in fs)}
+    assert gf.matching(probe) == expected

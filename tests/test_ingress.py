@@ -1,0 +1,206 @@
+"""Tests for ingress: generators (determinism, knobs), sources
+(push/pull timing), the wrapper host, streamers, and the window-driven
+scanner."""
+
+import pytest
+
+from repro.core.tuples import Punctuation, Schema
+from repro.core.windows import ForLoopSpec, HistoricalStore
+from repro.errors import ExecutionError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.fjords.queues import PushQueue
+from repro.ingress.generators import (CLOSING_STOCK_PRICES,
+                                      DriftingSelectivityGenerator,
+                                      PacketStreamGenerator,
+                                      SensorStreamGenerator,
+                                      StockStreamGenerator,
+                                      replicate_for_alias)
+from repro.ingress.sources import (BurstySource, FileSource, PullSource,
+                                   PushSource, RemoteIndexSource)
+from repro.ingress.wrappers import (StreamScanner, Streamer,
+                                    WrapperHost, WrapperSourceModule)
+
+
+class TestGenerators:
+    def test_stock_deterministic_under_seed(self):
+        a = StockStreamGenerator(seed=5).take(10)
+        b = StockStreamGenerator(seed=5).take(10)
+        assert [t.values for t in a] == [t.values for t in b]
+
+    def test_stock_one_row_per_day_per_symbol(self):
+        rows = StockStreamGenerator(symbols=("A", "B"), seed=0).take(5)
+        assert len(rows) == 10
+        assert rows[0].timestamp == 1
+
+    def test_stock_drift_moves_prices(self):
+        gen = StockStreamGenerator(symbols=("A",), seed=0, volatility=0.01,
+                                   drift_at=50, drift_by=1000.0)
+        rows = gen.take(60)
+        assert rows[48]["closingPrice"] < 100
+        assert rows[51]["closingPrice"] > 900
+
+    def test_sensor_failure_rate_drops_readings(self):
+        full = SensorStreamGenerator(n_sensors=4, seed=1).take(100)
+        lossy = SensorStreamGenerator(n_sensors=4, seed=1,
+                                      failure_rate=0.5).take(100)
+        assert len(lossy) < len(full)
+
+    def test_sensor_anomalies_injected(self):
+        calm = SensorStreamGenerator(seed=2).take(50)
+        spiky = SensorStreamGenerator(seed=2, anomaly_rate=0.2,
+                                      anomaly_delta=100.0).take(50)
+        assert max(t["temperature"] for t in spiky) > \
+            max(t["temperature"] for t in calm) + 50
+
+    def test_packet_zipf_skew(self):
+        from collections import Counter
+        uniform = Counter(t["src"] for t in
+                          PacketStreamGenerator(n_hosts=20, seed=3)
+                          .take(2000))
+        skewed = Counter(t["src"] for t in
+                         PacketStreamGenerator(n_hosts=20, zipf_s=1.5,
+                                               seed=3).take(2000))
+        assert max(skewed.values()) > 2 * max(uniform.values())
+
+    def test_packet_bursts_share_timestamps(self):
+        rows = PacketStreamGenerator(seed=0, burst_every=5,
+                                     burst_factor=10).take(200)
+        from collections import Counter
+        per_ts = Counter(t["ts"] for t in rows)
+        assert max(per_ts.values()) >= 10
+
+    def test_drifting_selectivity_flips(self):
+        rows = DriftingSelectivityGenerator(seed=1, flip_at=500).take(1000)
+        a_before = sum(t["a"] for t in rows[:500]) / 500
+        a_after = sum(t["a"] for t in rows[500:]) / 500
+        assert a_before < 0.3 < 0.7 < a_after
+
+    def test_replicate_for_alias(self):
+        rows = StockStreamGenerator(seed=0).take(2)
+        aliased = replicate_for_alias(rows, "c2")
+        assert aliased[0].sources == frozenset({"c2"})
+        assert aliased[0].values == rows[0].values
+
+
+class TestSources:
+    def make_rows(self, n):
+        s = Schema.of("s", "v")
+        return [s.make(i, timestamp=i) for i in range(1, n + 1)]
+
+    def test_pull_source_on_demand(self):
+        src = PullSource("p", self.make_rows(5))
+        assert len(src.poll(now=0, budget=3)) == 3
+        assert len(src.poll(now=0, budget=3)) == 2
+        assert src.exhausted
+
+    def test_push_source_respects_arrival_times(self):
+        src = PushSource("p", self.make_rows(5))   # arrivals = ts 1..5
+        assert src.poll(now=0, budget=10) == []
+        assert len(src.poll(now=3, budget=10)) == 3
+        assert len(src.poll(now=10, budget=10)) == 2
+        assert src.exhausted
+
+    def test_push_source_pending(self):
+        src = PushSource("p", self.make_rows(5))
+        assert src.pending_at(2) == 2
+
+    def test_push_source_schedule_mismatch(self):
+        with pytest.raises(ExecutionError):
+            PushSource("p", self.make_rows(3), arrival_times=[1])
+
+    def test_bursty_source_clusters_arrivals(self):
+        rows = self.make_rows(100)
+        steady = PushSource("a", rows)
+        bursty = BurstySource("b", self.make_rows(100), rate=1.0,
+                              burst_every=10, burst_len=3, burst_factor=10)
+        # At some instant, the bursty source releases far more at once.
+        biggest = max(len(bursty.poll(now, 1000)) for now in range(1, 120))
+        assert biggest > 3
+
+    def test_remote_index_charges_latency(self):
+        s = Schema.of("t", "k", "v")
+        src = RemoteIndexSource("idx", [s.make(1, "a"), s.make(1, "b")],
+                                key_column="k", latency_cost=10)
+        assert len(src.lookup(1)) == 2
+        assert src.lookup(99) == []
+        assert src.lookups == 2
+        assert src.work_charged == 20
+
+    def test_file_source_roundtrip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("sym,price\nMSFT,50.5\nIBM,60\n")
+        schema = Schema.of("csv", "sym", "price")
+        src = FileSource("f", str(path), schema)
+        rows = src.poll(0, 10)
+        assert rows[0]["sym"] == "MSFT"
+        assert rows[0]["price"] == 50.5
+        assert rows[1]["price"] == 60       # parsed as int
+
+
+class TestWrapperHost:
+    def test_polls_all_sources_non_blocking(self):
+        s = Schema.of("s", "v")
+        rows = [s.make(i, timestamp=i) for i in range(1, 6)]
+        host = WrapperHost()
+        store = HistoricalStore("s")
+        quiet = PushSource("quiet", [s.make(99, timestamp=1000)])
+        live = PullSource("live", rows)
+        host.register(quiet, Streamer("s2"))
+        host.register(live, Streamer("s", store))
+        moved = host.step()
+        assert moved == 5            # live delivered, quiet yielded nothing
+        assert len(store) == 5
+
+    def test_duplicate_source_rejected(self):
+        host = WrapperHost()
+        s = Schema.of("s", "v")
+        host.register(PullSource("x", []), Streamer("s"))
+        with pytest.raises(ExecutionError, match="duplicate"):
+            host.register(PullSource("x", []), Streamer("s"))
+
+    def test_run_until_exhausted_and_eos(self):
+        s = Schema.of("s", "v")
+        host = WrapperHost()
+        streamer = Streamer("s")
+        q = PushQueue()
+        streamer.attach_queue(q)
+        host.register(PullSource("x", [s.make(1, timestamp=1)]), streamer)
+        total = host.run_until_exhausted()
+        assert total == 1
+        drained = []
+        while len(q):
+            drained.append(q.pop())
+        assert isinstance(drained[-1], Punctuation)
+
+    def test_streamer_assigns_timestamps(self):
+        s = Schema.of("s", "v")
+        streamer = Streamer("s")
+        t = s.make(5)
+        assert t.timestamp is None
+        streamer.deliver([t])
+        assert t.timestamp == 1
+
+
+class TestScanner:
+    def test_window_scanner_emits_boundaries(self):
+        store = HistoricalStore("s")
+        s = Schema.of("s", "v")
+        for ts in range(1, 11):
+            store.append(s.make(ts, timestamp=ts))
+        spec = ForLoopSpec.sliding("s", width=3, start=3, stop=6)
+        scanner = StreamScanner(store, spec)
+        sink = CollectingSink()
+        f = Fjord()
+        f.connect(scanner, sink)
+        f.run_until_finished()
+        assert [len(w) for w in sink.windows()] == [3, 3, 3]
+
+    def test_wrapper_source_module(self):
+        s = Schema.of("s", "v")
+        src = PullSource("p", [s.make(i, timestamp=i) for i in range(3)])
+        sink = CollectingSink()
+        f = Fjord()
+        f.connect(WrapperSourceModule(src), sink)
+        f.run_until_finished()
+        assert len(sink.results) == 3

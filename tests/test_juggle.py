@@ -1,0 +1,110 @@
+"""Tests for Juggle: online reordering quality, live preference changes,
+bounded buffering, and drain-on-EOS."""
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.errors import PlanError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.juggle.juggle import Juggle, prefix_quality
+from tests.conftest import ListFeed
+
+S = Schema.of("S", "region", "v")
+
+
+def rows(regions):
+    return [S.make(r, i, timestamp=i) for i, r in enumerate(regions)]
+
+
+def run_juggle(juggle, items):
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(items, chunk=4), juggle)
+    f.connect(juggle, sink)
+    f.run_until_finished()
+    return sink.results
+
+
+class TestReordering:
+    def test_preferred_class_delivered_first(self):
+        # 50 boring then 10 interesting, admitted much faster than the
+        # consumer drains (emit_quota=1): the buffered interesting
+        # tuples jump the queue.  FIFO on the same prefix scores ~0.
+        items = rows(["b"] * 50 + ["a"] * 10)
+        juggle = Juggle(classify=lambda t: t["region"],
+                        preferences={"a": 10.0}, buffer_capacity=100,
+                        emit_quota=1)
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(items, chunk=64), juggle)
+        f.connect(juggle, sink)
+        f.run_until_finished()
+        delivered = sink.results
+        assert len(delivered) == 60
+        quality = prefix_quality(delivered, 15,
+                                 lambda t: t["region"] == "a")
+        fifo_quality = prefix_quality(items, 15,
+                                      lambda t: t["region"] == "a")
+        assert fifo_quality == 0.0
+        assert quality > 0.5
+
+    def test_fifo_within_same_priority(self):
+        items = rows(["x", "x", "x"])
+        juggle = Juggle(classify=lambda t: t["region"], emit_quota=100)
+        delivered = run_juggle(juggle, items)
+        assert [t["v"] for t in delivered] == [0, 1, 2]
+
+    def test_all_tuples_eventually_delivered(self):
+        items = rows(["a", "b"] * 100)
+        juggle = Juggle(classify=lambda t: t["region"],
+                        preferences={"a": 1.0}, buffer_capacity=16,
+                        emit_quota=1)
+        delivered = run_juggle(juggle, items)
+        assert sorted(t["v"] for t in delivered) == list(range(200))
+
+    def test_bounded_buffer_never_exceeded(self):
+        juggle = Juggle(classify=lambda t: t["region"], buffer_capacity=8,
+                        emit_quota=1)
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(rows(["x"] * 50), chunk=16), juggle)
+        f.connect(juggle, sink)
+        for _ in range(200):
+            f.step()
+            assert len(juggle._heap) <= 8
+            if all(m.finished for m in f.modules):
+                break
+        assert len(sink.results) == 50
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PlanError):
+            Juggle(classify=lambda t: 0, buffer_capacity=0)
+
+
+class TestOnlinePreferenceChange:
+    def test_set_preference_rekeys_buffered(self):
+        juggle = Juggle(classify=lambda t: t["region"],
+                        preferences={"a": 10.0}, buffer_capacity=100,
+                        emit_quota=0)
+        # buffer some tuples without emitting
+        from repro.fjords.queues import PushQueue
+        q_in, q_out = PushQueue(), PushQueue()
+        juggle.bind_input(0, q_in)
+        juggle.bind_output(0, q_out)
+        for t in rows(["a", "b", "b"]):
+            q_in.push(t)
+        juggle.run_once()
+        # flip preferences mid-flight
+        juggle.set_preference("b", 99.0)
+        juggle.emit_quota = 1
+        juggle.run_once()
+        first = q_out.pop()
+        assert first["region"] == "b"
+        assert juggle.reorders == 1
+
+    def test_prefix_quality_helper(self):
+        items = rows(["a", "a", "b", "b"])
+        assert prefix_quality(items, 2, lambda t: t["region"] == "a") == 1.0
+        assert prefix_quality(items, 4, lambda t: t["region"] == "a") == 0.5
+        assert prefix_quality([], 5, lambda t: True) == 0.0

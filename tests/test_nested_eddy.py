@@ -1,0 +1,133 @@
+"""Tests for nested eddies — scoped adaptivity (§2.2)."""
+
+import pytest
+
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.nested_eddy import SubEddyOperator, nested_filter_scope
+from repro.core.routing import LotteryPolicy, RandomPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.errors import PlanError
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.query.predicates import ColumnComparison, Comparison
+from tests.conftest import ListFeed, reference_join, values_of
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+JOIN = ColumnComparison("S.k", "==", "T.k")
+
+
+def two_stream_rows(n=10, seed=2):
+    import random
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append(S.make(rng.randrange(3), i, timestamp=i))
+        rows.append(T.make(rng.randrange(3), i * 10, timestamp=i))
+    return rows
+
+
+def run(ops, rows, output_sources, policy=None):
+    eddy = Eddy(ops, output_sources=output_sources, policy=policy)
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(rows), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    return sink, eddy
+
+
+class TestFilterSubEddy:
+    def test_scoped_filters_match_flat_filters(self):
+        preds = [Comparison("S.x", ">", 1), Comparison("S.x", "<", 8)]
+        rows = [S.make(i % 3, i, timestamp=i) for i in range(20)]
+        flat_sink, _ = run([FilterOperator(p, name=f"f{i}")
+                            for i, p in enumerate(preds)],
+                           [S.make(i % 3, i, timestamp=i)
+                            for i in range(20)], {"S"})
+        nested_sink, _ = run([nested_filter_scope(preds, "S")],
+                             rows, {"S"})
+        assert values_of(nested_sink.results) == values_of(flat_sink.results)
+
+    def test_failed_tuple_killed_at_boundary(self):
+        scope = nested_filter_scope([Comparison("S.x", ">", 100)], "S")
+        sink, _ = run([scope], [S.make(1, 1, timestamp=1)], {"S"})
+        assert sink.results == []
+
+    def test_empty_scope_rejected(self):
+        inner = Eddy([FilterOperator(Comparison("x", ">", 1))],
+                     output_sources={"S"})
+        with pytest.raises(PlanError, match="non-empty"):
+            SubEddyOperator(inner, scope_sources=[])
+
+
+class TestJoinUnderScopedFilters:
+    def test_join_with_two_filter_scopes(self):
+        """Outer eddy: SteM_S, SteM_T, and one filter sub-eddy per
+        source — the paper's picture of scoped adaptivity."""
+        rows = two_stream_rows()
+        s_scope = nested_filter_scope([Comparison("S.x", ">", 1)], "S",
+                                      policy=RandomPolicy(seed=1))
+        t_scope = nested_filter_scope([Comparison("T.y", "<", 80)], "T",
+                                      policy=RandomPolicy(seed=2))
+        ops = [SteMOperator(SteM("S", ["S.k"]), [JOIN]),
+               SteMOperator(SteM("T", ["T.k"]), [JOIN]),
+               s_scope, t_scope]
+        sink, _ = run(ops, rows, {"S", "T"},
+                      policy=LotteryPolicy(seed=3))
+        s_rows = [r for r in two_stream_rows() if "S" in r.sources]
+        t_rows = [r for r in two_stream_rows() if "T" in r.sources]
+        expected = reference_join(
+            s_rows, t_rows, JOIN,
+            extra=Comparison("S.x", ">", 1) & Comparison("T.y", "<", 80))
+        assert values_of(sink.results) == expected
+
+    def test_inner_join_sub_eddy(self):
+        """A whole join as one sub-eddy under an outer filter."""
+        rows = two_stream_rows()
+        inner = Eddy([SteMOperator(SteM("S", ["S.k"]), [JOIN]),
+                      SteMOperator(SteM("T", ["T.k"]), [JOIN])],
+                     output_sources={"S", "T"},
+                     policy=RandomPolicy(seed=4), name="join-scope")
+        ops = [SubEddyOperator(inner, scope_sources={"S", "T"}),
+               FilterOperator(Comparison("S.x", ">", 3))]
+        sink, _ = run(ops, rows, {"S", "T"}, policy=LotteryPolicy(seed=5))
+        s_rows = [r for r in two_stream_rows() if "S" in r.sources]
+        t_rows = [r for r in two_stream_rows() if "T" in r.sources]
+        expected = reference_join(s_rows, t_rows, JOIN,
+                                  extra=Comparison("S.x", ">", 3))
+        assert values_of(sink.results) == expected
+
+
+class TestOverheadScoping:
+    def test_outer_decisions_bounded_by_scope_count(self):
+        """The paper's overhead claim: inner modules 'do not contribute'
+        to the outer eddy's decision-making."""
+        preds_s = [Comparison("S.x", ">", i) for i in range(-5, 0)]
+        rows = [S.make(i % 3, i, timestamp=i) for i in range(500)]
+        # flat: 5 operators in one eddy
+        flat_ops = [FilterOperator(p, name=f"f{i}")
+                    for i, p in enumerate(preds_s)]
+        _sink, flat = run(flat_ops,
+                          [S.make(i % 3, i, timestamp=i)
+                           for i in range(500)],
+                          {"S"}, policy=LotteryPolicy(seed=6))
+        # nested: the same 5 filters inside one scope
+        scope = nested_filter_scope(preds_s, "S",
+                                    policy=LotteryPolicy(seed=6))
+        _sink2, outer = run([scope], rows, {"S"},
+                            policy=LotteryPolicy(seed=6))
+        # the outer eddy has a single eligible operator per tuple: no
+        # policy consultations at all
+        assert outer.routing_decisions == 0
+        assert flat.routing_decisions > 0
+        # total adaptivity still happens, inside the scope
+        assert scope.inner.routing_decisions > 0
+
+    def test_sub_eddy_decision_count_exposed(self):
+        scope = nested_filter_scope(
+            [Comparison("S.x", ">", 0), Comparison("S.x", "<", 9)], "S")
+        for i in range(10):
+            scope.handle(S.make(1, i % 10, timestamp=i))
+        assert scope.decision_count() == scope.inner.routing_decisions

@@ -1,0 +1,223 @@
+"""Unit tests for the pipelined relational operators."""
+
+import pytest
+
+from repro.core.operators import (AggregateSpec, DupElim, GroupByAggregate,
+                                  Limit, Map, Project, Select, Sort,
+                                  SymmetricHashJoin, TransitiveClosure,
+                                  Union)
+from repro.core.tuples import Column, Punctuation, Schema, Tuple
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.query.predicates import ColumnComparison, Comparison
+from tests.conftest import ListFeed, reference_join, values_of
+
+S = Schema.of("S", "a", "b")
+
+
+def run_unary(module, items):
+    f = Fjord()
+    sink = CollectingSink()
+    f.connect(ListFeed(items), module)
+    f.connect(module, sink)
+    f.run_until_finished()
+    return sink
+
+
+def rows(pairs):
+    return [S.make(a, b, timestamp=i) for i, (a, b) in enumerate(pairs)]
+
+
+class TestSelect:
+    def test_filters(self):
+        sink = run_unary(Select(Comparison("a", ">", 1)),
+                         rows([(0, 0), (2, 0), (5, 0)]))
+        assert [t["a"] for t in sink.results] == [2, 5]
+
+    def test_selectivity_observed(self):
+        sel = Select(Comparison("a", ">", 1))
+        run_unary(sel, rows([(0, 0), (2, 0)]))
+        assert sel.selectivity == 0.5
+        assert sel.seen == 2
+
+    def test_selectivity_default_before_evidence(self):
+        assert Select(Comparison("a", ">", 1)).selectivity == 1.0
+
+
+class TestProjectAndMap:
+    def test_project_keeps_columns(self):
+        sink = run_unary(Project(["b"]), rows([(1, 10), (2, 20)]))
+        assert [t.values for t in sink.results] == [(10,), (20,)]
+        assert sink.results[0].schema.column_names() == ["b"]
+
+    def test_project_renames(self):
+        sink = run_unary(Project({"beta": "b"}), rows([(1, 10)]))
+        assert sink.results[0]["beta"] == 10
+
+    def test_project_preserves_lineage(self):
+        p = Project(["a"])
+        t = S.make(1, 2)
+        t.queries = 0b101
+        (out,) = p.process(t, 0)
+        assert out.queries == 0b101
+
+    def test_map_computes(self):
+        out_schema = Schema([Column("total")], sources={"S"})
+        m = Map(lambda t: (t["a"] + t["b"],), out_schema)
+        sink = run_unary(m, rows([(1, 10), (2, 20)]))
+        assert [t["total"] for t in sink.results] == [11, 22]
+
+
+class TestDupElim:
+    def test_distinct(self):
+        sink = run_unary(DupElim(), rows([(1, 1), (1, 1), (2, 2)]))
+        assert len(sink.results) == 2
+
+    def test_window_boundary_resets(self):
+        d = DupElim()
+        items = rows([(1, 1)]) + [Punctuation.window_boundary()] + \
+            rows([(1, 1)])
+        sink = run_unary(d, items)
+        assert len(sink.results) == 2   # same value allowed across windows
+
+
+class TestSort:
+    def test_sorts_on_eos(self):
+        sink = run_unary(Sort("a"), rows([(3, 0), (1, 0), (2, 0)]))
+        assert [t["a"] for t in sink.results] == [1, 2, 3]
+
+    def test_descending(self):
+        sink = run_unary(Sort("a", descending=True),
+                         rows([(3, 0), (1, 0), (2, 0)]))
+        assert [t["a"] for t in sink.results] == [3, 2, 1]
+
+    def test_sorts_per_window(self):
+        items = rows([(3, 0), (1, 0)]) + [Punctuation.window_boundary()] + \
+            rows([(9, 0), (5, 0)])
+        sink = run_unary(Sort("a"), items)
+        assert [[t["a"] for t in w] for w in sink.windows()] == \
+            [[1, 3], [5, 9]]
+
+    def test_callable_key(self):
+        sink = run_unary(Sort(lambda t: -t["a"]), rows([(1, 0), (3, 0)]))
+        assert [t["a"] for t in sink.results] == [3, 1]
+
+
+class TestGroupByAggregate:
+    def test_flushes_at_eos(self):
+        g = GroupByAggregate(["a"], [AggregateSpec("count", None),
+                                     AggregateSpec("sum", "b")])
+        sink = run_unary(g, rows([(1, 10), (1, 20), (2, 5)]))
+        by_key = {t["a"]: t for t in sink.results}
+        assert by_key[1]["count"] == 2
+        assert by_key[1]["sum_b"] == 30
+        assert by_key[2]["count"] == 1
+
+    def test_flushes_per_window(self):
+        g = GroupByAggregate(["a"], [AggregateSpec("count", None)])
+        items = rows([(1, 0), (1, 0)]) + [Punctuation.window_boundary()] + \
+            rows([(1, 0)])
+        sink = run_unary(g, items)
+        counts = [[t["count"] for t in w] for w in sink.windows()]
+        assert counts == [[2], [1]]
+
+    def test_incremental_mode_emits_per_tuple(self):
+        g = GroupByAggregate(["a"], [AggregateSpec("count", None)],
+                             emit_incremental=True)
+        sink = run_unary(g, rows([(1, 0), (1, 0), (1, 0)]))
+        assert [t["count"] for t in sink.results] == [1, 2, 3]
+
+    def test_avg_alias(self):
+        g = GroupByAggregate([], [AggregateSpec("avg", "b", alias="mean_b")])
+        sink = run_unary(g, rows([(0, 10), (0, 20)]))
+        assert sink.results[0]["mean_b"] == 15.0
+
+
+class TestSymmetricHashJoin:
+    def test_matches_reference(self):
+        left_schema = Schema.of("L", "k", "x")
+        right_schema = Schema.of("R", "k", "y")
+        left = [left_schema.make(i % 3, i, timestamp=i) for i in range(9)]
+        right = [right_schema.make(i % 3, i * 10, timestamp=i)
+                 for i in range(6)]
+        shj = SymmetricHashJoin("k", "k")
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(left, "lfeed"), shj, in_port=0)
+        f.connect(ListFeed(right, "rfeed"), shj, in_port=1)
+        f.connect(shj, sink)
+        f.run_until_finished()
+        expected = reference_join(left, right,
+                                  ColumnComparison("L.k", "==", "R.k"))
+        got = values_of(sink.results)
+        # SHJ emits (left, right) ordered values regardless of arrival.
+        assert sorted(got) == sorted(expected)
+
+    def test_residual_predicate(self):
+        left_schema = Schema.of("L", "k", "x")
+        right_schema = Schema.of("R", "k", "y")
+        shj = SymmetricHashJoin("k", "k",
+                                residual=ColumnComparison("L.x", "<", "R.y"))
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed([left_schema.make(1, 5)], "lf"), shj, in_port=0)
+        f.connect(ListFeed([right_schema.make(1, 3),
+                            right_schema.make(1, 9)], "rf"), shj, in_port=1)
+        f.connect(shj, sink)
+        f.run_until_finished()
+        assert len(sink.results) == 1
+        assert sink.results[0]["R.y"] == 9
+
+    def test_state_size(self):
+        shj = SymmetricHashJoin("k", "k")
+        schema = Schema.of("L", "k")
+        shj.process(schema.make(1), 0)
+        shj.process(schema.make(2), 0)
+        assert shj.state_size() == 2
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        schema = Schema.of("E", "src", "dst")
+        edges = [schema.make("a", "b", timestamp=0),
+                 schema.make("b", "c", timestamp=1),
+                 schema.make("c", "d", timestamp=2)]
+        tc = TransitiveClosure()
+        sink = run_unary(tc, edges)
+        pairs = {t.values for t in sink.results}
+        assert ("a", "d") in pairs
+        assert len(pairs) == 6    # ab ac ad bc bd cd
+
+    def test_no_duplicates_and_no_self_loops(self):
+        schema = Schema.of("E", "src", "dst")
+        edges = [schema.make("a", "b", timestamp=0),
+                 schema.make("b", "a", timestamp=1),
+                 schema.make("a", "b", timestamp=2)]
+        tc = TransitiveClosure()
+        sink = run_unary(tc, edges)
+        pairs = [t.values for t in sink.results]
+        assert len(pairs) == len(set(pairs))
+        assert ("a", "a") not in pairs
+
+    def test_reachable(self):
+        schema = Schema.of("E", "src", "dst")
+        tc = TransitiveClosure()
+        run_unary(tc, [schema.make("a", "b", timestamp=0),
+                       schema.make("b", "c", timestamp=1)])
+        assert tc.reachable("a") == {"b", "c"}
+
+
+class TestLimitUnion:
+    def test_limit(self):
+        sink = run_unary(Limit(2), rows([(1, 0), (2, 0), (3, 0)]))
+        assert len(sink.results) == 2
+
+    def test_union_merges(self):
+        u = Union()
+        f = Fjord()
+        sink = CollectingSink()
+        f.connect(ListFeed(rows([(1, 0)]), "f1"), u, in_port=0)
+        f.connect(ListFeed(rows([(2, 0)]), "f2"), u, in_port=1)
+        f.connect(u, sink)
+        f.run_until_finished()
+        assert sorted(t["a"] for t in sink.results) == [1, 2]

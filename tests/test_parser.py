@@ -1,0 +1,242 @@
+"""Tests for the lexer and parser — every §4.1 query verbatim, plus
+error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import NumberExpr, VarExpr
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse
+from repro.query.predicates import (And, ColumnComparison, Comparison, Or)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:3])
+
+    def test_identifiers_preserve_case(self):
+        (tok, _eof) = tokenize("ClosingStockPrices")
+        assert tok.kind == "ident"
+        assert tok.text == "ClosingStockPrices"
+
+    def test_numbers(self):
+        tokens = tokenize("42 50.00 .5")
+        assert [t.text for t in tokens[:-1]] == ["42", "50.00", ".5"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'MSFT' \"IBM\"")
+        assert tokens[0].kind == "string" and tokens[0].text == "MSFT"
+        assert tokens[1].text == "IBM"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multichar_operators_greedy(self):
+        tokens = tokenize("<= >= != ++ += t--")
+        ops = [t.text for t in tokens[:-1]]
+        assert ops == ["<=", ">=", "!=", "++", "+=", "t", "--"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- a comment\nx")
+        assert tokens[0].is_keyword("select")
+        assert tokens[1].text == "x"
+
+    def test_decrement_after_ident_is_operator(self):
+        tokens = tokenize("t--")
+        assert tokens[1].is_op("--")
+
+    def test_qualified_name_tokens(self):
+        tokens = tokenize("c1.price")
+        assert [t.text for t in tokens[:-1]] == ["c1", ".", "price"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("select @")
+
+
+class TestParseBasics:
+    def test_minimal_query(self):
+        spec = parse("SELECT * FROM s")
+        assert spec.select_items[0].is_star
+        assert spec.sources[0].name == "s"
+
+    def test_column_list_and_aliases(self):
+        spec = parse("SELECT a, b AS beta FROM s")
+        assert spec.select_items[0].column == "a"
+        assert spec.select_items[1].alias == "beta"
+
+    def test_from_alias_forms(self):
+        spec = parse("SELECT * FROM s AS x, s y")
+        assert spec.sources[0].binding == "x"
+        assert spec.sources[1].binding == "y"
+
+    def test_where_conjunction(self):
+        spec = parse("SELECT * FROM s WHERE a > 1 AND b = 'z'")
+        assert isinstance(spec.predicate, And)
+        assert Comparison("a", ">", 1) in spec.predicate.parts
+
+    def test_where_disjunction_precedence(self):
+        spec = parse("SELECT * FROM s WHERE a > 1 OR b > 2 AND c > 3")
+        # AND binds tighter than OR
+        assert isinstance(spec.predicate, Or)
+
+    def test_parenthesised_predicate(self):
+        spec = parse("SELECT * FROM s WHERE (a > 1 OR b > 2) AND c > 3")
+        assert isinstance(spec.predicate, And)
+
+    def test_not(self):
+        spec = parse("SELECT * FROM s WHERE NOT a > 1")
+        assert spec.predicate == Comparison("a", "<=", 1)
+
+    def test_column_comparison_becomes_join_factor(self):
+        spec = parse("SELECT * FROM s, t WHERE s.k = t.k")
+        assert spec.predicate == ColumnComparison("s.k", "==", "t.k")
+
+    def test_literal_on_left_flips(self):
+        spec = parse("SELECT * FROM s WHERE 5 < a")
+        assert spec.predicate == Comparison("a", ">", 5)
+
+    def test_negative_literal(self):
+        spec = parse("SELECT * FROM s WHERE a > -3")
+        assert spec.predicate == Comparison("a", ">", -3)
+
+    def test_two_literals_rejected(self):
+        with pytest.raises(ParseError, match="two literals"):
+            parse("SELECT * FROM s WHERE 1 = 1")
+
+    def test_aggregates(self):
+        spec = parse("SELECT AVG(price), COUNT(*) FROM s")
+        assert spec.select_items[0].aggregate == "AVG"
+        assert spec.select_items[1].aggregate == "COUNT"
+        assert spec.select_items[1].column is None
+        assert spec.is_aggregate
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM s").distinct
+
+    def test_group_by(self):
+        spec = parse("SELECT sym, COUNT(*) FROM s GROUP BY sym")
+        assert spec.group_by == ("sym",)
+
+    def test_order_by(self):
+        spec = parse("SELECT a FROM s ORDER BY a DESC")
+        assert spec.order_by == ("a", True)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT * FROM s banana phone")
+
+    def test_star_with_binding(self):
+        spec = parse("SELECT c2.* FROM s AS c2")
+        assert spec.select_items[0].is_star
+        assert spec.select_items[0].alias == "c2"
+
+
+class TestForLoopParsing:
+    def test_paper_example_1_snapshot(self):
+        spec = parse("""
+            SELECT closingPrice, timestamp
+            FROM ClosingStockPrices
+            WHERE stockSymbol = 'MSFT'
+            for (; t == 0; t = -1) {
+                WindowIs(ClosingStockPrices, 1, 5);
+            }
+        """)
+        fl = spec.for_loop
+        assert fl is not None
+        assert fl.variable == "t"
+        assert fl.initial == NumberExpr(0)
+        assert fl.update == ("=", NumberExpr(-1))
+        assert fl.windows[0].stream == "ClosingStockPrices"
+
+    def test_paper_example_2_landmark(self):
+        spec = parse("""
+            SELECT closingPrice, timestamp
+            FROM ClosingStockPrices
+            WHERE stockSymbol = 'MSFT' and closingPrice > 50.00
+            for (t = 101; t <= 1000; t++) {
+                WindowIs(ClosingStockPrices, 101, t);
+            }
+        """)
+        fl = spec.for_loop
+        assert fl.initial == NumberExpr(101)
+        assert fl.update == ("+=", NumberExpr(1))
+        assert fl.condition[1] == "<="
+
+    def test_paper_example_3_sliding(self):
+        spec = parse("""
+            Select AVG(closingPrice)
+            From ClosingStockPrices
+            Where stockSymbol = 'MSFT'
+            for (t = ST; t < ST + 50; t += 5) {
+                WindowIs(ClosingStockPrices, t - 4, t);
+            }
+        """)
+        fl = spec.for_loop
+        assert fl.initial == VarExpr("ST")
+        assert fl.update[0] == "+="
+        # window left end is t-4
+        env = {"t": 10}
+        assert fl.windows[0].left.compile()(env) == 6
+
+    def test_paper_example_4_band_join(self):
+        spec = parse("""
+            Select c2.*
+            FROM ClosingStockPrices as c1, ClosingStockPrices as c2
+            WHERE c1.stockSymbol = 'MSFT' and
+                  c2.stockSymbol != 'MSFT' and
+                  c2.closingPrice > c1.closingPrice and
+                  c2.timestamp = c1.timestamp
+            for (t = ST; t < ST + 20; t++) {
+                WindowIs(c1, t - 4, t);
+                WindowIs(c2, t - 4, t);
+            }
+        """)
+        assert len(spec.for_loop.windows) == 2
+        assert [s.binding for s in spec.sources] == ["c1", "c2"]
+        factors = spec.predicate.conjuncts()
+        assert ColumnComparison("c2.timestamp", "==", "c1.timestamp") in \
+            factors
+
+    def test_decrement_loop(self):
+        spec = parse("""
+            SELECT * FROM s
+            for (t = 100; t > 0; t--) {
+                WindowIs(s, t - 9, t);
+            }
+        """)
+        assert spec.for_loop.update == ("-=", NumberExpr(1))
+
+    def test_empty_forloop_body_rejected(self):
+        with pytest.raises(ParseError, match="WindowIs"):
+            parse("SELECT * FROM s for (t = 0; t < 5; t++) { }")
+
+    def test_update_must_assign_loop_variable(self):
+        with pytest.raises(ParseError, match="must assign"):
+            parse("""SELECT * FROM s
+                     for (t = 0; t < 5; x++) { WindowIs(s, 1, t); }""")
+
+    def test_expression_arithmetic(self):
+        spec = parse("""
+            SELECT * FROM s
+            for (t = 2 * (ST + 1); t < 100; t += 3 * 2) {
+                WindowIs(s, t - 2 * 2, t);
+            }
+        """)
+        env = {"ST": 4, "t": 0}
+        assert spec.for_loop.initial.compile()(env) == 10
+        assert spec.for_loop.update[1].compile()(env) == 6
+
+    def test_division_is_integer_for_ints(self):
+        spec = parse("""SELECT * FROM s
+                        for (t = 7 / 2; t < 5; t++) { WindowIs(s, 1, t); }""")
+        assert spec.for_loop.initial.compile()({}) == 3
+
+    def test_unbound_variable_reported_at_compile(self):
+        from repro.errors import QueryError
+        spec = parse("""SELECT * FROM s
+                        for (t = ST; t < 5; t++) { WindowIs(s, 1, t); }""")
+        with pytest.raises(QueryError, match="unbound variable"):
+            spec.for_loop.initial.compile()({})

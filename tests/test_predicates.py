@@ -1,0 +1,187 @@
+"""Unit tests for the predicate algebra and CACQ decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tuples import Schema
+from repro.errors import QueryError
+from repro.query.predicates import (ALWAYS_TRUE, And, ColumnComparison,
+                                    Comparison, Not, Or, TruePredicate,
+                                    decompose, rewrite_columns)
+
+S = Schema.of("S", "a", "b", "name")
+
+
+def row(a=0, b=0, name="x"):
+    return S.make(a, b, name)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("op,value,passing,failing", [
+        ("==", 5, 5, 6),
+        ("!=", 5, 6, 5),
+        ("<", 5, 4, 5),
+        ("<=", 5, 5, 6),
+        (">", 5, 6, 5),
+        (">=", 5, 5, 4),
+    ])
+    def test_operators(self, op, value, passing, failing):
+        pred = Comparison("a", op, value)
+        assert pred.matches(row(a=passing))
+        assert not pred.matches(row(a=failing))
+
+    def test_sql_style_aliases(self):
+        assert Comparison("a", "=", 5).matches(row(a=5))
+        assert Comparison("a", "<>", 5).matches(row(a=6))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "~~", 5)
+
+    def test_missing_column_never_matches(self):
+        assert not Comparison("zzz", "==", 5).matches(row())
+
+    def test_type_mismatch_never_matches(self):
+        assert not Comparison("name", ">", 5).matches(row(name="abc"))
+
+    def test_negate(self):
+        assert Comparison("a", "<", 5).negate() == Comparison("a", ">=", 5)
+
+    def test_evaluate_raw_value(self):
+        assert Comparison("a", ">", 5).evaluate(6)
+        assert not Comparison("a", ">", 5).evaluate("bad type")
+
+    def test_hash_and_equality(self):
+        assert Comparison("a", ">", 5) == Comparison("a", ">", 5)
+        assert len({Comparison("a", ">", 5), Comparison("a", ">", 5)}) == 1
+
+    def test_strings_compare(self):
+        assert Comparison("name", "==", "x").matches(row(name="x"))
+        assert Comparison("name", ">", "a").matches(row(name="x"))
+
+
+class TestColumnComparison:
+    def test_same_tuple_columns(self):
+        assert ColumnComparison("a", "<", "b").matches(row(a=1, b=2))
+        assert not ColumnComparison("a", ">", "b").matches(row(a=1, b=2))
+
+    def test_is_equijoin_requires_two_sources(self):
+        assert ColumnComparison("S.a", "==", "T.a").is_equijoin()
+        assert not ColumnComparison("S.a", "==", "S.b").is_equijoin()
+        assert not ColumnComparison("S.a", ">", "T.a").is_equijoin()
+
+    def test_sources(self):
+        pred = ColumnComparison("S.a", "==", "T.b")
+        assert pred.sources() == frozenset({"S", "T"})
+
+    def test_missing_column_never_matches(self):
+        assert not ColumnComparison("a", "==", "zzz").matches(row())
+
+
+class TestCombinators:
+    def test_and_flattens(self):
+        p = And(And(Comparison("a", ">", 1), Comparison("a", "<", 5)),
+                Comparison("b", "==", 0))
+        assert len(p.parts) == 3
+        assert len(p.conjuncts()) == 3
+
+    def test_and_matches(self):
+        p = Comparison("a", ">", 1) & Comparison("b", "<", 5)
+        assert p.matches(row(a=2, b=3))
+        assert not p.matches(row(a=0, b=3))
+
+    def test_or_matches(self):
+        p = Comparison("a", ">", 10) | Comparison("b", "<", 0)
+        assert p.matches(row(a=11, b=5))
+        assert p.matches(row(a=0, b=-1))
+        assert not p.matches(row(a=0, b=0))
+
+    def test_not_comparison_normalises(self):
+        p = Not(Comparison("a", "<", 5))
+        assert isinstance(p, Comparison)
+        assert p.op == ">="
+
+    def test_not_or_demorganish(self):
+        p = Not(Comparison("a", ">", 1) | Comparison("b", ">", 1))
+        assert not p.matches(row(a=2))
+        assert p.matches(row(a=0, b=0))
+
+    def test_double_negation(self):
+        inner = Comparison("a", ">", 1) | Comparison("b", ">", 1)
+        assert Not(Not(inner)) is inner
+
+    def test_true_predicate(self):
+        assert ALWAYS_TRUE.matches(row())
+        assert ALWAYS_TRUE.conjuncts() == []
+        assert And(ALWAYS_TRUE, Comparison("a", ">", 0)).parts == \
+            (Comparison("a", ">", 0),)
+
+    def test_invert_operator(self):
+        p = ~Comparison("a", "==", 1)
+        assert p == Comparison("a", "!=", 1)
+
+    def test_columns_aggregation(self):
+        p = And(Comparison("a", ">", 1), ColumnComparison("b", "<", "name"))
+        assert p.columns() == {"a", "b", "name"}
+
+
+class TestDecompose:
+    def test_splits_factor_classes(self):
+        p = And(Comparison("S.a", ">", 1),
+                ColumnComparison("S.a", "==", "T.a"),
+                ColumnComparison("S.b", ">", "T.b"),
+                Or(Comparison("S.a", "==", 0), Comparison("S.b", "==", 0)))
+        d = decompose(p)
+        assert d.single_variable == [Comparison("S.a", ">", 1)]
+        assert d.equijoins == [ColumnComparison("S.a", "==", "T.a")]
+        assert len(d.residual) == 2
+
+    def test_residual_predicate_reassembles(self):
+        p = Or(Comparison("a", "==", 1), Comparison("b", "==", 1))
+        d = decompose(p)
+        assert d.residual_predicate() is p
+
+    def test_empty_residual_is_true(self):
+        d = decompose(Comparison("a", ">", 1))
+        assert d.residual_predicate() is ALWAYS_TRUE
+
+    def test_decompose_true(self):
+        d = decompose(ALWAYS_TRUE)
+        assert not d.single_variable and not d.equijoins and not d.residual
+
+
+class TestRewrite:
+    def test_rewrites_all_node_types(self):
+        p = And(Comparison("a", ">", 1),
+                Or(ColumnComparison("a", "==", "b"),
+                   Not(Or(Comparison("b", "<", 2)))))
+        rewritten = rewrite_columns(p, lambda c: f"S.{c}")
+        assert "S.a" in repr(rewritten) and "S.b" in repr(rewritten)
+        assert "(a" not in repr(rewritten).replace("S.a", "")
+
+    def test_rewrite_preserves_semantics(self):
+        p = Comparison("a", ">", 1)
+        q = rewrite_columns(p, lambda c: f"S.{c}")
+        # Qualified access falls back on single-source schemas.
+        assert q.matches(row(a=2))
+        assert not q.matches(row(a=0))
+
+    def test_rewrite_true(self):
+        assert rewrite_columns(ALWAYS_TRUE, lambda c: c) is ALWAYS_TRUE
+
+
+@given(st.integers(-20, 20), st.integers(-20, 20))
+def test_negation_is_complement(a_value, threshold):
+    pred = Comparison("a", "<", threshold)
+    t = row(a=a_value)
+    assert pred.matches(t) != pred.negate().matches(t)
+
+
+@given(st.lists(st.integers(-5, 5), min_size=1, max_size=5),
+       st.integers(-5, 5))
+def test_and_or_duality(thresholds, value):
+    t = row(a=value)
+    comparisons = [Comparison("a", ">", th) for th in thresholds]
+    conj = And(*comparisons)
+    disj = Or(*(c.negate() for c in comparisons))
+    assert conj.matches(t) != disj.matches(t)

@@ -1,0 +1,173 @@
+"""System-level property tests: randomized workloads and failure
+injection against whole-subsystem invariants.
+
+These complement the per-module property tests: hypothesis drives the
+*composition* — random queries through the full server against a
+reference evaluator, random crash points against Flux's exactly-once
+ledger, random scripts against the windowed runner.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import TelegraphCQServer
+from repro.core.tuples import Schema
+from repro.flux.cluster import Cluster, GroupCountState
+from repro.flux.flux import Flux
+from repro.query.predicates import Comparison
+
+TRADES = Schema.of("trades", "sym", "price")
+
+
+# ---------------------------------------------------------------- server
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("ABC"), st.integers(0, 100)),
+                min_size=1, max_size=40),
+       st.lists(st.tuples(st.sampled_from([">", "<", ">=", "<=", "=="]),
+                          st.integers(0, 100)),
+                min_size=1, max_size=8))
+def test_server_cq_results_match_reference(data, predicates):
+    """Property: for any stream content and any set of selection CQs,
+    the full server delivers exactly the brute-force answer."""
+    srv = TelegraphCQServer()
+    srv.create_stream(TRADES)
+    cursors = [
+        (srv.submit(f"SELECT * FROM trades WHERE price {op} {value}"),
+         op, value)
+        for op, value in predicates]
+    for i, (sym, price) in enumerate(data):
+        srv.push("trades", sym, price, timestamp=i + 1)
+    from repro.query.predicates import OPS
+    for cursor, op, value in cursors:
+        fn = OPS["==" if op == "=" else op]
+        expected = sorted((sym, price) for sym, price in data
+                          if fn(price, value))
+        got = sorted((t["sym"], t["price"]) for t in cursor.fetch())
+        assert got == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 10), st.integers(1, 10),
+       st.integers(0, 5))
+def test_windowed_count_matches_closed_form(n_days, width, hop, start_off):
+    """Property: a COUNT(*) over any sliding window spec equals the
+    window's true size, for every fired window."""
+    srv = TelegraphCQServer()
+    srv.create_stream(TRADES)
+    start = width + start_off
+    cursor = srv.submit(f"""
+        SELECT COUNT(*) FROM trades
+        for (t = {start}; t <= {max(start, n_days)}; t += {hop}) {{
+            WindowIs(trades, t - {width - 1}, t);
+        }}""")
+    for day in range(1, n_days + 1):
+        srv.push("trades", "A", float(day), timestamp=day)
+        srv.step()
+    srv.close_stream("trades")
+    srv.run_until_quiescent()
+    for t, rows in cursor.fetch_windows():
+        lo, hi = t - width + 1, t
+        true_size = max(0, min(hi, n_days) - max(lo, 1) + 1)
+        assert rows[0]["count"] == true_size
+
+
+# ---------------------------------------------------------------- flux
+
+def _run_flux_with_crash(data, fail_tick, victim_idx, replication,
+                         speeds=(40, 40, 40, 40)):
+    cluster = Cluster()
+    for i, speed in enumerate(speeds):
+        cluster.add_machine(f"m{i}", speed=speed)
+    flux = Flux(cluster, n_partitions=6, key_fn=lambda t: t["sym"],
+                state_factory=lambda: GroupCountState("sym"),
+                replication=replication)
+    victim = f"m{victim_idx}"
+    i = 0
+    tick = 0
+    failed = False
+    while i < len(data) or flux.unacked_total():
+        batch = data[i:i + 60]
+        i += len(batch)
+        flux.tick(batch)
+        tick += 1
+        if not failed and tick == fail_tick:
+            cluster.fail(victim)
+            flux.on_machine_failure(victim)
+            failed = True
+        assert tick < 20_000
+    return flux
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 30), st.integers(0, 3))
+def test_flux_replicated_crash_is_exactly_once(seed, fail_tick,
+                                               victim_idx):
+    """Property: with process pairs, a crash at ANY point — before,
+    during, or after the data — never loses or double-counts a tuple."""
+    rng = random.Random(seed)
+    data = [TRADES.make(rng.choice("ABCDEFGH"), float(i), timestamp=i)
+            for i in range(rng.randrange(200, 1500))]
+    truth = {}
+    for t in data:
+        truth[t["sym"]] = truth.get(t["sym"], 0) + 1
+    flux = _run_flux_with_crash(list(data), fail_tick, victim_idx,
+                                replication=1)
+    assert flux.merged_counts() == truth
+    assert flux.lost_tuples == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 500), st.integers(1, 20), st.integers(0, 3))
+def test_flux_unreplicated_loss_fully_accounted(seed, fail_tick,
+                                                victim_idx):
+    """Property: without replication, counted + lost == input, always —
+    losses are measured, never silent."""
+    rng = random.Random(seed)
+    data = [TRADES.make(rng.choice("ABCD"), float(i), timestamp=i)
+            for i in range(rng.randrange(200, 1000))]
+    flux = _run_flux_with_crash(list(data), fail_tick, victim_idx,
+                                replication=0)
+    counted = sum(flux.merged_counts().values())
+    assert counted + flux.lost_tuples == len(data)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 300), st.lists(st.integers(1, 40), min_size=2,
+                                     max_size=3, unique=True))
+def test_flux_survives_multiple_sequential_crashes(seed, fail_ticks):
+    """Property: process pairs survive any sequence of single-machine
+    crashes as long as one machine remains."""
+    rng = random.Random(seed)
+    data = [TRADES.make(rng.choice("ABCDEF"), float(i), timestamp=i)
+            for i in range(800)]
+    truth = {}
+    for t in data:
+        truth[t["sym"]] = truth.get(t["sym"], 0) + 1
+    cluster = Cluster()
+    for i in range(4):
+        cluster.add_machine(f"m{i}", speed=40)
+    flux = Flux(cluster, n_partitions=6, key_fn=lambda t: t["sym"],
+                state_factory=lambda: GroupCountState("sym"),
+                replication=1)
+    victims = iter(sorted(set(fail_ticks)))
+    next_fail = next(victims, None)
+    killed = 0
+    i = 0
+    tick = 0
+    while i < len(data) or flux.unacked_total():
+        batch = data[i:i + 60]
+        i += len(batch)
+        flux.tick(batch)
+        tick += 1
+        if next_fail is not None and tick == next_fail and killed < 2:
+            victim = f"m{killed}"
+            cluster.fail(victim)
+            flux.on_machine_failure(victim)
+            killed += 1
+            next_fail = next(victims, None)
+        assert tick < 30_000
+    assert flux.merged_counts() == truth
+    assert flux.lost_tuples == 0

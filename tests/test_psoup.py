@@ -1,0 +1,206 @@
+"""Tests for PSoup: the symmetric data/query join, historical queries,
+disconnected retrieval, and materialisation-vs-recompute equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.psoup import (DataSteM, OnDemandPSoup, PSoup, PSoupQuery,
+                              QuerySteM, ResultsStructure)
+from repro.core.tuples import Schema
+from repro.errors import QueryError
+from repro.query.predicates import And, ColumnComparison, Comparison, Or
+
+READINGS = Schema.of("readings", "sensor", "temp")
+
+
+def fresh():
+    return PSoup(READINGS)
+
+
+class TestSymmetry:
+    """The paper's Figure 3 claim: new-query-over-old-data and
+    new-data-over-old-query produce identical answers."""
+
+    def test_query_first_then_data(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 20), window=100)
+        for i in range(10):
+            ps.push(i, 15 + i, timestamp=i + 1)
+        assert len(ps.invoke(q)) == 4   # temps 21..24 at ts 7..10
+
+    def test_data_first_then_query(self):
+        ps = fresh()
+        for i in range(10):
+            ps.push(i, 15 + i, timestamp=i + 1)
+        q = ps.register_query(Comparison("temp", ">", 20), window=100)
+        assert len(ps.invoke(q)) == 4
+
+    def test_interleaved_equals_either_order(self):
+        def run(order):
+            ps = fresh()
+            q = None
+            for action in order:
+                if action == "q":
+                    q = ps.register_query(Comparison("temp", ">", 0),
+                                          window=100)
+                else:
+                    ps.push(0, action, timestamp=ps.clock + 1)
+            return sorted(t["temp"] for t in ps.invoke(q))
+
+        assert run([1, 2, "q", 3, 4]) == run([1, 2, 3, 4, "q"]) == \
+            run(["q", 1, 2, 3, 4])
+
+
+class TestWindows:
+    def test_window_imposed_at_invoke(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 0), window=5)
+        for ts in range(1, 21):
+            ps.push(0, ts, timestamp=ts)
+        result = ps.invoke(q)
+        assert sorted(t.timestamp for t in result) == [16, 17, 18, 19, 20]
+
+    def test_invoke_at_past_instant(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 0), window=3)
+        for ts in range(1, 11):
+            ps.push(0, ts, timestamp=ts)
+        result = ps.invoke(q, now=5)
+        assert sorted(t.timestamp for t in result) == [3, 4, 5]
+
+    def test_different_windows_per_query(self):
+        ps = fresh()
+        q_small = ps.register_query(Comparison("temp", ">", 0), window=2)
+        q_large = ps.register_query(Comparison("temp", ">", 0), window=8)
+        for ts in range(1, 11):
+            ps.push(0, ts, timestamp=ts)
+        assert len(ps.invoke(q_small)) == 2
+        assert len(ps.invoke(q_large)) == 8
+
+    def test_bad_window_rejected(self):
+        ps = fresh()
+        with pytest.raises(QueryError):
+            ps.register_query(Comparison("temp", ">", 0), window=0)
+
+
+class TestDisconnectedOperation:
+    def test_results_materialised_while_away(self):
+        """Compute/delivery separation: answers accumulate while the
+        client is disconnected and are ready at reconnect."""
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 50), window=1000)
+        # client "disconnects"; data keeps flowing
+        for ts in range(1, 101):
+            ps.push(0, ts, timestamp=ts)
+        # client returns: one cheap retrieval
+        assert len(ps.invoke(q)) == 50
+
+    def test_multiple_invokes_idempotent(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 0), window=100)
+        ps.push(0, 5, timestamp=1)
+        assert ps.invoke(q) == ps.invoke(q)
+
+    def test_remove_query(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 0), window=10)
+        ps.remove_query(q)
+        with pytest.raises(QueryError):
+            ps.invoke(q)
+
+
+class TestQuerySteM:
+    def test_probe_returns_satisfied_queries(self):
+        stem = QuerySteM()
+        stem.insert(PSoupQuery(0, Comparison("temp", ">", 10), window=5))
+        stem.insert(PSoupQuery(1, Comparison("temp", "<", 0), window=5))
+        t = READINGS.make(0, 15, timestamp=1)
+        assert stem.probe(t) == {0}
+
+    def test_residual_or_predicate(self):
+        stem = QuerySteM()
+        stem.insert(PSoupQuery(0, Or(Comparison("temp", ">", 100),
+                                     Comparison("sensor", "==", 7)),
+                               window=5))
+        assert stem.probe(READINGS.make(7, 0, timestamp=1)) == {0}
+        assert stem.probe(READINGS.make(1, 0, timestamp=1)) == set()
+
+    def test_join_queries_rejected(self):
+        with pytest.raises(QueryError, match="single-stream"):
+            PSoupQuery(0, ColumnComparison("a.x", "==", "b.y"), window=5)
+
+    def test_remove(self):
+        stem = QuerySteM()
+        stem.insert(PSoupQuery(0, Comparison("temp", ">", 10), window=5))
+        stem.remove(0)
+        assert stem.probe(READINGS.make(0, 50, timestamp=1)) == set()
+        assert len(stem) == 0
+
+    def test_max_window(self):
+        stem = QuerySteM()
+        stem.insert(PSoupQuery(0, Comparison("temp", ">", 1), window=5))
+        stem.insert(PSoupQuery(1, Comparison("temp", ">", 1), window=50))
+        assert stem.max_window() == 50
+
+
+class TestDataSteM:
+    def test_ordering_enforced(self):
+        stem = DataSteM()
+        stem.insert(READINGS.make(0, 1, timestamp=5))
+        with pytest.raises(QueryError, match="timestamp order"):
+            stem.insert(READINGS.make(0, 1, timestamp=3))
+
+    def test_timestamps_required(self):
+        stem = DataSteM()
+        with pytest.raises(QueryError):
+            stem.insert(READINGS.make(0, 1))
+
+    def test_evict_before(self):
+        stem = DataSteM()
+        for ts in range(1, 11):
+            stem.insert(READINGS.make(0, ts, timestamp=ts))
+        assert stem.evict_before(6) == 5
+        assert len(stem) == 5
+
+
+class TestVacuum:
+    def test_vacuum_respects_max_window(self):
+        ps = fresh()
+        ps.register_query(Comparison("temp", ">", 0), window=5)
+        for ts in range(1, 101):
+            ps.push(0, ts, timestamp=ts)
+        dropped = ps.vacuum()
+        assert dropped["data"] == 95
+        assert len(ps.data_stem) == 5
+
+    def test_vacuum_prunes_results(self):
+        ps = fresh()
+        q = ps.register_query(Comparison("temp", ">", 0), window=5)
+        for ts in range(1, 101):
+            ps.push(0, ts, timestamp=ts)
+        before = ps.results.size(q.qid)
+        ps.vacuum()
+        assert ps.results.size(q.qid) == 5 < before
+        # invoke still correct after vacuum
+        assert len(ps.invoke(q)) == 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-20, 80), min_size=1, max_size=60),
+       st.integers(1, 30),
+       st.sampled_from([">", "<", ">=", "=="]),
+       st.integers(0, 50))
+def test_materialised_equals_on_demand(temps, window, op, threshold):
+    """Property: PSoup's materialised invoke() and the recompute-on-
+    demand baseline return identical answers."""
+    pred = Comparison("temp", op, threshold)
+    ps = PSoup(READINGS)
+    od = OnDemandPSoup(READINGS)
+    q_ps = ps.register_query(pred, window=window)
+    q_od = od.register_query(pred, window=window)
+    for i, temp in enumerate(temps):
+        ps.push(i % 4, temp, timestamp=i + 1)
+        od.push(i % 4, temp, timestamp=i + 1)
+    got = sorted((t.timestamp, t["temp"]) for t in ps.invoke(q_ps))
+    want = sorted((t.timestamp, t["temp"]) for t in od.invoke(q_od))
+    assert got == want

@@ -1,0 +1,135 @@
+"""Tests for the spilling Query SteM with periodicity-driven prefetch
+(§4.3)."""
+
+import pytest
+
+from repro.core.psoup_spill import PeriodicQuery, SpillingQueryStore
+from repro.core.tuples import Schema
+from repro.errors import QueryError, StorageError
+from repro.query.predicates import Comparison
+
+S = Schema.of("s", "v")
+
+
+class TestPeriodicQuery:
+    def test_activation_windows(self):
+        q = PeriodicQuery(0, Comparison("v", ">", 0), period=10,
+                          active_for=3)
+        assert q.is_active(0) and q.is_active(2)
+        assert not q.is_active(3)
+        assert q.is_active(10)
+
+    def test_phase_shift(self):
+        q = PeriodicQuery(0, Comparison("v", ">", 0), period=10,
+                          active_for=2, phase=5)
+        assert not q.is_active(0)
+        assert q.is_active(5) and q.is_active(6)
+        assert not q.is_active(7)
+
+    def test_next_activation(self):
+        q = PeriodicQuery(0, Comparison("v", ">", 0), period=10,
+                          active_for=2)
+        assert q.next_activation(0) == 0       # already active
+        assert q.next_activation(3) == 10
+        assert q.next_activation(10) == 10
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            PeriodicQuery(0, Comparison("v", ">", 0), period=0,
+                          active_for=1)
+        with pytest.raises(QueryError):
+            PeriodicQuery(0, Comparison("v", ">", 0), period=5,
+                          active_for=6)
+
+
+class TestSpillingStore:
+    def test_overflow_spills_to_disk(self):
+        store = SpillingQueryStore(memory_capacity=2)
+        for i in range(5):
+            store.register(Comparison("v", ">", i), period=100,
+                           active_for=1, phase=10 * i + 50)
+        assert store.resident_count == 2
+        assert store.spilled_count == 3
+        assert store.evictions == 3
+
+    def test_active_spilled_query_faults_in_and_matches(self):
+        store = SpillingQueryStore(memory_capacity=1)
+        q_now = store.register(Comparison("v", ">", 0), period=10,
+                               active_for=10)          # always active
+        q_later = store.register(Comparison("v", ">", 0), period=100,
+                                 active_for=100)       # also always active
+        # one of them is spilled; the push must fault it back
+        matched = store.route(S.make(5, timestamp=1))
+        assert set(matched) == {q_now, q_later}
+        assert store.faults >= 1
+
+    def test_matches_survive_spill_roundtrip(self):
+        store = SpillingQueryStore(memory_capacity=1)
+        a = store.register(Comparison("v", ">", 0), period=4,
+                           active_for=2, phase=0)
+        b = store.register(Comparison("v", ">", 0), period=4,
+                           active_for=2, phase=2)
+        for ts in range(1, 9):
+            store.route(S.make(1, timestamp=ts))
+        # each query active half the time: 4 matches each over 8 ticks
+        assert store.total_matches() == 8
+
+    def test_schedule_aware_eviction(self):
+        """The victim is the resident query that activates furthest in
+        the future, never one active now."""
+        store = SpillingQueryStore(memory_capacity=2)
+        active_now = store.register(Comparison("v", ">", 0), period=10,
+                                    active_for=10)
+        soon = store.register(Comparison("v", ">", 0), period=10,
+                              active_for=1, phase=1)
+        store.route(S.make(1, timestamp=0))    # establish now=0
+        # admitting a third forces an eviction: "soon" (phase 1) beats
+        # "late" for residency over a query activating at phase 9
+        late = store.register(Comparison("v", ">", 0), period=10,
+                              active_for=1, phase=9)
+        assert store.spilled_count == 1
+
+    def test_overcommit_thrashes_but_stays_exact(self):
+        """More always-active queries than memory: the store thrashes
+        (spilling active entries) yet every match is still counted."""
+        store = SpillingQueryStore(memory_capacity=1)
+        a = store.register(Comparison("v", ">", 0), period=2, active_for=2)
+        b = store.register(Comparison("v", ">", 0), period=2, active_for=2)
+        for ts in range(5):
+            matched = store.route(S.make(1, timestamp=ts))
+            assert set(matched) == {a, b}
+        assert store.faults > 0               # the thrash cost is visible
+        assert store.total_matches() == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(StorageError):
+            SpillingQueryStore(memory_capacity=0)
+
+
+class TestPrefetch:
+    def periodic_workload(self, prefetch_horizon):
+        """50 queries with staggered 1-in-50 activation phases; memory
+        holds only 10."""
+        store = SpillingQueryStore(memory_capacity=10,
+                                   prefetch_horizon=prefetch_horizon)
+        for i in range(50):
+            store.register(Comparison("v", ">", 0), period=50,
+                           active_for=2, phase=i)
+        for ts in range(200):
+            store.route(S.make(1, timestamp=ts))
+        return store
+
+    def test_without_prefetch_faults_pile_up(self):
+        store = self.periodic_workload(prefetch_horizon=0)
+        assert store.faults > 50
+
+    def test_prefetch_hides_almost_all_faults(self):
+        cold = self.periodic_workload(prefetch_horizon=0)
+        warm = self.periodic_workload(prefetch_horizon=3)
+        assert warm.prefetches > 0
+        assert warm.faults < cold.faults * 0.2
+
+    def test_prefetch_preserves_answers(self):
+        cold = self.periodic_workload(prefetch_horizon=0)
+        warm = self.periodic_workload(prefetch_horizon=3)
+        assert cold.total_matches() == warm.total_matches()

@@ -1,0 +1,124 @@
+"""Unit tests for Fjord queues (push / pull / exchange semantics)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.fjords.queues import (EMPTY, ExchangeQueue, FjordQueue, PullQueue,
+                                 PushQueue)
+
+
+class TestPushQueue:
+    def test_fifo(self):
+        q = PushQueue()
+        q.push(1)
+        q.push(2)
+        assert q.pop() == 1
+        assert q.pop() == 2
+
+    def test_pop_empty_returns_sentinel(self):
+        q = PushQueue()
+        assert q.pop() is EMPTY
+
+    def test_none_is_a_legal_value(self):
+        q = PushQueue()
+        q.push(None)
+        assert q.pop() is None
+
+    def test_peek_does_not_consume(self):
+        q = PushQueue()
+        q.push(1)
+        assert q.peek() == 1
+        assert len(q) == 1
+
+    def test_capacity_refuse(self):
+        q = PushQueue(capacity=2, overflow="refuse")
+        assert q.push(1) and q.push(2)
+        assert not q.push(3)
+        assert len(q) == 2
+
+    def test_capacity_drop_newest(self):
+        q = PushQueue(capacity=1, overflow="drop_newest")
+        q.push(1)
+        assert not q.push(2)
+        assert q.pop() == 1
+        assert q.stats.dropped == 1
+
+    def test_capacity_drop_oldest(self):
+        q = PushQueue(capacity=1, overflow="drop_oldest")
+        q.push(1)
+        assert q.push(2)
+        assert q.pop() == 2
+        assert q.stats.dropped == 1
+
+    def test_unknown_overflow_policy(self):
+        with pytest.raises(PlanError):
+            PushQueue(capacity=1, overflow="explode")
+
+    def test_stats_counters(self):
+        q = PushQueue()
+        q.push_all([1, 2, 3])
+        q.pop()
+        snap = q.stats.snapshot()
+        assert snap["enqueued"] == 3
+        assert snap["dequeued"] == 1
+        assert snap["high_water"] == 3
+
+    def test_fill_fraction_bounded(self):
+        q = PushQueue(capacity=4)
+        q.push_all([1, 2])
+        assert q.fill_fraction() == 0.5
+        assert not q.is_full
+        q.push_all([3, 4])
+        assert q.is_full
+
+    def test_fill_fraction_unbounded_uses_high_water(self):
+        q = PushQueue()
+        assert q.fill_fraction() == 0.0
+        q.push_all([1, 2, 3, 4])
+        q.pop()
+        q.pop()
+        assert q.fill_fraction() == 0.5
+
+    def test_truthiness_is_not_emptiness(self):
+        q = PushQueue()
+        assert q         # a queue object is always truthy
+        assert len(q) == 0
+
+
+class TestPullQueue:
+    def test_pump_produces_on_demand(self):
+        produced = []
+
+        def producer():
+            produced.append(len(produced))
+            q.push(produced[-1])
+            return True
+
+        q = PullQueue(producer=producer)
+        assert q.pop() == 0
+        assert q.pop() == 1
+        assert produced == [0, 1]
+
+    def test_pump_stops_when_producer_dead(self):
+        q = PullQueue(producer=lambda: False)
+        assert q.pop() is EMPTY
+
+    def test_pump_respects_max_pump(self):
+        calls = []
+
+        def quiet_producer():
+            calls.append(1)
+            return True
+
+        q = PullQueue(producer=quiet_producer, max_pump=5)
+        assert q.pop() is EMPTY
+        assert len(calls) == 5
+
+    def test_no_pump_when_data_buffered(self):
+        q = PullQueue(producer=lambda: pytest.fail("should not pump"))
+        q.push("x")
+        assert q.pop() == "x"
+
+    def test_exchange_queue_is_pull_flavour(self):
+        q = ExchangeQueue()
+        assert isinstance(q, PullQueue)

@@ -1,0 +1,162 @@
+"""Tests for the query-aware sensor proxy and TAG in-network
+aggregation."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ingress.sensor_proxy import (HEARTBEAT_PERIOD, SensorProxy,
+                                        SimulatedMote)
+from repro.ingress.tag import (CentralizedAggregator, RoutingTree,
+                               TagAggregator)
+
+
+class TestSensorProxy:
+    def test_idle_field_heartbeats(self):
+        proxy = SensorProxy(n_motes=4)
+        readings = proxy.run(HEARTBEAT_PERIOD)
+        # each mote samples exactly once per heartbeat period
+        assert len(readings) == 4
+
+    def test_interest_raises_rate(self):
+        proxy = SensorProxy(n_motes=4)
+        proxy.register_interest(motes=None, period=10)
+        readings = proxy.run(100)
+        assert len(readings) == 4 * 10
+
+    def test_interest_scoped_to_motes(self):
+        proxy = SensorProxy(n_motes=4)
+        proxy.register_interest(motes=[0, 1], period=5)
+        proxy.run(50)
+        fast = [m.samples_taken for m in proxy.motes[:2]]
+        slow = [m.samples_taken for m in proxy.motes[2:]]
+        assert min(fast) >= 10
+        assert max(slow) <= 1
+
+    def test_tightest_interest_wins(self):
+        proxy = SensorProxy(n_motes=2)
+        proxy.register_interest(motes=[0], period=20)
+        proxy.register_interest(motes=[0], period=5)
+        assert proxy.required_period(0) == 5
+
+    def test_withdraw_relaxes_rate(self):
+        proxy = SensorProxy(n_motes=2)
+        interest = proxy.register_interest(motes=None, period=5)
+        assert proxy.required_period(0) == 5
+        proxy.withdraw(interest)
+        assert proxy.required_period(0) == HEARTBEAT_PERIOD
+
+    def test_withdraw_unknown_rejected(self):
+        proxy = SensorProxy(n_motes=2)
+        interest = proxy.register_interest(motes=None, period=5)
+        proxy.withdraw(interest)
+        with pytest.raises(ExecutionError):
+            proxy.withdraw(interest)
+
+    def test_control_messages_counted(self):
+        proxy = SensorProxy(n_motes=3)
+        proxy.register_interest(motes=None, period=5)
+        proxy.register_interest(motes=None, period=2)
+        # two retunes: heartbeat->5, 5->2, on all three motes
+        assert proxy.total_control_messages() == 6
+
+    def test_power_saving_vs_always_fast(self):
+        """The [MF02] claim: query-driven rates sample far less than a
+        field pinned at the fastest rate."""
+        demand_driven = SensorProxy(n_motes=4)
+        interest = demand_driven.register_interest(motes=None, period=4)
+        demand_driven.run(100)
+        demand_driven.withdraw(interest)       # query finishes
+        demand_driven.run(400)
+        always_fast = SensorProxy(n_motes=4)
+        always_fast.register_interest(motes=None, period=4)
+        always_fast.run(500)
+        assert demand_driven.total_samples() < \
+            0.4 * always_fast.total_samples()
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            SensorProxy(n_motes=0)
+        proxy = SensorProxy(n_motes=2)
+        with pytest.raises(ExecutionError):
+            proxy.register_interest(motes=[9], period=5)
+        with pytest.raises(ExecutionError):
+            proxy.register_interest(motes=None, period=0)
+
+    def test_readings_are_tuples_with_timestamps(self):
+        proxy = SensorProxy(n_motes=1)
+        proxy.register_interest(motes=None, period=1)
+        (reading,) = proxy.step()
+        assert reading.timestamp == 1
+        assert reading["sensor_id"] == 0
+
+    def test_mote_determinism(self):
+        a = SimulatedMote(3, seed=7)
+        b = SimulatedMote(3, seed=7)
+        a.set_period(1)
+        b.set_period(1)
+        assert [a.tick(i) for i in range(1, 10)] == \
+            [b.tick(i) for i in range(1, 10)]
+
+
+class TestRoutingTree:
+    def test_every_mote_attached(self):
+        tree = RoutingTree(40, radio=4, seed=1)
+        assert set(tree.parent) == set(range(40))
+        assert tree.parent[0] is None
+        for m in range(1, 40):
+            assert tree.parent[m] is not None
+
+    def test_levels_consistent_with_parents(self):
+        tree = RoutingTree(30, radio=3, seed=2)
+        for m in range(1, 30):
+            parent = tree.parent[m]
+            assert tree.level[m] >= tree.level[parent] + 1 or \
+                parent == 0       # unreachable fallback charges distance
+
+    def test_deterministic_under_seed(self):
+        a = RoutingTree(25, seed=5)
+        b = RoutingTree(25, seed=5)
+        assert a.parent == b.parent
+
+
+class TestTagAggregation:
+    @pytest.mark.parametrize("fn", ["COUNT", "SUM", "MIN", "MAX", "AVG"])
+    def test_lossless_tag_equals_centralized(self, fn):
+        tree = RoutingTree(30, radio=4, seed=3)
+        tag = TagAggregator(tree, fn=fn)
+        central = CentralizedAggregator(tree, fn=fn)
+        for _ in range(5):
+            t_val = tag.run_epoch()["value"]
+            c_val = central.run_epoch()["value"]
+            assert t_val == pytest.approx(c_val)
+
+    def test_message_savings(self):
+        """TAG's headline: one message per mote per epoch, vs one per
+        hop per reading centralized."""
+        tree = RoutingTree(60, radio=3, seed=4)
+        tag = TagAggregator(tree, fn="AVG")
+        central = CentralizedAggregator(tree, fn="AVG")
+        tag.run(10)
+        central.run(10)
+        assert tag.messages_sent == 10 * (tree.n - 1)
+        assert central.messages_sent > 2 * tag.messages_sent
+
+    def test_loss_degrades_but_does_not_crash(self):
+        tree = RoutingTree(30, radio=4, seed=3)
+        lossy = TagAggregator(tree, fn="COUNT", loss_rate=0.3, seed=9)
+        results = lossy.run(10)
+        assert lossy.messages_lost > 0
+        # counts are underestimates under loss, never overestimates
+        assert all(r["value"] <= tree.n for r in results)
+
+    def test_unsupported_aggregate_rejected(self):
+        tree = RoutingTree(5)
+        with pytest.raises(ExecutionError):
+            TagAggregator(tree, fn="MEDIAN")
+
+    def test_custom_read_function(self):
+        tree = RoutingTree(10, radio=10, seed=0)
+        tag = TagAggregator(tree, fn="SUM",
+                            read=lambda mote, epoch: float(mote))
+        result = tag.run_epoch()
+        assert result["value"] == sum(range(10))

@@ -1,0 +1,174 @@
+"""Unit tests for SteMs: build/probe/evict, indexes, cache and
+rendezvous variants, and the duplicate-suppression rule."""
+
+import pytest
+
+from repro.core.stem import CacheSteM, RendezvousBuffer, SteM
+from repro.core.tuples import Schema
+from repro.errors import PlanError
+from repro.query.predicates import ColumnComparison
+
+S = Schema.of("S", "k", "x")
+T = Schema.of("T", "k", "y")
+JOIN = ColumnComparison("S.k", "==", "T.k")
+
+
+class TestBuildProbe:
+    def test_build_wrong_source_rejected(self):
+        stem = SteM("S")
+        with pytest.raises(PlanError, match="home source"):
+            stem.build(T.make(1, 2))
+
+    def test_probe_returns_concatenated_matches(self):
+        stem = SteM("S")
+        s = S.make(1, 10)
+        stem.build(s)
+        t = T.make(1, 20)
+        matches = stem.probe(t, [JOIN])
+        assert len(matches) == 1
+        assert matches[0].sources == frozenset({"S", "T"})
+        assert matches[0]["S.x"] == 10
+        assert matches[0]["T.y"] == 20
+
+    def test_probe_respects_predicate(self):
+        stem = SteM("S")
+        stem.build(S.make(1, 10))
+        assert stem.probe(T.make(2, 20), [JOIN]) == []
+
+    def test_arrival_order_dedup(self):
+        """Only earlier-arriving stored tuples match — the later tuple
+        of a pair generates it, so each pair appears exactly once."""
+        stem_s = SteM("S")
+        stem_t = SteM("T")
+        s = S.make(1, 0)
+        t = T.make(1, 0)        # t arrives after s
+        stem_s.build(s)
+        stem_t.build(t)
+        assert len(stem_s.probe(t, [JOIN])) == 1    # later probes earlier
+        assert len(stem_t.probe(s, [JOIN])) == 0    # earlier can't re-pair
+
+    def test_dedup_can_be_disabled(self):
+        stem_s = SteM("S")
+        s = S.make(1, 0)
+        t = T.make(1, 0)
+        stem_s.build(s)
+        assert len(stem_s.probe(t, [JOIN], dedupe_by_arrival=False)) == 1
+        # And symmetric probing without dedup would double-produce:
+        stem_t = SteM("T")
+        stem_t.build(t)
+        assert len(stem_t.probe(s, [JOIN], dedupe_by_arrival=False)) == 1
+
+    def test_dead_tuples_skipped(self):
+        stem = SteM("S")
+        s = S.make(1, 10)
+        stem.build(s)
+        s.dead = True
+        assert stem.probe(T.make(1, 20), [JOIN]) == []
+
+    def test_probe_stored_returns_stored_side(self):
+        stem = SteM("S")
+        s = S.make(1, 10)
+        stem.build(s)
+        stored = stem.probe_stored(T.make(1, 20), [JOIN])
+        assert stored == [s]
+
+    def test_counters(self):
+        stem = SteM("S")
+        stem.build(S.make(1, 0))
+        stem.probe(T.make(1, 0), [JOIN])
+        assert stem.builds == 1
+        assert stem.probes == 1
+        assert stem.matches_out == 1
+
+
+class TestIndexes:
+    def test_index_lookup_equivalent_to_scan(self):
+        indexed = SteM("S", index_columns=["S.k"])
+        plain = SteM("S")
+        rows = [S.make(i % 5, i) for i in range(50)]
+        for r in rows:
+            indexed.build(S.make(*r.values))
+            plain.build(S.make(*r.values))
+        probe = T.make(3, 99)
+        got_indexed = sorted(m.values for m in indexed.probe(probe, [JOIN]))
+        got_plain = sorted(m.values for m in plain.probe(probe, [JOIN]))
+        assert got_indexed == got_plain
+        assert len(got_indexed) == 10
+
+    def test_add_index_retrofits_existing_content(self):
+        stem = SteM("S")
+        stem.build(S.make(1, 10))
+        stem.add_index("S.k")
+        assert len(stem.probe(T.make(1, 0), [JOIN])) == 1
+
+    def test_add_index_idempotent(self):
+        stem = SteM("S", index_columns=["S.k"])
+        stem.build(S.make(1, 10))
+        stem.add_index("S.k")
+        assert len(stem.probe(T.make(1, 0), [JOIN])) == 1
+
+
+class TestEviction:
+    def test_evict_before_timestamp(self):
+        stem = SteM("S", index_columns=["S.k"])
+        for ts in range(10):
+            stem.build(S.make(ts % 2, ts, timestamp=ts))
+        evicted = stem.evict_before(5)
+        assert evicted == 5
+        assert len(stem) == 5
+        # Index consistency after eviction:
+        matches = stem.probe(T.make(0, 0, timestamp=99), [JOIN])
+        assert all(m["S.x"] >= 5 for m in matches)
+
+    def test_evict_where(self):
+        stem = SteM("S", index_columns=["S.k"])
+        for i in range(6):
+            stem.build(S.make(i, i, timestamp=i))
+        evicted = stem.evict_where(lambda t: t["x"] % 2 == 0)
+        assert evicted == 3
+        assert len(stem) == 3
+
+    def test_contents_snapshot(self):
+        stem = SteM("S")
+        s = S.make(1, 2)
+        stem.build(s)
+        assert stem.contents() == [s]
+        assert stem.state_size() == 1
+
+
+class TestCacheSteM:
+    def test_lru_bounded(self):
+        cache = CacheSteM("S", capacity=2, index_columns=["S.k"])
+        for i in range(4):
+            cache.build(S.make(i, i, timestamp=i))
+        assert len(cache) == 2
+        assert not cache.lookup("S.k", 0)     # evicted
+        assert cache.lookup("S.k", 3)
+
+    def test_hit_miss_counters(self):
+        cache = CacheSteM("S", capacity=10, index_columns=["S.k"])
+        cache.build(S.make(1, 1))
+        cache.lookup("S.k", 1)
+        cache.lookup("S.k", 2)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lookup_without_index_scans(self):
+        cache = CacheSteM("S", capacity=10)
+        cache.build(S.make(1, 7))
+        assert cache.lookup("k", 1)
+
+
+class TestRendezvousBuffer:
+    def test_hold_and_settle(self):
+        buf = RendezvousBuffer("S")
+        s = S.make(1, 2)
+        buf.hold(s)
+        assert buf.pending_count() == 1
+        buf.settle(s)
+        assert buf.pending_count() == 0
+
+    def test_settle_unknown_is_noop(self):
+        buf = RendezvousBuffer("S")
+        buf.settle(S.make(1, 2))
+        assert buf.pending_count() == 0

@@ -1,0 +1,252 @@
+"""Tests for the storage manager: pages, the log-structured spill store,
+buffer pool replacement (LRU and CLOCK), and spooled streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tuples import Schema
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pages import Page
+from repro.storage.spill import SpillStore
+from repro.storage.spooled_stream import SpooledStream
+
+S = Schema.of("s", "v")
+
+
+class TestPage:
+    def test_append_and_rematerialise(self):
+        page = Page(0, "s", capacity=4)
+        page.append(S.make(10, timestamp=1))
+        page.append(S.make(20, timestamp=2))
+        tuples = page.tuples(S)
+        assert [t["v"] for t in tuples] == [10, 20]
+        assert [t.timestamp for t in tuples] == [1, 2]
+
+    def test_capacity_enforced(self):
+        page = Page(0, "s", capacity=1)
+        page.append(S.make(1, timestamp=1))
+        with pytest.raises(StorageError, match="full"):
+            page.append(S.make(2, timestamp=2))
+
+    def test_timestamp_range_tracked(self):
+        page = Page(0, "s", capacity=8)
+        for ts in (3, 5, 9):
+            page.append(S.make(ts, timestamp=ts))
+        assert (page.min_ts, page.max_ts) == (3, 9)
+        assert page.overlaps(1, 4)
+        assert page.overlaps(9, 20)
+        assert not page.overlaps(10, 20)
+
+    def test_window_filter(self):
+        page = Page(0, "s", capacity=8)
+        for ts in range(1, 7):
+            page.append(S.make(ts, timestamp=ts))
+        got = page.tuples_in_window(S, 2, 4)
+        assert [t.timestamp for t in got] == [2, 3, 4]
+
+    def test_payload_roundtrip(self):
+        page = Page(7, "s", capacity=4)
+        page.append(S.make(1, timestamp=1))
+        clone = Page.from_payload(page.to_payload())
+        assert clone.page_id == 7
+        assert clone.rows == page.rows
+        assert not clone.dirty
+
+    def test_timestamps_required(self):
+        page = Page(0, "s", capacity=4)
+        with pytest.raises(StorageError):
+            page.append(S.make(1))
+
+
+class TestSpillStore:
+    def test_write_read_roundtrip(self):
+        with SpillStore() as spill:
+            page = Page(1, "s", capacity=4)
+            page.append(S.make(42, timestamp=1))
+            spill.write_page(page)
+            back = spill.read_page(1)
+            assert back.rows == page.rows
+
+    def test_missing_page(self):
+        with SpillStore() as spill:
+            with pytest.raises(StorageError, match="not in the spill"):
+                spill.read_page(99)
+
+    def test_rewrite_appends_new_version(self):
+        with SpillStore() as spill:
+            page = Page(1, "s", capacity=4)
+            page.append(S.make(1, timestamp=1))
+            spill.write_page(page)
+            page.append(S.make(2, timestamp=2))
+            spill.write_page(page)
+            assert len(spill.read_page(1)) == 2
+            assert spill.writes == 2
+
+    def test_vacuum_reclaims_dead_versions(self):
+        with SpillStore() as spill:
+            page = Page(1, "s", capacity=64)
+            for ts in range(1, 33):
+                page.append(S.make(ts, timestamp=ts))
+            spill.write_page(page)
+            spill.write_page(page)
+            spill.write_page(page)
+            reclaimed = spill.vacuum()
+            assert reclaimed > 0
+            assert len(spill.read_page(1)) == 32
+
+    def test_drop_page(self):
+        with SpillStore() as spill:
+            page = Page(1, "s", capacity=4)
+            page.append(S.make(1, timestamp=1))
+            spill.write_page(page)
+            spill.drop_page(1)
+            assert not spill.contains(1)
+
+
+class TestBufferPool:
+    def fill_pages(self, pool, n, rows_per_page=2):
+        pages = []
+        ts = 1
+        for _ in range(n):
+            page = pool.new_page("s", capacity=rows_per_page)
+            for _ in range(rows_per_page):
+                page.append(S.make(ts, timestamp=ts))
+                ts += 1
+            pages.append(page)
+        return pages
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_eviction_and_refetch(self, policy):
+        pool = BufferPool(n_frames=2, policy=policy)
+        pages = self.fill_pages(pool, 5)
+        assert pool.resident == 2
+        assert pool.evictions == 3
+        # every page is still reachable, through the spill log
+        for page in pages:
+            back = pool.get_page(page.page_id)
+            assert back.rows == page.rows
+
+    def test_pinned_pages_survive(self):
+        pool = BufferPool(n_frames=2)
+        keeper = pool.new_page("s", capacity=2)
+        keeper.append(S.make(1, timestamp=1))
+        pool.pin(keeper)
+        self.fill_pages(pool, 4)
+        assert keeper.page_id in [p for p in
+                                  (pg.page_id for pg in
+                                   pool._frames.values())]
+        pool.unpin(keeper)
+
+    def test_all_pinned_exhausts_pool(self):
+        pool = BufferPool(n_frames=1)
+        page = pool.new_page("s", capacity=2)
+        pool.pin(page)
+        with pytest.raises(StorageError, match="pinned"):
+            pool.new_page("s", capacity=2)
+
+    def test_unpin_without_pin_rejected(self):
+        pool = BufferPool(n_frames=2)
+        page = pool.new_page("s", capacity=2)
+        with pytest.raises(StorageError):
+            pool.unpin(page)
+
+    def test_hit_rate_tracking(self):
+        pool = BufferPool(n_frames=4)
+        page = pool.new_page("s", capacity=2)
+        pool.get_page(page.page_id)
+        assert pool.hits == 1
+        assert pool.hit_rate() == 1.0
+
+    def test_lru_keeps_hot_page(self):
+        pool = BufferPool(n_frames=2, policy="lru")
+        hot = pool.new_page("s", capacity=2)
+        hot.append(S.make(1, timestamp=1))
+        cold = pool.new_page("s", capacity=2)
+        cold.append(S.make(2, timestamp=2))
+        pool.get_page(hot.page_id)            # touch hot
+        pool.new_page("s", capacity=2)        # forces one eviction
+        resident = set(pool._frames)
+        assert hot.page_id in resident
+        assert cold.page_id not in resident
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(4, policy="fifo")
+
+    def test_flush_all(self):
+        pool = BufferPool(n_frames=4)
+        page = pool.new_page("s", capacity=2)
+        page.append(S.make(1, timestamp=1))
+        assert pool.flush_all() == 1
+        assert not page.dirty
+
+    def test_discard_page(self):
+        pool = BufferPool(n_frames=4)
+        page = pool.new_page("s", capacity=2)
+        pool.discard_page(page.page_id)
+        assert page.page_id not in pool._frames
+
+    def test_stats_shape(self):
+        pool = BufferPool(n_frames=4)
+        stats = pool.stats()
+        assert stats["frames"] == 4
+
+
+class TestSpooledStream:
+    def test_scan_spans_memory_and_disk(self):
+        pool = BufferPool(n_frames=2)
+        stream = SpooledStream(S, pool, page_capacity=4)
+        for ts in range(1, 41):
+            stream.append(S.make(ts, timestamp=ts))
+        assert pool.evictions > 0        # definitely spilled
+        got = stream.scan_window(10, 20)
+        assert [t.timestamp for t in got] == list(range(10, 21))
+
+    def test_open_page_included_in_scans(self):
+        pool = BufferPool(n_frames=4)
+        stream = SpooledStream(S, pool, page_capacity=100)
+        stream.append(S.make(1, timestamp=1))
+        assert len(stream.scan_window(0, 10)) == 1
+
+    def test_truncate_drops_whole_pages(self):
+        pool = BufferPool(n_frames=8)
+        stream = SpooledStream(S, pool, page_capacity=5)
+        for ts in range(1, 26):
+            stream.append(S.make(ts, timestamp=ts))
+        stream.seal()
+        dropped = stream.truncate_before(11)
+        assert dropped == 2              # pages [1..5], [6..10]
+        assert stream.scan_window(1, 10) == []
+        assert len(stream.scan_window(11, 25)) == 15
+
+    def test_schema_must_be_named(self):
+        anon = Schema([c for c in S.columns])
+        with pytest.raises(StorageError):
+            SpooledStream(anon, BufferPool(2))
+
+    def test_single_frame_pool_rejected(self):
+        with pytest.raises(StorageError, match=">= 2 frames"):
+            SpooledStream(S, BufferPool(1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=120),
+       st.integers(1, 10), st.integers(2, 6),
+       st.sampled_from(["lru", "clock"]),
+       st.tuples(st.integers(0, 500), st.integers(0, 500)))
+def test_spooled_scan_equals_in_memory(values, page_cap, frames, policy,
+                                       window):
+    """Property: a window scan over a spooled stream (any page size,
+    any pool size, either policy) equals the plain in-memory scan."""
+    lo, hi = min(window), max(window)
+    pool = BufferPool(n_frames=frames, policy=policy)
+    stream = SpooledStream(S, pool, page_capacity=page_cap)
+    reference = []
+    for i, v in enumerate(sorted(values)):
+        t = S.make(v, timestamp=i)
+        stream.append(S.make(v, timestamp=i))
+        reference.append(t)
+    got = [(t.timestamp, t["v"]) for t in stream.scan_window(lo, hi)]
+    want = [(t.timestamp, t["v"]) for t in reference if lo <= t.timestamp <= hi]
+    assert got == want

@@ -1,0 +1,128 @@
+"""Tests for the TeSS screen-scraper wrapper: binding patterns,
+pagination, retries, and lookup caching."""
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.errors import ExecutionError
+from repro.ingress.tess import SimulatedWebForm, TessWrapper, WebFormError
+
+BOOKS = Schema.of("books", "isbn", "author", "price")
+
+
+def book_rows(n=35):
+    return [BOOKS.make(f"isbn{i}", f"author{i % 5}", 10.0 + i,
+                       timestamp=i) for i in range(n)]
+
+
+def make_form(**kwargs):
+    defaults = dict(bindable=["author", "isbn"], page_size=10,
+                    latency_cost=5)
+    defaults.update(kwargs)
+    return SimulatedWebForm("bookform", BOOKS, book_rows(), **defaults)
+
+
+class TestSimulatedWebForm:
+    def test_binding_pattern_enforced(self):
+        form = make_form(bindable=["author"])
+        with pytest.raises(WebFormError, match="no input field"):
+            form.submit({"price": 10.0})
+
+    def test_bindable_columns_validated_at_construction(self):
+        with pytest.raises(Exception):
+            make_form(bindable=["nonexistent"])
+
+    def test_pagination(self):
+        form = make_form()
+        page0, more0 = form.submit({"author": "author0"})
+        assert len(page0) == 7        # 35 rows / 5 authors
+        assert not more0
+        all_pages, more = form.submit({}, page=0)
+        assert len(all_pages) == 10 and more
+
+    def test_failure_injection(self):
+        form = make_form(failure_rate=1.0)
+        with pytest.raises(ExecutionError, match="transient"):
+            form.submit({"author": "author0"})
+
+
+class TestTessWrapper:
+    def test_lookup_parses_rows_into_tuples(self):
+        wrapper = TessWrapper(make_form())
+        rows = wrapper.lookup({"author": "author2"})
+        assert len(rows) == 7
+        assert all(t["author"] == "author2" for t in rows)
+        assert rows[0].schema is BOOKS
+
+    def test_lookup_paginates_to_completion(self):
+        wrapper = TessWrapper(make_form(page_size=3))
+        rows = wrapper.lookup({"author": "author0"})
+        assert len(rows) == 7
+        # 7 results at page size 3 -> 3 round trips
+        assert wrapper.form.requests == 3
+
+    def test_cache_avoids_repeat_requests(self):
+        wrapper = TessWrapper(make_form())
+        first = wrapper.lookup({"author": "author1"})
+        requests_after_first = wrapper.form.requests
+        second = wrapper.lookup({"author": "author1"})
+        assert wrapper.form.requests == requests_after_first
+        assert wrapper.cache_hits == 1
+        assert sorted(t.values for t in first) == \
+            sorted(t.values for t in second)
+
+    def test_transient_failures_retried(self):
+        # fails roughly half the time; retries shoulder through
+        wrapper = TessWrapper(make_form(failure_rate=0.5, seed=3),
+                              max_retries=10)
+        rows = wrapper.lookup({"author": "author3"})
+        assert len(rows) == 7
+        assert wrapper.retries > 0
+
+    def test_permanent_failure_after_retries(self):
+        wrapper = TessWrapper(make_form(failure_rate=1.0), max_retries=2)
+        with pytest.raises(WebFormError, match="after 2 retries"):
+            wrapper.lookup({"author": "author0"})
+
+    def test_bad_binding_not_retried(self):
+        wrapper = TessWrapper(make_form(bindable=["author"]))
+        with pytest.raises(WebFormError, match="no input field"):
+            wrapper.lookup({"price": 1.0})
+        assert wrapper.retries == 0
+
+    def test_multi_column_binding(self):
+        wrapper = TessWrapper(make_form())
+        rows = wrapper.lookup({"author": "author0", "isbn": "isbn5"})
+        assert len(rows) == 1
+        assert rows[0]["price"] == 15.0
+
+    def test_stats(self):
+        wrapper = TessWrapper(make_form())
+        wrapper.lookup({"author": "author0"})
+        stats = wrapper.stats()
+        assert stats["lookups"] == 1
+        assert stats["requests"] >= 1
+
+
+class TestIndexJoinIntegration:
+    def test_stream_joins_through_tess(self):
+        """The Section 2.2 index join: S probes a TeSS-wrapped form,
+        with a rendezvous buffer holding probes and the cache SteM
+        saving repeat lookups."""
+        from repro.core.stem import RendezvousBuffer
+        orders = Schema.of("orders", "author", "qty")
+        wrapper = TessWrapper(make_form(bindable=["author"]))
+        buffer = RendezvousBuffer("orders")
+        results = []
+        stream = [orders.make(f"author{i % 3}", i, timestamp=i)
+                  for i in range(12)]
+        for order in stream:
+            buffer.hold(order)
+            matches = wrapper.lookup({"author": order["author"]})
+            for book in matches:
+                results.append(order.concat(book))
+            buffer.settle(order)
+        assert buffer.pending_count() == 0
+        assert len(results) == 12 * 7
+        # only 3 distinct authors -> only 3 rounds of real requests
+        assert wrapper.cache_hits == 9

@@ -1,0 +1,190 @@
+"""Unit tests for schemas, tuples, and lineage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tuples import Column, Punctuation, Schema, Tuple, is_eos
+from repro.errors import SchemaError
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        s = Schema.of("S", "a", "b")
+        assert s.column_names() == ["a", "b"]
+        assert s.sources == frozenset({"S"})
+        assert s.name == "S"
+
+    def test_index_of(self):
+        s = Schema.of("S", "a", "b")
+        assert s.index_of("a") == 0
+        assert s.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        s = Schema.of("S", "a")
+        with pytest.raises(SchemaError, match="no column"):
+            s.index_of("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a"), Column("a")])
+
+    def test_qualified_fallback_single_source(self):
+        s = Schema.of("S", "a", "b")
+        assert s.has_column("S.a")
+        assert s.index_of("S.a") == 0
+
+    def test_qualified_fallback_wrong_source(self):
+        s = Schema.of("S", "a")
+        assert not s.has_column("T.a")
+
+    def test_make_validates_arity(self):
+        s = Schema.of("S", "a", "b")
+        with pytest.raises(SchemaError, match="expected 2"):
+            s.make(1)
+
+    def test_make_validates_dtype(self):
+        s = Schema([Column("a", int)], name="S")
+        with pytest.raises(SchemaError, match="expects int"):
+            s.make("not an int")
+
+    def test_make_allows_none_regardless_of_dtype(self):
+        s = Schema([Column("a", int)], name="S")
+        assert s.make(None)["a"] is None
+
+    def test_join_qualifies_all_columns(self):
+        s = Schema.of("S", "a", "x")
+        t = Schema.of("T", "a", "y")
+        j = s.join(t)
+        assert j.column_names() == ["S.a", "S.x", "T.a", "T.y"]
+        assert j.sources == frozenset({"S", "T"})
+
+    def test_join_unique_suffix_alias(self):
+        s = Schema.of("S", "a", "x")
+        t = Schema.of("T", "a", "y")
+        j = s.join(t)
+        # "x" and "y" are unambiguous suffixes; "a" is not.
+        assert j.has_column("x")
+        assert j.has_column("y")
+        assert not j.has_column("a")
+
+    def test_three_way_join(self):
+        s = Schema.of("S", "k")
+        t = Schema.of("T", "k")
+        u = Schema.of("U", "k")
+        j = s.join(t).join(u)
+        assert j.sources == frozenset({"S", "T", "U"})
+        assert j.column_names() == ["S.k", "T.k", "U.k"]
+
+    def test_equality_and_hash(self):
+        a = Schema.of("S", "a")
+        b = Schema.of("S", "a")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTuple:
+    def test_getitem_and_get(self, simple_schema):
+        t = simple_schema.make(1, 2)
+        assert t["a"] == 1
+        assert t.get("missing", 42) == 42
+
+    def test_as_dict(self, simple_schema):
+        assert simple_schema.make(1, 2).as_dict() == {"a": 1, "b": 2}
+
+    def test_iter_len(self, simple_schema):
+        t = simple_schema.make(1, 2)
+        assert list(t) == [1, 2]
+        assert len(t) == 2
+
+    def test_value_equality_ignores_lineage(self, simple_schema):
+        t1 = simple_schema.make(1, 2)
+        t2 = simple_schema.make(1, 2)
+        t1.done = 7
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_tids_are_unique_and_increasing(self, simple_schema):
+        a = simple_schema.make(1, 2)
+        b = simple_schema.make(3, 4)
+        assert b.tid > a.tid
+
+    def test_mark_done_and_is_done(self, simple_schema):
+        t = simple_schema.make(1, 2)
+        t.mark_done(0b01)
+        assert not t.is_done(0b11)
+        t.mark_done(0b10)
+        assert t.is_done(0b11)
+
+    def test_kill_query_requires_initialised_lineage(self, simple_schema):
+        t = simple_schema.make(1, 2)
+        with pytest.raises(ValueError):
+            t.kill_query(1)
+        t.queries = 0b111
+        t.kill_query(0b010)
+        assert t.queries == 0b101
+
+    def test_concat_values_and_sources(self):
+        s = Schema.of("S", "a")
+        u = Schema.of("T", "b")
+        joined = s.make(1, timestamp=5).concat(u.make(2, timestamp=9))
+        assert joined.values == (1, 2)
+        assert joined.sources == frozenset({"S", "T"})
+        assert joined.timestamp == 9
+
+    def test_concat_unions_done_bits(self):
+        s = Schema.of("S", "a")
+        u = Schema.of("T", "b")
+        a = s.make(1)
+        b = u.make(2)
+        a.done = 0b001
+        b.done = 0b100
+        assert a.concat(b).done == 0b101
+
+    def test_concat_intersects_query_lineage(self):
+        s = Schema.of("S", "a")
+        u = Schema.of("T", "b")
+        a = s.make(1)
+        b = u.make(2)
+        a.queries = 0b110
+        b.queries = 0b011
+        assert a.concat(b).queries == 0b010
+
+    def test_concat_tracks_base_lineage(self):
+        s = Schema.of("S", "a")
+        u = Schema.of("T", "b")
+        a = s.make(1)
+        b = u.make(2)
+        j = a.concat(b)
+        assert j.base_id_set() == {a.tid, b.tid}
+        assert j.max_base == max(a.tid, b.tid)
+
+    def test_base_id_set_lazy_for_base_tuples(self, simple_schema):
+        t = simple_schema.make(1, 2)
+        assert t.base_ids is None
+        assert t.base_id_set() == {t.tid}
+
+    def test_qualified_access_on_base_tuple(self):
+        s = Schema.of("S", "a")
+        assert s.make(7)["S.a"] == 7
+
+
+class TestPunctuation:
+    def test_eos(self):
+        p = Punctuation.eos("src")
+        assert is_eos(p)
+        assert p.source == "src"
+
+    def test_window_boundary_is_not_eos(self):
+        assert not is_eos(Punctuation.window_boundary())
+
+    def test_tuples_are_not_eos(self, simple_schema):
+        assert not is_eos(simple_schema.make(1, 2))
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=8),
+       st.lists(st.integers(), min_size=1, max_size=8))
+def test_concat_is_value_concatenation(xs, ys):
+    sa = Schema([Column(f"a{i}") for i in range(len(xs))], name="A")
+    sb = Schema([Column(f"b{i}") for i in range(len(ys))], name="B")
+    joined = sa.make(*xs).concat(sb.make(*ys))
+    assert joined.values == tuple(xs) + tuple(ys)

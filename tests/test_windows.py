@@ -1,0 +1,217 @@
+"""Tests for window semantics: the paper's four example queries (§4.1),
+every ForLoopSpec constructor, HistoricalStore, and the runner."""
+
+import pytest
+
+from repro.core.windows import (ForLoopSpec, HistoricalStore,
+                                WindowedQueryRunner, WindowInstance,
+                                WindowIs)
+from repro.core.tuples import Schema
+from repro.errors import QueryError
+from repro.ingress.generators import CLOSING_STOCK_PRICES
+
+S = CLOSING_STOCK_PRICES
+
+
+def stock_store(days=30, symbols=("MSFT", "IBM")):
+    """Deterministic prices: MSFT climbs 46,47,..., IBM flat at 50."""
+    store = HistoricalStore("ClosingStockPrices")
+    for day in range(1, days + 1):
+        for sym in symbols:
+            price = 45.0 + day if sym == "MSFT" else 50.0
+            store.append(S.make(day, sym, price, timestamp=day))
+    return store
+
+
+def msft_filter(rows):
+    return [t for t in rows if t["stockSymbol"] == "MSFT"]
+
+
+class TestForLoopConstructors:
+    def test_snapshot_single_iteration(self):
+        spec = ForLoopSpec.snapshot("s", 1, 5)
+        instances = list(spec)
+        assert len(instances) == 1
+        assert instances[0].bounds_for("s") == (1, 5)
+
+    def test_landmark_fixed_left_moving_right(self):
+        spec = ForLoopSpec.landmark("s", anchor=101, start=101, stop=105)
+        bounds = [i.bounds_for("s") for i in spec]
+        assert bounds == [(101, 101), (101, 102), (101, 103),
+                          (101, 104), (101, 105)]
+
+    def test_sliding_unit_hop(self):
+        spec = ForLoopSpec.sliding("s", width=3, start=3, stop=6)
+        assert [i.bounds_for("s") for i in spec] == \
+            [(1, 3), (2, 4), (3, 5)]
+
+    def test_hopping_window(self):
+        spec = ForLoopSpec.sliding("s", width=5, start=5, stop=20, hop=5)
+        assert [i.bounds_for("s") for i in spec] == \
+            [(1, 5), (6, 10), (11, 15)]
+
+    def test_backward_window(self):
+        spec = ForLoopSpec.backward("s", width=3, start=10, stop=6, hop=2)
+        assert [i.bounds_for("s") for i in spec] == \
+            [(8, 10), (6, 8), (4, 6)]
+
+    def test_band_spans_streams_in_unison(self):
+        spec = ForLoopSpec.band(["c1", "c2"], width=5, start=10, stop=12)
+        first = next(iter(spec))
+        assert first.bounds_for("c1") == first.bounds_for("c2") == (6, 10)
+
+    def test_hop_exceeds_width_detection(self):
+        gappy = ForLoopSpec.sliding("s", width=2, start=2, stop=20, hop=5)
+        dense = ForLoopSpec.sliding("s", width=5, start=5, stop=20, hop=5)
+        assert gappy.hop_exceeds_width()
+        assert not dense.hop_exceeds_width()
+
+    def test_duplicate_windowis_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            ForLoopSpec(0, lambda t: t < 1, lambda t: t + 1,
+                        [WindowIs("s", lambda t: t, lambda t: t),
+                         WindowIs("s", lambda t: t, lambda t: t)])
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(QueryError):
+            ForLoopSpec(0, lambda t: True, lambda t: t + 1, [])
+
+    def test_max_iterations_caps_infinite_loops(self):
+        spec = ForLoopSpec(0, lambda t: True, lambda t: t + 1,
+                           [WindowIs("s", lambda t: t, lambda t: t)],
+                           max_iterations=7)
+        assert len(list(spec)) == 7
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(QueryError):
+            ForLoopSpec.sliding("s", width=0, start=1, stop=5)
+
+
+class TestHistoricalStore:
+    def test_scan_inclusive_bounds(self):
+        store = stock_store(days=10, symbols=("MSFT",))
+        assert [t.timestamp for t in store.scan(3, 5)] == [3, 4, 5]
+
+    def test_scan_empty_range(self):
+        store = stock_store(days=5, symbols=("MSFT",))
+        assert store.scan(100, 200) == []
+
+    def test_out_of_order_append_rejected(self):
+        store = HistoricalStore("s")
+        store.append(S.make(5, "MSFT", 1.0, timestamp=5))
+        with pytest.raises(QueryError, match="out-of-order"):
+            store.append(S.make(3, "MSFT", 1.0, timestamp=3))
+
+    def test_missing_timestamp_rejected(self):
+        store = HistoricalStore("s")
+        with pytest.raises(QueryError):
+            store.append(S.make(1, "MSFT", 1.0))
+
+    def test_truncate_before(self):
+        store = stock_store(days=10, symbols=("MSFT",))
+        dropped = store.truncate_before(6)
+        assert dropped == 5
+        assert len(store) == 5
+        assert store.scan(1, 100)[0].timestamp == 6
+
+    def test_latest_timestamp(self):
+        assert HistoricalStore("s").latest_timestamp() is None
+        assert stock_store(days=3).latest_timestamp() == 3
+
+
+class PaperExamples:
+    """Namespace marker — the four §4.1 queries, executed literally."""
+
+
+class TestPaperExample1Snapshot:
+    def test_first_five_days_of_msft(self):
+        """'Select the closing prices for MSFT on the first five days of
+        trading' — for(; t==0; t=-1) WindowIs(CSP, 1, 5)."""
+        store = stock_store()
+        spec = ForLoopSpec(0, lambda t: t == 0, lambda t: -1,
+                           [WindowIs("ClosingStockPrices",
+                                     lambda t: 1, lambda t: 5)])
+        runner = WindowedQueryRunner(
+            spec, {"ClosingStockPrices": store},
+            lambda data: msft_filter(data["ClosingStockPrices"]))
+        results = runner.run()
+        assert len(results) == 1
+        _t, rows = results[0]
+        assert [t.timestamp for t in rows] == [1, 2, 3, 4, 5]
+
+
+class TestPaperExample2Landmark:
+    def test_days_msft_above_50_after_anchor(self):
+        """Landmark: fixed left end, right end sweeping; the answer for
+        iteration t is a superset of iteration t-1 (monotone growth)."""
+        store = stock_store(days=30)
+        spec = ForLoopSpec.landmark("ClosingStockPrices", anchor=5,
+                                    start=5, stop=30)
+
+        def body(data):
+            return [t for t in msft_filter(data["ClosingStockPrices"])
+                    if t["closingPrice"] > 50.0]
+
+        runner = WindowedQueryRunner(spec, {"ClosingStockPrices": store},
+                                     body)
+        sizes = [len(rows) for _t, rows in runner]
+        assert sizes == sorted(sizes)           # landmark grows monotonically
+        # MSFT price is 45+day: > 50 from day 6 on.
+        assert sizes[-1] == 30 - 6 + 1
+
+
+class TestPaperExample3SlidingAvg:
+    def test_five_day_average_every_fifth_day(self):
+        store = stock_store(days=30, symbols=("MSFT",))
+        spec = ForLoopSpec.sliding("ClosingStockPrices", width=5,
+                                   start=5, stop=30, hop=5)
+
+        def body(data):
+            rows = msft_filter(data["ClosingStockPrices"])
+            return [sum(t["closingPrice"] for t in rows) / len(rows)]
+
+        runner = WindowedQueryRunner(spec, {"ClosingStockPrices": store},
+                                     body)
+        averages = [rows[0] for _t, rows in runner]
+        # days d-4..d with price 45+day: average = 45 + d - 2
+        assert averages == [48.0, 53.0, 58.0, 63.0, 68.0]
+
+
+class TestPaperExample4BandJoin:
+    def test_stocks_closing_higher_than_msft(self):
+        store = stock_store(days=10, symbols=("MSFT", "IBM"))
+        spec = ForLoopSpec.band(["c1", "c2"], width=5, start=5, stop=8)
+        alias_c1 = Schema(S.columns, name="c1")
+        alias_c2 = Schema(S.columns, name="c2")
+
+        def rebind(rows, schema):
+            from repro.core.tuples import Tuple
+            return [Tuple(schema, t.values, timestamp=t.timestamp)
+                    for t in rows]
+
+        def body(data):
+            c1 = [t for t in rebind(data["c1"], alias_c1)
+                  if t["stockSymbol"] == "MSFT"]
+            c2 = [t for t in rebind(data["c2"], alias_c2)
+                  if t["stockSymbol"] != "MSFT"]
+            out = []
+            for a in c1:
+                for b in c2:
+                    if b["timestamp"] == a["timestamp"] and \
+                            b["closingPrice"] > a["closingPrice"]:
+                        out.append(b)
+            return out
+
+        stores = {"c1": store, "c2": store}
+        runner = WindowedQueryRunner(spec, stores, body)
+        results = runner.run()
+        # MSFT = 45+day passes IBM (50) after day 5, so early windows
+        # have matches and later ones thin out.
+        first_window = results[0][1]
+        assert all(t["stockSymbol"] == "IBM" for t in first_window)
+        assert len(first_window) == 4     # days 1..4 of window 1..5
+
+    def test_runner_requires_stores(self):
+        spec = ForLoopSpec.snapshot("missing", 1, 5)
+        with pytest.raises(QueryError, match="no historical store"):
+            WindowedQueryRunner(spec, {}, lambda d: [])
