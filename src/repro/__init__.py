@@ -20,18 +20,40 @@ The package implements the full TelegraphCQ stack in pure Python:
 * **Juggle** (:mod:`repro.juggle`) — online reordering by preference;
 * **baselines** (:mod:`repro.baselines`) — static plans, per-query CQ
   processing, and a NiagaraCQ-style grouped engine;
-* **monitor** (:mod:`repro.monitor`) — runtime statistics and QoS load
-  shedding.
+* **monitor** (:mod:`repro.monitor`) — runtime statistics, QoS load
+  shedding, and the unified telemetry registry
+  (:mod:`repro.monitor.telemetry`).
 
 Quickstart::
 
     from repro import TelegraphCQServer, Schema
 
-    server = TelegraphCQServer()
-    server.create_stream(Schema.of("trades", "sym", "price"))
-    cursor = server.submit("SELECT * FROM trades WHERE price > 100")
-    server.push("trades", "MSFT", 101.5)
-    print(cursor.fetch())
+    with TelegraphCQServer() as server:
+        server.create_stream(Schema.of("trades", "sym", "price"))
+        cursor = server.submit("SELECT * FROM trades WHERE price > 100")
+        server.push("trades", "MSFT", 101.5)
+        print(cursor.fetch())
+        print(server.telemetry().to_prometheus())
+
+Result retrieval — the blessed triad
+------------------------------------
+
+Every :class:`Cursor` supports exactly three retrieval styles; pick one
+per cursor and stick to it:
+
+* **pull** — ``cursor.fetch(limit=...)`` drains buffered results for
+  any query kind (windowed cursors yield rows flattened in window
+  order);
+* **push** — pass ``on_result=callback`` to
+  :meth:`TelegraphCQServer.submit` and every result is delivered as it
+  is produced;
+* **sequence of sets** — windowed cursors additionally offer
+  ``cursor.fetch_windows()`` returning ``(loop_value, rows)`` pairs
+  when window boundaries matter.
+
+Reading the private ``cursor._queue`` directly is deprecated and warns;
+cursors and the server are context managers (``close()`` cancels the
+underlying query / shuts the engine down).
 """
 
 from repro.core.adaptivity import AdaptivityController, ControlledEddy
@@ -59,7 +81,7 @@ from repro.core.windows import (ForLoopSpec, HistoricalStore,
                                 WindowedQueryRunner, WindowIs)
 from repro.errors import (ClusterError, ExecutionError, ParseError,
                           PlanError, QueryError, SchemaError, StorageError,
-                          TelegraphError)
+                          TelegraphError, TelemetryError)
 from repro.fjords.fjord import Fjord
 from repro.fjords.module import CollectingSink, Module, SinkModule, SourceModule
 from repro.fjords.queues import ExchangeQueue, FjordQueue, PullQueue, PushQueue
@@ -72,6 +94,9 @@ from repro.ingress.tess import SimulatedWebForm, TessWrapper
 from repro.ingress.tag import (CentralizedAggregator, RoutingTree,
                                TagAggregator)
 from repro.monitor.qos import LoadShedder
+from repro.monitor.telemetry import (MetricRegistry, SeriesSample,
+                                     TelemetrySnapshot, get_registry,
+                                     set_registry)
 from repro.query.catalog import Catalog
 from repro.query.dataflow_script import DataflowScript, parse_script
 from repro.query.parser import parse, parse_predicate
@@ -98,11 +123,13 @@ __all__ = [
     "RankPolicy", "RoutingPolicy", "RoutingTree", "Schema", "SchemaError",
     "SensorProxy", "SinkModule", "SourceModule", "SteM", "SteMOperator",
     "StorageError", "TagAggregator", "TelegraphCQServer", "TelegraphError",
+    "TelemetryError",
     "TranscodingEgress", "Tuple", "WindowIs", "WindowedQueryRunner",
     "parse", "parse_predicate", "parse_script",
     "BroadcastReader", "BroadcastSchedule", "BufferPool", "PeriodicQuery",
     "SimulatedWebForm", "SpillStore", "SpillingQueryStore",
     "SpooledStream", "SubEddyOperator", "TessWrapper", "expected_wait",
     "nested_filter_scope", "ControlledEddy", "CACQPartitionState",
-    "ParallelCACQ",
+    "ParallelCACQ", "MetricRegistry", "SeriesSample", "TelemetrySnapshot",
+    "get_registry", "set_registry",
 ]

@@ -224,6 +224,20 @@ class TelegraphShell:
                  f"execution objs  : {stats['executor']['eos']}"]
         for stream, n in stats["streams"].items():
             lines.append(f"stream {stream}: {n} tuples stored")
+        snapshot = self.server.telemetry()
+        lines.append("")
+        lines.append(f"telemetry ({len(snapshot)} series)")
+        for subsystem in snapshot.subsystems():
+            samples = snapshot.by_subsystem(subsystem)
+            lines.append(f"[{subsystem}]")
+            for s in samples:
+                label_body = ",".join(
+                    f"{k}={v}" for k, v in sorted(s.labels.items()))
+                name = f"{s.name}{{{label_body}}}" if label_body else s.name
+                if s.kind == "histogram":
+                    lines.append(f"  {name} count={s.count} sum={s.sum:g}")
+                else:
+                    lines.append(f"  {name} = {s.value:g}")
         return "\n".join(lines)
 
     # -- drivers ------------------------------------------------------------------

@@ -33,6 +33,9 @@ from repro.core.routing import LotteryPolicy, RoutingPolicy
 from repro.core.stem import SteM
 from repro.core.tuples import Schema, Tuple
 from repro.errors import QueryError
+from repro.monitor.telemetry import get_registry
+
+_CACQ_IDS = itertools.count()
 from repro.query.predicates import (ALWAYS_TRUE, ColumnComparison, Comparison,
                                     Predicate, decompose)
 
@@ -106,6 +109,35 @@ class CACQEngine:
         self.results_out = 0
         self.filter_probes = 0
         self.stem_probes = 0
+        self._telemetry = get_registry()
+        self._telemetry_id = f"cacq#{next(_CACQ_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
+
+    # -- telemetry -----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        engine = self._telemetry_id
+        reg.counter("tcq_cacq_tuples_in_total",
+                    "Tuples processed by the shared CACQ eddy", ("engine",),
+                    collected=True).labels(engine).set_total(self.tuples_in)
+        reg.counter("tcq_cacq_results_out_total",
+                    "Query results delivered by CACQ", ("engine",),
+                    collected=True).labels(engine).set_total(
+            self.results_out)
+        reg.counter("tcq_cacq_filter_probes_total",
+                    "Grouped-filter probe operations", ("engine",),
+                    collected=True).labels(engine).set_total(
+            self.filter_probes)
+        reg.counter("tcq_cacq_stem_probes_total",
+                    "SteM probe operations issued by CACQ", ("engine",),
+                    collected=True).labels(engine).set_total(
+            self.stem_probes)
+        reg.gauge("tcq_cacq_queries", "Standing continuous queries",
+                  ("engine",), collected=True).labels(engine).set(
+            len(self.queries))
+        reg.gauge("tcq_cacq_stems", "Shared SteMs in the CACQ engine",
+                  ("engine",), collected=True).labels(engine).set(
+            len(self.stems))
 
     # -- catalog -------------------------------------------------------------
     def register_stream(self, schema: Schema) -> None:

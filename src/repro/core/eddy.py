@@ -21,6 +21,7 @@ The implementation notes map to the paper like so:
 
 from __future__ import annotations
 
+import itertools
 from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple)
 
 from repro.core.routing import BatchingDirective, PER_TUPLE, RoutingPolicy, RandomPolicy
@@ -28,7 +29,10 @@ from repro.core.stem import SteM
 from repro.core.tuples import Punctuation, Tuple
 from repro.errors import ExecutionError, PlanError
 from repro.fjords.module import Module
+from repro.monitor.telemetry import get_registry
 from repro.query.predicates import ColumnComparison, Predicate
+
+_EDDY_IDS = itertools.count()
 
 
 class HandleResult:
@@ -225,6 +229,11 @@ class Eddy(Module):
         self.routing_decisions = 0
         self.tuples_routed = 0
         self.outputs_emitted = 0
+        # Telemetry is collector-based: the routing loop touches only the
+        # plain integers above; the registry pulls them at snapshot time.
+        self._telemetry = get_registry()
+        self._telemetry_id = f"{self.name}#{next(_EDDY_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- the routing loop ---------------------------------------------------
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
@@ -363,6 +372,32 @@ class Eddy(Module):
             if isinstance(op, SteMOperator):
                 evicted += op.stem.evict_before(timestamp)
         return evicted
+
+    # -- telemetry ----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        eddy = self._telemetry_id
+        reg.counter("tcq_eddy_tuples_routed_total",
+                    "Tuples entering the routing loop", ("eddy",),
+                    collected=True).labels(eddy).set_total(
+            self.tuples_routed)
+        reg.counter("tcq_eddy_routing_decisions_total",
+                    "Policy consultations", ("eddy",),
+                    collected=True).labels(eddy).set_total(
+            self.routing_decisions)
+        reg.counter("tcq_eddy_outputs_total",
+                    "Tuples emitted from the eddy", ("eddy",),
+                    collected=True).labels(eddy).set_total(
+            self.outputs_emitted)
+        seen = reg.counter("tcq_eddy_operator_seen_total",
+                           "Tuples handled per connected operator",
+                           ("eddy", "op"), collected=True)
+        sel = reg.gauge("tcq_eddy_operator_selectivity",
+                        "EWMA observed selectivity per operator",
+                        ("eddy", "op"), collected=True)
+        for op in self.operators:
+            seen.labels(eddy, op.name).set_total(op.seen)
+            sel.labels(eddy, op.name).set(op.observed_selectivity())
 
     # -- introspection ------------------------------------------------------
     def operator(self, name: str) -> EddyOperator:

@@ -24,6 +24,7 @@ matching the proxy service on the right of Figure 5.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple as TypingTuple, Union)
 
 from repro.core.cacq import CACQEngine, ContinuousQuery
@@ -32,6 +33,7 @@ from repro.core.tuples import Schema, Tuple
 from repro.core.windows import HistoricalStore
 from repro.errors import ExecutionError, QueryError
 from repro.fjords.queues import EMPTY, PushQueue
+from repro.monitor.telemetry import get_registry
 from repro.query.ast import QuerySpec
 from repro.query.catalog import Catalog
 from repro.query.optimizer import CompiledQuery, WindowedPlan, compile_query
@@ -42,24 +44,46 @@ from repro.query.predicates import Predicate
 class Cursor:
     """A client's handle on one submitted query.
 
-    Continuous results are drained with :meth:`fetch` (pull) or observed
-    via ``on_result`` (push); windowed queries produce a sequence of
-    sets read with :meth:`fetch_windows`.
+    Result retrieval is unified across query kinds:
+
+    * **pull** — :meth:`fetch` drains buffered results for *any* cursor
+      (windowed cursors yield their window rows flattened, in window
+      order);
+    * **push** — pass ``on_result`` at :meth:`TelegraphCQServer.submit`
+      time and results are delivered as they are produced;
+    * **sequence of sets** — windowed cursors additionally expose
+      :meth:`fetch_windows`, returning ``(loop_value, rows)`` pairs.
+
+    Cursors are context managers; :meth:`close` cancels the underlying
+    continuous query or stops the windowed plan.  Direct access to the
+    internal output queue (the old ``cursor._queue``) is deprecated.
     """
 
     def __init__(self, cursor_id: int, kind: str, client: str,
-                 on_result: Optional[Callable[[Tuple], None]] = None):
+                 on_result: Optional[Callable[[Tuple], None]] = None,
+                 server: Optional["TelegraphCQServer"] = None):
         self.cursor_id = cursor_id
         self.kind = kind
         self.client = client
         self.on_result = on_result
-        self._queue: PushQueue = PushQueue(name=f"out[{cursor_id}]")
+        self._out: PushQueue = PushQueue(name=f"out[{cursor_id}]")
         self._windows: List[TypingTuple[int, List[Tuple]]] = []
         self.closed = False
         self.delivered = 0
         #: set for continuous cursors: the underlying CACQ query.
         self.continuous_query: Optional[ContinuousQuery] = None
         self.compiled: Optional[CompiledQuery] = None
+        self._server = server
+        #: set for windowed cursors: the incremental execution state.
+        self._windowed_state: Optional["_WindowedQueryState"] = None
+
+    @property
+    def _queue(self) -> PushQueue:
+        warnings.warn(
+            "Cursor._queue is deprecated; use Cursor.fetch(limit=...) "
+            "or the on_result callback instead",
+            DeprecationWarning, stacklevel=2)
+        return self._out
 
     # -- engine side -------------------------------------------------------
     def _deliver(self, t: Tuple) -> None:
@@ -67,7 +91,7 @@ class Cursor:
         if self.on_result is not None:
             self.on_result(t)
         else:
-            self._queue.push(t)
+            self._out.push(t)
 
     def _deliver_window(self, t: int, rows: List[Tuple]) -> None:
         self.delivered += len(rows)
@@ -78,10 +102,19 @@ class Cursor:
 
     # -- client side -------------------------------------------------------
     def fetch(self, limit: int = 0) -> List[Tuple]:
-        """Drain buffered results (all of them when ``limit`` is 0)."""
+        """Drain buffered results (all of them when ``limit`` is 0).
+
+        Works for every cursor kind: windowed cursors flatten their
+        computed windows into row order, so a client that does not care
+        about window boundaries never needs :meth:`fetch_windows`.
+        """
+        if self.kind == "windowed":
+            for _t, rows in self.fetch_windows():
+                for row in rows:
+                    self._out.push(row)
         out: List[Tuple] = []
         while not limit or len(out) < limit:
-            item = self._queue.pop()
+            item = self._out.pop()
             if item is EMPTY:
                 break
             out.append(item)
@@ -93,7 +126,29 @@ class Cursor:
         return out
 
     def pending(self) -> int:
-        return len(self._queue) + sum(len(r) for _t, r in self._windows)
+        return len(self._out) + sum(len(r) for _t, r in self._windows)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Stop the query behind this cursor.  Idempotent.
+
+        Continuous cursors are cancelled out of their shared engine;
+        windowed cursors stop evaluating further windows.  Already
+        buffered results remain fetchable.
+        """
+        if self.closed:
+            return
+        if self._windowed_state is not None:
+            self._windowed_state.done = True
+        if self.continuous_query is not None and self._server is not None:
+            self._server.cancel(self)
+        self.closed = True
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"Cursor(#{self.cursor_id}, {self.kind}, {self.client})"
@@ -177,7 +232,12 @@ class _WindowedQueryState:
 
 
 class TelegraphCQServer:
-    """The whole system, one object."""
+    """The whole system, one object.
+
+    The server is a context manager: ``with TelegraphCQServer() as srv``
+    closes every stream and cursor on exit.  Live operational metrics
+    for the whole process are returned by :meth:`telemetry`.
+    """
 
     def __init__(self, max_cursors_per_proxy: int = 16):
         self.catalog = Catalog()
@@ -196,6 +256,10 @@ class TelegraphCQServer:
         self.max_cursors_per_proxy = max_cursors_per_proxy
         self._next_cursor = itertools.count(1)
         self.tuples_ingested = 0
+        self._ingress_by_stream: Dict[str, int] = {}
+        self.closed = False
+        self._telemetry = get_registry()
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- DDL ----------------------------------------------------------------
     def create_stream(self, schema: Schema) -> None:
@@ -224,11 +288,14 @@ class TelegraphCQServer:
         if self._stream_closed.get(stream):
             raise ExecutionError(f"stream {stream!r} is closed")
         self.tuples_ingested += 1
-        self.stores[stream].append(t)
-        self._stream_clock[stream] = t.timestamp
-        for engine in self._engines_reading(stream):
-            clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
-            engine.push_tuple(stream, clone)
+        self._ingress_by_stream[stream] = \
+            self._ingress_by_stream.get(stream, 0) + 1
+        with self._telemetry.trace("ingress", stream=stream):
+            self.stores[stream].append(t)
+            self._stream_clock[stream] = t.timestamp
+            for engine in self._engines_reading(stream):
+                clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
+                engine.push_tuple(stream, clone)
 
     def _engines_reading(self, stream: str) -> List[CACQEngine]:
         return [engine for engine in self._cacq.values()
@@ -263,7 +330,8 @@ class TelegraphCQServer:
 
     def _open_cursor(self, kind: str, client: str,
                      on_result: Optional[Callable[[Tuple], None]]) -> Cursor:
-        cursor = Cursor(next(self._next_cursor), kind, client, on_result)
+        cursor = Cursor(next(self._next_cursor), kind, client, on_result,
+                        server=self)
         proxies = self._proxies.setdefault(client, [])
         proxy = next((p for p in proxies if p.has_room), None)
         if proxy is None:
@@ -376,6 +444,7 @@ class TelegraphCQServer:
             bound_env["ST"] = self._global_clock() + 1
         spec = plan.build_spec(bound_env)
         state = _WindowedQueryState(plan, iter(spec), cursor, self)
+        cursor._windowed_state = state
         du = DispatchUnit(
             f"windowed-{cursor.cursor_id}", DispatchUnit.MODE_SINGLE_EDDY,
             step=state.step, is_finished=lambda: state.done)
@@ -408,6 +477,63 @@ class TelegraphCQServer:
 
     def run_until_quiescent(self, max_steps: int = 100_000) -> int:
         return self.executor.run_until_quiescent(max_steps)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def open_cursors(self) -> List[Cursor]:
+        return [c for proxies in self._proxies.values()
+                for proxy in proxies for c in proxy.cursors if not c.closed]
+
+    def close(self) -> None:
+        """Shut the server down: close every open cursor and declare
+        end-of-stream on every stream.  Idempotent."""
+        if self.closed:
+            return
+        for cursor in self.open_cursors():
+            cursor.close()
+        for stream in list(self._stream_closed):
+            self._stream_closed[stream] = True
+        self.closed = True
+
+    def __enter__(self) -> "TelegraphCQServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- telemetry ---------------------------------------------------------------
+    def telemetry(self):
+        """A typed :class:`~repro.monitor.telemetry.TelemetrySnapshot`
+        of every live metric series in the process — the eddy, SteM,
+        executor, fjord, storage, QoS, Flux, and server subsystems."""
+        return self._telemetry.snapshot()
+
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        ingress = reg.counter("tcq_server_ingress_tuples_total",
+                              "Tuples ingested per stream", ("stream",),
+                              collected=True)
+        for stream, count in self._ingress_by_stream.items():
+            ingress.labels(stream).set_total(count)
+        store_size = reg.gauge("tcq_server_store_size",
+                               "Tuples retained per historical store",
+                               ("stream",), collected=True)
+        for stream, store in self.stores.items():
+            store_size.labels(stream).set(len(store))
+        cursors = self.open_cursors()
+        reg.gauge("tcq_server_open_cursors",
+                  "Cursors open across all clients",
+                  collected=True).set(len(cursors))
+        reg.counter("tcq_server_egress_tuples_total",
+                    "Results delivered through cursors",
+                    collected=True).set_total(
+            sum(c.delivered for proxies in self._proxies.values()
+                for proxy in proxies for c in proxy.cursors))
+        reg.gauge("tcq_server_continuous_queries",
+                  "Standing continuous queries", collected=True).set(
+            sum(len(e.queries) for e in self._cacq.values()))
+        reg.gauge("tcq_server_proxies", "Client proxies open",
+                  collected=True).set(
+            sum(len(p) for p in self._proxies.values()))
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -26,6 +26,7 @@ from typing import (Callable, Dict, FrozenSet, Iterable, List, Set, Tuple as Typ
 
 from repro.errors import ExecutionError
 from repro.fjords.fjord import Fjord
+from repro.monitor.telemetry import get_registry
 
 
 class DispatchUnit:
@@ -184,6 +185,9 @@ class Executor:
         #: the QPQueue: (footprint, DU) pairs awaiting fold-in.
         self._plan_queue: List[TypingTuple[FrozenSet[str], DispatchUnit]] = []
         self.steps = 0
+        self.plans_folded = 0
+        self._telemetry = get_registry()
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- FrontEnd side ----------------------------------------------------------
     def enqueue_plan(self, footprint: Iterable[str],
@@ -198,6 +202,7 @@ class Executor:
             eo = self.eo_for(footprint)
             eo.add(du)
             folded += 1
+        self.plans_folded += folded
         return folded
 
     def eo_for(self, footprint: Iterable[str]) -> ExecutionObject:
@@ -239,6 +244,36 @@ class Executor:
             if not self.step(batch):
                 break
         return steps
+
+    # -- telemetry -----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        reg.counter("tcq_executor_steps_total",
+                    "Scheduling rounds over every EO",
+                    collected=True).set_total(self.steps)
+        reg.counter("tcq_executor_plans_folded_total",
+                    "DUs folded in from the QPQueue",
+                    collected=True).set_total(self.plans_folded)
+        reg.gauge("tcq_executor_eos", "Live Execution Objects",
+                  collected=True).set(len(self._eos))
+        reg.gauge("tcq_executor_dus", "Dispatch Units across all EOs",
+                  collected=True).set(
+            sum(len(eo.dispatch_units) for eo in self._eos.values()))
+        passes = reg.counter("tcq_executor_eo_passes_total",
+                             "Scheduler passes per EO", ("eo",),
+                             collected=True)
+        quanta = reg.counter("tcq_executor_du_quanta_total",
+                             "Quanta run per DU", ("eo", "du"),
+                             collected=True)
+        busy = reg.gauge("tcq_executor_du_busy_ratio",
+                         "Fraction of a DU's quanta that made progress",
+                         ("eo", "du"), collected=True)
+        for root, eo in self._eos.items():
+            passes.labels(str(root)).set_total(eo.passes)
+            for du in eo.dispatch_units:
+                quanta.labels(str(root), du.name).set_total(du.quanta)
+                busy.labels(str(root), du.name).set(
+                    du.busy_quanta / du.quanta if du.quanta else 0.0)
 
     # -- introspection -------------------------------------------------------
     @property

@@ -43,7 +43,9 @@ class GroupedFilter:
         # op -> structure; see module docstring.
         self._eq: Dict[Any, Set[int]] = {}
         self._ne: Dict[Any, Set[int]] = {}
-        self._ne_all: Set[int] = set()
+        #: distinct ``!=`` values registered per query; a probe credits
+        #: all of them except (at most) the one equal to the value.
+        self._ne_count: Dict[int, int] = {}
         self._gt: List[TypingTuple[Any, int]] = []   # sorted (threshold, qid)
         self._ge: List[TypingTuple[Any, int]] = []
         self._lt: List[TypingTuple[Any, int]] = []
@@ -64,10 +66,16 @@ class GroupedFilter:
                 f"for {self.attribute!r}")
         op, value = factor.op, factor.value
         if op == "==":
-            self._eq.setdefault(value, set()).add(query_id)
+            ids = self._eq.setdefault(value, set())
+            if query_id in ids:   # duplicate factor: logically idempotent
+                return
+            ids.add(query_id)
         elif op == "!=":
-            self._ne.setdefault(value, set()).add(query_id)
-            self._ne_all.add(query_id)
+            ids = self._ne.setdefault(value, set())
+            if query_id in ids:
+                return
+            ids.add(query_id)
+            self._ne_count[query_id] = self._ne_count.get(query_id, 0) + 1
         elif op == ">":
             insort(self._gt, (value, query_id))
         elif op == ">=":
@@ -94,7 +102,7 @@ class GroupedFilter:
                     empty.append(value)
             for value in empty:
                 del mapping[value]
-        self._ne_all.discard(query_id)
+        self._ne_count.pop(query_id, None)
         for attr in ("_gt", "_ge", "_lt", "_le"):
             entries = getattr(self, attr)
             setattr(self, attr,
@@ -122,11 +130,12 @@ class GroupedFilter:
 
         for qid in self._eq.get(value, ()):
             credit(qid)
-        if self._ne_all:
+        if self._ne_count:
             excluded = self._ne.get(value, set())
-            for qid in self._ne_all:
-                if qid not in excluded:
-                    credit(qid)
+            for qid, n_ne in self._ne_count.items():
+                held = n_ne - (1 if qid in excluded else 0)
+                if held:
+                    satisfied[qid] = satisfied.get(qid, 0) + held
         # value > threshold  <=>  threshold < value: prefix strictly below.
         idx = bisect_left(self._gt, (value, -1))
         for i in range(idx):

@@ -26,14 +26,18 @@ trading adaptivity for per-tuple overhead (experiment E8).
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Dict, Sequence, TYPE_CHECKING
 
 from repro.core.tuples import Tuple
 from repro.errors import PlanError
+from repro.monitor.telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.eddy import EddyOperator
+
+_POLICY_IDS = itertools.count()
 
 
 class RoutingPolicy:
@@ -103,6 +107,13 @@ class LotteryPolicy(RoutingPolicy):
         self.decay_every = decay_every
         self.explore = explore
         self._routed = 0
+        # Ticket-update telemetry: cheap integers on the hot path, a
+        # collector copies them (and current ticket levels) at snapshot.
+        self.ticket_credits = 0
+        self.ticket_debits = 0
+        self._telemetry = get_registry()
+        self._telemetry_id = f"lottery#{next(_POLICY_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
 
     def tickets(self, op: "EddyOperator") -> float:
         return self._tickets.get(op.name, 0.0)
@@ -126,6 +137,7 @@ class LotteryPolicy(RoutingPolicy):
 
     def on_route(self, op: "EddyOperator") -> None:
         self._tickets[op.name] = self._tickets.get(op.name, 0.0) + 1.0
+        self.ticket_credits += 1
         self._routed += 1
         if self.decay_every and self._routed % self.decay_every == 0:
             for name in self._tickets:
@@ -135,6 +147,24 @@ class LotteryPolicy(RoutingPolicy):
         if n_outputs:
             self._tickets[op.name] = max(
                 0.0, self._tickets.get(op.name, 0.0) - float(n_outputs))
+            self.ticket_debits += 1
+
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        pid = self._telemetry_id
+        reg.counter("tcq_eddy_ticket_credits_total",
+                    "Lottery tickets credited on route", ("policy",),
+                    collected=True).labels(pid).set_total(
+            self.ticket_credits)
+        reg.counter("tcq_eddy_ticket_debits_total",
+                    "Lottery ticket debits on return", ("policy",),
+                    collected=True).labels(pid).set_total(
+            self.ticket_debits)
+        levels = reg.gauge("tcq_eddy_tickets",
+                           "Current lottery ticket level per operator",
+                           ("policy", "op"), collected=True)
+        for name, tickets in self._tickets.items():
+            levels.labels(pid, name).set(tickets)
 
     def describe(self) -> str:
         return (f"LotteryPolicy(decay={self.decay}, "

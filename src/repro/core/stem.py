@@ -20,12 +20,16 @@ interleaves builds and probes.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict, deque
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Sequence, Set, Tuple as TypingTuple)
 
 from repro.core.tuples import Schema, Tuple
 from repro.errors import PlanError
+from repro.monitor.telemetry import get_registry
 from repro.query.predicates import ColumnComparison, Predicate
+
+_STEM_IDS = itertools.count()
 
 
 class SteM:
@@ -42,7 +46,12 @@ class SteM:
         self.builds = 0
         self.probes = 0
         self.matches_out = 0
+        self.evictions = 0
         self._join_schemas: Dict[TypingTuple[frozenset, frozenset], Schema] = {}
+        # Collector-based telemetry: build/probe stay pure int updates.
+        self._telemetry = get_registry()
+        self._telemetry_id = f"{self.name}#{next(_STEM_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- maintenance -------------------------------------------------------
     def add_index(self, column: str) -> None:
@@ -77,6 +86,7 @@ class SteM:
                 and self._tuples[0].timestamp < timestamp:
             old = self._tuples.popleft()
             evicted += 1
+            self.evictions += 1
             for col, index in self._indexes.items():
                 bucket = index.get(old[col])
                 if bucket:
@@ -90,6 +100,7 @@ class SteM:
         keep = [t for t in self._tuples if not condition(t)]
         evicted = len(self._tuples) - len(keep)
         if evicted:
+            self.evictions += evicted
             self._tuples = deque(keep)
             for col in self._indexes:
                 index: Dict[Any, List[Tuple]] = defaultdict(list)
@@ -163,6 +174,25 @@ class SteM:
             schema = prober.schema.join(stored.schema)
             self._join_schemas[key] = schema
         return prober.concat(stored, schema=schema)
+
+    # -- telemetry ----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        stem = self._telemetry_id
+        reg.counter("tcq_stem_builds_total", "Tuples inserted into SteMs",
+                    ("stem",), collected=True).labels(stem).set_total(
+            self.builds)
+        reg.counter("tcq_stem_probes_total", "Probe operations against SteMs",
+                    ("stem",), collected=True).labels(stem).set_total(
+            self.probes)
+        reg.counter("tcq_stem_matches_total", "Join matches produced (hits)",
+                    ("stem",), collected=True).labels(stem).set_total(
+            self.matches_out)
+        reg.counter("tcq_stem_evictions_total",
+                    "Tuples expired out of SteMs", ("stem",),
+                    collected=True).labels(stem).set_total(self.evictions)
+        reg.gauge("tcq_stem_size", "Tuples currently held", ("stem",),
+                  collected=True).labels(stem).set(len(self._tuples))
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:

@@ -37,6 +37,41 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.tuples import Tuple
 from repro.errors import QueryError
+from repro.monitor import telemetry
+
+
+class _HistoryTotals:
+    """Process-wide counters over every HistoricalStore (stores are
+    per-stream and per-server; the totals outlive them all)."""
+
+    __slots__ = ("appends", "scans", "tuples_scanned", "truncated")
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.scans = 0
+        self.tuples_scanned = 0
+        self.truncated = 0
+
+
+HISTORY_TOTALS = _HistoryTotals()
+
+
+def _collect_history_telemetry(reg: "telemetry.MetricRegistry") -> None:
+    reg.counter("tcq_storage_history_appends_total",
+                "Tuples appended to historical stores").set_total(
+        HISTORY_TOTALS.appends)
+    reg.counter("tcq_storage_history_scans_total",
+                "Window range scans over historical stores").set_total(
+        HISTORY_TOTALS.scans)
+    reg.counter("tcq_storage_history_tuples_scanned_total",
+                "Tuples returned by historical range scans").set_total(
+        HISTORY_TOTALS.tuples_scanned)
+    reg.counter("tcq_storage_history_truncated_total",
+                "Tuples discarded by store truncation").set_total(
+        HISTORY_TOTALS.truncated)
+
+
+telemetry.register_global_collector(_collect_history_telemetry)
 
 
 class WindowIs:
@@ -219,6 +254,7 @@ class HistoricalStore:
                 f"{t.timestamp} after {self._timestamps[-1]}")
         self._tuples.append(t)
         self._timestamps.append(t.timestamp)
+        HISTORY_TOTALS.appends += 1
 
     def extend(self, tuples: Iterable[Tuple]) -> None:
         for t in tuples:
@@ -228,6 +264,8 @@ class HistoricalStore:
         """All tuples with ``left <= timestamp <= right``."""
         lo = bisect_left(self._timestamps, left)
         hi = bisect_right(self._timestamps, right)
+        HISTORY_TOTALS.scans += 1
+        HISTORY_TOTALS.tuples_scanned += hi - lo
         return self._tuples[lo:hi]
 
     def latest_timestamp(self) -> Optional[int]:
@@ -243,6 +281,7 @@ class HistoricalStore:
         if cut:
             del self._tuples[:cut]
             del self._timestamps[:cut]
+            HISTORY_TOTALS.truncated += cut
         return cut
 
     def __len__(self) -> int:

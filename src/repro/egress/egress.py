@@ -31,6 +31,42 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple a
 from repro.core.tuples import Tuple
 from repro.errors import ExecutionError
 from repro.fjords.module import Module
+from repro.monitor import telemetry
+
+
+class _EgressTotals:
+    """Process-wide monotonic delivery counters across every egress
+    module (modules are per-plan and short-lived; totals are not)."""
+
+    __slots__ = ("delivered", "dropped", "rejected", "batches", "logged")
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.dropped = 0
+        self.rejected = 0
+        self.batches = 0
+        self.logged = 0
+
+
+TOTALS = _EgressTotals()
+
+
+def _collect_egress_telemetry(reg: "telemetry.MetricRegistry") -> None:
+    reg.counter("tcq_egress_delivered_total",
+                "Results delivered to clients").set_total(TOTALS.delivered)
+    reg.counter("tcq_egress_dropped_total",
+                "Results dropped for slow or failing clients").set_total(
+        TOTALS.dropped)
+    reg.counter("tcq_egress_rejected_total",
+                "Results rejected by transcoders").set_total(TOTALS.rejected)
+    reg.counter("tcq_egress_batches_total",
+                "Batches shipped by fan-out egress").set_total(TOTALS.batches)
+    reg.counter("tcq_egress_logged_total",
+                "Results logged for pull-based retrieval").set_total(
+        TOTALS.logged)
+
+
+telemetry.register_global_collector(_collect_egress_telemetry)
 
 
 class PushEgress(Module):
@@ -71,6 +107,7 @@ class PushEgress(Module):
             if len(buffer) > self.per_client_buffer:
                 buffer.popleft()
                 state["dropped"] += 1
+                TOTALS.dropped += 1
             self._drain(state)
         return ()
 
@@ -83,8 +120,10 @@ class PushEgress(Module):
             except Exception:
                 # A failing client loses this tuple, not the dataflow.
                 state["dropped"] += 1
+                TOTALS.dropped += 1
                 continue
             state["delivered"] += 1
+            TOTALS.delivered += 1
 
     def flush(self) -> None:
         """Retry delivery to clients that were previously not ready."""
@@ -127,6 +166,7 @@ class PullEgress(Module):
 
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self._log.append((next(self._seq), item))
+        TOTALS.logged += 1
         while len(self._log) > self.retention:
             seq, _t = self._log.popleft()
             self.truncated_to = seq
@@ -183,9 +223,11 @@ class TranscodingEgress(Module):
         encoded = self.transcode(item)
         if encoded is None:
             self.rejected += 1
+            TOTALS.rejected += 1
             return ()
         self.sink(encoded)
         self.delivered += 1
+        TOTALS.delivered += 1
         return ()
 
     def _finish(self) -> None:
@@ -238,6 +280,8 @@ class FanoutEgress(Module):
         batch, state["pending"] = state["pending"], []
         state["deliver"](batch)
         state["batches"] += 1
+        TOTALS.batches += 1
+        TOTALS.delivered += len(batch)
 
     def flush(self) -> None:
         for state in self._subscribers.values():

@@ -58,3 +58,8 @@ class ClusterError(TelegraphError):
 
 class QosError(TelegraphError):
     """A quality-of-service contract could not be satisfied."""
+
+
+class TelemetryError(TelegraphError):
+    """A telemetry metric was misused: kind or label-schema clash,
+    negative counter increment, or an unparseable exposition format."""

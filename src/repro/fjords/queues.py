@@ -20,14 +20,76 @@ layer and the QoS load-shedder read.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import Any, Callable, Deque, Iterable, Optional
 
 from repro.errors import PlanError
+from repro.monitor import telemetry
 
 #: Returned by non-blocking dequeues when no data is available.  A unique
 #: sentinel (not None) so that queues can carry None as a legitimate value.
 EMPTY = object()
+
+
+class _FjordTotals:
+    """Process-wide monotonic queue counters.
+
+    Queues are created and destroyed constantly (every cursor owns one),
+    so per-instance telemetry would churn; the hot enqueue/dequeue path
+    instead bumps these plain integers, and a global collector publishes
+    them — plus per-queue depths for the queues still alive — whenever a
+    snapshot is taken.
+    """
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "refused", "stalls")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.refused = 0
+        self.stalls = 0
+
+
+TOTALS = _FjordTotals()
+_LIVE_QUEUES: "weakref.WeakSet[FjordQueue]" = weakref.WeakSet()
+
+
+def _collect_fjord_telemetry(reg: "telemetry.MetricRegistry") -> None:
+    reg.counter("tcq_fjords_enqueued_total",
+                "Items accepted across every fjord queue").set_total(
+        TOTALS.enqueued)
+    reg.counter("tcq_fjords_dequeued_total",
+                "Items drained across every fjord queue").set_total(
+        TOTALS.dequeued)
+    reg.counter("tcq_fjords_dropped_total",
+                "Items dropped by bounded queues").set_total(TOTALS.dropped)
+    reg.counter("tcq_fjords_refused_total",
+                "Backpressure refusals by bounded queues").set_total(
+        TOTALS.refused)
+    reg.counter("tcq_fjords_stalls_total",
+                "Pull-queue pumps that ended without data").set_total(
+        TOTALS.stalls)
+    depth = reg.gauge("tcq_fjords_queue_depth",
+                      "Current depth of live named queues", ("queue",),
+                      collected=True)
+    fill = reg.gauge("tcq_fjords_queue_fill_fraction",
+                     "Occupancy of live named queues", ("queue",),
+                     collected=True)
+    live = total_depth = 0
+    for q in list(_LIVE_QUEUES):
+        live += 1
+        total_depth += len(q)
+        if q.name:
+            depth.labels(q.name).set(len(q))
+            fill.labels(q.name).set(q.fill_fraction())
+    reg.gauge("tcq_fjords_live_queues", "Queues currently alive").set(live)
+    reg.gauge("tcq_fjords_buffered_items",
+              "Items buffered across live queues").set(total_depth)
+
+
+telemetry.register_global_collector(_collect_fjord_telemetry)
 
 
 class QueueStats:
@@ -72,6 +134,7 @@ class FjordQueue:
         self.name = name
         self.stats = QueueStats()
         self._items: Deque[Any] = deque()
+        _LIVE_QUEUES.add(self)
 
     # -- producer side ---------------------------------------------------
     def push(self, item: Any) -> bool:
@@ -79,15 +142,19 @@ class FjordQueue:
         or dropped (so producers can implement backpressure)."""
         if self.capacity and len(self._items) >= self.capacity:
             if self.overflow == "refuse":
+                TOTALS.refused += 1
                 return False
             if self.overflow == "drop_newest":
                 self.stats.dropped += 1
+                TOTALS.dropped += 1
                 return False
             # drop_oldest: evict head, admit the new item.
             self._items.popleft()
             self.stats.dropped += 1
+            TOTALS.dropped += 1
         self._items.append(item)
         self.stats.enqueued += 1
+        TOTALS.enqueued += 1
         if len(self._items) > self.stats.high_water:
             self.stats.high_water = len(self._items)
         return True
@@ -107,6 +174,7 @@ class FjordQueue:
         if not self._items:
             return EMPTY
         self.stats.dequeued += 1
+        TOTALS.dequeued += 1
         return self._items.popleft()
 
     def peek(self) -> Any:
@@ -171,6 +239,9 @@ class PullQueue(FjordQueue):
                 pumps += 1
                 if not alive:
                     break
+            if not self._items:
+                # The pump ran dry: the consumer blocked for nothing.
+                TOTALS.stalls += 1
         return super().pop()
 
 

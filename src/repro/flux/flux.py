@@ -35,6 +35,9 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple as Typ
 from repro.core.tuples import Tuple
 from repro.errors import ClusterError
 from repro.flux.cluster import Cluster, Machine, PartitionState
+from repro.monitor.telemetry import get_registry
+
+_FLUX_IDS = itertools.count()
 
 
 class PartitionMove:
@@ -98,6 +101,9 @@ class Flux:
         self.lost_tuples = 0
         self.replayed_tuples = 0
         self.backlog_history: List[Dict[str, int]] = []
+        self._telemetry = get_registry()
+        self._telemetry_id = f"flux#{next(_FLUX_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- routing --------------------------------------------------------------
     @staticmethod
@@ -329,6 +335,43 @@ class Flux:
             if entry is not None:
                 entry[1].add(mirror.machine_id)
             mirror.enqueue(pid, seq, t)
+
+    # -- telemetry ----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        flux = self._telemetry_id
+        reg.counter("tcq_flux_routed_total",
+                    "Tuples routed through Flux", ("flux",),
+                    collected=True).labels(flux).set_total(self.routed)
+        reg.counter("tcq_flux_moves_total",
+                    "Completed partition movements", ("flux",),
+                    collected=True).labels(flux).set_total(
+            self.moves_completed)
+        reg.counter("tcq_flux_state_moved_total",
+                    "State entries shipped between machines", ("flux",),
+                    collected=True).labels(flux).set_total(self.state_moved)
+        reg.counter("tcq_flux_recovered_partitions_total",
+                    "Partitions promoted or restarted after failures",
+                    ("flux",), collected=True).labels(flux).set_total(
+            self.recovered_partitions)
+        reg.counter("tcq_flux_replayed_total",
+                    "Tuples replayed during recovery", ("flux",),
+                    collected=True).labels(flux).set_total(
+            self.replayed_tuples)
+        reg.counter("tcq_flux_lost_total",
+                    "Tuples lost to unreplicated failures", ("flux",),
+                    collected=True).labels(flux).set_total(self.lost_tuples)
+        reg.gauge("tcq_flux_unacked",
+                  "In-flight tuples awaiting acknowledgement", ("flux",),
+                  collected=True).labels(flux).set(self.unacked_total())
+        reg.gauge("tcq_flux_partition_skew",
+                  "Cluster backlog imbalance (max/mean)", ("flux",),
+                  collected=True).labels(flux).set(self.cluster.imbalance())
+        backlog = reg.gauge("tcq_flux_machine_backlog",
+                            "Queued work per live machine",
+                            ("flux", "machine"), collected=True)
+        for m in self.cluster.alive_machines():
+            backlog.labels(flux, m.machine_id).set(m.backlog())
 
     # -- results ------------------------------------------------------------
     def merged_counts(self) -> Dict[Any, int]:

@@ -1,1 +1,29 @@
-"""monitor subpackage of the TelegraphCQ reproduction."""
+"""monitor subpackage of the TelegraphCQ reproduction.
+
+Three layers:
+
+* :mod:`repro.monitor.stats` — per-component online estimators
+  (selectivity, rate, latency);
+* :mod:`repro.monitor.qos` — the load-shedding QoS controller;
+* :mod:`repro.monitor.telemetry` — the process-wide metrics registry
+  and trace-span facility every subsystem publishes through, with JSON
+  and Prometheus exporters.
+"""
+
+from repro.monitor.qos import LoadShedder
+from repro.monitor.stats import (EngineMonitor, LatencyTracker,
+                                 RateEstimator, SelectivityTracker)
+from repro.monitor.telemetry import (Counter, Gauge, Histogram,
+                                     MetricFamily, MetricRegistry,
+                                     SeriesSample, TelemetrySnapshot,
+                                     TraceSpan, get_registry,
+                                     register_global_collector,
+                                     set_registry)
+
+__all__ = [
+    "Counter", "EngineMonitor", "Gauge", "Histogram", "LatencyTracker",
+    "LoadShedder", "MetricFamily", "MetricRegistry", "RateEstimator",
+    "SelectivityTracker", "SeriesSample", "TelemetrySnapshot",
+    "TraceSpan", "get_registry", "register_global_collector",
+    "set_registry",
+]

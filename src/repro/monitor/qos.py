@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.core.tuples import Tuple
 from repro.errors import QosError
 from repro.monitor.stats import RateEstimator
+from repro.monitor.telemetry import get_registry
 
 
 class LoadShedder:
@@ -53,6 +54,8 @@ class LoadShedder:
         self.admitted = 0
         self.dropped = 0
         self.dropped_by_class: Dict[Any, int] = {}
+        self._telemetry = get_registry()
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- control loop ---------------------------------------------------------
     def update(self, arrived: int, serviced: int) -> float:
@@ -103,6 +106,30 @@ class LoadShedder:
             key = self.classify(t)
             self.dropped_by_class[key] = self.dropped_by_class.get(key, 0) + 1
         return [t for t in batch if id(t) not in victim_ids]
+
+    # -- telemetry ---------------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        reg.counter("tcq_qos_admitted_total",
+                    "Tuples admitted past the load shedder", ("policy",),
+                    collected=True).labels(self.policy).set_total(
+            self.admitted)
+        reg.counter("tcq_qos_dropped_total",
+                    "Tuples shed by the load shedder", ("policy",),
+                    collected=True).labels(self.policy).set_total(
+            self.dropped)
+        reg.gauge("tcq_qos_drop_rate", "Current controller drop rate",
+                  ("policy",), collected=True).labels(self.policy).set(
+            self.drop_rate)
+        reg.gauge("tcq_qos_completeness",
+                  "Fraction of arrivals admitted so far", ("policy",),
+                  collected=True).labels(self.policy).set(
+            self.completeness())
+        by_class = reg.counter("tcq_qos_dropped_by_class_total",
+                               "Preferred-policy drops per tuple class",
+                               ("policy", "klass"), collected=True)
+        for key, count in self.dropped_by_class.items():
+            by_class.labels(self.policy, str(key)).set_total(count)
 
     # -- reporting ---------------------------------------------------------------
     def completeness(self) -> float:

@@ -14,6 +14,7 @@ know is *observed online*.  This module centralises the estimators:
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -25,6 +26,11 @@ class SelectivityTracker:
     is their mean.  A full-history counter is kept alongside so tests
     can compare "fresh" vs "stale" views (the drift experiments rely on
     the fresh one reacting).
+
+    The blessed accessors are the :attr:`windowed_rate` and
+    :attr:`lifetime_rate` properties — the vocabulary the telemetry
+    snapshot uses.  The legacy ``windowed()`` / ``lifetime()`` callables
+    remain as thin deprecated aliases.
     """
 
     def __init__(self, window: int = 256):
@@ -38,15 +44,33 @@ class SelectivityTracker:
         if passed:
             self.total_passed += 1
 
-    def windowed(self) -> float:
+    @property
+    def windowed_rate(self) -> float:
+        """Pass rate over the sliding window (1.0 before evidence)."""
         if not self._window:
             return 1.0
         return sum(self._window) / len(self._window)
 
-    def lifetime(self) -> float:
+    @property
+    def lifetime_rate(self) -> float:
+        """Pass rate over the full history (1.0 before evidence)."""
         if not self.total_seen:
             return 1.0
         return self.total_passed / self.total_seen
+
+    def windowed(self) -> float:
+        """Deprecated alias for :attr:`windowed_rate`."""
+        warnings.warn("SelectivityTracker.windowed() is deprecated; "
+                      "use the windowed_rate property",
+                      DeprecationWarning, stacklevel=2)
+        return self.windowed_rate
+
+    def lifetime(self) -> float:
+        """Deprecated alias for :attr:`lifetime_rate`."""
+        warnings.warn("SelectivityTracker.lifetime() is deprecated; "
+                      "use the lifetime_rate property",
+                      DeprecationWarning, stacklevel=2)
+        return self.lifetime_rate
 
 
 class RateEstimator:
@@ -136,7 +160,7 @@ class EngineMonitor:
             "latency_p95": self.latency.quantile(0.95),
             "dropped": self.dropped,
             "selectivities": {
-                name: tracker.windowed()
+                name: tracker.windowed_rate
                 for name, tracker in self.selectivities.items()
             },
         }

@@ -20,8 +20,11 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.errors import StorageError
+from repro.monitor.telemetry import get_registry
 from repro.storage.pages import Page
 from repro.storage.spill import SpillStore
+
+_POOL_IDS = itertools.count()
 
 
 class BufferPool:
@@ -46,6 +49,9 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._telemetry = get_registry()
+        self._telemetry_id = f"pool#{next(_POOL_IDS)}"
+        self._telemetry.register_collector(self._publish_telemetry)
 
     # -- page lifecycle ------------------------------------------------------
     def new_page(self, stream: str, capacity: int) -> Page:
@@ -145,6 +151,26 @@ class BufferPool:
             self._ref_bits[page_id] = False
             self._hand_pos += 1
         return None
+
+    # -- telemetry ----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = self._telemetry
+        pool = self._telemetry_id
+        reg.counter("tcq_storage_pool_hits_total",
+                    "Buffer-pool frame hits", ("pool",),
+                    collected=True).labels(pool).set_total(self.hits)
+        reg.counter("tcq_storage_pool_misses_total",
+                    "Buffer-pool misses (spill reads)", ("pool",),
+                    collected=True).labels(pool).set_total(self.misses)
+        reg.counter("tcq_storage_pool_evictions_total",
+                    "Frames evicted to the spill log", ("pool",),
+                    collected=True).labels(pool).set_total(self.evictions)
+        reg.gauge("tcq_storage_pool_resident",
+                  "Pages currently resident", ("pool",),
+                  collected=True).labels(pool).set(self.resident)
+        reg.gauge("tcq_storage_pool_hit_rate",
+                  "Lifetime hit rate of the pool", ("pool",),
+                  collected=True).labels(pool).set(self.hit_rate())
 
     # -- introspection ------------------------------------------------------
     @property

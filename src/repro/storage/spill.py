@@ -16,7 +16,48 @@ import tempfile
 from typing import Dict, Optional, Tuple as TypingTuple
 
 from repro.errors import StorageError
+from repro.monitor import telemetry
 from repro.storage.pages import Page
+
+
+class _SpillTotals:
+    """Process-wide spill I/O counters (stores come and go; totals
+    survive them)."""
+
+    __slots__ = ("writes", "reads", "bytes_written", "bytes_read",
+                 "vacuums", "bytes_reclaimed")
+
+    def __init__(self) -> None:
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.vacuums = 0
+        self.bytes_reclaimed = 0
+
+
+TOTALS = _SpillTotals()
+
+
+def _collect_spill_telemetry(reg: "telemetry.MetricRegistry") -> None:
+    reg.counter("tcq_storage_spill_writes_total",
+                "Pages appended to spill logs").set_total(TOTALS.writes)
+    reg.counter("tcq_storage_spill_reads_total",
+                "Pages read back from spill logs").set_total(TOTALS.reads)
+    reg.counter("tcq_storage_spill_bytes_written_total",
+                "Bytes appended to spill logs").set_total(
+        TOTALS.bytes_written)
+    reg.counter("tcq_storage_spill_bytes_read_total",
+                "Bytes read back from spill logs").set_total(
+        TOTALS.bytes_read)
+    reg.counter("tcq_storage_spill_vacuums_total",
+                "Spill log compactions").set_total(TOTALS.vacuums)
+    reg.counter("tcq_storage_spill_bytes_reclaimed_total",
+                "Bytes reclaimed by compaction").set_total(
+        TOTALS.bytes_reclaimed)
+
+
+telemetry.register_global_collector(_collect_spill_telemetry)
 
 
 class SpillStore:
@@ -48,6 +89,8 @@ class SpillStore:
         self._offsets[page.page_id] = (offset, len(blob))
         self.writes += 1
         self.bytes_written += len(blob)
+        TOTALS.writes += 1
+        TOTALS.bytes_written += len(blob)
 
     def read_page(self, page_id: int) -> Page:
         entry = self._offsets.get(page_id)
@@ -60,6 +103,8 @@ class SpillStore:
             raise StorageError(
                 f"spill log truncated: page {page_id} at {offset}")
         self.reads += 1
+        TOTALS.reads += 1
+        TOTALS.bytes_read += length
         return Page.from_payload(pickle.loads(blob))
 
     def contains(self, page_id: int) -> bool:
@@ -84,7 +129,10 @@ class SpillStore:
         for page in live.values():
             self.write_page(page)
         new_size = self._file.seek(0, os.SEEK_END)
-        return max(0, old_size - new_size)
+        reclaimed = max(0, old_size - new_size)
+        TOTALS.vacuums += 1
+        TOTALS.bytes_reclaimed += reclaimed
+        return reclaimed
 
     def size_bytes(self) -> int:
         return self._file.seek(0, os.SEEK_END)

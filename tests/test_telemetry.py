@@ -1,0 +1,407 @@
+"""The unified telemetry layer: registry semantics, snapshot
+stability, the six-subsystem acceptance sweep, both exporters, the CLI
+STATS rendering, and the <15% overhead bound."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import TelegraphShell
+from repro.core.eddy import Eddy, FilterOperator
+from repro.core.routing import LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema
+from repro.errors import TelemetryError
+from repro.flux.cluster import Cluster, GroupCountState
+from repro.flux.flux import Flux
+from repro.ingress.generators import DriftingSelectivityGenerator
+from repro.monitor.qos import LoadShedder
+from repro.monitor.telemetry import (MetricRegistry, TelemetrySnapshot,
+                                     get_registry, set_registry)
+from repro.query.predicates import Comparison
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+
+class TestRegistrySemantics:
+    def test_counter_increments_and_rejects_negative(self):
+        reg = MetricRegistry()
+        c = reg.counter("tcq_test_events_total", "events").labels()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricRegistry()
+        g = reg.gauge("tcq_test_depth", "depth").labels()
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8.0
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricRegistry()
+        h = reg.histogram("tcq_test_latency", "latency",
+                          buckets=(0.1, 1.0)).labels()
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        cumulative = h.cumulative_buckets()
+        assert cumulative == [(0.1, 1), (1.0, 3), (float("inf"), 4)]
+
+    def test_kind_clash_raises(self):
+        reg = MetricRegistry()
+        reg.counter("tcq_test_x", "x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("tcq_test_x", "x")
+
+    def test_label_schema_clash_raises(self):
+        reg = MetricRegistry()
+        reg.counter("tcq_test_y", "y", ("a",))
+        with pytest.raises(TelemetryError):
+            reg.counter("tcq_test_y", "y", ("a", "b"))
+
+    def test_declaration_is_idempotent(self):
+        reg = MetricRegistry()
+        f1 = reg.counter("tcq_test_z", "z", ("op",))
+        f2 = reg.counter("tcq_test_z", "z", ("op",))
+        assert f1 is f2
+        f1.labels("p").inc()
+        assert f2.labels("p").value == 1.0
+
+    def test_labels_by_keyword_and_position_agree(self):
+        reg = MetricRegistry()
+        fam = reg.gauge("tcq_test_lv", "lv", ("a", "b"))
+        assert fam.labels("1", "2") is fam.labels(b="2", a="1")
+        with pytest.raises(TelemetryError):
+            fam.labels("only-one")
+
+    def test_disabled_registry_absorbs_writes(self):
+        reg = MetricRegistry()
+        c = reg.counter("tcq_test_off_total", "off").labels()
+        reg.disable()
+        c.inc(5)
+        assert c.value == 0.0
+        reg.enable()
+        c.inc(5)
+        assert c.value == 5.0
+
+
+class TestLabelCardinality:
+    def test_cap_hands_back_noop_and_counts_drops(self):
+        reg = MetricRegistry(max_series_per_family=3)
+        fam = reg.counter("tcq_test_wide_total", "wide", ("k",))
+        for i in range(10):
+            fam.labels(str(i)).inc()
+        assert len(fam.series()) == 3
+        # Pin the assertion to this family: global collectors (e.g. the
+        # fjords per-queue gauges) may legitimately overflow the tiny
+        # cap of this private registry too.
+        assert reg.dropped_by_family["tcq_test_wide_total"] == 7
+        snap = reg.snapshot()
+        assert snap.value("tcq_telemetry_dropped_series_total",
+                          family="tcq_test_wide_total") == 7
+
+    def test_noop_series_absorbs_every_operation(self):
+        reg = MetricRegistry(max_series_per_family=1)
+        fam = reg.gauge("tcq_test_gwide", "gw", ("k",))
+        fam.labels("a").set(1)
+        noop = fam.labels("b")
+        noop.set(9)
+        noop.inc()
+        noop.observe(1.0)   # wrong kind, still silent
+        snap = reg.snapshot()
+        assert snap.get("tcq_test_gwide", k="b") is None
+
+
+class TestTracing:
+    def test_sampling_every_nth(self):
+        reg = MetricRegistry(trace_sample_every=3)
+        for i in range(9):
+            with reg.trace("unit", n=i):
+                pass
+        spans = reg.recent_traces()
+        assert len(spans) == 3
+        assert all(s.duration is not None and s.duration >= 0
+                   for s in spans)
+
+    def test_disabled_sampling_records_nothing(self):
+        reg = MetricRegistry(trace_sample_every=0)
+        for _ in range(10):
+            with reg.trace("unit"):
+                pass
+        assert reg.recent_traces() == []
+
+    def test_ring_buffer_is_bounded(self):
+        reg = MetricRegistry(trace_sample_every=1, trace_capacity=5)
+        for i in range(20):
+            with reg.trace("unit", n=i):
+                pass
+        spans = reg.recent_traces()
+        assert len(spans) == 5
+        assert spans[-1].labels["n"] == "19"
+
+
+def test_set_registry_swaps_and_restores():
+    fresh = MetricRegistry()
+    previous = set_registry(fresh)
+    try:
+        assert get_registry() is fresh
+    finally:
+        restored = set_registry(previous)
+        assert restored is fresh
+    assert get_registry() is previous
+
+
+# ---------------------------------------------------------------------------
+# live instrumentation
+# ---------------------------------------------------------------------------
+
+PRED_A = Comparison("a", "==", 1)
+PRED_B = Comparison("b", "==", 1)
+
+
+def run_e1_eddy(n=600):
+    rows = DriftingSelectivityGenerator(seed=3, flip_at=n // 4,
+                                        low_pass=0.1,
+                                        high_pass=0.9).take(n)
+    ops = [FilterOperator(PRED_A, name="fa"),
+           FilterOperator(PRED_B, name="fb")]
+    eddy = Eddy(ops, output_sources={"drift"},
+                policy=LotteryPolicy(seed=1))
+    for t in rows:
+        eddy.process(t, 0)
+    return eddy
+
+
+class TestSixSubsystemAcceptance:
+    def test_snapshot_covers_the_engine(self):
+        from repro.core.engine import TelegraphCQServer
+
+        # eddy + routing: the E1 workload.
+        eddy = run_e1_eddy()
+
+        # stem: direct build/probe traffic.
+        stem = SteM("s", name="probe-stem")
+        schema = Schema.of("s", "k")
+        other = Schema.of("r", "k")
+        for i in range(5):
+            stem.build(schema.make(i, timestamp=i))
+        stem.probe(other.make(3, timestamp=99),
+                   [Comparison("k", "==", 3)])
+
+        # executor + server + fjords: a small standing-query session.
+        server = TelegraphCQServer()
+        server.create_stream(Schema.of("trades", "sym", "price"))
+        cursor = server.submit("SELECT * FROM trades WHERE price > 10")
+        for i in range(20):
+            server.push("trades", "T", 5 + i)
+        server.step()
+
+        # qos: an E12-style overloaded shedder.
+        shedder = LoadShedder(policy="random", seed=1)
+        batch = [schema.make(i, timestamp=i) for i in range(50)]
+        shedder.update(arrived=100, serviced=10)
+        shedder.admit(batch)
+
+        # flux: a tiny partitioned run.
+        cluster = Cluster()
+        for i in range(3):
+            cluster.add_machine(f"m{i}", speed=50)
+        flux = Flux(cluster, n_partitions=4, key_fn=lambda t: t["k"],
+                    state_factory=lambda: GroupCountState("k"))
+        flux.tick([schema.make(i, timestamp=i) for i in range(30)])
+        flux.drain()
+
+        snap = server.telemetry()
+        subsystems = set(snap.subsystems())
+        assert {"eddy", "stem", "executor", "fjords", "qos",
+                "flux"} <= subsystems
+        # and the ones that ride along
+        assert {"server", "cacq", "telemetry"} <= subsystems
+
+        # live values, not just presence:
+        assert snap.value("tcq_eddy_tuples_routed_total",
+                          eddy=eddy._telemetry_id) > 0
+        assert snap.value("tcq_stem_probes_total",
+                          stem=stem._telemetry_id) == 1
+        assert snap.value("tcq_executor_steps_total") >= 1
+        assert snap.value("tcq_fjords_enqueued_total") > 0
+        assert snap.value("tcq_qos_dropped_total", policy="random") > 0
+        assert snap.value("tcq_flux_routed_total",
+                          flux=flux._telemetry_id) == 30
+        assert snap.value("tcq_server_ingress_tuples_total",
+                          stream="trades") == 20
+        assert cursor.pending() >= 0
+
+    def test_dead_components_prune_from_snapshots(self):
+        eddy = run_e1_eddy(n=50)
+        eddy_id = eddy._telemetry_id
+        reg = get_registry()
+        snap = reg.snapshot()
+        assert snap.get("tcq_eddy_tuples_routed_total",
+                        eddy=eddy_id) is not None
+        del eddy
+        snap = reg.snapshot()
+        assert snap.get("tcq_eddy_tuples_routed_total",
+                        eddy=eddy_id) is None
+
+
+class TestSnapshotStability:
+    def test_counters_monotonic_across_executor_rounds(self):
+        from repro.core.engine import TelegraphCQServer
+
+        server = TelegraphCQServer()
+        server.create_stream(Schema.of("s", "v"))
+        server.submit("SELECT * FROM s WHERE v > 0")
+        last_steps = -1.0
+        last_ingress = -1.0
+        for round_no in range(5):
+            server.push("s", round_no + 1)
+            server.step()
+            snap = server.telemetry()
+            steps = snap.value("tcq_executor_steps_total")
+            ingress = snap.value("tcq_server_ingress_tuples_total",
+                                 stream="s")
+            assert steps >= last_steps
+            assert ingress == round_no + 1 > last_ingress
+            last_steps, last_ingress = steps, ingress
+
+    def test_identical_state_gives_identical_snapshots(self):
+        from repro.core.engine import TelegraphCQServer
+
+        server = TelegraphCQServer()
+        server.create_stream(Schema.of("s", "v"))
+        server.push("s", 1)
+        a = server.telemetry()
+        b = server.telemetry()
+        # Only the registry's own snapshot counter may differ.
+        va = {s.key(): s.value for s in a.samples
+              if s.name != "tcq_telemetry_snapshots_total"}
+        vb = {s.key(): s.value for s in b.samples
+              if s.name != "tcq_telemetry_snapshots_total"}
+        assert va == vb
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+def build_rich_registry():
+    reg = MetricRegistry()
+    reg.counter("tcq_test_events_total", "events seen", ("op",)) \
+        .labels("fa").inc(41)
+    reg.counter("tcq_test_events_total", "events seen", ("op",)) \
+        .labels("fb").inc(1)
+    reg.gauge("tcq_test_depth", "queue depth").set(7.5)
+    h = reg.histogram("tcq_test_lat", "latency", ("stage",),
+                      buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 3.0):
+        h.labels("ingress").observe(v)
+    g = reg.gauge("tcq_test_weird", 'help with "quotes" and \\slashes',
+                  ("name",))
+    g.labels('va"lue\\with\nnewline').set(1)
+    return reg
+
+
+class TestExporters:
+    def test_json_round_trip(self):
+        snap = build_rich_registry().snapshot()
+        doc = snap.to_json(indent=2)
+        json.loads(doc)  # valid JSON
+        back = TelemetrySnapshot.from_json(doc)
+        assert back == snap
+
+    def test_prometheus_round_trip(self):
+        snap = build_rich_registry().snapshot()
+        text = snap.to_prometheus()
+        assert "# TYPE tcq_test_events_total counter" in text
+        assert 'tcq_test_events_total{op="fa"} 41.0' in text
+        assert "tcq_test_lat_bucket" in text and "+Inf" in text
+        back = TelemetrySnapshot.from_prometheus(text)
+        assert {s.key() for s in back.samples} == \
+            {s.key() for s in snap.samples}
+        by_key = {s.key(): s for s in back.samples}
+        for s in snap.samples:
+            other = by_key[s.key()]
+            assert other.value == s.value
+            assert other.buckets == s.buckets
+            assert other.count == s.count
+
+    def test_prometheus_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            TelemetrySnapshot.from_prometheus("!! not a metric line")
+
+    def test_snapshot_queries(self):
+        snap = build_rich_registry().snapshot()
+        assert "tcq_test_depth" in snap.series_names()
+        assert "test" in snap.subsystems()
+        assert snap.value("tcq_test_depth") == 7.5
+        assert snap.value("tcq_missing", default=-1.0) == -1.0
+        assert all(s.subsystem == "test"
+                   for s in snap.by_subsystem("test"))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCliStats:
+    def test_stats_renders_telemetry_sections(self):
+        shell = TelegraphShell()
+        out = shell.run_script("""
+            CREATE STREAM trades (sym, price);
+            SELECT * FROM trades WHERE price > 10;
+            PUSH trades 'MSFT', 20.5;
+            PUSH trades 'IBM', 5.0;
+            STATS;
+        """)
+        stats = out[-1]
+        # Legacy header stays intact...
+        assert "ingested tuples : 2" in stats
+        # ...and the snapshot-backed sections appear.
+        assert "telemetry (" in stats
+        assert "[server]" in stats
+        assert "[executor]" in stats
+        assert "tcq_server_ingress_tuples_total{stream=trades} = 2" in stats
+
+
+# ---------------------------------------------------------------------------
+# overhead (tier-1 guard for the benchmark's claim)
+# ---------------------------------------------------------------------------
+
+def _timed_eddy_run(n=4000, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        rows = DriftingSelectivityGenerator(seed=3, flip_at=n // 4,
+                                            low_pass=0.1,
+                                            high_pass=0.9).take(n)
+        ops = [FilterOperator(PRED_A, name="fa"),
+               FilterOperator(PRED_B, name="fb")]
+        eddy = Eddy(ops, output_sources={"drift"},
+                    policy=LotteryPolicy(seed=1))
+        start = time.perf_counter()
+        for t in rows:
+            eddy.process(t, 0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_overhead_under_15_percent():
+    reg = get_registry()
+    reg.disable()
+    try:
+        t_off = _timed_eddy_run()
+    finally:
+        reg.enable()
+    t_on = _timed_eddy_run()
+    reg.snapshot()
+    assert t_on < t_off * 1.15, (
+        f"telemetry-on {t_on:.4f}s vs off {t_off:.4f}s "
+        f"({t_on / t_off:.2%})")
