@@ -1,0 +1,219 @@
+"""Vectorized batch pipeline vs amortized-routing batching (§4.3).
+
+``BatchingDirective(64)`` only amortizes the *routing decision*; every
+tuple still pays the full Python call chain through ``Eddy.process``,
+``Predicate.matches``, and per-item queue pushes.  The vectorized path
+(``BatchingDirective(64, vectorize=True)``) makes the batch first-class
+data: columnar :class:`TupleBatch` objects flow through compiled
+predicate kernels and batch SteM probes.
+
+Two workloads:
+
+* **filters** — the E8 stable-stream workload (two ``==`` filters over
+  the drifting-selectivity generator with the flip disabled): the
+  acceptance target is >=2x throughput at batch=64 over the amortized
+  path;
+* **join** — a two-stream equijoin through two SteMs plus one filter,
+  showing the batch build/probe kernels.
+
+A drifting-stream run checks the adaptivity penalty keeps the E8 shape
+(graceful degradation, identical answers).
+"""
+
+import time
+
+import pytest
+
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.routing import BatchingDirective, LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema, TupleBatch
+from repro.ingress.generators import DriftingSelectivityGenerator
+from repro.query.predicates import ColumnComparison, Comparison
+
+from benchmarks.conftest import print_table, record_result
+
+N = 24_000
+BATCH = 64
+PRED_A = Comparison("a", "==", 1)
+PRED_B = Comparison("b", "==", 1)
+
+
+def _count(outputs) -> int:
+    return sum(len(o) if isinstance(o, TupleBatch) else 1 for o in outputs)
+
+
+def make_filter_eddy(batching):
+    ops = [FilterOperator(PRED_A, name="fa"),
+           FilterOperator(PRED_B, name="fb")]
+    return Eddy(ops, output_sources={"drift"},
+                policy=LotteryPolicy(seed=2, explore=0.05),
+                batching=batching), ops
+
+
+def run_filters_per_tuple(make_rows, batching):
+    # Routing mutates tuples in place (done bits, dead flags), so every
+    # run gets a fresh stream; generation happens outside the timer.
+    rows = make_rows()
+    eddy, ops = make_filter_eddy(batching)
+    out = 0
+    start = time.perf_counter()
+    for t in rows:
+        out += len(eddy.process(t, 0))
+    elapsed = time.perf_counter() - start
+    return out, elapsed, ops[0].seen + ops[1].seen
+
+
+def run_filters_vectorized(make_rows, batching):
+    rows = make_rows()
+    eddy, ops = make_filter_eddy(batching)
+    out = 0
+    start = time.perf_counter()
+    for i in range(0, len(rows), batching.batch_size):
+        batch = TupleBatch.from_tuples(rows[i:i + batching.batch_size])
+        out += _count(eddy.process_batch(batch, 0))
+    elapsed = time.perf_counter() - start
+    return out, elapsed, ops[0].seen + ops[1].seen
+
+
+def stable_stream(n=N):
+    return lambda: DriftingSelectivityGenerator(
+        seed=17, flip_at=0, low_pass=0.1, high_pass=0.9).take(n)
+
+
+def drifting_stream(n=N, flip_at=N // 4):
+    return lambda: DriftingSelectivityGenerator(
+        seed=17, flip_at=flip_at, low_pass=0.1, high_pass=0.9).take(n)
+
+
+S = Schema.of("S", "a", "k")
+T = Schema.of("T", "b", "k")
+JOIN_PRED = ColumnComparison("S.k", "==", "T.k")
+
+
+def make_join_eddy(batching):
+    stem_s = SteM("S", index_columns=("S.k",))
+    stem_t = SteM("T", index_columns=("T.k",))
+    ops = [SteMOperator(stem_s, [JOIN_PRED]),
+           SteMOperator(stem_t, [JOIN_PRED]),
+           FilterOperator(Comparison("a", ">", 1), name="fa")]
+    return Eddy(ops, output_sources={"S", "T"},
+                policy=LotteryPolicy(seed=2, explore=0.05),
+                batching=batching)
+
+
+def join_rows(n):
+    # Sparse keys: the workload measures probe overhead, not the cost of
+    # routing a combinatorial match explosion (which is per-tuple work in
+    # both paths by construction).
+    s_rows = [S.make(i % 7, i % 997, timestamp=i) for i in range(n)]
+    t_rows = [T.make(i % 5, i % 997, timestamp=i) for i in range(n)]
+    return s_rows, t_rows
+
+
+def run_join(n, batching, vectorized):
+    s_rows, t_rows = join_rows(n)
+    eddy = make_join_eddy(batching)
+    out = 0
+    start = time.perf_counter()
+    if vectorized:
+        for rows in (s_rows, t_rows):
+            for i in range(0, len(rows), batching.batch_size):
+                batch = TupleBatch.from_tuples(
+                    rows[i:i + batching.batch_size])
+                out += _count(eddy.process_batch(batch, 0))
+    else:
+        for rows in (s_rows, t_rows):
+            for t in rows:
+                out += len(eddy.process(t, 0))
+    elapsed = time.perf_counter() - start
+    return out, elapsed
+
+
+def _best_of(fn, repeats=3):
+    best = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or result[1] < best[1]:
+            best = result
+    return best
+
+
+def test_vectorized_speedup_shape():
+    make_rows = stable_stream()
+    amortized = BatchingDirective(BATCH)
+    vectorized = BatchingDirective(BATCH, vectorize=True)
+    out_ref, t_ref, _ = _best_of(
+        lambda: run_filters_per_tuple(make_rows, amortized))
+    out_vec, t_vec, _ = _best_of(
+        lambda: run_filters_vectorized(make_rows, vectorized))
+    assert out_vec == out_ref, "vectorization must not change answers"
+
+    out_jref, t_jref = _best_of(lambda: run_join(N // 8, amortized, False))
+    out_jvec, t_jvec = _best_of(lambda: run_join(N // 8, vectorized, True))
+    assert out_jvec == out_jref
+
+    speedup = t_ref / t_vec
+    join_speedup = t_jref / t_jvec
+    print_table(
+        f"Vectorized batch pipeline (n={N}, batch={BATCH})",
+        ["workload", "amortized ktup/s", "vectorized ktup/s", "speedup"],
+        [("filters (E8 stable)", N / t_ref / 1e3, N / t_vec / 1e3, speedup),
+         ("equijoin + filter", N / 4 / t_jref / 1e3, N / 4 / t_jvec / 1e3,
+          join_speedup)])
+    record_result("vectorized",
+                  {"n": N, "batch": BATCH, "workload": "e8-stable-filters"},
+                  throughput=N / t_vec, wall_clock_s=t_vec,
+                  baseline_throughput=round(N / t_ref, 2),
+                  speedup=round(speedup, 2))
+    record_result("vectorized",
+                  {"n": N // 4, "batch": BATCH, "workload": "equijoin"},
+                  throughput=N / 4 / t_jvec, wall_clock_s=t_jvec,
+                  baseline_throughput=round(N / 4 / t_jref, 2),
+                  speedup=round(join_speedup, 2))
+    # The acceptance target: >=2x over the amortized-routing path.
+    assert speedup >= 2.0, f"vectorized speedup only {speedup:.2f}x"
+    assert join_speedup >= 1.2, \
+        f"vectorized join speedup only {join_speedup:.2f}x"
+
+
+def test_vectorized_drift_penalty_keeps_e8_shape():
+    """On the drifting stream the batch path re-adapts per batch; extra
+    predicate work must stay within E8's graceful-degradation envelope
+    and answers must be identical."""
+    make_rows = drifting_stream()
+    out_pt, _t, work_pt = run_filters_per_tuple(
+        make_rows, BatchingDirective(1))
+    out_vec, _t, work_vec = run_filters_vectorized(
+        make_rows, BatchingDirective(BATCH, vectorize=True))
+    assert out_vec == out_pt
+    assert work_vec <= work_pt * 1.35, \
+        f"drift work {work_vec} vs per-tuple {work_pt}"
+
+
+@pytest.mark.perf
+def test_perf_vectorized_not_slower_smoke():
+    """Tier-2 regression gate (``pytest benchmarks -m perf``): at reduced
+    N the vectorized path must not be slower than amortized per-tuple
+    routing.  Generous threshold — this guards against pathological
+    regressions, not noise."""
+    make_rows = stable_stream(4000)
+    _out, t_ref, _ = _best_of(
+        lambda: run_filters_per_tuple(make_rows, BatchingDirective(BATCH)))
+    _out, t_vec, _ = _best_of(
+        lambda: run_filters_vectorized(
+            make_rows, BatchingDirective(BATCH, vectorize=True)))
+    assert t_vec <= t_ref * 1.10, \
+        f"vectorized path regressed: {t_vec:.4f}s vs {t_ref:.4f}s"
+
+
+@pytest.mark.benchmark(group="vectorized")
+@pytest.mark.parametrize("vectorize", [False, True],
+                         ids=["amortized", "vectorized"])
+def test_vectorized_filter_timing(benchmark, vectorize):
+    make_rows = stable_stream(3000)
+    directive = BatchingDirective(BATCH, vectorize=vectorize)
+    if vectorize:
+        benchmark(run_filters_vectorized, make_rows, directive)
+    else:
+        benchmark(run_filters_per_tuple, make_rows, directive)

@@ -15,7 +15,50 @@ Shapes only:     pytest benchmarks/ -k shape -s
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
+
+#: Machine-readable results land next to the repo root as
+#: ``BENCH_<name>.json`` so the perf trajectory is tracked across PRs.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_result(name: str, params: dict, throughput: float,
+                  wall_clock_s: float, **extra) -> str:
+    """Append one machine-readable benchmark result to
+    ``BENCH_<name>.json``.
+
+    Each entry records the benchmark name, its parameters, throughput
+    (tuples/s unless the benchmark says otherwise), and wall clock; the
+    file accumulates a list so successive PRs' runs diff cleanly.
+    Returns the path written.
+    """
+    path = os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+    entry = {
+        "name": name,
+        "params": params,
+        "throughput": round(float(throughput), 2),
+        "wall_clock_s": round(float(wall_clock_s), 6),
+        "recorded_at": int(time.time()),
+    }
+    entry.update(extra)
+    results = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                results = json.load(fh)
+            if not isinstance(results, list):
+                results = [results]
+        except (OSError, ValueError):
+            results = []
+    results.append(entry)
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def print_table(title: str, header: list, rows: list) -> None:

@@ -26,9 +26,10 @@ from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple as Typi
 
 from repro.core.routing import BatchingDirective, PER_TUPLE, RoutingPolicy, RandomPolicy
 from repro.core.stem import SteM
-from repro.core.tuples import Punctuation, Tuple
+from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
 from repro.errors import ExecutionError, PlanError
-from repro.fjords.module import Module
+from repro.fjords.module import Module, StepResult
+from repro.fjords.queues import EMPTY
 from repro.monitor.telemetry import get_registry
 from repro.query.predicates import ColumnComparison, Predicate
 
@@ -89,12 +90,49 @@ class EddyOperator:
         units; RankPolicy divides by drop rate."""
         return 1.0
 
+    def handle_batch(self, batch: TupleBatch) -> \
+            "TypingTuple[Optional[TupleBatch], Sequence[Tuple]]":
+        """Vectorized handling: returns ``(survivors, outputs)`` where
+        ``survivors`` is the sub-batch that passed (None or empty when
+        everything was rejected) and ``outputs`` are generated tuples
+        (join matches) that re-enter routing individually.
+
+        The default loops over :meth:`handle`, so every operator is
+        batch-capable (batch=1 per-tuple handling stays the degenerate
+        case); filters and SteMs override with real kernels.
+        """
+        survivors: List[Tuple] = []
+        outputs: List[Tuple] = []
+        for t in batch.materialize():
+            result = self.handle(t)
+            outputs.extend(result.outputs)
+            if result.passed:
+                survivors.append(t)
+        if len(survivors) == len(batch):
+            return batch, outputs
+        if not survivors:
+            return None, outputs
+        return TupleBatch.from_tuples(survivors, schema=batch.schema), outputs
+
     def _observe(self, passed: bool) -> None:
         self.seen += 1
         if passed:
             self.passed_count += 1
         self._ewma_selectivity += self._ewma_alpha * (
             (1.0 if passed else 0.0) - self._ewma_selectivity)
+
+    def _observe_batch(self, mask: Sequence[bool]) -> None:
+        """Batched selectivity bookkeeping, equal to calling
+        :meth:`_observe` once per element of ``mask`` in order."""
+        n = len(mask)
+        n_passed = sum(mask)
+        self.seen += n
+        self.passed_count += n_passed
+        ewma = self._ewma_selectivity
+        alpha = self._ewma_alpha
+        for ok in mask:
+            ewma += alpha * ((1.0 if ok else 0.0) - ewma)
+        self._ewma_selectivity = ewma
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -108,6 +146,7 @@ class FilterOperator(EddyOperator):
         self.predicate = predicate
         self.cost = cost
         self._needed_sources = predicate.sources()
+        self._kernel = None   # compiled lazily on first batch
 
     def cost_estimate(self) -> float:
         return 1.0 + self.cost
@@ -132,6 +171,22 @@ class FilterOperator(EddyOperator):
             # tuples so no inconsistent matches appear later.
             t.dead = True
         return _PASS if ok else _FAIL
+
+    def handle_batch(self, batch: TupleBatch) -> \
+            "TypingTuple[Optional[TupleBatch], Sequence[Tuple]]":
+        if self.cost:
+            acc = 0
+            for i in range(self.cost * len(batch)):
+                acc += i
+        if self._kernel is None:
+            self._kernel = self.predicate.compile()
+        mask = self._kernel(batch)
+        self._observe_batch(mask)
+        passed, failed = batch.partition(mask)
+        # Rejected rows may already live inside a SteM (row-backed batch
+        # after a build); mark them dead exactly as the per-tuple path.
+        failed.mark_dead()
+        return (passed if len(passed) else None), ()
 
 
 class SteMOperator(EddyOperator):
@@ -188,6 +243,22 @@ class SteMOperator(EddyOperator):
         self._observe(bool(matches))
         return HandleResult(outputs=matches, passed=True)
 
+    def handle_batch(self, batch: TupleBatch) -> \
+            "TypingTuple[Optional[TupleBatch], Sequence[Tuple]]":
+        if self._home in batch.sources:
+            if batch.sources == frozenset((self._home,)):
+                self.stem.build_batch(batch)
+            self._observe_batch([True] * len(batch))
+            return batch, ()
+        if self.probe_cost:
+            acc = 0
+            for i in range(self.probe_cost * len(batch)):
+                acc += i
+        preds = self._applicable_predicates(batch.representative())
+        matches, hits = self.stem.probe_batch(batch, preds)
+        self._observe_batch(hits)
+        return batch, matches
+
 
 class Eddy(Module):
     """The adaptive routing module, packaged as a Fjord module.
@@ -228,7 +299,13 @@ class Eddy(Module):
         self._route_cache: Dict[TypingTuple[int, frozenset], TypingTuple] = {}
         self.routing_decisions = 0
         self.tuples_routed = 0
+        self.batches_routed = 0
         self.outputs_emitted = 0
+        #: When True (and ``batching.vectorize``), surviving batches are
+        #: pushed downstream as single queue items; consumers must be
+        #: batch-aware Fjord modules.  Off by default so non-module
+        #: consumers (cursors popping raw queues) keep seeing tuples.
+        self.emit_batches = False
         # Telemetry is collector-based: the routing loop touches only the
         # plain integers above; the registry pulls them at snapshot time.
         self._telemetry = get_registry()
@@ -238,7 +315,11 @@ class Eddy(Module):
     # -- the routing loop ---------------------------------------------------
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         results: List[Tuple] = []
-        worklist: List[Tuple] = [item]
+        self._route_worklist([item], results)
+        return results
+
+    def _route_worklist(self, worklist: List[Tuple],
+                        results: List[Tuple]) -> None:
         depth = 0
         while worklist:
             depth += 1
@@ -269,7 +350,82 @@ class Eddy(Module):
                     worklist.append(out)
                 if not result.passed:
                     alive = False
+
+    def process_batch(self, batch: TupleBatch,
+                      port: int = 0) -> List:
+        """Route a whole batch: the vectorized counterpart of
+        :meth:`process`.
+
+        The batch stays uniform (one done bitmap, one source set), so
+        eligibility and the routing decision are computed once per batch
+        per hop instead of once per tuple; operators handle the batch
+        through their kernels.  Join matches diverge per row and re-enter
+        the classic per-tuple loop.  Returns a list of emitted items —
+        surviving :class:`TupleBatch` objects plus individual composite
+        tuples.
+        """
+        results: List = []
+        n = len(batch)
+        if not n:
+            return results
+        self.tuples_routed += n
+        self.batches_routed += 1
+        pending_rows: List[Tuple] = []
+        current: Optional[TupleBatch] = batch
+        depth = 0
+        while current is not None and len(current):
+            depth += 1
+            if depth > self.MAX_ROUTING_DEPTH:
+                raise ExecutionError(
+                    f"{self.name}: routing loop exceeded "
+                    f"{self.MAX_ROUTING_DEPTH} steps for one input batch")
+            rep = current.representative()
+            eligible = self._eligible(rep)
+            if not eligible:
+                self._emit_batch(current, results)
+                break
+            # One fresh policy consultation per batch per hop: the batch
+            # itself is the amortization unit, so the ``batch_size``-uses
+            # route cache (which would stretch one decision over
+            # batch_size whole batches) is deliberately bypassed.
+            if len(eligible) == 1:
+                op = eligible[0]
+            else:
+                self.routing_decisions += 1
+                op = self.policy.choose(rep, eligible)
+            current.mark_done(op.bit)
+            self.policy.on_route(op)
+            current, outputs = op.handle_batch(current)
+            self.policy.on_return(op, len(outputs))
+            for out in outputs:
+                self._fix_composite_done(out)
+                out.mark_done(op.bit)
+                pending_rows.append(out)
+        if pending_rows:
+            self._route_worklist(pending_rows, results)
         return results
+
+    def _emit_batch(self, batch: TupleBatch, results: List) -> None:
+        """Batch-granular emission: the whole surviving batch is one
+        result object when no per-row checks are needed."""
+        if not self.output_sources <= batch.sources:
+            return
+        if self.dedupe_output:
+            for t in batch.materialize():
+                if self._should_emit(t):
+                    results.append(t)
+            return
+        rows = batch.materialize() if batch._rows is not None else None
+        if rows is not None and any(r.dead for r in rows):
+            # Row-backed batches alias tuples that other paths may have
+            # killed (SteM-stored rows); the per-tuple path's
+            # _should_emit drops dead tuples, so the batch path must too.
+            batch = batch.take([i for i, r in enumerate(rows)
+                                if not r.dead])
+            if not len(batch):
+                return
+        self.outputs_emitted += len(batch)
+        results.append(batch)
 
     def _fix_composite_done(self, t: Tuple) -> None:
         """Recompute a join match's SteM done-bits.
@@ -359,6 +515,68 @@ class Eddy(Module):
         self.outputs_emitted += 1
         return True
 
+    # -- vectorized scheduling ----------------------------------------------
+    def run_once(self, batch: Optional[int] = None) -> StepResult:
+        """With ``batching.vectorize``, drain input into
+        :class:`TupleBatch` groups of up to ``batch_size`` rows and route
+        whole batches; otherwise defer to the per-item Module loop."""
+        if not (self.batching.vectorize and self.batching.batch_size > 1):
+            return super().run_once(batch)
+        if self.finished:
+            return StepResult.DONE
+        size = self.batching.batch_size
+        budget = batch if batch is not None else max(self.DEFAULT_BATCH, size)
+        worked = False
+        pending: List[Tuple] = []
+
+        def flush() -> None:
+            if pending:
+                self._emit_results(
+                    self.process_batch(TupleBatch.from_tuples(pending), 0))
+                del pending[:]
+
+        for _ in range(budget):
+            port, item = self._next_input()
+            if item is EMPTY:
+                break
+            worked = True
+            if is_eos(item):
+                flush()
+                self._eos_seen += 1
+                if self._eos_seen >= len(self.inputs):
+                    self._finish()
+                    return StepResult.DONE
+                continue
+            if isinstance(item, Punctuation):
+                flush()
+                self.on_punctuation(item, port)
+                continue
+            if isinstance(item, TupleBatch):
+                flush()
+                self.tuples_in += len(item)
+                self._emit_results(self.process_batch(item, port))
+                continue
+            # Group contiguous tuples sharing a schema object and lineage
+            # into one columnar batch; any mismatch closes the group.
+            if pending and (item.schema is not pending[0].schema
+                            or item.done != pending[0].done
+                            or item.queries != pending[0].queries):
+                flush()
+            self.tuples_in += 1
+            pending.append(item)
+            if len(pending) >= size:
+                flush()
+        flush()
+        return StepResult.BUSY if worked else StepResult.IDLE
+
+    def _emit_results(self, results: List) -> None:
+        for item in results:
+            if isinstance(item, TupleBatch) and not self.emit_batches:
+                for t in item.materialize():
+                    self.emit(t)
+            else:
+                self.emit(item)
+
     # -- punctuation / windows ----------------------------------------------
     def on_punctuation(self, punctuation: Punctuation, port: int) -> None:
         if punctuation.kind == Punctuation.WINDOW_BOUNDARY:
@@ -385,6 +603,10 @@ class Eddy(Module):
                     "Policy consultations", ("eddy",),
                     collected=True).labels(eddy).set_total(
             self.routing_decisions)
+        reg.counter("tcq_eddy_batches_routed_total",
+                    "TupleBatches entering the vectorized routing loop",
+                    ("eddy",), collected=True).labels(eddy).set_total(
+            self.batches_routed)
         reg.counter("tcq_eddy_outputs_total",
                     "Tuples emitted from the eddy", ("eddy",),
                     collected=True).labels(eddy).set_total(
@@ -409,6 +631,7 @@ class Eddy(Module):
     def stats(self) -> Dict[str, object]:
         return {
             "tuples_routed": self.tuples_routed,
+            "batches_routed": self.batches_routed,
             "routing_decisions": self.routing_decisions,
             "outputs": self.outputs_emitted,
             "policy": self.policy.describe(),

@@ -156,6 +156,53 @@ class GroupedFilter:
         return {qid for qid, n in satisfied.items()
                 if n == self._factor_count[qid]}
 
+    def matching_batch(self, values: List[Any]) -> List[Set[int]]:
+        """Vectorized probe: one call for a whole column of values.
+
+        Index structures, dict accessors, and the per-op emptiness
+        checks are hoisted out of the loop, so a batch pays the Python
+        attribute-chasing once instead of per value.  Semantically equal
+        to ``[self.matching(v) for v in values]`` (including the
+        ``probes`` counter).
+        """
+        self.probes += len(values)
+        eq_get = self._eq.get
+        ne_get = self._ne.get
+        ne_count = self._ne_count
+        gt, ge, lt, le = self._gt, self._ge, self._lt, self._le
+        factor_count = self._factor_count
+        inf = float("inf")
+        out: List[Set[int]] = []
+        for value in values:
+            satisfied: Dict[int, int] = {}
+            for qid in eq_get(value, ()):
+                satisfied[qid] = satisfied.get(qid, 0) + 1
+            if ne_count:
+                excluded = ne_get(value, set())
+                for qid, n_ne in ne_count.items():
+                    held = n_ne - (1 if qid in excluded else 0)
+                    if held:
+                        satisfied[qid] = satisfied.get(qid, 0) + held
+            if gt:
+                for i in range(bisect_left(gt, (value, -1))):
+                    qid = gt[i][1]
+                    satisfied[qid] = satisfied.get(qid, 0) + 1
+            if ge:
+                for i in range(bisect_right(ge, (value, inf))):
+                    qid = ge[i][1]
+                    satisfied[qid] = satisfied.get(qid, 0) + 1
+            if lt:
+                for i in range(bisect_right(lt, (value, inf)), len(lt)):
+                    qid = lt[i][1]
+                    satisfied[qid] = satisfied.get(qid, 0) + 1
+            if le:
+                for i in range(bisect_left(le, (value, -1)), len(le)):
+                    qid = le[i][1]
+                    satisfied[qid] = satisfied.get(qid, 0) + 1
+            out.append({qid for qid, n in satisfied.items()
+                        if n == factor_count[qid]})
+        return out
+
     def probe_cost_estimate(self) -> int:
         """Rough comparisons per probe — logarithmic in factors plus
         matches; the naive alternative is len(self)."""

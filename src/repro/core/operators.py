@@ -15,7 +15,7 @@ from collections import OrderedDict, defaultdict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple
 
 from repro.core.aggregates import IncrementalAggregate, make_aggregate
-from repro.core.tuples import Column, Punctuation, Schema, Tuple
+from repro.core.tuples import Column, Punctuation, Schema, Tuple, TupleBatch
 from repro.fjords.module import Module
 from repro.query.predicates import Predicate
 
@@ -37,6 +37,7 @@ class Select(Module):
         #: expensive predicates (e.g. remote lookups); the loop below
         #: burns deterministic CPU rather than sleeping.
         self.cost = cost
+        self._kernel = None
 
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self.seen += 1
@@ -48,6 +49,19 @@ class Select(Module):
             self.passed += 1
             return (item,)
         return ()
+
+    def process_batch(self, batch: "TupleBatch", port: int) -> Iterable:
+        n = len(batch)
+        self.seen += n
+        if self.cost:
+            acc = 0
+            for i in range(self.cost * n):
+                acc += i
+        if self._kernel is None:
+            self._kernel = self.predicate.compile()
+        passed, _failed = batch.partition(self._kernel(batch))
+        self.passed += len(passed)
+        return (passed,) if len(passed) else ()
 
     @property
     def selectivity(self) -> float:

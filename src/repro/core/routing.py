@@ -211,7 +211,7 @@ class RankPolicy(RoutingPolicy):
 
 
 class BatchingDirective:
-    """The two §4.3 knobs as a single configuration object.
+    """The §4.3 knobs as a single configuration object.
 
     * ``batch_size`` — how many consecutive tuples reuse one routing
       decision.  1 = per-tuple routing (maximum adaptivity, maximum
@@ -219,19 +219,27 @@ class BatchingDirective:
     * ``fix_sequence`` — when True, one policy consultation fixes the
       *entire remaining operator order* for the tuple (and, combined
       with batching, for the whole batch): the "fixing operators" knob.
+    * ``vectorize`` — when True, batches become *first-class data*: the
+      eddy groups tuples into :class:`~repro.core.tuples.TupleBatch`
+      objects of ``batch_size`` rows and routes whole batches through
+      operator kernels (``handle_batch``), so the per-tuple Python call
+      chain — not just the routing decision — is amortised.
     """
 
-    __slots__ = ("batch_size", "fix_sequence")
+    __slots__ = ("batch_size", "fix_sequence", "vectorize")
 
-    def __init__(self, batch_size: int = 1, fix_sequence: bool = False):
+    def __init__(self, batch_size: int = 1, fix_sequence: bool = False,
+                 vectorize: bool = False):
         if batch_size < 1:
             raise PlanError("batch_size must be >= 1")
         self.batch_size = batch_size
         self.fix_sequence = fix_sequence
+        self.vectorize = vectorize
 
     def __repr__(self) -> str:
         return (f"BatchingDirective(batch={self.batch_size}, "
-                f"fixed={self.fix_sequence})")
+                f"fixed={self.fix_sequence}, "
+                f"vectorized={self.vectorize})")
 
 
 #: Per-tuple, fully adaptive — the default eddy configuration.

@@ -24,7 +24,7 @@ import itertools
 from collections import defaultdict, deque
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Sequence, Set, Tuple as TypingTuple)
 
-from repro.core.tuples import Schema, Tuple
+from repro.core.tuples import Schema, Tuple, TupleBatch
 from repro.errors import PlanError
 from repro.monitor.telemetry import get_registry
 from repro.query.predicates import ColumnComparison, Predicate
@@ -47,6 +47,7 @@ class SteM:
         self.probes = 0
         self.matches_out = 0
         self.evictions = 0
+        self.batch_probes = 0
         self._join_schemas: Dict[TypingTuple[frozenset, frozenset], Schema] = {}
         # Collector-based telemetry: build/probe stay pure int updates.
         self._telemetry = get_registry()
@@ -74,6 +75,21 @@ class SteM:
         self.builds += 1
         for col, index in self._indexes.items():
             index[t[col]].append(t)
+
+    def build_batch(self, batch: TupleBatch) -> None:
+        """Vectorized insert: one validation, one deque extend, and one
+        pass per index column over the batch's value list (instead of a
+        schema lookup per tuple per index)."""
+        if self.source not in batch.sources:
+            raise PlanError(
+                f"{self.name}: build batch spans {set(batch.sources)}, "
+                f"not home source {self.source!r}")
+        rows = batch.materialize()
+        self._tuples.extend(rows)
+        self.builds += len(rows)
+        for col, index in self._indexes.items():
+            for value, t in zip(batch.column(col), rows):
+                index[value].append(t)
 
     def evict_before(self, timestamp: int) -> int:
         """Window expiry: drop tuples with timestamp < ``timestamp``.
@@ -154,18 +170,74 @@ class SteM:
         self.matches_out += len(out)
         return out
 
+    def probe_batch(self, batch: TupleBatch,
+                    predicates: Sequence[Predicate],
+                    dedupe_by_arrival: bool = True
+                    ) -> "TypingTuple[List[Tuple], List[bool]]":
+        """Vectorized probe: the whole batch probes in one call.
+
+        The access path is chosen once for the batch; with an index the
+        probe keys are read straight off the batch's column list (one
+        pass, no per-tuple dict or schema lookup).  Returns the
+        concatenated matches plus a per-prober hit vector (so callers
+        can maintain the same selectivity observations as the per-tuple
+        path).  Counter semantics are identical to calling
+        :meth:`probe` once per row.
+        """
+        n = len(batch)
+        self.probes += n
+        self.batch_probes += 1
+        rows = batch.materialize()
+        hits = [False] * n
+        out: List[Tuple] = []
+        plan = self._index_probe_plan(predicates, batch.schema)
+        preds = list(predicates)
+        if plan is not None:
+            index, theirs = plan
+            index_get = index.get
+            buckets: Iterable = (index_get(key, ())
+                                 for key in batch.column(theirs))
+        else:
+            stored_all = self._tuples
+            buckets = (stored_all for _ in range(n))
+        for i, (prober, bucket) in enumerate(zip(rows, buckets)):
+            if not bucket:
+                continue
+            prober_max = prober.max_base
+            for stored in bucket:
+                if stored.dead:
+                    continue
+                if dedupe_by_arrival and stored.max_base >= prober_max:
+                    continue
+                joined = self._concat(prober, stored)
+                if all(p.matches(joined) for p in preds):
+                    out.append(joined)
+                    hits[i] = True
+        self.matches_out += len(out)
+        return out, hits
+
     def _candidates(self, prober: Tuple,
                     predicates: Sequence[Predicate]) -> Iterable[Tuple]:
         """Choose an access path: an index lookup when some equality
         predicate binds an indexed column from the prober, else a scan."""
+        plan = self._index_probe_plan(predicates, prober.schema)
+        if plan is not None:
+            index, theirs = plan
+            return index.get(prober[theirs], ())
+        return self._tuples
+
+    def _index_probe_plan(self, predicates: Sequence[Predicate],
+                          prober_schema: Schema):
+        """(index, prober_column) when some equality predicate binds an
+        indexed column from the prober's side, else None."""
         for pred in predicates:
             if not isinstance(pred, ColumnComparison) or pred.op != "==":
                 continue
             for mine, theirs in ((pred.left, pred.right),
                                  (pred.right, pred.left)):
-                if mine in self._indexes and prober.schema.has_column(theirs):
-                    return self._indexes[mine].get(prober[theirs], ())
-        return self._tuples
+                if mine in self._indexes and prober_schema.has_column(theirs):
+                    return self._indexes[mine], theirs
+        return None
 
     def _concat(self, prober: Tuple, stored: Tuple) -> Tuple:
         key = (prober.schema.sources, stored.schema.sources)
@@ -191,6 +263,9 @@ class SteM:
         reg.counter("tcq_stem_evictions_total",
                     "Tuples expired out of SteMs", ("stem",),
                     collected=True).labels(stem).set_total(self.evictions)
+        reg.counter("tcq_stem_batch_probes_total",
+                    "Vectorized probe_batch calls", ("stem",),
+                    collected=True).labels(stem).set_total(self.batch_probes)
         reg.gauge("tcq_stem_size", "Tuples currently held", ("stem",),
                   collected=True).labels(stem).set(len(self._tuples))
 

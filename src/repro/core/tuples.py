@@ -205,9 +205,15 @@ class Tuple:
         return self.values[self.schema.index_of(column)]
 
     def get(self, column: str, default: Any = None) -> Any:
-        if self.schema.has_column(column):
-            return self.values[self.schema.index_of(column)]
-        return default
+        # Single dict probe on the hot path (predicate evaluation calls
+        # this once per tuple per factor); the qualified-name fallback
+        # only runs for names the schema does not hold directly.
+        idx = self.schema._index.get(column)
+        if idx is None:
+            idx = self.schema._qualified_fallback(column)
+            if idx is None:
+                return default
+        return self.values[idx]
 
     @property
     def sources(self) -> frozenset:
@@ -282,6 +288,156 @@ class Tuple:
             f"{c.name}={v!r}" for c, v in zip(self.schema.columns, self.values))
         ts = f" @{self.timestamp}" if self.timestamp is not None else ""
         return f"Tuple({pairs}{ts})"
+
+
+class TupleBatch:
+    """A columnar batch of same-schema tuples with shared routing lineage.
+
+    Section 4.3 names batching as the remedy for per-tuple routing
+    overhead; a :class:`TupleBatch` makes the batch *first-class data*
+    (MonetDB/X100-style vectorized execution) instead of merely
+    amortizing the routing decision.  Values are stored as parallel
+    per-column lists, so predicate kernels scan one Python list instead
+    of doing a schema lookup plus attribute chase per tuple.
+
+    Lineage is batch-granular: every row in a batch shares one ``done``
+    bitmap and one ``queries`` bitmap, which holds by construction
+    because the eddy routes whole batches and partitions them on
+    pass/fail.  When row identity matters — the batch was built into a
+    SteM, so stored tuples alias the batch's rows — the batch becomes
+    *row-backed*: :meth:`materialize` caches row tuples, and lineage
+    updates (:meth:`mark_done`, :meth:`mark_dead`) propagate to them so
+    the per-tuple and vectorized paths observe identical state.
+    """
+
+    __slots__ = ("schema", "columns", "timestamps", "done", "queries",
+                 "_rows")
+
+    def __init__(self, schema: Schema, columns: List[List[Any]],
+                 timestamps: Optional[List[Optional[int]]] = None,
+                 done: int = 0, queries: int = -1,
+                 rows: Optional[List["Tuple"]] = None):
+        self.schema = schema
+        self.columns = columns
+        if timestamps is None:
+            n = len(columns[0]) if columns else 0
+            timestamps = [None] * n
+        self.timestamps = timestamps
+        self.done = done
+        self.queries = queries
+        self._rows = rows
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_tuples(cls, tuples: Sequence["Tuple"],
+                    schema: Optional[Schema] = None) -> "TupleBatch":
+        """Build a row-backed batch from existing tuples.
+
+        All tuples must share one schema and (because lineage is packed
+        batch-wide) the same ``done``/``queries`` bitmaps — true for any
+        run of freshly ingested base tuples, which is where batches are
+        formed.
+        """
+        rows = list(tuples)
+        if not rows:
+            if schema is None:
+                raise SchemaError("an empty TupleBatch needs an explicit "
+                                  "schema")
+            return cls(schema, [[] for _ in schema.columns], [])
+        schema = schema if schema is not None else rows[0].schema
+        done, queries = rows[0].done, rows[0].queries
+        for t in rows:
+            if t.done != done or t.queries != queries:
+                raise SchemaError(
+                    "TupleBatch rows must share one done/queries lineage; "
+                    "group divergent tuples into separate batches")
+        columns = [list(col) for col in zip(*(t.values for t in rows))]
+        if not columns:            # zero-column schema: keep arity
+            columns = [[] for _ in schema.columns]
+        return cls(schema, columns, [t.timestamp for t in rows],
+                   done=done, queries=queries, rows=rows)
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def sources(self) -> frozenset:
+        return self.schema.sources
+
+    def column(self, name: str) -> List[Any]:
+        """The value list for ``name`` (qualified fallback as in
+        :meth:`Schema.index_of`)."""
+        return self.columns[self.schema.index_of(name)]
+
+    # -- lineage -----------------------------------------------------------
+    def mark_done(self, module_bit: int) -> None:
+        self.done |= module_bit
+        if self._rows is not None:
+            # Stored copies in SteMs alias these rows: keep them in sync
+            # so composites inherit the same done-bits as per-tuple mode.
+            done = self.done
+            for r in self._rows:
+                r.done = done
+
+    def mark_dead(self) -> None:
+        """A failed filter kills the rows; only matters when rows may
+        already live inside a SteM (i.e. the batch is row-backed)."""
+        if self._rows is not None:
+            for r in self._rows:
+                r.dead = True
+
+    # -- row access --------------------------------------------------------
+    def representative(self) -> "Tuple":
+        """One row standing in for the whole batch: routing predicates
+        (``applies_to``, ``must_run_first``) depend only on schema,
+        sources, and the shared lineage, all uniform across the batch."""
+        if self._rows is not None:
+            return self._rows[0]
+        t = Tuple(self.schema, tuple(col[0] for col in self.columns),
+                  timestamp=self.timestamps[0])
+        t.done = self.done
+        t.queries = self.queries
+        return t
+
+    def materialize(self) -> List["Tuple"]:
+        """Row tuples for this batch, created lazily and cached (so SteM
+        builds and later lineage updates see the same objects)."""
+        if self._rows is None:
+            schema = self.schema
+            done = self.done
+            queries = self.queries
+            rows: List[Tuple] = []
+            for i, values in enumerate(zip(*self.columns)):
+                t = Tuple(schema, values, timestamp=self.timestamps[i])
+                t.done = done
+                t.queries = queries
+                rows.append(t)
+            self._rows = rows
+        return self._rows
+
+    # -- partitioning ------------------------------------------------------
+    def take(self, indexes: Sequence[int]) -> "TupleBatch":
+        """A new batch holding the rows at ``indexes`` (in order)."""
+        columns = [[col[i] for i in indexes] for col in self.columns]
+        rows = None
+        if self._rows is not None:
+            rows = [self._rows[i] for i in indexes]
+        return TupleBatch(self.schema, columns,
+                          [self.timestamps[i] for i in indexes],
+                          done=self.done, queries=self.queries, rows=rows)
+
+    def partition(self, mask: Sequence[bool]) -> \
+            "TypingTuple[TupleBatch, TupleBatch]":
+        """Split into (pass, fail) batches under a selection vector."""
+        if all(mask):
+            return self, TupleBatch.from_tuples((), schema=self.schema)
+        passed = [i for i, ok in enumerate(mask) if ok]
+        failed = [i for i, ok in enumerate(mask) if not ok]
+        return self.take(passed), self.take(failed)
+
+    def __repr__(self) -> str:
+        return (f"TupleBatch<{'|'.join(sorted(self.schema.sources))}>"
+                f"(n={len(self)})")
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional
 
-from repro.core.tuples import Punctuation, Tuple, is_eos
+from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
 from repro.errors import PlanError
 from repro.fjords.queues import EMPTY, FjordQueue
 
@@ -98,6 +98,9 @@ class Module:
             raise PlanError(f"{self.name}: output port {port} is unbound")
         if isinstance(item, Tuple):
             self.tuples_out += 1
+        elif isinstance(item, TupleBatch):
+            # A batch moves as ONE queue item but counts as its rows.
+            self.tuples_out += len(item)
         return queue.push(item)
 
     def emit_all(self, items: Iterable[Any], port: int = 0) -> None:
@@ -131,6 +134,12 @@ class Module:
             if isinstance(item, Punctuation):
                 self.on_punctuation(item, port)
                 continue
+            if isinstance(item, TupleBatch):
+                # Batch-granularity transfer: one queue item, many rows.
+                self.tuples_in += len(item)
+                for out in self.process_batch(item, port):
+                    self.emit(out)
+                continue
             self.tuples_in += 1
             for out in self.process(item, port):
                 self.emit(out)
@@ -158,6 +167,18 @@ class Module:
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         """Map one input tuple to zero or more output tuples."""
         raise NotImplementedError
+
+    def process_batch(self, batch: TupleBatch, port: int) -> Iterable[Any]:
+        """Map one input batch to zero or more outputs.
+
+        The default degenerates to a row loop over :meth:`process`, so
+        every module accepts batches; vectorized modules (eddies,
+        Select) override with real kernels and may emit whole batches.
+        """
+        out: List[Any] = []
+        for t in batch.materialize():
+            out.extend(self.process(t, port))
+        return out
 
     def on_punctuation(self, punctuation: Punctuation, port: int) -> None:
         """Non-EOS punctuation (e.g. window boundaries) forwards by

@@ -167,6 +167,25 @@ class FjordQueue:
                 accepted += 1
         return accepted
 
+    def push_many(self, items: Iterable[Any]) -> int:
+        """Bulk enqueue: one deque extend and one counter update for the
+        whole batch on the unbounded fast path (the vectorized pipeline's
+        transfer granularity); bounded queues keep exact per-item
+        overflow semantics."""
+        if self.capacity:
+            return self.push_all(items)
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        n = len(items)
+        if not n:
+            return 0
+        self._items.extend(items)
+        self.stats.enqueued += n
+        TOTALS.enqueued += n
+        depth = len(self._items)
+        if depth > self.stats.high_water:
+            self.stats.high_water = depth
+        return n
+
     # -- consumer side ---------------------------------------------------
     def pop(self) -> Any:
         """Non-blocking dequeue: returns :data:`EMPTY` when nothing is
@@ -176,6 +195,20 @@ class FjordQueue:
         self.stats.dequeued += 1
         TOTALS.dequeued += 1
         return self._items.popleft()
+
+    def pop_many(self, max_items: int) -> list:
+        """Bulk dequeue: up to ``max_items`` items with one counter
+        update.  Returns a (possibly empty) list — the batch-granularity
+        mirror of :meth:`pop`."""
+        items = self._items
+        n = min(max_items, len(items))
+        if n <= 0:
+            return []
+        popleft = items.popleft
+        out = [popleft() for _ in range(n)]
+        self.stats.dequeued += n
+        TOTALS.dequeued += n
+        return out
 
     def peek(self) -> Any:
         return self._items[0] if self._items else EMPTY
@@ -243,6 +276,14 @@ class PullQueue(FjordQueue):
                 # The pump ran dry: the consumer blocked for nothing.
                 TOTALS.stalls += 1
         return super().pop()
+
+    def pop_many(self, max_items: int) -> list:
+        if not self._items and self.producer is not None:
+            first = self.pop()       # runs the pump (and counts a stall)
+            if first is EMPTY:
+                return []
+            return [first] + super().pop_many(max_items - 1)
+        return super().pop_many(max_items)
 
 
 class ExchangeQueue(PullQueue):

@@ -10,10 +10,44 @@ operators, and the decomposition.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Dict, FrozenSet, List, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Sequence, Set, TYPE_CHECKING
 
 from repro.core.tuples import Tuple
 from repro.errors import QueryError
+from repro.monitor import telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tuples import TupleBatch
+
+#: A compiled predicate kernel: batch in, selection vector out.
+Kernel = Callable[["TupleBatch"], List[bool]]
+
+
+class _KernelTotals:
+    """Process-wide kernel counters (the fjords TOTALS pattern): the
+    per-batch path bumps plain integers; a global collector publishes
+    them only when a telemetry snapshot is taken."""
+
+    __slots__ = ("evals", "rows")
+
+    def __init__(self) -> None:
+        self.evals = 0
+        self.rows = 0
+
+
+KERNEL_TOTALS = _KernelTotals()
+
+
+def _collect_kernel_telemetry(reg: "telemetry.MetricRegistry") -> None:
+    reg.counter("tcq_predicate_kernel_evals_total",
+                "Compiled predicate kernel invocations (one per batch)"
+                ).set_total(KERNEL_TOTALS.evals)
+    reg.counter("tcq_predicate_kernel_rows_total",
+                "Rows evaluated through compiled predicate kernels"
+                ).set_total(KERNEL_TOTALS.rows)
+
+
+telemetry.register_global_collector(_collect_kernel_telemetry)
 
 #: Comparison operator symbols to functions.
 OPS: Dict[str, Callable[[Any, Any], bool]] = {
@@ -63,6 +97,32 @@ class Predicate:
         return themselves."""
         return [self]
 
+    def compile(self) -> Kernel:
+        """Compile into a batch kernel: ``kernel(batch) -> selection
+        vector`` with semantics identical to calling :meth:`matches` on
+        every row.  The kernel resolves column positions once per batch
+        and scans plain value lists, which is where the vectorized
+        execution path gets its speedup."""
+        inner = self._compile_kernel()
+        totals = KERNEL_TOTALS
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            totals.evals += 1
+            totals.rows += len(batch)
+            return inner(batch)
+
+        return kernel
+
+    def _compile_kernel(self) -> Kernel:
+        # Fallback for predicate types without a columnar kernel: row
+        # loop over materialized tuples (still one call per batch).
+        matches = self.matches
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            return [matches(t) for t in batch.materialize()]
+
+        return kernel
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
@@ -84,6 +144,9 @@ class TruePredicate(Predicate):
 
     def conjuncts(self) -> List[Predicate]:
         return []
+
+    def _compile_kernel(self) -> Kernel:
+        return lambda batch: [True] * len(batch)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TruePredicate)
@@ -112,7 +175,10 @@ class Comparison(Predicate):
         self.column = column
         self.op = "==" if op == "=" else ("!=" if op == "<>" else op)
         self.value = value
-        self._fn = OPS[op]
+        # Operator function resolved exactly once (from the normalised
+        # symbol); every evaluation path — matches, evaluate, and the
+        # compiled batch kernel — dispatches through this bound callable.
+        self._fn = OPS[self.op]
 
     def matches(self, t: Tuple) -> bool:
         actual = t.get(self.column, _MISSING)
@@ -129,6 +195,31 @@ class Comparison(Predicate):
             return self._fn(value, self.value)
         except TypeError:
             return False
+
+    def _compile_kernel(self) -> Kernel:
+        fn = self._fn
+        value = self.value
+        column = self.column
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            schema = batch.schema
+            if not schema.has_column(column):
+                return [False] * len(batch)
+            col = batch.columns[schema.index_of(column)]
+            try:
+                return [v is not None and fn(v, value) for v in col]
+            except TypeError:
+                # Heterogeneous column: fall back to per-element guards
+                # so one incomparable value doesn't fail the whole batch.
+                out: List[bool] = []
+                for v in col:
+                    try:
+                        out.append(v is not None and bool(fn(v, value)))
+                    except TypeError:
+                        out.append(False)
+                return out
+
+        return kernel
 
     def columns(self) -> Set[str]:
         return {self.column}
@@ -188,6 +279,30 @@ class ColumnComparison(Predicate):
     def is_equijoin(self) -> bool:
         return self.op == "==" and len(self.sources()) == 2
 
+    def _compile_kernel(self) -> Kernel:
+        fn = self._fn
+        left = self.left
+        right = self.right
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            schema = batch.schema
+            if not (schema.has_column(left) and schema.has_column(right)):
+                return [False] * len(batch)
+            lcol = batch.columns[schema.index_of(left)]
+            rcol = batch.columns[schema.index_of(right)]
+            try:
+                return [fn(l, r) for l, r in zip(lcol, rcol)]
+            except TypeError:
+                out: List[bool] = []
+                for l, r in zip(lcol, rcol):
+                    try:
+                        out.append(bool(fn(l, r)))
+                    except TypeError:
+                        out.append(False)
+                return out
+
+        return kernel
+
     def columns(self) -> Set[str]:
         return {self.left, self.right}
 
@@ -235,6 +350,20 @@ class And(Predicate):
             out.extend(p.conjuncts())
         return out
 
+    def _compile_kernel(self) -> Kernel:
+        kernels = [p._compile_kernel() for p in self.parts]
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            if not kernels:
+                return [True] * len(batch)
+            mask = kernels[0](batch)
+            for k in kernels[1:]:
+                other = k(batch)
+                mask = [a and b for a, b in zip(mask, other)]
+            return mask
+
+        return kernel
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, And):
             return NotImplemented
@@ -271,6 +400,20 @@ class Or(Predicate):
             out |= p.columns()
         return out
 
+    def _compile_kernel(self) -> Kernel:
+        kernels = [p._compile_kernel() for p in self.parts]
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            if not kernels:
+                return [False] * len(batch)
+            mask = kernels[0](batch)
+            for k in kernels[1:]:
+                other = k(batch)
+                mask = [a or b for a, b in zip(mask, other)]
+            return mask
+
+        return kernel
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Or):
             return NotImplemented
@@ -302,6 +445,14 @@ class Not(Predicate):
 
     def matches(self, t: Tuple) -> bool:
         return not self.part.matches(t)
+
+    def _compile_kernel(self) -> Kernel:
+        inner = self.part._compile_kernel()
+
+        def kernel(batch: "TupleBatch") -> List[bool]:
+            return [not m for m in inner(batch)]
+
+        return kernel
 
     def columns(self) -> Set[str]:
         return self.part.columns()

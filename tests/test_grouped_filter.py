@@ -155,3 +155,21 @@ def test_multi_factor_queries_match_direct_evaluation(entries, probe):
     expected = {qid for qid, fs in by_query.items()
                 if all(f.evaluate(probe) for f in fs)}
     assert gf.matching(probe) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9),
+                          st.sampled_from(["<", ">", "==", "!=", ">=", "<="]),
+                          st.integers(-20, 20)),
+                min_size=1, max_size=30),
+       st.lists(st.integers(-25, 25), min_size=0, max_size=20))
+def test_matching_batch_equals_per_value(entries, probes):
+    """Property: the vectorized probe is exactly
+    ``[matching(v) for v in values]`` — including the probes counter."""
+    gf = GroupedFilter("p")
+    for qid, op, value in entries:
+        gf.add(Comparison("p", op, value), qid)
+    reference = [gf.matching(v) for v in probes]
+    counted = gf.probes
+    assert gf.matching_batch(probes) == reference
+    assert gf.probes == counted + len(probes)

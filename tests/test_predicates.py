@@ -185,3 +185,72 @@ def test_and_or_duality(thresholds, value):
     conj = And(*comparisons)
     disj = Or(*(c.negate() for c in comparisons))
     assert conj.matches(t) != disj.matches(t)
+
+
+class TestCompiledKernels:
+    """compile() must agree with matches() row by row — including the
+    awkward cases (missing columns, None values, mixed types)."""
+
+    def _batch(self, rows_):
+        from repro.core.tuples import TupleBatch
+        return TupleBatch.from_tuples(rows_)
+
+    def _parity(self, pred, rows_):
+        got = pred.compile()(self._batch(rows_))
+        want = [pred.matches(t) for t in rows_]
+        assert got == want
+        return got
+
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    def test_comparison_parity(self, op):
+        rows_ = [row(a=v) for v in (-2, 0, 1, 2, 5)]
+        self._parity(Comparison("a", op, 1), rows_)
+
+    def test_none_values_never_match(self):
+        rows_ = [row(a=None), row(a=1)]
+        assert self._parity(Comparison("a", ">", 0), rows_) == [False, True]
+
+    def test_missing_column_never_matches(self):
+        rows_ = [row(), row()]
+        assert self._parity(Comparison("zzz", "==", 1), rows_) == \
+            [False, False]
+
+    def test_mixed_types_fall_back_per_element(self):
+        rows_ = [row(a="text"), row(a=3), row(a="text")]
+        assert self._parity(Comparison("a", ">", 1), rows_) == \
+            [False, True, False]
+
+    def test_column_comparison_parity(self):
+        rows_ = [row(a=1, b=1), row(a=2, b=1), row(a=0, b=5)]
+        self._parity(ColumnComparison("a", "==", "b"), rows_)
+        self._parity(ColumnComparison("a", ">", "b"), rows_)
+
+    def test_and_or_not_parity(self):
+        rows_ = [row(a=v, b=w) for v in range(-2, 3) for w in range(-2, 3)]
+        gt = Comparison("a", ">", 0)
+        lt = Comparison("b", "<", 1)
+        self._parity(And(gt, lt), rows_)
+        self._parity(Or(gt, lt), rows_)
+        self._parity(Not(gt), rows_)
+        self._parity(And(), rows_)
+        self._parity(Or(), rows_)
+
+    def test_true_predicate_kernel(self):
+        rows_ = [row(), row(), row()]
+        assert self._parity(ALWAYS_TRUE, rows_) == [True, True, True]
+
+    def test_kernel_totals_count_evals_and_rows(self):
+        from repro.query.predicates import KERNEL_TOTALS
+        kernel = Comparison("a", "==", 1).compile()
+        before = (KERNEL_TOTALS.evals, KERNEL_TOTALS.rows)
+        kernel(self._batch([row(a=1), row(a=2), row(a=3)]))
+        kernel(self._batch([row(a=1)]))
+        assert KERNEL_TOTALS.evals == before[0] + 2
+        assert KERNEL_TOTALS.rows == before[1] + 4
+
+    def test_comparison_fn_resolved_once(self):
+        """Operator dispatch happens in __init__, not per evaluate()."""
+        import operator
+        pred = Comparison("a", "<>", 5)
+        assert pred._fn is operator.ne
+        assert Comparison("a", "=", 5)._fn is operator.eq

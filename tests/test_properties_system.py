@@ -12,11 +12,16 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
 from repro.core.engine import TelegraphCQServer
-from repro.core.tuples import Schema
+from repro.core.routing import BatchingDirective, FixedPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema, TupleBatch
 from repro.flux.cluster import Cluster, GroupCountState
 from repro.flux.flux import Flux
-from repro.query.predicates import Comparison
+from repro.query.predicates import ColumnComparison, Comparison
+
+from tests.conftest import values_of
 
 TRADES = Schema.of("trades", "sym", "price")
 
@@ -72,6 +77,121 @@ def test_windowed_count_matches_closed_form(n_days, width, hop, start_off):
         lo, hi = t - width + 1, t
         true_size = max(0, min(hi, n_days) - max(lo, 1) + 1)
         assert rows[0]["count"] == true_size
+
+
+# ------------------------------------------------- vectorized pipeline
+
+_VS = Schema.of("S", "a", "k")
+_VT = Schema.of("T", "b", "k")
+_V_OPS = [">", "<", ">=", "<=", "==", "!="]
+
+
+def _build_pipeline(filter_specs, with_join):
+    """Fresh operators for one run (eddies and SteMs hold state)."""
+    ops = []
+    if with_join:
+        join = ColumnComparison("S.k", "==", "T.k")
+        ops.append(SteMOperator(SteM("S", index_columns=("S.k",)), [join],
+                                name="stem_s"))
+        ops.append(SteMOperator(SteM("T", index_columns=("T.k",)), [join],
+                                name="stem_t"))
+    for i, (column, op, value) in enumerate(filter_specs):
+        ops.append(FilterOperator(Comparison(column, op, value),
+                                  name=f"f{i}"))
+    footprint = {"S", "T"} if with_join else {"S"}
+    order = [op.name for op in ops]
+    return ops, footprint, order
+
+
+def _make_rows(s_data, t_data, with_join):
+    """All of S before all of T, so the arrival-order join dedupe sees
+    the same tid order no matter how rows are later grouped into
+    batches."""
+    rows = [_VS.make(a, k, timestamp=i)
+            for i, (a, k) in enumerate(s_data)]
+    if with_join:
+        rows += [_VT.make(b, k, timestamp=len(s_data) + i)
+                 for i, (b, k) in enumerate(t_data)]
+    return rows
+
+
+def _flatten(results):
+    out = []
+    for item in results:
+        if isinstance(item, TupleBatch):
+            out.extend(item.materialize())
+        else:
+            out.append(item)
+    return out
+
+
+def _data_plane_counters(eddy, ops):
+    """The counters both execution paths must agree on exactly.  Control
+    plane (routing_decisions, lottery state) legitimately differs — the
+    batch path consults the policy once per batch."""
+    counters = {
+        "eddy.tuples_routed": eddy.tuples_routed,
+        "eddy.outputs_emitted": eddy.outputs_emitted,
+    }
+    for op in ops:
+        counters[f"{op.name}.seen"] = op.seen
+        counters[f"{op.name}.passed"] = op.passed_count
+        if isinstance(op, SteMOperator):
+            counters[f"{op.name}.builds"] = op.stem.builds
+            counters[f"{op.name}.probes"] = op.stem.probes
+            counters[f"{op.name}.matches"] = op.stem.matches_out
+    return counters
+
+
+def _run_pipeline(s_data, t_data, filter_specs, with_join, batch_size,
+                  vectorized):
+    ops, footprint, order = _build_pipeline(filter_specs, with_join)
+    eddy = Eddy(ops, output_sources=footprint, policy=FixedPolicy(order),
+                batching=BatchingDirective(batch_size,
+                                           vectorize=vectorized))
+    rows = _make_rows(s_data, t_data, with_join)
+    results = []
+    if vectorized:
+        # Batches never mix schemas; S rows precede T rows in ``rows``
+        # so slicing by schema keeps the arrival order intact.
+        for schema in (_VS, _VT):
+            group = [t for t in rows if t.schema is schema]
+            for i in range(0, len(group), batch_size):
+                batch = TupleBatch.from_tuples(group[i:i + batch_size])
+                results.extend(eddy.process_batch(batch, 0))
+    else:
+        for t in rows:
+            results.extend(eddy.process(t, 0))
+    return _flatten(results), _data_plane_counters(eddy, ops)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 8)),
+                max_size=30),
+       st.lists(st.tuples(st.integers(0, 5), st.integers(0, 8)),
+                max_size=30),
+       st.lists(st.tuples(st.sampled_from(["a", "b"]),
+                          st.sampled_from(_V_OPS), st.integers(0, 5)),
+                min_size=1, max_size=4),
+       st.booleans(),
+       st.sampled_from([1, 3, 16, 64]))
+def test_vectorized_pipeline_equals_per_tuple(s_data, t_data, filter_specs,
+                                              with_join, batch_size):
+    """Property: for any random filter/join pipeline, the vectorized
+    batch path produces exactly the per-tuple path's result multiset AND
+    identical data-plane telemetry (operator seen/passed, SteM
+    builds/probes/matches, eddy routed/emitted)."""
+    if not with_join:
+        # Without T in the plan, filters on "b" would never apply.
+        filter_specs = [(("a",) + spec[1:]) for spec in filter_specs]
+    per_tuple, counters_pt = _run_pipeline(
+        s_data, t_data, filter_specs, with_join, batch_size,
+        vectorized=False)
+    vectorized, counters_vec = _run_pipeline(
+        s_data, t_data, filter_specs, with_join, batch_size,
+        vectorized=True)
+    assert values_of(vectorized) == values_of(per_tuple)
+    assert counters_vec == counters_pt
 
 
 # ---------------------------------------------------------------- flux

@@ -122,3 +122,69 @@ class TestPullQueue:
     def test_exchange_queue_is_pull_flavour(self):
         q = ExchangeQueue()
         assert isinstance(q, PullQueue)
+
+
+class TestBulkTransfer:
+    """push_many / pop_many: batch-granularity transfer with the same
+    semantics as the per-item calls."""
+
+    def test_push_many_unbounded_fast_path(self):
+        q = PushQueue()
+        assert q.push_many([1, 2, 3]) == 3
+        assert q.stats.enqueued == 3
+        assert q.stats.high_water == 3
+        assert [q.pop(), q.pop(), q.pop()] == [1, 2, 3]
+
+    def test_push_many_accepts_generators(self):
+        q = PushQueue()
+        assert q.push_many(x * 2 for x in range(4)) == 4
+        assert len(q) == 4
+
+    def test_push_many_empty_is_noop(self):
+        q = PushQueue()
+        assert q.push_many([]) == 0
+        assert q.stats.enqueued == 0
+
+    def test_push_many_bounded_keeps_overflow_semantics(self):
+        q = PushQueue(capacity=2, overflow="refuse")
+        assert q.push_many([1, 2, 3, 4]) == 2
+        assert len(q) == 2
+        dropper = PushQueue(capacity=2, overflow="drop_oldest")
+        dropper.push_many([1, 2, 3])
+        assert dropper.pop() == 2      # 1 was evicted to admit 3
+        assert dropper.stats.dropped == 1
+
+    def test_pop_many_drains_up_to_limit(self):
+        q = PushQueue()
+        q.push_many([1, 2, 3, 4, 5])
+        assert q.pop_many(3) == [1, 2, 3]
+        assert q.stats.dequeued == 3
+        assert q.pop_many(10) == [4, 5]
+        assert q.pop_many(10) == []
+
+    def test_pop_many_counts_global_totals(self):
+        from repro.fjords.queues import TOTALS
+        q = PushQueue()
+        q.push_many([1, 2])
+        before = TOTALS.dequeued
+        q.pop_many(2)
+        assert TOTALS.dequeued == before + 2
+
+    def test_pull_queue_pop_many_pumps_producer(self):
+        fed = []
+
+        def producer():
+            if len(fed) >= 3:
+                return False
+            fed.append(len(fed))
+            q.push(fed[-1])
+            return True
+
+        q = PullQueue(producer=producer)
+        assert q.pop_many(8) == [0]    # one pump per blocking pop
+        assert q.pop_many(8) == [1]
+
+    def test_pull_queue_pop_many_prefers_buffered(self):
+        q = PullQueue(producer=lambda: False)
+        q.push_many([7, 8, 9])
+        assert q.pop_many(2) == [7, 8]

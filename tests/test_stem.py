@@ -172,3 +172,75 @@ class TestRendezvousBuffer:
         buf = RendezvousBuffer("S")
         buf.settle(S.make(1, 2))
         assert buf.pending_count() == 0
+
+
+class TestBatchBuildProbe:
+    """build_batch / probe_batch must be drop-in vectorizations: same
+    matches, same counters, one-pass key hashing with an index."""
+
+    def _streams(self, n=20, key_mod=5):
+        s_rows = [S.make(i % key_mod, i, timestamp=i) for i in range(n)]
+        t_rows = [T.make(i % key_mod, i * 10, timestamp=n + i)
+                  for i in range(n)]
+        return s_rows, t_rows
+
+    def test_build_batch_equals_per_tuple_builds(self):
+        from repro.core.tuples import TupleBatch
+        s_rows, _t = self._streams()
+        one = SteM("S", index_columns=["S.k"])
+        for t in s_rows:
+            one.build(t)
+        many = SteM("S", index_columns=["S.k"])
+        many.build_batch(TupleBatch.from_tuples(s_rows))
+        assert many.builds == one.builds == len(s_rows)
+        assert many.contents() == one.contents() == s_rows
+
+    def test_build_batch_wrong_source_rejected(self):
+        from repro.core.tuples import TupleBatch
+        _s, t_rows = self._streams()
+        stem = SteM("S")
+        with pytest.raises(PlanError, match="home source"):
+            stem.build_batch(TupleBatch.from_tuples(t_rows))
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_probe_batch_matches_and_counters(self, indexed):
+        from repro.core.tuples import TupleBatch
+        s_rows, t_rows = self._streams()
+        cols = ["S.k"] if indexed else []
+        one = SteM("S", index_columns=cols)
+        many = SteM("S", index_columns=cols)
+        for t in s_rows:
+            one.build(t)
+            many.build(t)
+        expected = []
+        per_row_hits = []
+        for t in t_rows:
+            found = one.probe(t, [JOIN])
+            expected.extend(found)
+            per_row_hits.append(bool(found))
+        matches, hits = many.probe_batch(
+            TupleBatch.from_tuples(t_rows), [JOIN])
+        key = lambda m: tuple(sorted(m.as_dict().items()))
+        assert sorted(map(key, matches)) == sorted(map(key, expected))
+        assert hits == per_row_hits
+        assert many.probes == one.probes == len(t_rows)
+        assert many.matches_out == one.matches_out
+        assert many.batch_probes == 1
+
+    def test_probe_batch_skips_dead_and_later_arrivals(self):
+        from repro.core.tuples import TupleBatch
+        s_rows, t_rows = self._streams(n=6, key_mod=2)
+        stem = SteM("S", index_columns=["S.k"])
+        for t in s_rows:
+            stem.build(t)
+        s_rows[0].dead = True
+        reference = [len(stem.probe(t, [JOIN], dedupe_by_arrival=True))
+                     for t in t_rows]
+        stem2 = SteM("S", index_columns=["S.k"])
+        s2, t2 = self._streams(n=6, key_mod=2)
+        for t in s2:
+            stem2.build(t)
+        s2[0].dead = True
+        matches, hits = stem2.probe_batch(TupleBatch.from_tuples(t2), [JOIN])
+        assert len(matches) == sum(reference)
+        assert hits == [n > 0 for n in reference]

@@ -405,3 +405,43 @@ def test_telemetry_overhead_under_15_percent():
     assert t_on < t_off * 1.15, (
         f"telemetry-on {t_on:.4f}s vs off {t_off:.4f}s "
         f"({t_on / t_off:.2%})")
+
+
+class TestVectorizedCounters:
+    def test_batch_counters_published_in_snapshot(self):
+        """The vectorized pipeline's counters — eddy batches routed,
+        predicate kernel evals, SteM batch probes — surface through the
+        collector pattern like every other hot-path metric."""
+        from repro.core.routing import BatchingDirective, FixedPolicy
+        from repro.core.tuples import TupleBatch
+        from repro.query.predicates import ColumnComparison
+
+        S = Schema.of("S", "a", "k")
+        T = Schema.of("T", "b", "k")
+        join = ColumnComparison("S.k", "==", "T.k")
+        stem_t = SteM("T", index_columns=("T.k",))
+        from repro.core.eddy import SteMOperator
+        ops = [SteMOperator(SteM("S", index_columns=("S.k",)), [join],
+                            name="vs"),
+               SteMOperator(stem_t, [join], name="vt"),
+               FilterOperator(Comparison("a", ">", 0), name="vf")]
+        eddy = Eddy(ops, output_sources={"S", "T"},
+                    policy=FixedPolicy(["vs", "vt", "vf"]),
+                    batching=BatchingDirective(4, vectorize=True))
+        s_rows = [S.make(i % 3, i % 5, timestamp=i) for i in range(12)]
+        t_rows = [T.make(i % 3, i % 5, timestamp=12 + i) for i in range(12)]
+        for group in (s_rows, t_rows):
+            for i in range(0, len(group), 4):
+                eddy.process_batch(TupleBatch.from_tuples(group[i:i + 4]), 0)
+
+        snap = get_registry().snapshot()
+        assert snap.value("tcq_eddy_batches_routed_total",
+                          eddy=eddy._telemetry_id) == 6
+        # 3 S-batches probed stem[T]; 3 T-batches probed stem[S].
+        assert snap.value("tcq_stem_batch_probes_total",
+                          stem=stem_t._telemetry_id) == 3
+        assert snap.value("tcq_stem_batch_probes_total",
+                          stem=ops[0].stem._telemetry_id) == 3
+        assert snap.value("tcq_predicate_kernel_evals_total") > 0
+        assert snap.value("tcq_predicate_kernel_rows_total") > 0
+        assert eddy.stats()["batches_routed"] == 6

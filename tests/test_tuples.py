@@ -188,3 +188,97 @@ def test_concat_is_value_concatenation(xs, ys):
     sb = Schema([Column(f"b{i}") for i in range(len(ys))], name="B")
     joined = sa.make(*xs).concat(sb.make(*ys))
     assert joined.values == tuple(xs) + tuple(ys)
+
+
+class TestTupleBatch:
+    def _rows(self, n=5):
+        s = Schema.of("S", "a", "b")
+        return s, [s.make(i, i * 10, timestamp=i) for i in range(n)]
+
+    def test_from_tuples_roundtrip(self):
+        from repro.core.tuples import TupleBatch
+        s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        assert len(batch) == 5
+        assert batch.schema is s
+        assert batch.column("a") == [0, 1, 2, 3, 4]
+        assert batch.column("b") == [0, 10, 20, 30, 40]
+        assert batch.materialize() == rows       # row-backed: same objects
+
+    def test_empty_needs_schema(self):
+        from repro.core.tuples import TupleBatch
+        s, _rows = self._rows()
+        with pytest.raises(SchemaError):
+            TupleBatch.from_tuples([])
+        empty = TupleBatch.from_tuples([], schema=s)
+        assert len(empty) == 0
+        assert empty.materialize() == []
+
+    def test_partition_splits_by_mask(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        passed, failed = batch.partition([True, False, True, False, True])
+        assert passed.column("a") == [0, 2, 4]
+        assert failed.column("a") == [1, 3]
+
+    def test_partition_all_pass_returns_self(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        passed, failed = batch.partition([True] * 5)
+        assert passed is batch
+        assert len(failed) == 0
+
+    def test_mark_done_propagates_to_rows(self):
+        """Row-backed batches must keep their rows' lineage in sync:
+        SteMs may hold aliases of those rows."""
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        batch.mark_done(0b100)
+        assert batch.done & 0b100
+        assert all(t.done & 0b100 for t in rows)
+
+    def test_mark_dead_propagates_to_rows(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        batch.mark_dead()
+        assert all(t.dead for t in rows)
+
+    def test_materialize_builds_rows_from_columns(self):
+        """A columnar batch without backing rows materializes fresh
+        tuples carrying the batch's shared lineage."""
+        from repro.core.tuples import TupleBatch
+        s, rows = self._rows(3)
+        columnar = TupleBatch(schema=s,
+                              columns=[[7, 8, 9], [70, 80, 90]],
+                              timestamps=[1, 2, 3])
+        columnar.mark_done(0b10)
+        out = columnar.materialize()
+        assert [t["a"] for t in out] == [7, 8, 9]
+        assert [t.timestamp for t in out] == [1, 2, 3]
+        assert all(t.done & 0b10 for t in out)
+
+    def test_take_selects_indexes(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        taken = batch.take([4, 0])
+        assert taken.column("a") == [4, 0]
+
+    def test_representative_shares_lineage(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        batch = TupleBatch.from_tuples(rows)
+        rep = batch.representative()
+        assert rep.sources == batch.sources
+        assert rep.done == batch.done
+
+    def test_mixed_lineage_rejected(self):
+        from repro.core.tuples import TupleBatch
+        _s, rows = self._rows()
+        rows[2].mark_done(0b1)
+        with pytest.raises(SchemaError):
+            TupleBatch.from_tuples(rows)
