@@ -1,0 +1,179 @@
+"""Scheduler-policy shoot-out on a skewed multi-query load (§4.2.2).
+
+Setup: one scheduler hosts a few *hot* units (steady tuple arrivals)
+and many *cold* units (a ready tuple only every ~1000 cost units) — the
+long-tail shape of a shared CQ system where most registered queries are
+quiet at any instant.  Every poll costs simulated time (checking empty
+queues is not free), so a policy that burns its budget polling idle
+units services the hot ones less often.
+
+Per policy we report:
+
+* throughput — tuples processed per simulated cost unit (all policies
+  are arrival-bound here, so this measures wasted polling);
+* ready-wait tail — the worst simulated-time gap between a unit having
+  a ready tuple and the scheduler servicing it.  This is the starvation
+  metric: pass-count gaps are meaningless across policies whose passes
+  cost wildly different amounts.
+
+Expected shape: pressure_aware holds throughput parity with
+round_robin (nobody drops work) while its ready-wait tail is
+measurably smaller, because skipping not-ready units keeps passes
+short and the starvation guard bounds how long a skip can last.
+"""
+
+import time
+
+import pytest
+
+from repro.sched import Scheduler, StepResult
+
+from benchmarks.conftest import print_table, record_result
+
+POLL_COST = 1.0        # sim cost of waking a unit (latches, empty pops)
+TUPLE_COST = 0.25      # sim cost per tuple actually processed
+IDLE_TICK = 1.0        # sim cost of a pass that ran no unit (driver nap)
+BUDGET = 200_000.0     # sim cost units per policy run
+HOT_UNITS = 3
+COLD_UNITS = 40
+HOT_RATE = 0.08        # tuples per sim cost unit
+COLD_RATE = 0.001
+QUANTUM = 16
+
+
+class SimClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class QueueUnit:
+    """A schedulable fed by a deterministic arrival rate.
+
+    Tracks the ready-wait tail: the longest stretch of simulated time a
+    whole tuple sat in the queue before this unit got a quantum.
+    """
+
+    def __init__(self, name, clock, rate, phase=0.0):
+        self.name = name
+        self.clock = clock
+        self.rate = rate
+        #: phase staggers arrival cycles so the cold population does not
+        #: become ready in lockstep (that would measure the workload's
+        #: synchronization, not the policy's).
+        self.pending = phase
+        self.processed = 0
+        self.polls = 0
+        self.idle_polls = 0
+        self.ready_since = None
+        self.wait_tail = 0.0
+        self.finished = False
+        self._last_arrival = 0.0
+
+    def arrive(self):
+        """Advance arrivals to the current sim time (harness calls this
+        before every pass, so every policy sees identical offered load)."""
+        now = self.clock.now
+        self.pending += self.rate * (now - self._last_arrival)
+        self._last_arrival = now
+        if self.pending >= 1.0 and self.ready_since is None:
+            self.ready_since = now
+
+    def ready(self):
+        return self.pending >= 1.0
+
+    def run_once(self, quantum=None):
+        self.polls += 1
+        self.clock.now += POLL_COST
+        take = min(int(self.pending), quantum or QUANTUM)
+        if take <= 0:
+            self.idle_polls += 1
+            return StepResult.IDLE
+        if self.ready_since is not None:
+            self.wait_tail = max(self.wait_tail,
+                                 self.clock.now - self.ready_since)
+        self.clock.now += take * TUPLE_COST
+        self.pending -= take
+        self.processed += take
+        self.ready_since = self.clock.now if self.pending >= 1.0 else None
+        return StepResult.BUSY
+
+
+def run(policy):
+    clock = SimClock()
+    sched = Scheduler(policy=policy, name=f"bench-{policy}",
+                      telemetry=False)
+    units = []
+    for i in range(HOT_UNITS):
+        units.append(QueueUnit(f"hot{i}", clock, HOT_RATE))
+        sched.add(units[-1], weight=2.0, query_class="hot")
+    for i in range(COLD_UNITS):
+        units.append(QueueUnit(f"cold{i}", clock, COLD_RATE,
+                               phase=i / COLD_UNITS))
+        sched.add(units[-1], weight=0.5, query_class="cold")
+    wall_start = time.perf_counter()
+    while clock.now < BUDGET:
+        for unit in units:
+            unit.arrive()
+        before = clock.now
+        sched.pass_once(QUANTUM)
+        if clock.now == before:       # nobody ran: the driver naps
+            clock.now += IDLE_TICK
+    wall = time.perf_counter() - wall_start
+    tuples = sum(u.processed for u in units)
+    polls = sum(u.polls for u in units)
+    tail = max(u.wait_tail for u in units)
+    return {
+        "policy": policy,
+        "tuples": tuples,
+        "polls": polls,
+        "idle_polls": sum(u.idle_polls for u in units),
+        "passes": sched.passes,
+        "sim_throughput": tuples / clock.now,
+        "ready_wait_tail": tail,
+        "wall_clock_s": wall,
+        "wall_throughput": tuples / wall if wall else 0.0,
+    }
+
+
+def test_scheduler_policies_shape():
+    results = {}
+    rows = []
+    for policy in ("round_robin", "busy_first", "deficit_round_robin",
+                   "pressure_aware"):
+        r = run(policy)
+        results[policy] = r
+        rows.append((policy, r["tuples"], r["idle_polls"], r["passes"],
+                     r["sim_throughput"], r["ready_wait_tail"]))
+        record_result(
+            "scheduler",
+            params={"policy": policy, "hot_units": HOT_UNITS,
+                    "cold_units": COLD_UNITS, "budget": BUDGET,
+                    "quantum": QUANTUM},
+            throughput=r["wall_throughput"],
+            wall_clock_s=r["wall_clock_s"],
+            tuples=r["tuples"], polls=r["polls"],
+            idle_polls=r["idle_polls"], passes=r["passes"],
+            sim_throughput=round(r["sim_throughput"], 4),
+            ready_wait_tail=round(r["ready_wait_tail"], 2))
+    print_table(
+        "Scheduler policies on a skewed load "
+        f"({HOT_UNITS} hot / {COLD_UNITS} cold units)",
+        ["policy", "tuples", "idle polls", "passes", "tuples/cost",
+         "ready-wait tail"], rows)
+    rr = results["round_robin"]
+    pa = results["pressure_aware"]
+    # Arrival-bound: nobody may drop work (>= parity throughput) ...
+    assert pa["tuples"] >= 0.95 * rr["tuples"]
+    assert pa["sim_throughput"] >= 0.95 * rr["sim_throughput"]
+    # ... and skipping idle units must shrink the starvation tail.
+    assert pa["ready_wait_tail"] <= 0.7 * rr["ready_wait_tail"]
+    # Skipping is the mechanism: the sim budget goes into short passes
+    # that service ready units, not into polling idle ones.
+    assert pa["idle_polls"] < 0.5 * rr["idle_polls"]
+    assert pa["passes"] > 2 * rr["passes"]
+
+
+@pytest.mark.benchmark(group="sched")
+@pytest.mark.parametrize("policy", ["round_robin", "pressure_aware"])
+def test_scheduler_policy_timing(benchmark, policy):
+    benchmark(run, policy)

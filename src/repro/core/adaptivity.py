@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple as TypingTuple
 
 from repro.core.eddy import Eddy
-from repro.core.routing import BatchingDirective
 from repro.errors import PlanError
+from repro.monitor.stats import sample_drift
 
 
 class AdaptivityController:
@@ -67,8 +67,7 @@ class AdaptivityController:
 
     def _check(self) -> Optional[int]:
         self.checks += 1
-        sample = {op.name: op.observed_selectivity()
-                  for op in self.eddy.operators}
+        sample = self.eddy.selectivity_sample()
         drift = self._drift(sample)
         self._last_sample = sample
         if drift is None:
@@ -89,16 +88,12 @@ class AdaptivityController:
     def _drift(self, sample: Dict[str, float]) -> Optional[float]:
         if self._last_sample is None:
             return None
-        deltas = [abs(sample[name] - old)
-                  for name, old in self._last_sample.items()
-                  if name in sample]
-        return max(deltas, default=0.0)
+        return sample_drift(self._last_sample, sample)
 
     def _apply(self, batch_size: int) -> None:
-        self.eddy.batching = BatchingDirective(
-            batch_size, fix_sequence=self.eddy.batching.fix_sequence)
-        # stale cached decisions must not outlive the old batch size
-        self.eddy._route_cache.clear()
+        # apply_quantum preserves the other directive knobs and drops
+        # cached routing decisions sized for the old batch.
+        self.eddy.apply_quantum(batch_size)
 
     # -- introspection ------------------------------------------------------
     @property

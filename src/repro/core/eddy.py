@@ -583,6 +583,22 @@ class Eddy(Module):
             self._emitted.clear()
         self.emit(punctuation)
 
+    # -- scheduler hooks -----------------------------------------------------
+    def selectivity_sample(self) -> Dict[str, float]:
+        """Per-operator windowed selectivities — the §4.3 drift signal
+        consumed by the adaptive quantum controllers."""
+        return {op.name: op.observed_selectivity()
+                for op in self.operators}
+
+    def apply_quantum(self, batch_size: int) -> None:
+        """Adopt a scheduler-chosen batch size, preserving the other
+        :class:`BatchingDirective` knobs, and drop cached routing
+        decisions sized for the old batch."""
+        self.batching = BatchingDirective(
+            batch_size, fix_sequence=self.batching.fix_sequence,
+            vectorize=self.batching.vectorize)
+        self._route_cache.clear()
+
     def evict_stems_before(self, timestamp: int) -> int:
         """Window expiry across every connected SteM."""
         evicted = 0

@@ -34,6 +34,7 @@ from repro.core.windows import HistoricalStore
 from repro.errors import ExecutionError, QueryError
 from repro.fjords.queues import EMPTY, PushQueue
 from repro.monitor.telemetry import get_registry
+from repro.sched.protocol import StepResult
 from repro.query.ast import QuerySpec
 from repro.query.catalog import Catalog
 from repro.query.optimizer import CompiledQuery, WindowedPlan, compile_query
@@ -172,10 +173,16 @@ class ClientProxy:
 
 
 class _WindowedQueryState:
-    """Incremental execution state for one windowed query DU."""
+    """Incremental execution state for one windowed query DU.
+
+    Satisfies the :class:`repro.sched.protocol.Schedulable` protocol
+    (``run_once`` / ``ready`` / ``finished``) so the executor can host
+    it directly inside a scheduler-controlled EO.
+    """
 
     def __init__(self, plan: WindowedPlan, spec_iter, cursor: Cursor,
                  server: "TelegraphCQServer"):
+        self.name = f"windowed-{cursor.cursor_id}"
         self.plan = plan
         self.iterator = spec_iter
         self.cursor = cursor
@@ -183,6 +190,25 @@ class _WindowedQueryState:
         self.pending: Optional[TypingTuple[int, Dict[str, TypingTuple[int, int]]]] = None
         self.done = False
         self.windows_evaluated = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.done
+
+    def ready(self) -> bool:
+        """Cheap hint: the next pending window (if known) is evaluable
+        only once every stream clock passed its right edge."""
+        if self.done:
+            return False
+        if self.pending is None:
+            return True                # must poll the spec iterator
+        return self._ready(self.pending[1])
+
+    def run_once(self, quantum: Optional[int] = None) -> "StepResult":
+        worked = self.step(16 if quantum is None else quantum)
+        if self.done:
+            return StepResult(worked, finished=True)
+        return StepResult.BUSY if worked else StepResult.IDLE
 
     def step(self, batch: int) -> bool:
         """Evaluate up to ``batch`` ready windows."""
@@ -446,8 +472,9 @@ class TelegraphCQServer:
         state = _WindowedQueryState(plan, iter(spec), cursor, self)
         cursor._windowed_state = state
         du = DispatchUnit(
-            f"windowed-{cursor.cursor_id}", DispatchUnit.MODE_SINGLE_EDDY,
-            step=state.step, is_finished=lambda: state.done)
+            state.name, DispatchUnit.MODE_SINGLE_EDDY,
+            step=state.run_once, is_finished=lambda: state.done,
+            ready=state.ready, query_class=cursor.client)
         self.executor.enqueue_plan(compiled.footprint, du)
 
     def _window_tuples(self, compiled: CompiledQuery, binding: str,
@@ -472,7 +499,10 @@ class TelegraphCQServer:
         return max(self._stream_clock.values(), default=0)
 
     # -- driving the executor -------------------------------------------------------
-    def step(self, batch: int = 16) -> bool:
+    def step(self, batch: int = 16) -> StepResult:
+        """One scheduling round; returns the executor's
+        :class:`~repro.sched.protocol.StepResult` (truthy iff progress
+        was made, exactly like the historical bool)."""
         return self.executor.step(batch)
 
     def run_until_quiescent(self, max_steps: int = 100_000) -> int:

@@ -1,18 +1,23 @@
 """The TelegraphCQ Executor: Execution Objects and Dispatch Units
-(Section 4.2.2).
+(Section 4.2.2), on the unified scheduler core.
 
 The executor maps "our shared continuous processing model onto a thread
 structure that will allow for adaptivity while incurring minimal
 overhead".  The design points reproduced here:
 
 * **Execution Objects (EOs)** — the units the OS would schedule (one
-  system thread each).  Here they are cooperatively scheduled by
-  :class:`Executor.step`; each EO owns a scheduler over its DUs.
+  system thread each).  Here they are cooperatively scheduled; each EO
+  hosts a :class:`repro.sched.Scheduler` over its DUs with a pluggable
+  policy (round-robin, busy-first, deficit-round-robin, or the
+  backpressure/QoS-aware policy), and the executor itself runs the EOs
+  under a top-level scheduler — every layer speaks the one
+  :class:`~repro.sched.protocol.Schedulable` protocol.
 * **Dispatch Units (DUs)** — non-preemptive work abstractions following
-  the Fjords model: ``run_once`` does a bounded quantum and returns.
-  A DU can host (mode 1) a traditional one-shot plan, (mode 2) a
-  single-eddy dataflow, or (mode 3) a shared continuous-query eddy —
-  the three modes the paper lists.
+  the Fjords model: ``run_once`` does a bounded quantum and returns a
+  :class:`~repro.sched.protocol.StepResult`.  A DU can host (mode 1) a
+  traditional one-shot plan, (mode 2) a single-eddy dataflow, or
+  (mode 3) a shared continuous-query eddy — the three modes the paper
+  lists.
 * **Query classes by footprint** — queries over overlapping stream sets
   land in the same EO (so they can share SteMs and grouped filters);
   disjoint footprints get separate EOs.  Implemented with a union-find
@@ -22,15 +27,29 @@ overhead".  The design points reproduced here:
 from __future__ import annotations
 
 import itertools
-from typing import (Callable, Dict, FrozenSet, Iterable, List, Set, Tuple as TypingTuple)
+from collections import deque
+from typing import (Any, Callable, Deque, Dict, FrozenSet, Iterable, List,
+                    Optional, Set, Tuple as TypingTuple)
 
 from repro.errors import ExecutionError
 from repro.fjords.fjord import Fjord
 from repro.monitor.telemetry import get_registry
+from repro.sched.policy import POLICIES as SCHED_POLICIES
+from repro.sched.protocol import StepResult, coerce_step_result, unit_ready
+from repro.sched.quantum import AdaptiveQuantumController
+from repro.sched.scheduler import Scheduler, drive
 
 
 class DispatchUnit:
-    """A non-preemptive unit of work inside an EO."""
+    """A non-preemptive unit of work inside an EO.
+
+    ``step`` may return a bool (legacy) or a
+    :class:`~repro.sched.protocol.StepResult`; ``run_once`` always
+    returns a StepResult.  The optional hints — ``ready``, ``pressure``,
+    ``selectivity`` — feed the EO's scheduling policy and the adaptive
+    quantum controller; ``weight`` and ``query_class`` parameterise the
+    deficit-round-robin and QoS-aware policies.
+    """
 
     #: paper's three DU modes.
     MODE_TRADITIONAL = 1
@@ -38,33 +57,68 @@ class DispatchUnit:
     MODE_SHARED_CQ = 3
 
     def __init__(self, name: str, mode: int,
-                 step: Callable[[int], bool],
-                 is_finished: Callable[[], bool] = lambda: False):
+                 step: Callable[[int], Any],
+                 is_finished: Callable[[], bool] = lambda: False,
+                 ready: Optional[Callable[[], bool]] = None,
+                 pressure: Optional[Callable[[], float]] = None,
+                 selectivity: Optional[Callable[[], Dict[str, float]]] = None,
+                 apply_quantum: Optional[Callable[[int], None]] = None,
+                 weight: float = 1.0, query_class: Any = None):
         self.name = name
         self.mode = mode
         self._step = step
         self._is_finished = is_finished
+        self._ready = ready
+        self._pressure = pressure
+        self._selectivity = selectivity
+        self._apply_quantum = apply_quantum
+        self.weight = weight
+        self.query_class = query_class
         self.quanta = 0
         self.busy_quanta = 0
 
-    def run_once(self, batch: int = 16) -> bool:
-        """One quantum; returns True if progress was made."""
+    def run_once(self, batch: int = 16) -> StepResult:
+        """One quantum; returns the unit's :class:`StepResult`."""
         self.quanta += 1
-        worked = self._step(batch)
-        if worked:
+        result = coerce_step_result(self._step(batch))
+        if result.worked:
             self.busy_quanta += 1
-        return worked
+        return result
 
     @property
     def finished(self) -> bool:
         return self._is_finished()
 
+    # -- scheduler hints ---------------------------------------------------
+    def ready(self) -> bool:
+        if self._ready is None:
+            return True
+        return bool(self._ready())
+
+    def pressure(self) -> float:
+        if self._pressure is None:
+            return 0.0
+        return float(self._pressure())
+
+    def selectivity_sample(self) -> Optional[Dict[str, float]]:
+        if self._selectivity is None:
+            return None
+        return self._selectivity()
+
+    def apply_quantum(self, quantum: int) -> None:
+        if self._apply_quantum is not None:
+            self._apply_quantum(quantum)
+
     @classmethod
     def from_fjord(cls, fjord: Fjord, mode: int = MODE_SINGLE_EDDY,
-                   name: str = "") -> "DispatchUnit":
+                   name: str = "", weight: float = 1.0,
+                   query_class: Any = None) -> "DispatchUnit":
         return cls(name or fjord.name, mode,
-                   step=lambda batch: fjord.step(batch),
-                   is_finished=lambda: all(m.finished for m in fjord.modules))
+                   step=fjord.step,
+                   is_finished=lambda: fjord.finished,
+                   ready=fjord.ready,
+                   pressure=fjord.pressure,
+                   weight=weight, query_class=query_class)
 
     def __repr__(self) -> str:
         return f"DispatchUnit({self.name}, mode={self.mode})"
@@ -73,52 +127,66 @@ class DispatchUnit:
 class ExecutionObject:
     """One would-be system thread hosting DUs under a local scheduler.
 
-    Scheduling policies: ``round_robin`` gives every DU one quantum per
-    pass; ``busy_first`` favours DUs that made progress last time (a
-    cheap approximation of demand-driven scheduling).
+    Any :mod:`repro.sched.policy` plugs in by name or instance:
+    ``round_robin`` gives every DU one quantum per pass (the historical
+    behaviour), ``busy_first`` favours DUs that made progress last time,
+    ``deficit_round_robin`` serves DUs proportionally to their weights,
+    and ``pressure_aware`` skips backpressured DUs and throttles
+    over-budget query classes with a bounded-starvation guarantee.
     """
 
-    POLICIES = ("round_robin", "busy_first")
+    POLICIES = SCHED_POLICIES
 
-    def __init__(self, eo_id: int, policy: str = "round_robin"):
-        if policy not in self.POLICIES:
-            raise ExecutionError(f"unknown EO policy {policy!r}")
+    def __init__(self, eo_id: int, policy: Any = "round_robin",
+                 quantum_controller: Optional[AdaptiveQuantumController]
+                 = None):
         self.eo_id = eo_id
-        self.policy = policy
-        self.dispatch_units: List[DispatchUnit] = []
-        self._last_worked: Dict[str, bool] = {}
-        self.passes = 0
+        self.name = f"eo{eo_id}"
+        self.scheduler = Scheduler(policy=policy, name=self.name,
+                                   quantum_controller=quantum_controller)
+        self.policy = self.scheduler.policy.name
 
     def add(self, du: DispatchUnit) -> None:
-        self.dispatch_units.append(du)
+        self.scheduler.add(du, weight=getattr(du, "weight", 1.0),
+                           query_class=getattr(du, "query_class", None))
 
     def remove(self, name: str) -> None:
-        self.dispatch_units = [du for du in self.dispatch_units
-                               if du.name != name]
-        self._last_worked.pop(name, None)
+        self.scheduler.remove(name)
 
-    def step(self, batch: int = 16) -> bool:
-        """One pass over the DUs; returns True if any progressed."""
-        self.passes += 1
-        order = list(self.dispatch_units)
-        if self.policy == "busy_first":
-            order.sort(key=lambda du: not self._last_worked.get(du.name,
-                                                                True))
-        worked = False
-        for du in order:
-            if du.finished:
-                continue
-            du_worked = du.run_once(batch)
-            self._last_worked[du.name] = du_worked
-            worked = worked or du_worked
-        return worked
+    def step(self, batch: int = 16) -> StepResult:
+        """One policy-driven pass over the DUs."""
+        return self.scheduler.pass_once(batch)
+
+    # -- Schedulable (the executor's top-level scheduler hosts EOs) --------
+    def run_once(self, quantum: Optional[int] = None) -> StepResult:
+        return self.step(16 if quantum is None else quantum)
+
+    @property
+    def finished(self) -> bool:
+        # An EO is never *finished*: new DUs fold in at any time.  Its
+        # quiescence shows up as IDLE passes instead.
+        return False
+
+    def ready(self) -> bool:
+        return any(not du.finished and unit_ready(du)
+                   for du in self.dispatch_units)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def dispatch_units(self) -> List[DispatchUnit]:
+        return self.scheduler.units
+
+    @property
+    def passes(self) -> int:
+        return self.scheduler.passes
 
     @property
     def live_units(self) -> int:
-        return sum(1 for du in self.dispatch_units if not du.finished)
+        return self.scheduler.live_units
 
     def __repr__(self) -> str:
-        return f"ExecutionObject(#{self.eo_id}, {len(self.dispatch_units)} DUs)"
+        return (f"ExecutionObject(#{self.eo_id}, "
+                f"{len(self.dispatch_units)} DUs)")
 
 
 class FootprintClasses:
@@ -135,13 +203,20 @@ class FootprintClasses:
         self._rank: Dict[str, int] = {}
 
     def _find(self, stream: str) -> str:
-        parent = self._parent.setdefault(stream, stream)
-        self._rank.setdefault(stream, 0)
-        if parent != stream:
-            root = self._find(parent)
-            self._parent[stream] = root
-            return root
-        return stream
+        # Iterative find + full path compression: long-lived servers can
+        # accumulate union chains, and recursion would cap the class
+        # size at the interpreter's recursion limit.
+        parent = self._parent
+        if stream not in parent:
+            parent[stream] = stream
+            self._rank[stream] = 0
+            return stream
+        root = stream
+        while parent[root] != root:
+            root = parent[root]
+        while parent[stream] != root:
+            parent[stream], stream = root, parent[stream]
+        return root
 
     def _union(self, a: str, b: str) -> str:
         ra, rb = self._find(a), self._find(b)
@@ -174,16 +249,23 @@ class Executor:
 
     New work arrives via :meth:`enqueue_plan` (from the FrontEnd) and is
     "dynamically folded into the running executor" at the start of the
-    next step, as in the paper.
+    next step, as in the paper.  The EOs themselves run under a
+    top-level round-robin :class:`repro.sched.Scheduler`, so the whole
+    executor is one scheduler tree speaking StepResult end to end.
     """
 
-    def __init__(self, eo_policy: str = "round_robin"):
+    def __init__(self, eo_policy: Any = "round_robin",
+                 quantum_controller_factory: Optional[
+                     Callable[[], AdaptiveQuantumController]] = None):
         self.eo_policy = eo_policy
         self._eos: Dict[str, ExecutionObject] = {}
         self._next_eo_id = itertools.count()
         self.footprints = FootprintClasses()
         #: the QPQueue: (footprint, DU) pairs awaiting fold-in.
-        self._plan_queue: List[TypingTuple[FrozenSet[str], DispatchUnit]] = []
+        self._plan_queue: Deque[TypingTuple[FrozenSet[str], DispatchUnit]] = \
+            deque()
+        self._eo_sched = Scheduler(policy="round_robin", name="executor")
+        self._quantum_controller_factory = quantum_controller_factory
         self.steps = 0
         self.plans_folded = 0
         self._telemetry = get_registry()
@@ -198,12 +280,21 @@ class Executor:
     def _fold_in_new_plans(self) -> int:
         folded = 0
         while self._plan_queue:
-            footprint, du = self._plan_queue.pop(0)
+            footprint, du = self._plan_queue.popleft()
             eo = self.eo_for(footprint)
             eo.add(du)
             folded += 1
         self.plans_folded += folded
         return folded
+
+    def _new_eo(self) -> ExecutionObject:
+        controller = None
+        if self._quantum_controller_factory is not None:
+            controller = self._quantum_controller_factory()
+        eo = ExecutionObject(next(self._next_eo_id), policy=self.eo_policy,
+                             quantum_controller=controller)
+        self._eo_sched.add(eo)
+        return eo
 
     def eo_for(self, footprint: Iterable[str]) -> ExecutionObject:
         """The EO responsible for a footprint's query class.
@@ -219,31 +310,23 @@ class Executor:
             if stale:
                 self._eos[root] = self._eos.pop(stale.pop(0))
             else:
-                self._eos[root] = ExecutionObject(next(self._next_eo_id),
-                                                  policy=self.eo_policy)
+                self._eos[root] = self._new_eo()
         for rep in stale:
             merged = self._eos.pop(rep)
+            self._eo_sched.remove(merged.name)
             for du in merged.dispatch_units:
                 self._eos[root].add(du)
         return self._eos[root]
 
-    def step(self, batch: int = 16) -> bool:
+    def step(self, batch: int = 16) -> StepResult:
         """One scheduling round over every EO."""
         self.steps += 1
         self._fold_in_new_plans()
-        worked = False
-        for eo in self._eos.values():
-            worked = eo.step(batch) or worked
-        return worked
+        return self._eo_sched.pass_once(batch)
 
     def run_until_quiescent(self, max_steps: int = 1_000_000,
                             batch: int = 16) -> int:
-        steps = 0
-        while steps < max_steps:
-            steps += 1
-            if not self.step(batch):
-                break
-        return steps
+        return drive(lambda: self.step(batch), max_steps)
 
     # -- telemetry -----------------------------------------------------------
     def _publish_telemetry(self) -> None:

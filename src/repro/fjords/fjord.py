@@ -1,34 +1,48 @@
-"""The Fjord: a dataflow graph of modules connected by queues, plus the
-cooperative scheduler that drives it.
+"""The Fjord: a dataflow graph of modules connected by queues, driven by
+the unified scheduler core.
 
-A Fjord owns the wiring (``connect``) and the run loop (``run`` /
-``run_until_quiescent``).  Scheduling is round-robin with an idle
-detector: a pass over every module in which nobody reports progress and
-every source is exhausted means the dataflow is quiescent.
+A Fjord owns the wiring (``connect``) and delegates the run loop
+(``step`` / ``run`` / ``run_until_finished``) to a
+:class:`repro.sched.Scheduler` hosting its modules — round-robin by
+default, bit-compatible with the historical hand-rolled loop, but any
+:mod:`repro.sched.policy` (deficit round robin, pressure-aware) and the
+§4.3 adaptive quantum controller plug in via the constructor.
 
-This is the single-plan analogue of the TelegraphCQ Execution Object; the
-multi-query executor in :mod:`repro.core.executor` hosts many Fjords as
-Dispatch Units inside scheduler-controlled EOs.
+A Fjord is itself a :class:`~repro.sched.protocol.Schedulable`
+(``run_once`` / ``ready`` / ``pressure`` / ``finished``), which is how
+the multi-query executor in :mod:`repro.core.executor` hosts many Fjords
+as Dispatch Units inside scheduler-controlled EOs — the single-plan
+analogue of the TelegraphCQ Execution Object.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import Any, Dict, List, Optional, Type
 
 from repro.errors import PlanError
-from repro.fjords.module import Module
+from repro.fjords.module import Module, StepResult
 from repro.fjords.queues import FjordQueue, PushQueue
+from repro.sched.quantum import AdaptiveQuantumController
+from repro.sched.scheduler import Scheduler, SchedulerStall
 
 
 class Fjord:
     """A runnable dataflow graph."""
 
-    def __init__(self, name: str = "fjord", default_capacity: int = 0):
+    def __init__(self, name: str = "fjord", default_capacity: int = 0,
+                 policy: Any = "round_robin",
+                 quantum_controller: Optional[AdaptiveQuantumController]
+                 = None,
+                 sched_telemetry: bool = False):
         self.name = name
         self.default_capacity = default_capacity
         self.modules: List[Module] = []
         self.queues: List[FjordQueue] = []
         self._names: Dict[str, Module] = {}
+        self._policy = policy
+        self._quantum_controller = quantum_controller
+        self._sched_telemetry = sched_telemetry
+        self._scheduler: Optional[Scheduler] = None
 
     # -- construction ------------------------------------------------------
     def add(self, module: Module) -> Module:
@@ -37,6 +51,8 @@ class Fjord:
             raise PlanError(f"duplicate module name {module.name!r}")
         self.modules.append(module)
         self._names[module.name] = module
+        if self._scheduler is not None:
+            self._scheduler.add(module)
         return module
 
     def connect(self, producer: Module, consumer: Module,
@@ -68,19 +84,52 @@ class Fjord:
         for m in self.modules:
             m._require_wired()
 
-    # -- execution -----------------------------------------------------
-    def step(self, batch: Optional[int] = None) -> bool:
-        """One scheduling pass over every unfinished module.
+    # -- the scheduler -----------------------------------------------------
+    @property
+    def scheduler(self) -> Scheduler:
+        """The Fjord's scheduler over its modules (built on first use;
+        modules registered later join it automatically)."""
+        if self._scheduler is None:
+            sched = Scheduler(policy=self._policy,
+                              name=f"fjord:{self.name}",
+                              quantum_controller=self._quantum_controller,
+                              telemetry=self._sched_telemetry)
+            for m in self.modules:
+                sched.add(m)
+            self._scheduler = sched
+        return self._scheduler
 
-        Returns True if any module made progress.
+    # -- execution -----------------------------------------------------
+    def step(self, batch: Optional[int] = None) -> StepResult:
+        """One scheduling pass over the unfinished modules.
+
+        Returns a :class:`StepResult` (truthy iff any module made
+        progress, ``finished`` once EOS has fully propagated).
         """
-        worked = False
-        for m in self.modules:
-            if m.finished:
-                continue
-            result = m.run_once(batch)
-            worked = worked or result.worked
-        return worked
+        return self.scheduler.pass_once(batch)
+
+    #: Schedulable alias: a Fjord can be hosted by another scheduler.
+    run_once = step
+
+    @property
+    def finished(self) -> bool:
+        return all(m.finished for m in self.modules)
+
+    def ready(self) -> bool:
+        """Cheap hint: any live module with consumable input or a live
+        source that must be polled."""
+        return any(not m.finished and m.ready() for m in self.modules)
+
+    def pressure(self) -> float:
+        """Occupancy of the Fjord's bounded queues (its own internal
+        backpressure surface, seen from an enclosing scheduler)."""
+        worst = 0.0
+        for q in self.queues:
+            if q.capacity:
+                frac = q.fill_fraction()
+                if frac > worst:
+                    worst = frac
+        return worst
 
     def run(self, max_steps: int = 1_000_000,
             batch: Optional[int] = None) -> int:
@@ -92,28 +141,20 @@ class Fjord:
         sources first.
         """
         self.validate()
-        steps = 0
-        while steps < max_steps:
-            steps += 1
-            if not self.step(batch):
-                break
-        return steps
+        return self.scheduler.run_until_quiescent(max_steps, batch)
 
     def run_until_finished(self, max_steps: int = 1_000_000,
                            batch: Optional[int] = None) -> int:
         """Run until *every* module reports finished (EOS fully
         propagated), raising :class:`PlanError` on stall."""
         self.validate()
-        steps = 0
-        while steps < max_steps:
-            steps += 1
-            self.step(batch)
-            if all(m.finished for m in self.modules):
-                return steps
-        stuck = [m.name for m in self.modules if not m.finished]
-        raise PlanError(
-            f"{self.name}: modules {stuck} did not finish within "
-            f"{max_steps} passes")
+        try:
+            return self.scheduler.run_until_finished(max_steps, batch)
+        except SchedulerStall:
+            stuck = [m.name for m in self.modules if not m.finished]
+            raise PlanError(
+                f"{self.name}: modules {stuck} did not finish within "
+                f"{max_steps} passes") from None
 
     # -- introspection ---------------------------------------------------
     def queue_stats(self) -> Dict[str, dict]:

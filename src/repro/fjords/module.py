@@ -11,6 +11,11 @@ A module:
   most a bounded amount of input, emit results, and return a
   :class:`StepResult` telling the scheduler whether useful work happened.
 
+Together with the ``ready()`` / ``pressure()`` hints below, every module
+satisfies the unified :class:`repro.sched.protocol.Schedulable`
+protocol, so any module can be hosted directly by a
+:class:`repro.sched.Scheduler` under any policy.
+
 Modules are agnostic to push vs pull: they always use the non-blocking
 queue API, and the queue flavour decides whether a pop pumps upstream.
 That is exactly the design point of Section 2.3.
@@ -23,29 +28,13 @@ from typing import Any, Iterable, List, Optional
 from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
 from repro.errors import PlanError
 from repro.fjords.queues import EMPTY, FjordQueue
+# StepResult is canonically defined by the scheduler protocol now; it is
+# re-exported here because every module author imports it from this
+# module historically.
+from repro.sched.protocol import StepResult
 
-
-class StepResult:
-    """What a module accomplished in one scheduling quantum."""
-
-    __slots__ = ("worked", "finished")
-
-    def __init__(self, worked: bool, finished: bool = False):
-        self.worked = worked        # did the module make progress?
-        self.finished = finished    # has it emitted EOS / gone quiescent?
-
-    IDLE: "StepResult"
-    BUSY: "StepResult"
-    DONE: "StepResult"
-
-    def __repr__(self) -> str:
-        state = "done" if self.finished else ("busy" if self.worked else "idle")
-        return f"StepResult({state})"
-
-
-StepResult.IDLE = StepResult(False)
-StepResult.BUSY = StepResult(True)
-StepResult.DONE = StepResult(True, finished=True)
+__all__ = ["CollectingSink", "Module", "SinkModule", "SourceModule",
+           "StepResult"]
 
 
 class Module:
@@ -90,6 +79,29 @@ class Module:
         for i, q in enumerate(self.outputs):
             if q is None:
                 raise PlanError(f"{self.name}: output port {i} is unbound")
+
+    # -- scheduler hints ---------------------------------------------------
+    def ready(self) -> bool:
+        """Cheap Schedulable hint: is there input to consume right now?
+
+        Policies that poll regardless (round-robin) ignore this; the
+        pressure-aware policy and the idle detector use it to avoid
+        burning quanta on provably idle modules.
+        """
+        return any(q is not None and q.has_ready_data()
+                   for q in self.inputs)
+
+    def pressure(self) -> float:
+        """Downstream occupancy in [0, 1]: the max fill fraction of the
+        module's *bounded* output queues (unbounded queues exert no
+        backpressure).  1.0 means a push would be refused or dropped."""
+        worst = 0.0
+        for q in self.outputs:
+            if q is not None and q.capacity:
+                frac = q.fill_fraction()
+                if frac > worst:
+                    worst = frac
+        return worst
 
     # -- emission helpers --------------------------------------------------
     def emit(self, item: Any, port: int = 0) -> bool:
@@ -205,6 +217,12 @@ class SourceModule(Module):
     def __init__(self, name: str = ""):
         super().__init__(name=name, arity_in=0, arity_out=1)
         self.exhausted = False
+
+    def ready(self) -> bool:
+        # A source must be polled while live: only it knows whether the
+        # outside world has data (a quiet push source still returns
+        # IDLE, which the quiescence detector handles).
+        return not self.finished
 
     def generate(self, batch: int) -> Iterable[Any]:
         raise NotImplementedError

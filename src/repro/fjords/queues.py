@@ -213,6 +213,12 @@ class FjordQueue:
     def peek(self) -> Any:
         return self._items[0] if self._items else EMPTY
 
+    def has_ready_data(self) -> bool:
+        """Cheap scheduler hint: could a pop return data *right now*
+        without running anything else?  Pull queues override (their pump
+        can manufacture data on demand)."""
+        return bool(self._items)
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -284,6 +290,11 @@ class PullQueue(FjordQueue):
                 return []
             return [first] + super().pop_many(max_items - 1)
         return super().pop_many(max_items)
+
+    def has_ready_data(self) -> bool:
+        # An attached pump may produce on demand, so the consumer must
+        # be considered runnable even while the buffer is empty.
+        return bool(self._items) or self.producer is not None
 
 
 class ExchangeQueue(PullQueue):

@@ -36,6 +36,7 @@ from repro.core.tuples import Tuple
 from repro.errors import ClusterError
 from repro.flux.cluster import Cluster, Machine, PartitionState
 from repro.monitor.telemetry import get_registry
+from repro.sched import FunctionUnit, Scheduler, SchedulerStall
 
 _FLUX_IDS = itertools.count()
 
@@ -391,11 +392,24 @@ class Flux:
         return sum(len(v) for v in self._unacked.values())
 
     def drain(self, max_ticks: int = 100_000) -> int:
-        """Run ticks with no new input until everything is acked."""
-        ticks = 0
-        while self.unacked_total() and ticks < max_ticks:
-            self.tick()
-            ticks += 1
-        if self.unacked_total():
-            raise ClusterError("flux failed to drain in-flight tuples")
-        return ticks
+        """Run ticks with no new input until everything is acked.
+
+        The drive loop is a throwaway unified-scheduler unit so Flux
+        shares the one quiescence/stall protocol with every other run
+        loop in the system.
+        """
+        if not self.unacked_total():
+            return 0
+        unit = FunctionUnit(
+            f"{self._telemetry_id}:drain",
+            step=lambda _quantum: bool(self.tick()),
+            is_finished=lambda: not self.unacked_total())
+        sched = Scheduler(policy="round_robin",
+                          name=f"{self._telemetry_id}:drain",
+                          telemetry=False)
+        sched.add(unit)
+        try:
+            return sched.run_until_finished(max_passes=max_ticks)
+        except SchedulerStall:
+            raise ClusterError(
+                "flux failed to drain in-flight tuples") from None

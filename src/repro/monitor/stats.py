@@ -73,6 +73,21 @@ class SelectivityTracker:
         return self.lifetime_rate
 
 
+def sample_drift(old: Dict[str, float], new: Dict[str, float]) -> float:
+    """Selectivity drift between two ``{operator: selectivity}``
+    samples: the max absolute per-operator delta over the operators
+    present in both.
+
+    This is the §4.3 "rate of change" signal shared by the eddy-local
+    :class:`~repro.core.adaptivity.AdaptivityController` and the
+    scheduler-level
+    :class:`~repro.sched.quantum.AdaptiveQuantumController`.
+    """
+    deltas = [abs(new[name] - value)
+              for name, value in old.items() if name in new]
+    return max(deltas, default=0.0)
+
+
 class RateEstimator:
     """Events-per-tick over a sliding window of ticks."""
 

@@ -1,0 +1,283 @@
+"""Pluggable scheduling policies for the unified scheduler core.
+
+A policy answers three questions for every scheduler pass:
+
+* :meth:`SchedulingPolicy.select` — which live units run this pass, in
+  what order;
+* :meth:`SchedulingPolicy.quantum_for` — with what quantum (policies
+  may throttle or boost individual units);
+* :meth:`SchedulingPolicy.on_result` — feedback after each quantum.
+
+Policies see :class:`~repro.sched.scheduler.UnitRecord` objects — the
+scheduler's per-unit bookkeeping (weight, query class, starvation age,
+last-pass progress) — plus the owning scheduler for pass counters and
+decision telemetry.
+
+The four shipped policies:
+
+* ``round_robin`` — every live unit, registration order, every pass.
+  Bit-compatible with the historical ``Fjord.step`` /
+  ``ExecutionObject`` loops: it does **not** consult ``ready()``, so
+  idle units are still polled exactly as before.
+* ``busy_first`` — round-robin order, stably sorted so units that made
+  progress last pass go first (ported from the old ExecutionObject).
+* ``deficit_round_robin`` — weighted fairness: each pass a live unit
+  accrues ``weight`` credit and runs when its credit reaches 1.
+  Heavier units additionally get proportionally larger quanta.  Credit
+  is forfeited while a unit is idle (no banking), so a quiet unit
+  cannot burst later.
+* ``pressure_aware`` — backpressure- and QoS-aware: skips units that
+  report no ready work, skips units whose downstream queues are at
+  capacity (``pressure() >= 1.0``), and throttles units belonging to
+  over-budget query classes using live :class:`~repro.monitor.qos`
+  signals.  A starvation guard runs any unit skipped ``starvation_limit``
+  passes in a row regardless, bounding the starvation tail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ExecutionError
+
+
+class SchedulingPolicy:
+    """Base policy: subclasses override selection/quantum/feedback."""
+
+    name = "base"
+
+    def select(self, active: List[Any], sched: Any) -> List[Any]:
+        """The records to run this pass, in run order.  ``active`` is
+        every record whose unit is not finished, registration order."""
+        raise NotImplementedError
+
+    def quantum_for(self, record: Any, quantum: Optional[int],
+                    sched: Any) -> Optional[int]:
+        """The quantum for one selected record; default pass-through
+        (None lets the unit use its own default batch)."""
+        return quantum
+
+    def on_result(self, record: Any, result: Any, sched: Any) -> None:
+        """Feedback after a quantum; default does nothing."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Every live unit, registration order — the historical loop."""
+
+    name = "round_robin"
+
+    def select(self, active: List[Any], sched: Any) -> List[Any]:
+        return list(active)
+
+
+class BusyFirstPolicy(SchedulingPolicy):
+    """Units that progressed last pass run first (stable order).
+
+    Never-run units count as busy, exactly like the old
+    ``ExecutionObject._last_worked.get(name, True)`` default, so the
+    port is behaviour-preserving.
+    """
+
+    name = "busy_first"
+
+    def select(self, active: List[Any], sched: Any) -> List[Any]:
+        return sorted(active, key=lambda rec: not rec.last_worked)
+
+
+class DeficitRoundRobinPolicy(SchedulingPolicy):
+    """Weighted fairness via per-unit deficit counters.
+
+    Each pass every live unit accrues ``record.weight`` credit; a unit
+    runs when its credit reaches 1 and spends 1 on selection.  A weight
+    of 0.5 therefore runs every other pass, 0.25 every fourth.  Weights
+    above 1 run every pass *and* scale the granted quantum (service is
+    proportional, as in classic DRR where the deficit is in bytes).
+    Idle units forfeit their credit — progress-less passes must not bank
+    a burst.  Credit is capped so a unit skipped by the cap cannot
+    accumulate unbounded arrears.
+    """
+
+    name = "deficit_round_robin"
+
+    CREDIT_CAP = 4.0
+    MAX_QUANTUM_BOOST = 4
+
+    def __init__(self) -> None:
+        self._credit: Dict[str, float] = {}
+
+    def select(self, active: List[Any], sched: Any) -> List[Any]:
+        chosen = []
+        for rec in active:
+            credit = min(self._credit.get(rec.name, 0.0) + rec.weight,
+                         self.CREDIT_CAP)
+            if credit >= 1.0:
+                credit -= 1.0
+                chosen.append(rec)
+            self._credit[rec.name] = credit
+        return chosen
+
+    def quantum_for(self, record: Any, quantum: Optional[int],
+                    sched: Any) -> Optional[int]:
+        if quantum is None or record.weight <= 1.0:
+            return quantum
+        boost = min(record.weight, float(self.MAX_QUANTUM_BOOST))
+        return max(1, int(round(quantum * boost)))
+
+    def on_result(self, record: Any, result: Any, sched: Any) -> None:
+        if not result.worked:
+            self._credit[record.name] = 0.0
+
+    def forget(self, name: str) -> None:
+        self._credit.pop(name, None)
+
+
+class PressureAwarePolicy(SchedulingPolicy):
+    """Backpressure- and QoS-aware selection.
+
+    Skip rules, applied in order (each skip is counted in the
+    scheduler's decision telemetry):
+
+    1. **starvation guard** — a unit skipped for ``starvation_limit``
+       consecutive passes runs unconditionally; no ready unit can
+       starve beyond the limit, whatever the load shape.  At most
+       ``max_overrides_per_pass`` overrides fire per pass (oldest
+       first), so a large population of quiet units is polled in a
+       rotating trickle instead of one synchronized pass-length spike —
+       the spike itself would starve the busy units.  A deferred unit
+       is forced on a later pass (it only ages further, so it stays at
+       the head of the rotation); the guard bound therefore degrades
+       gracefully to ``starvation_limit + ceil(quiet / cap)`` passes.
+       A forced run that finds *no* work doubles that unit's personal
+       guard limit (capped at ``BACKOFF_CAP`` × the base limit) — a
+       unit whose not-ready hint keeps proving correct is polled
+       exponentially less often; the first productive run snaps its
+       limit back to the base.  Units that claim ready work never rely
+       on the guard at all: they are selected through the normal path.
+    2. **not ready** — ``ready()`` says no work is available; polling
+       it would burn a quantum for nothing.
+    3. **backpressure** — ``pressure() >= pressure_limit``: the unit's
+       downstream queues are (nearly) full, so producing more would be
+       refused or dropped.  Let the consumers drain first.
+    4. **QoS throttle** — the unit's query class is over budget: a
+       per-class debt accumulates at the class's throttle ratio and a
+       unit is skipped whenever its debt reaches 1 (so ratio 0.5 drops
+       every second quantum).
+
+    ``qos`` may be a callable ``query_class -> ratio in [0, 1]``, or a
+    :class:`~repro.monitor.qos.LoadShedder`, in which case the shedder's
+    live ``drop_rate`` throttles every class the user marked
+    non-preferred (``preferences[class] <= 0``) — the paper's "push user
+    preferences down into the query execution process" applied to
+    scheduling quanta rather than tuples.
+    """
+
+    name = "pressure_aware"
+
+    #: a persistently idle unit's guard limit grows to at most
+    #: BACKOFF_CAP times the base starvation_limit.
+    BACKOFF_CAP = 16
+
+    def __init__(self, starvation_limit: int = 8,
+                 pressure_limit: float = 1.0,
+                 qos: Optional[Any] = None,
+                 max_overrides_per_pass: int = 8):
+        if starvation_limit < 1:
+            raise ExecutionError("starvation_limit must be >= 1")
+        if max_overrides_per_pass < 1:
+            raise ExecutionError("max_overrides_per_pass must be >= 1")
+        self.starvation_limit = starvation_limit
+        self.pressure_limit = pressure_limit
+        self.qos = qos
+        self.max_overrides_per_pass = max_overrides_per_pass
+        self._debt: Dict[str, float] = {}
+        #: per-unit backed-off guard limit (absent = base limit).
+        self._guard_limit: Dict[str, int] = {}
+        self._forced_this_pass: set = set()
+
+    # -- QoS ratio ------------------------------------------------------
+    def _throttle_ratio(self, query_class: Any) -> float:
+        if self.qos is None or query_class is None:
+            return 0.0
+        if callable(self.qos):
+            return float(self.qos(query_class))
+        # LoadShedder duck: non-preferred classes absorb the drop rate.
+        drop_rate = float(getattr(self.qos, "drop_rate", 0.0))
+        preferences = getattr(self.qos, "preferences", None)
+        if not drop_rate:
+            return 0.0
+        if preferences and preferences.get(query_class, 0.0) > 0.0:
+            return 0.0
+        return min(drop_rate, 1.0)
+
+    # -- selection ------------------------------------------------------
+    def select(self, active: List[Any], sched: Any) -> List[Any]:
+        starving = [rec for rec in active
+                    if sched.passes - rec.last_run_pass
+                    >= self._guard_limit.get(rec.name,
+                                             self.starvation_limit)]
+        starving.sort(key=lambda rec: rec.last_run_pass)
+        forced = set()
+        chosen = []
+        for rec in starving[:self.max_overrides_per_pass]:
+            sched.count_decision("starvation_override")
+            forced.add(rec.name)
+            chosen.append(rec)
+        self._forced_this_pass = forced
+        for rec in active:
+            if rec.name in forced:
+                continue
+            if not rec.is_ready():
+                sched.count_decision("skip_not_ready")
+                continue
+            if rec.current_pressure() >= self.pressure_limit:
+                sched.count_decision("skip_backpressure")
+                continue
+            ratio = self._throttle_ratio(rec.query_class)
+            if ratio > 0.0:
+                debt = self._debt.get(rec.name, 0.0) + ratio
+                if debt >= 1.0:
+                    self._debt[rec.name] = debt - 1.0
+                    sched.count_decision("skip_qos_throttle")
+                    continue
+                self._debt[rec.name] = debt
+            chosen.append(rec)
+        return chosen
+
+    def on_result(self, record: Any, result: Any, sched: Any) -> None:
+        if result.worked:
+            self._guard_limit.pop(record.name, None)
+        elif record.name in self._forced_this_pass:
+            current = self._guard_limit.get(record.name,
+                                            self.starvation_limit)
+            self._guard_limit[record.name] = min(
+                current * 2, self.starvation_limit * self.BACKOFF_CAP)
+
+    def forget(self, name: str) -> None:
+        self._debt.pop(name, None)
+        self._guard_limit.pop(name, None)
+
+
+#: name -> zero-argument factory for the shipped policies.
+POLICY_FACTORIES: Dict[str, Callable[[], SchedulingPolicy]] = {
+    "round_robin": RoundRobinPolicy,
+    "busy_first": BusyFirstPolicy,
+    "deficit_round_robin": DeficitRoundRobinPolicy,
+    "pressure_aware": PressureAwarePolicy,
+}
+
+POLICIES = tuple(POLICY_FACTORIES)
+
+
+def make_policy(policy: Any) -> SchedulingPolicy:
+    """Resolve a policy name or pass an instance through."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        factory = POLICY_FACTORIES[policy]
+    except (KeyError, TypeError):
+        raise ExecutionError(f"unknown scheduling policy {policy!r}; "
+                             f"expected one of {POLICIES}") from None
+    return factory()

@@ -1,0 +1,142 @@
+"""Adaptive quantum control: "Adapting Adaptivity" (§4.3) as a
+scheduler-level knob.
+
+The paper frames batch/quantum sizing as a runtime control problem:
+"when change is slow, or selectivity constant, many tuples should be
+routed to large, fixed sequences of operators; when change is fast ...
+small groups of tuples should be routed to individually scheduled
+operators."  :class:`~repro.core.adaptivity.AdaptivityController` turns
+that knob for one eddy it owns; :class:`AdaptiveQuantumController`
+generalises the same policy to *any* scheduled unit that exposes a
+``selectivity_sample()`` hint (eddies, eddy-backed Dispatch Units).
+
+Per unit, the controller keeps the last selectivity sample and a
+current quantum.  Every ``check_every`` runs it measures drift (the
+max absolute per-operator selectivity delta, shared with the eddy
+controller via :func:`repro.monitor.stats.sample_drift`):
+
+* drift above ``drift_threshold``  → shrink the quantum (÷ grow_factor),
+  restoring per-tuple adaptivity while the workload shifts;
+* drift below threshold × ``GROW_HYSTERESIS`` → grow it (× grow_factor),
+  amortising scheduling overhead while things are stable;
+* in between → hold (dead band against estimator noise).
+
+When a unit also exposes ``apply_quantum(n)`` the scheduler pushes the
+new quantum into the unit's own batching machinery — for eddies that
+rewrites the :class:`~repro.core.routing.BatchingDirective`, so the
+knob reaches the routing loop, not just the outer scheduler call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple as TypingTuple
+
+from repro.errors import PlanError
+from repro.monitor.stats import sample_drift
+
+
+class _UnitQuantumState:
+    __slots__ = ("quantum", "last_sample", "runs_since_check", "trajectory")
+
+    def __init__(self, quantum: int):
+        self.quantum = quantum
+        self.last_sample: Optional[Dict[str, float]] = None
+        self.runs_since_check = 0
+        #: (total runs at adjustment, new quantum, drift) history.
+        self.trajectory: List[TypingTuple[int, int, float]] = []
+
+
+class AdaptiveQuantumController:
+    """Per-unit quantum adaptation from observed selectivity drift."""
+
+    #: grow only when drift falls below threshold * GROW_HYSTERESIS —
+    #: same dead band as the eddy-local controller.
+    GROW_HYSTERESIS = 0.5
+
+    def __init__(self, start_quantum: int = 16, min_quantum: int = 1,
+                 max_quantum: int = 512, check_every: int = 8,
+                 drift_threshold: float = 0.15, grow_factor: int = 2):
+        if min_quantum < 1 or max_quantum < min_quantum:
+            raise PlanError("need 1 <= min_quantum <= max_quantum")
+        if not min_quantum <= start_quantum <= max_quantum:
+            raise PlanError("start_quantum must lie in [min, max]")
+        if grow_factor < 2:
+            raise PlanError("grow_factor must be >= 2")
+        if check_every < 1:
+            raise PlanError("check_every must be >= 1")
+        self.start_quantum = start_quantum
+        self.min_quantum = min_quantum
+        self.max_quantum = max_quantum
+        self.check_every = check_every
+        self.drift_threshold = drift_threshold
+        self.grow_factor = grow_factor
+        self._units: Dict[str, _UnitQuantumState] = {}
+        self.checks = 0
+        self.adjustments = 0
+        self.runs = 0
+
+    # -- scheduler hooks ----------------------------------------------------
+    def quantum_for(self, name: str, base: Optional[int] = None) -> int:
+        """The unit's current adaptive quantum (created on first use)."""
+        state = self._units.get(name)
+        if state is None:
+            start = self.start_quantum if base is None else \
+                max(self.min_quantum, min(self.max_quantum, base))
+            state = self._units[name] = _UnitQuantumState(start)
+        return state.quantum
+
+    def after_run(self, name: str,
+                  sample: Optional[Dict[str, float]]) -> Optional[int]:
+        """Feed one run's selectivity sample; returns the new quantum
+        when an adjustment fires, else None."""
+        self.runs += 1
+        if sample is None:
+            return None
+        state = self._units.get(name)
+        if state is None:
+            state = self._units[name] = _UnitQuantumState(self.start_quantum)
+        state.runs_since_check += 1
+        if state.runs_since_check < self.check_every:
+            return None
+        state.runs_since_check = 0
+        return self._check(state, sample)
+
+    def _check(self, state: _UnitQuantumState,
+               sample: Dict[str, float]) -> Optional[int]:
+        self.checks += 1
+        drift = None if state.last_sample is None else \
+            sample_drift(state.last_sample, sample)
+        state.last_sample = dict(sample)
+        if drift is None:
+            return None
+        if drift > self.drift_threshold:
+            target = max(self.min_quantum, state.quantum // self.grow_factor)
+        elif drift < self.drift_threshold * self.GROW_HYSTERESIS:
+            target = min(self.max_quantum, state.quantum * self.grow_factor)
+        else:
+            return None          # dead band: hold
+        if target == state.quantum:
+            return None
+        state.quantum = target
+        self.adjustments += 1
+        state.trajectory.append((self.runs, target, drift))
+        return target
+
+    def forget(self, name: str) -> None:
+        self._units.pop(name, None)
+
+    # -- introspection ------------------------------------------------------
+    def trajectory(self, name: str) -> List[TypingTuple[int, int, float]]:
+        state = self._units.get(name)
+        return list(state.trajectory) if state else []
+
+    def current_quanta(self) -> Dict[str, int]:
+        return {name: st.quantum for name, st in self._units.items()}
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "checks": self.checks,
+            "adjustments": self.adjustments,
+            "runs": self.runs,
+            "quanta": self.current_quanta(),
+        }

@@ -126,6 +126,42 @@ class TestContinuousQueries:
         assert len(c2.fetch()) == 1
         assert len(c3.fetch()) == 1
 
+    def test_cancel_after_class_merge(self):
+        """A cursor whose query was rebound into a merged engine must
+        still cancel cleanly: delivery stops for it alone while the
+        other queries in the merged class keep running."""
+        srv = TelegraphCQServer()
+        srv.create_stream(TRADES)
+        srv.create_stream(Schema.of("quotes", "sym", "bid"))
+        c1 = srv.submit("SELECT * FROM trades WHERE price > 0")
+        c2 = srv.submit("SELECT * FROM quotes WHERE bid > 0")
+        c3 = srv.submit(
+            "SELECT * FROM trades, quotes WHERE trades.sym = quotes.sym")
+        assert srv.stats()["cacq_engines"] == 1
+        srv.cancel(c1)
+        assert c1.closed and c1.continuous_query is None
+        srv.push("trades", "A", 1.0)
+        srv.push("quotes", "A", 2.0)
+        assert c1.fetch() == []
+        assert len(c2.fetch()) == 1
+        assert len(c3.fetch()) == 1
+
+    def test_resubmit_after_cancel_across_merge(self):
+        """Cancel/resubmit across a class merge: the resubmitted query
+        lands in the surviving merged engine and sees new data."""
+        srv = TelegraphCQServer()
+        srv.create_stream(TRADES)
+        srv.create_stream(Schema.of("quotes", "sym", "bid"))
+        c1 = srv.submit("SELECT * FROM trades WHERE price > 0")
+        srv.submit(
+            "SELECT * FROM trades, quotes WHERE trades.sym = quotes.sym")
+        srv.cancel(c1)
+        c1b = srv.submit("SELECT * FROM trades WHERE price > 0")
+        assert srv.stats()["cacq_engines"] == 1
+        srv.push("trades", "A", 3.0)
+        assert c1.fetch() == []
+        assert len(c1b.fetch()) == 1
+
     def test_continuous_aggregate_rejected(self):
         srv = TelegraphCQServer()
         srv.create_stream(TRADES)

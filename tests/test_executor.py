@@ -120,6 +120,25 @@ class TestFootprintClasses:
         # still distinct afterwards
         assert fc.class_of(["a"]) != fc.class_of(["b"])
 
+    def test_find_survives_deep_parent_chain(self):
+        """Regression: the recursive _find blew the interpreter stack on
+        chains deeper than the recursion limit.  Union-by-rank never
+        builds such chains itself, so seed one directly and check the
+        iterative find both resolves and fully compresses it."""
+        import sys
+        fc = FootprintClasses()
+        depth = sys.getrecursionlimit() * 5
+        fc._parent["s0"] = "s0"
+        fc._rank["s0"] = 1
+        for i in range(1, depth):
+            fc._parent[f"s{i}"] = f"s{i - 1}"
+            fc._rank[f"s{i}"] = 0
+        assert fc.class_of([f"s{depth - 1}"]) == "s0"
+        # Path compression: every stream on the chain now points at the
+        # root, so the next find is O(1).
+        assert fc._parent[f"s{depth - 1}"] == "s0"
+        assert fc._parent[f"s{depth // 2}"] == "s0"
+
 
 class TestExecutor:
     def test_fold_in_on_step(self):
@@ -157,6 +176,43 @@ class TestExecutor:
         assert len(ex.execution_objects) == 1
         names = {du.name for du in ex.execution_objects[0].dispatch_units}
         assert names == {"a", "b", "bridge"}
+
+    def test_bridging_query_merges_multiple_stale_classes(self):
+        """eo_for with several stale class representatives: a footprint
+        spanning three previously-disjoint classes must collapse all
+        three EOs into one, migrating every DU and deregistering the
+        absorbed EOs from the top-level scheduler."""
+        ex = Executor()
+        for stream in ("s1", "s2", "s3"):
+            ex.enqueue_plan([stream], counting_du(f"du-{stream}", work=9)[0])
+        ex.step()
+        assert len(ex.execution_objects) == 3
+        survivors = {eo.name for eo in ex.execution_objects}
+        ex.enqueue_plan(["s1", "s2", "s3"], counting_du("bridge", work=9)[0])
+        ex.step()
+        assert len(ex.execution_objects) == 1
+        merged = ex.execution_objects[0]
+        assert merged.name in survivors      # reused, not recreated
+        names = {du.name for du in merged.dispatch_units}
+        assert names == {"du-s1", "du-s2", "du-s3", "bridge"}
+        # The absorbed EOs are gone from the top-level scheduler: one
+        # more step runs each surviving DU exactly once.
+        quanta = {du.name: du.quanta for du in merged.dispatch_units}
+        ex.step()
+        for du in merged.dispatch_units:
+            assert du.quanta == quanta[du.name] + 1
+
+    def test_eo_for_is_stable_after_merge(self):
+        """After a merge every constituent footprint resolves to the
+        surviving EO, and repeated lookups do not allocate new EOs."""
+        ex = Executor()
+        ex.enqueue_plan(["s1"], counting_du("a", work=9)[0])
+        ex.enqueue_plan(["s2"], counting_du("b", work=9)[0])
+        ex.step()
+        merged = ex.eo_for(["s1", "s2"])
+        assert ex.eo_for(["s1"]) is merged
+        assert ex.eo_for(["s2"]) is merged
+        assert len(ex.execution_objects) == 1
 
     def test_run_until_quiescent(self):
         ex = Executor()
