@@ -17,9 +17,16 @@ Commands (each statement ends with ``;``):
                                 -- cursor id
     FETCH n;                    -- drain cursor n
     CANCEL n;                   -- cancel continuous cursor n
+    EXPLAIN [ANALYZE] n;        -- de-facto plan behind cursor n
+    EXPLAIN [ANALYZE] SELECT..; -- submit, then explain the new cursor
+    TRACE ON [n];               -- trace every nth ingress tuple and
+                                -- record routing decisions (default 16)
+    TRACE OFF;                  -- stop tracing/recording
+    TRACE DUMP [n] [file];      -- last n traces as JSON-lines
     STEP [k];                   -- run k executor rounds (default 1)
     RUN;                        -- run the executor to quiescence
-    STATS;                      -- engine statistics
+    STATS;                      -- engine statistics (incl. LATENCY
+                                -- watermarks while tracing is on)
     HELP; QUIT;
 
 Run interactively:  python -m repro.cli
@@ -34,6 +41,8 @@ from typing import Any, Dict, List, Optional
 from repro.core.engine import Cursor, TelegraphCQServer
 from repro.core.tuples import Schema, Tuple
 from repro.errors import TelegraphError
+import repro.monitor.introspect as introspect
+import repro.monitor.tracing as tracing
 
 
 def _parse_value(raw: str) -> Any:
@@ -115,6 +124,10 @@ class TelegraphShell:
             return self._fetch(statement)
         if upper.startswith("CANCEL"):
             return self._cancel(statement)
+        if upper.startswith("EXPLAIN"):
+            return self._explain(statement)
+        if upper.startswith("TRACE"):
+            return self._trace(statement)
         if upper.startswith("SELECT"):
             return self._select(statement)
         return f"error: unrecognised statement {statement.split()[0]!r}"
@@ -199,6 +212,60 @@ class TelegraphShell:
         self.server.cancel(cursor)
         return f"cursor {cursor.cursor_id} cancelled"
 
+    def _explain(self, statement: str) -> str:
+        body = statement[len("EXPLAIN"):].strip()
+        analyze = False
+        if body.upper().startswith("ANALYZE"):
+            analyze = True
+            body = body[len("ANALYZE"):].strip()
+        if body.isdigit():
+            cursor = self.cursors.get(int(body))
+            if cursor is None:
+                raise TelegraphError(f"no cursor {body}")
+        elif body.upper().startswith("SELECT"):
+            cursor = self.server.submit(body)
+            if cursor.kind != "snapshot":
+                self.cursors[cursor.cursor_id] = cursor
+        else:
+            raise TelegraphError(
+                "EXPLAIN [ANALYZE] <cursor-id | SELECT ...>;")
+        report = self.server.explain(cursor, analyze=analyze)
+        return introspect.render_explain(report)
+
+    def _trace(self, statement: str) -> str:
+        parts = statement.split()
+        sub = parts[1].upper() if len(parts) > 1 else ""
+        tracer = tracing.get_tracer()
+        recorder = introspect.get_flight_recorder()
+        if sub == "ON":
+            every = int(parts[2]) if len(parts) > 2 else 16
+            tracer.configure(sample_every=every)
+            recorder.enable()
+            if every:
+                return (f"tracing every {every}th ingress tuple; "
+                        f"flight recorder on")
+            return "sampling disabled; flight recorder on"
+        if sub == "OFF":
+            tracer.configure(sample_every=0)
+            recorder.disable()
+            return "tracing off; flight recorder off"
+        if sub == "DUMP":
+            rest = parts[2:]
+            n = 0
+            if rest and rest[0].isdigit():
+                n = int(rest[0])
+                rest = rest[1:]
+            traces = tracer.recent(n)
+            text = tracer.export_jsonl(traces)
+            if rest:
+                path = rest[0]
+                with open(path, "w") as f:
+                    f.write(text + ("\n" if text else ""))
+                return f"wrote {len(traces)} trace(s) to {path}"
+            return text if text else "(no traces)"
+        raise TelegraphError(
+            "TRACE ON [n]; TRACE OFF; or TRACE DUMP [n] [file];")
+
     def _cursor_of(self, statement: str) -> Cursor:
         parts = statement.split()
         if len(parts) != 2 or not parts[1].isdigit():
@@ -225,6 +292,16 @@ class TelegraphShell:
         for stream, n in stats["streams"].items():
             lines.append(f"stream {stream}: {n} tuples stored")
         snapshot = self.server.telemetry()
+        latency = tracing.latency_by_query(snapshot)
+        if latency:
+            lines.append("")
+            lines.append("LATENCY (ingress->egress, sampled traces)")
+            fmt = introspect.format_seconds
+            for query in sorted(latency):
+                p = latency[query]
+                lines.append(
+                    f"  {query}: p50={fmt(p['p50'])} p95={fmt(p['p95'])} "
+                    f"p99={fmt(p['p99'])} n={int(p['count'])}")
         lines.append("")
         lines.append(f"telemetry ({len(snapshot)} series)")
         for subsystem in snapshot.subsystems():

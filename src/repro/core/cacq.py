@@ -265,7 +265,13 @@ class CACQEngine:
                 satisfied = self._mask(gf.matching(t[attr]))
                 self.filter_probes += 1
                 t.queries &= ~(registered & ~satisfied)
-                if not t.queries:
+                alive = bool(t.queries)
+                gf.observe(alive)
+                tr = t.trace
+                if tr is not None:
+                    tr.hop("filter", f"gf[{s}.{attr}]",
+                           "pass" if alive else "drop")
+                if not alive:
                     return produced
             # 2. build into the home SteM so later arrivals find it.
             stem = self.stems.get(stream)

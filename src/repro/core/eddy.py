@@ -30,6 +30,7 @@ from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
 from repro.errors import ExecutionError, PlanError
 from repro.fjords.module import Module, StepResult
 from repro.fjords.queues import EMPTY
+import repro.monitor.introspect as introspect
 from repro.monitor.telemetry import get_registry
 from repro.query.predicates import ColumnComparison, Predicate
 
@@ -311,6 +312,9 @@ class Eddy(Module):
         self._telemetry = get_registry()
         self._telemetry_id = f"{self.name}#{next(_EDDY_IDS)}"
         self._telemetry.register_collector(self._publish_telemetry)
+        # Routing flight recorder (disabled by default): consulted at
+        # every policy.choose call site, one bool test when off.
+        self._recorder = introspect.RECORDER
 
     # -- the routing loop ---------------------------------------------------
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
@@ -319,7 +323,8 @@ class Eddy(Module):
         return results
 
     def _route_worklist(self, worklist: List[Tuple],
-                        results: List[Tuple]) -> None:
+                        results: List[Tuple],
+                        fresh_decisions: bool = False) -> None:
         depth = 0
         while worklist:
             depth += 1
@@ -334,10 +339,16 @@ class Eddy(Module):
                 eligible = self._eligible(t)
                 if not eligible:
                     if self._should_emit(t):
+                        tr = t.trace
+                        if tr is not None:
+                            tr.hop("emit", self._telemetry_id)
                         results.append(t)
                     break
-                op = self._choose(t, eligible)
+                op = self._choose(t, eligible, fresh=fresh_decisions)
                 t.mark_done(op.bit)
+                tr = t.trace
+                if tr is not None:
+                    tr.hop("eddy", self._telemetry_id, op.name)
                 self.policy.on_route(op)
                 result = op.handle(t)
                 self.policy.on_return(op, len(result.outputs))
@@ -393,6 +404,13 @@ class Eddy(Module):
             else:
                 self.routing_decisions += 1
                 op = self.policy.choose(rep, eligible)
+                rec = self._recorder
+                if rec.enabled:
+                    rec.record(self._telemetry_id, self.policy, op,
+                               eligible, rows=len(current))
+            if current.traces:
+                for tr in current.traces:
+                    tr.hop("eddy", self._telemetry_id, op.name)
             current.mark_done(op.bit)
             self.policy.on_route(op)
             current, outputs = op.handle_batch(current)
@@ -402,7 +420,13 @@ class Eddy(Module):
                 out.mark_done(op.bit)
                 pending_rows.append(out)
         if pending_rows:
-            self._route_worklist(pending_rows, results)
+            # Composite fall-back stays on the batch-path contract:
+            # consult the policy fresh per hop instead of dipping into
+            # the batch_size-amortized route cache, so these decisions
+            # are counted and visible to the flight recorder like every
+            # other vectorized-path decision.
+            self._route_worklist(pending_rows, results,
+                                 fresh_decisions=True)
         return results
 
     def _emit_batch(self, batch: TupleBatch, results: List) -> None:
@@ -413,6 +437,9 @@ class Eddy(Module):
         if self.dedupe_output:
             for t in batch.materialize():
                 if self._should_emit(t):
+                    tr = t.trace
+                    if tr is not None:
+                        tr.hop("emit", self._telemetry_id)
                     results.append(t)
             return
         rows = batch.materialize() if batch._rows is not None else None
@@ -425,6 +452,8 @@ class Eddy(Module):
             if not len(batch):
                 return
         self.outputs_emitted += len(batch)
+        for tr in batch.traces:
+            tr.hop("emit", self._telemetry_id)
         results.append(batch)
 
     def _fix_composite_done(self, t: Tuple) -> None:
@@ -459,14 +488,19 @@ class Eddy(Module):
                 unconstrained.append(op)
         return constrained if constrained else unconstrained
 
-    def _choose(self, t: Tuple,
-                eligible: List[EddyOperator]) -> EddyOperator:
+    def _choose(self, t: Tuple, eligible: List[EddyOperator],
+                fresh: bool = False) -> EddyOperator:
         if len(eligible) == 1:
             return eligible[0]
-        if self.batching.batch_size > 1 or self.batching.fix_sequence:
+        if not fresh and (self.batching.batch_size > 1
+                          or self.batching.fix_sequence):
             return self._choose_batched(t, eligible)
         self.routing_decisions += 1
-        return self.policy.choose(t, eligible)
+        op = self.policy.choose(t, eligible)
+        rec = self._recorder
+        if rec.enabled:
+            rec.record(self._telemetry_id, self.policy, op, eligible)
+        return op
 
     def _choose_batched(self, t: Tuple,
                         eligible: List[EddyOperator]) -> EddyOperator:
@@ -501,6 +535,9 @@ class Eddy(Module):
         else:
             chosen = self.policy.choose(t, eligible)
             chosen_names = {chosen.name}
+        rec = self._recorder
+        if rec.enabled:
+            rec.record(self._telemetry_id, self.policy, chosen, eligible)
         self._route_cache[key] = (chosen_names, self.batching.batch_size - 1)
         return chosen
 

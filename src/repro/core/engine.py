@@ -34,6 +34,7 @@ from repro.core.windows import HistoricalStore
 from repro.errors import ExecutionError, QueryError
 from repro.fjords.queues import EMPTY, PushQueue
 from repro.monitor.telemetry import get_registry
+import repro.monitor.tracing as tracing
 from repro.sched.protocol import StepResult
 from repro.query.ast import QuerySpec
 from repro.query.catalog import Catalog
@@ -89,6 +90,11 @@ class Cursor:
     # -- engine side -------------------------------------------------------
     def _deliver(self, t: Tuple) -> None:
         self.delivered += 1
+        tr = t.trace
+        if tr is not None:
+            query = f"cursor{self.cursor_id}"
+            tr.hop("egress", query)
+            tracing.TRACER.finish(tr, query)
         if self.on_result is not None:
             self.on_result(t)
         else:
@@ -96,6 +102,10 @@ class Cursor:
 
     def _deliver_window(self, t: int, rows: List[Tuple]) -> None:
         self.delivered += len(rows)
+        if tracing.TRACER.active:
+            query = f"cursor{self.cursor_id}"
+            for row in rows:
+                tracing.finish_item(row, query)
         self._windows.append((t, rows))
         if self.on_result is not None:
             for row in rows:
@@ -316,11 +326,16 @@ class TelegraphCQServer:
         self.tuples_ingested += 1
         self._ingress_by_stream[stream] = \
             self._ingress_by_stream.get(stream, 0) + 1
+        tracer = tracing.TRACER
+        if tracer.active:
+            tracer.maybe_start(t, stream)
         with self._telemetry.trace("ingress", stream=stream):
             self.stores[stream].append(t)
             self._stream_clock[stream] = t.timestamp
             for engine in self._engines_reading(stream):
                 clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
+                if t.trace is not None:
+                    clone.trace = t.trace
                 engine.push_tuple(stream, clone)
 
     def _engines_reading(self, stream: str) -> List[CACQEngine]:
@@ -566,6 +581,145 @@ class TelegraphCQServer:
             sum(len(p) for p in self._proxies.values()))
 
     # -- introspection -----------------------------------------------------------
+    def find_cursor(self, cursor_id: int) -> Cursor:
+        for proxies in self._proxies.values():
+            for proxy in proxies:
+                for c in proxy.cursors:
+                    if c.cursor_id == cursor_id:
+                        return c
+        raise QueryError(f"no cursor #{cursor_id}")
+
+    def explain(self, cursor: Union[int, Cursor],
+                analyze: bool = False) -> Dict[str, Any]:
+        """Reconstruct the de-facto plan behind a cursor.
+
+        Continuous cursors report the shared CACQ route: the engine's
+        hardwired order (grouped filters, home SteM build, partner
+        probes) carries one ordering per ingress stream weighted by that
+        stream's share of arrivals, with per-operator selectivities from
+        the shared structures' own observations.  ``analyze`` adds
+        ingress→egress latency percentiles from the sampled tuple
+        traces.  Render the dict with
+        :func:`repro.monitor.introspect.render_explain`.
+        """
+        c = cursor if isinstance(cursor, Cursor) \
+            else self.find_cursor(int(cursor))
+        if c.kind == "continuous":
+            return self._explain_continuous(c, analyze)
+        return self._explain_plan(c, analyze)
+
+    def _explain_continuous(self, cursor: Cursor,
+                            analyze: bool) -> Dict[str, Any]:
+        query = f"cursor{cursor.cursor_id}"
+        cq = cursor.continuous_query
+        engine = None
+        if cq is not None:
+            engine = next((e for e in self._cacq.values()
+                           if cq.qid in e.queries), None)
+        if cq is None or engine is None:
+            return {"kind": "continuous", "target": query,
+                    "operators": [], "orderings": [],
+                    "ordering_source": "",
+                    "notes": ["query is closed; no live plan"]}
+        footprint = cq.footprint
+
+        operators: List[Dict[str, Any]] = []
+        filter_names: Dict[str, List[str]] = {s: [] for s in footprint}
+        for (s, attr), gf in sorted(engine.filters.items()):
+            if s not in footprint or not (gf.registered_mask & cq.bit):
+                continue
+            name = f"gf[{s}.{attr}]"
+            filter_names[s].append(name)
+            operators.append({
+                "name": name, "kind": "GroupedFilter",
+                "visits": gf.seen, "passed": gf.passed_count,
+                "selectivity": gf.observed_selectivity(),
+                "cost": float(gf.probe_cost_estimate()),
+            })
+        partners: Dict[str, List[str]] = {s: [] for s in footprint}
+        probed: List[str] = []
+        for pair, factors in engine._pair_factors.items():
+            if not any(bit & cq.bit for bit, _f in factors):
+                continue
+            for s in pair:
+                for partner in sorted(pair - {s}):
+                    if partner not in partners[s]:
+                        partners[s].append(partner)
+                    if partner not in probed:
+                        probed.append(partner)
+        for s in sorted(probed):
+            stem = engine.stems.get(s)
+            if stem is None:
+                continue
+            operators.append({
+                "name": f"stem[{s}]", "kind": "SteM",
+                "visits": stem.probes, "passed": stem.probe_hits,
+                "selectivity": stem.observed_hit_rate(),
+                "cost": float(max(1, len(stem).bit_length())),
+            })
+
+        ingress = {s: self._ingress_by_stream.get(s, 0) for s in footprint}
+        total = sum(ingress.values())
+        orderings: List[Dict[str, Any]] = []
+        for s in sorted(footprint, key=lambda s: (-ingress[s], s)):
+            order = list(filter_names[s])
+            if s in engine.stems:
+                order.append(f"build[{s}]")
+            order.extend(f"probe[stem[{p}]]" for p in sorted(partners[s]))
+            share = ingress[s] / total if total else 1.0 / len(footprint)
+            orderings.append({"order": order, "frequency": share,
+                              "count": ingress[s]})
+
+        report: Dict[str, Any] = {
+            "kind": "continuous",
+            "target": query,
+            "telemetry_id": engine._telemetry_id,
+            "policy": "CACQ shared route (hardwired: grouped filters -> "
+                      "home build -> deliver -> partner probes)",
+            "streams": {s: ingress[s] for s in sorted(footprint)},
+            "queries_sharing": len(engine.queries),
+            "operators": operators,
+            "orderings": orderings,
+            "ordering_source": "cacq-route (frequency = ingress share)",
+            "notes": [f"predicate: {cq.predicate!r}"],
+        }
+        if analyze:
+            report["latency"] = self._trace_latency(query)
+        return report
+
+    def _explain_plan(self, cursor: Cursor, analyze: bool) -> Dict[str, Any]:
+        query = f"cursor{cursor.cursor_id}"
+        notes: List[str] = []
+        compiled = cursor.compiled
+        if compiled is not None:
+            notes.append("bindings: " + ", ".join(
+                f"{b}={o}" for b, o in compiled.bindings))
+            notes.append(f"predicate: {compiled.predicate!r}")
+        state = cursor._windowed_state
+        if state is not None:
+            notes.append(f"windows evaluated: {state.windows_evaluated}"
+                         f" (done={state.done})")
+        report: Dict[str, Any] = {
+            "kind": cursor.kind, "target": query,
+            "operators": [], "orderings": [], "ordering_source": "",
+            "notes": notes,
+        }
+        if analyze:
+            report["latency"] = self._trace_latency(query)
+        return report
+
+    def _trace_latency(self, query: str) -> Dict[str, float]:
+        lats = [tr.latency() for tr in tracing.TRACER.recent()
+                if tr.query == query]
+        if lats:
+            pct = tracing.exact_percentiles(lats)
+            return {"p50": pct[0.5], "p95": pct[0.95], "p99": pct[0.99],
+                    "count": float(len(lats))}
+        # No raw traces in the ring: fall back to the published
+        # histogram watermarks (coarser, but survives ring eviction).
+        return tracing.latency_by_query().get(
+            query, {"p50": 0.0, "p95": 0.0, "p99": 0.0, "count": 0.0})
+
     def stats(self) -> Dict[str, Any]:
         return {
             "ingested": self.tuples_ingested,

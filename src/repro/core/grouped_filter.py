@@ -56,6 +56,10 @@ class GroupedFilter:
         #: the CACQ hot path never rebuilds it.
         self.registered_mask = 0
         self.probes = 0
+        #: pass/drop observation (EXPLAIN selectivity): a "pass" is a
+        #: probed tuple that stayed alive for at least one query.
+        self.seen = 0
+        self.passed_count = 0
 
     # -- registration --------------------------------------------------------
     def add(self, factor: Comparison, query_id: int) -> None:
@@ -202,6 +206,22 @@ class GroupedFilter:
             out.append({qid for qid, n in satisfied.items()
                         if n == factor_count[qid]})
         return out
+
+    # -- introspection -------------------------------------------------------
+    def observe(self, passed: bool, n: int = 1) -> None:
+        """Record the outcome of ``n`` probes for the selectivity
+        estimate (the CACQ route calls this right after the kill)."""
+        self.seen += n
+        if passed:
+            self.passed_count += n
+
+    def observed_selectivity(self) -> float:
+        """Fraction of probed tuples that survived this filter for at
+        least one registered query; 1.0 until any observation exists
+        (optimistic prior, matching EddyOperator's convention)."""
+        if not self.seen:
+            return 1.0
+        return self.passed_count / self.seen
 
     def probe_cost_estimate(self) -> int:
         """Rough comparisons per probe — logarithmic in factors plus

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Sequence, TYPE_CHECKING
+from typing import Dict, Sequence, Tuple as TypingTuple, TYPE_CHECKING
 
 from repro.core.tuples import Tuple
 from repro.errors import PlanError
@@ -52,6 +52,14 @@ class RoutingPolicy:
 
     def on_return(self, op: "EddyOperator", n_outputs: int) -> None:
         """Called when ``op`` hands ``n_outputs`` tuples back."""
+
+    def tickets_snapshot(self, eligible: Sequence["EddyOperator"]
+                         ) -> "TypingTuple[float, ...]":
+        """Per-candidate policy state at decision time, aligned with
+        ``eligible`` — captured by the routing flight recorder so a
+        recorded choice can be explained later.  Stateless policies
+        return the empty tuple."""
+        return ()
 
     def describe(self) -> str:
         return type(self).__name__
@@ -117,6 +125,10 @@ class LotteryPolicy(RoutingPolicy):
 
     def tickets(self, op: "EddyOperator") -> float:
         return self._tickets.get(op.name, 0.0)
+
+    def tickets_snapshot(self, eligible: Sequence["EddyOperator"]
+                         ) -> "TypingTuple[float, ...]":
+        return tuple(self._tickets.get(op.name, 0.0) for op in eligible)
 
     def choose(self, t: Tuple,
                eligible: Sequence["EddyOperator"]) -> "EddyOperator":

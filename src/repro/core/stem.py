@@ -45,6 +45,7 @@ class SteM:
             col: defaultdict(list) for col in index_columns}
         self.builds = 0
         self.probes = 0
+        self.probe_hits = 0
         self.matches_out = 0
         self.evictions = 0
         self.batch_probes = 0
@@ -73,6 +74,9 @@ class SteM:
                 f"not home source {self.source!r}")
         self._tuples.append(t)
         self.builds += 1
+        tr = t.trace
+        if tr is not None:
+            tr.hop("stem", self._telemetry_id, "build")
         for col, index in self._indexes.items():
             index[t[col]].append(t)
 
@@ -87,6 +91,8 @@ class SteM:
         rows = batch.materialize()
         self._tuples.extend(rows)
         self.builds += len(rows)
+        for tr in batch.traces:
+            tr.hop("stem", self._telemetry_id, "build")
         for col, index in self._indexes.items():
             for value, t in zip(batch.column(col), rows):
                 index[value].append(t)
@@ -150,6 +156,11 @@ class SteM:
             if all(p.matches(joined) for p in predicates):
                 out.append(joined)
         self.matches_out += len(out)
+        if out:
+            self.probe_hits += 1
+        tr = prober.trace
+        if tr is not None:
+            tr.hop("stem", self._telemetry_id, f"probe:{len(out)}")
         return out
 
     def probe_stored(self, prober: Tuple, predicates: Sequence[Predicate],
@@ -168,6 +179,11 @@ class SteM:
             if all(p.matches(joined) for p in predicates):
                 out.append(stored)
         self.matches_out += len(out)
+        if out:
+            self.probe_hits += 1
+        tr = prober.trace
+        if tr is not None:
+            tr.hop("stem", self._telemetry_id, f"probe:{len(out)}")
         return out
 
     def probe_batch(self, batch: TupleBatch,
@@ -214,6 +230,14 @@ class SteM:
                     out.append(joined)
                     hits[i] = True
         self.matches_out += len(out)
+        self.probe_hits += sum(hits)
+        if batch.traces:
+            site = self._telemetry_id
+            for prober, hit in zip(rows, hits):
+                tr = prober.trace
+                if tr is not None:
+                    tr.hop("stem", site,
+                           "probe:hit" if hit else "probe:0")
         return out, hits
 
     def _candidates(self, prober: Tuple,
@@ -260,6 +284,9 @@ class SteM:
         reg.counter("tcq_stem_matches_total", "Join matches produced (hits)",
                     ("stem",), collected=True).labels(stem).set_total(
             self.matches_out)
+        reg.counter("tcq_stem_probe_hits_total",
+                    "Probes that found at least one match", ("stem",),
+                    collected=True).labels(stem).set_total(self.probe_hits)
         reg.counter("tcq_stem_evictions_total",
                     "Tuples expired out of SteMs", ("stem",),
                     collected=True).labels(stem).set_total(self.evictions)
@@ -270,6 +297,12 @@ class SteM:
                   collected=True).labels(stem).set(len(self._tuples))
 
     # -- introspection ------------------------------------------------------
+    def observed_hit_rate(self) -> float:
+        """Fraction of probes that found at least one match — the
+        probe-side selectivity EXPLAIN reports for shared (CACQ) plans,
+        where no EddyOperator wraps the SteM."""
+        return self.probe_hits / self.probes if self.probes else 0.0
+
     def __len__(self) -> int:
         return len(self._tuples)
 

@@ -174,7 +174,7 @@ class Tuple:
     """
 
     __slots__ = ("schema", "values", "timestamp", "done", "queries", "tid",
-                 "base_ids", "max_base", "dead")
+                 "base_ids", "max_base", "dead", "trace")
 
     def __init__(self, schema: Schema, values: TypingTuple[Any, ...],
                  timestamp: Optional[int] = None, done: int = 0,
@@ -185,6 +185,10 @@ class Tuple:
         self.done = done          # bitmap of eddy modules already visited
         self.queries = queries    # CACQ lineage: -1 == all queries alive
         self.tid = next(_tuple_ids)
+        # Sampled observability: None for the untraced majority; set by
+        # Tracer.maybe_start at ingress, read (one slot load) at every
+        # instrumented hop.
+        self.trace = None
         # Join lineage: which base tuples this (possibly composite) tuple
         # was assembled from.  None means "just myself" — kept lazy so
         # base-tuple creation stays cheap.
@@ -257,6 +261,9 @@ class Tuple:
         out.done = self.done | other.done
         out.base_ids = self.base_id_set() | other.base_id_set()
         out.max_base = max(self.max_base, other.max_base)
+        # A composite continues the trace of a sampled parent (probe
+        # side wins when both are sampled, keeping one linear story).
+        out.trace = self.trace if self.trace is not None else other.trace
         return out
 
     def as_dict(self) -> Dict[str, Any]:
@@ -311,12 +318,13 @@ class TupleBatch:
     """
 
     __slots__ = ("schema", "columns", "timestamps", "done", "queries",
-                 "_rows")
+                 "_rows", "traces")
 
     def __init__(self, schema: Schema, columns: List[List[Any]],
                  timestamps: Optional[List[Optional[int]]] = None,
                  done: int = 0, queries: int = -1,
-                 rows: Optional[List["Tuple"]] = None):
+                 rows: Optional[List["Tuple"]] = None,
+                 traces: TypingTuple[Any, ...] = ()):
         self.schema = schema
         self.columns = columns
         if timestamps is None:
@@ -326,6 +334,10 @@ class TupleBatch:
         self.done = done
         self.queries = queries
         self._rows = rows
+        # The trace contexts of any sampled rows in this batch (usually
+        # empty): batch-level hops fan out to these, so a sampled tuple
+        # keeps its story even while travelling vectorized.
+        self.traces = traces
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -355,7 +367,9 @@ class TupleBatch:
         if not columns:            # zero-column schema: keep arity
             columns = [[] for _ in schema.columns]
         return cls(schema, columns, [t.timestamp for t in rows],
-                   done=done, queries=queries, rows=rows)
+                   done=done, queries=queries, rows=rows,
+                   traces=tuple(t.trace for t in rows
+                                if t.trace is not None))
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -420,11 +434,14 @@ class TupleBatch:
         """A new batch holding the rows at ``indexes`` (in order)."""
         columns = [[col[i] for i in indexes] for col in self.columns]
         rows = None
+        traces: TypingTuple[Any, ...] = ()
         if self._rows is not None:
             rows = [self._rows[i] for i in indexes]
+            traces = tuple(t.trace for t in rows if t.trace is not None)
         return TupleBatch(self.schema, columns,
                           [self.timestamps[i] for i in indexes],
-                          done=self.done, queries=self.queries, rows=rows)
+                          done=self.done, queries=self.queries, rows=rows,
+                          traces=traces)
 
     def partition(self, mask: Sequence[bool]) -> \
             "TypingTuple[TupleBatch, TupleBatch]":

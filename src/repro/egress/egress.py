@@ -32,6 +32,7 @@ from repro.core.tuples import Tuple
 from repro.errors import ExecutionError
 from repro.fjords.module import Module
 from repro.monitor import telemetry
+import repro.monitor.tracing as tracing
 
 
 class _EgressTotals:
@@ -124,6 +125,9 @@ class PushEgress(Module):
                 continue
             state["delivered"] += 1
             TOTALS.delivered += 1
+            if tracing.TRACER.active:
+                tracing.note_hop(t, "egress", self.name)
+                tracing.finish_item(t, self.name)
 
     def flush(self) -> None:
         """Retry delivery to clients that were previously not ready."""
@@ -167,6 +171,9 @@ class PullEgress(Module):
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self._log.append((next(self._seq), item))
         TOTALS.logged += 1
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "egress", self.name, "logged")
+            tracing.finish_item(item, self.name)
         while len(self._log) > self.retention:
             seq, _t = self._log.popleft()
             self.truncated_to = seq
@@ -228,6 +235,9 @@ class TranscodingEgress(Module):
         self.sink(encoded)
         self.delivered += 1
         TOTALS.delivered += 1
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "egress", self.name)
+            tracing.finish_item(item, self.name)
         return ()
 
     def _finish(self) -> None:
@@ -268,6 +278,11 @@ class FanoutEgress(Module):
 
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self.tuples_seen += 1
+        if tracing.TRACER.active:
+            # The upstream tuple is handled once; subscribers receive
+            # formatted copies, so the trace closes here.
+            tracing.note_hop(item, "egress", self.name, "fanout")
+            tracing.finish_item(item, self.name)
         for state in self._subscribers.values():
             state["pending"].append(state["fmt"](item))
             if len(state["pending"]) >= self.batch_size:

@@ -28,6 +28,7 @@ from typing import Any, Iterable, List, Optional
 from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
 from repro.errors import PlanError
 from repro.fjords.queues import EMPTY, FjordQueue
+import repro.monitor.tracing as tracing
 # StepResult is canonically defined by the scheduler protocol now; it is
 # re-exported here because every module author imports it from this
 # module historically.
@@ -232,9 +233,19 @@ class SourceModule(Module):
             return StepResult.DONE
         budget = batch if batch is not None else self.DEFAULT_BATCH
         produced = False
-        for item in self.generate(budget):
-            produced = True
-            self.emit(item)
+        tracer = tracing.TRACER
+        if tracer.active:
+            # Sources are the dataflow's ingress: sample traces here so
+            # standalone fjord plans get end-to-end traces too.
+            for item in self.generate(budget):
+                produced = True
+                if isinstance(item, Tuple):
+                    tracer.maybe_start(item, self.name)
+                self.emit(item)
+        else:
+            for item in self.generate(budget):
+                produced = True
+                self.emit(item)
         if self.exhausted:
             self._finish()
             return StepResult.DONE
@@ -255,6 +266,9 @@ class SinkModule(Module):
 
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self.results.append(item)
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "egress", self.name)
+            tracing.finish_item(item, self.name)
         return ()
 
     def on_punctuation(self, punctuation: Punctuation, port: int) -> None:
@@ -284,6 +298,9 @@ class CollectingSink(Module):
 
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
         self.log.append(item)
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "egress", self.name)
+            tracing.finish_item(item, self.name)
         return ()
 
     def on_punctuation(self, punctuation: Punctuation, port: int) -> None:

@@ -26,6 +26,7 @@ from typing import Any, Callable, Deque, Iterable, Optional
 
 from repro.errors import PlanError
 from repro.monitor import telemetry
+import repro.monitor.tracing as tracing
 
 #: Returned by non-blocking dequeues when no data is available.  A unique
 #: sentinel (not None) so that queues can carry None as a legitimate value.
@@ -157,6 +158,10 @@ class FjordQueue:
         TOTALS.enqueued += 1
         if len(self._items) > self.stats.high_water:
             self.stats.high_water = len(self._items)
+        # One module-attribute + bool test when tracing is off; the item
+        # is only inspected for a trace once a tracer is active.
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "queue", self.name or "anon", "in")
         return True
 
     def push_all(self, items: Iterable[Any]) -> int:
@@ -184,6 +189,10 @@ class FjordQueue:
         depth = len(self._items)
         if depth > self.stats.high_water:
             self.stats.high_water = depth
+        if tracing.TRACER.active:
+            site = self.name or "anon"
+            for item in items:
+                tracing.note_hop(item, "queue", site, "in")
         return n
 
     # -- consumer side ---------------------------------------------------
@@ -194,7 +203,10 @@ class FjordQueue:
             return EMPTY
         self.stats.dequeued += 1
         TOTALS.dequeued += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        if tracing.TRACER.active:
+            tracing.note_hop(item, "queue", self.name or "anon", "out")
+        return item
 
     def pop_many(self, max_items: int) -> list:
         """Bulk dequeue: up to ``max_items`` items with one counter
@@ -208,6 +220,10 @@ class FjordQueue:
         out = [popleft() for _ in range(n)]
         self.stats.dequeued += n
         TOTALS.dequeued += n
+        if tracing.TRACER.active:
+            site = self.name or "anon"
+            for item in out:
+                tracing.note_hop(item, "queue", site, "out")
         return out
 
     def peek(self) -> Any:

@@ -30,6 +30,7 @@ from repro.errors import ExecutionError
 from repro.fjords.module import SourceModule
 from repro.fjords.queues import FjordQueue
 from repro.ingress.sources import DataSource
+import repro.monitor.tracing as tracing
 
 
 class Streamer:
@@ -53,9 +54,13 @@ class Streamer:
 
     def deliver(self, tuples: Iterable[Tuple]) -> int:
         n = 0
+        tracer = tracing.TRACER
+        active = tracer.active
         for t in tuples:
             if t.timestamp is None:
                 t.timestamp = next(self._seq)
+            if active:
+                tracer.maybe_start(t, self.stream)
             if self.store is not None:
                 self.store.append(t)
             for q in self._queues:

@@ -1,0 +1,25 @@
+"""The single monotonic clock source for all observability layers.
+
+Telemetry trace spans (:mod:`repro.monitor.telemetry`) and end-to-end
+tuple traces (:mod:`repro.monitor.tracing`) must be mutually comparable
+— a span's window should bracket the hop timestamps of tuples processed
+inside it.  That only holds if both read the *same* clock, so both
+import :func:`now` from here instead of picking a ``time`` function
+independently.
+
+``perf_counter`` is monotonic and the highest-resolution clock the
+stdlib offers; its epoch is arbitrary, so exporters that need wall time
+anchor with :func:`wall_time` once and offset.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic, high-resolution timestamp in (fractional) seconds.
+now = time.perf_counter
+
+
+def wall_time() -> float:
+    """Wall-clock seconds since the Unix epoch, for anchoring exports."""
+    return time.time()

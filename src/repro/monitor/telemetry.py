@@ -44,14 +44,17 @@ round-trip through both exporters: :meth:`TelemetrySnapshot.to_json` /
 
 from __future__ import annotations
 
+import itertools
 import json
 import re
-import time
+import threading
 import weakref
-from typing import (Any, Callable, Dict, Iterable, List, Optional,
+from collections import deque
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
                     Sequence, Tuple as TypingTuple)
 
 from repro.errors import TelemetryError
+from repro.monitor.clock import now as _now
 
 
 #: Default histogram bucket upper bounds (seconds-ish scale); +Inf is
@@ -265,7 +268,9 @@ class TraceSpan:
                  recorder: Optional["MetricRegistry"]):
         self.name = name
         self.labels = labels
-        self.started_at = time.perf_counter()
+        # Shared clock (repro.monitor.clock) so span windows and tuple
+        # trace hops are directly comparable.
+        self.started_at = _now()
         self.duration: Optional[float] = None
         self._recorder = recorder
 
@@ -277,7 +282,7 @@ class TraceSpan:
 
     def end(self) -> None:
         if self.duration is None:
-            self.duration = time.perf_counter() - self.started_at
+            self.duration = _now() - self.started_at
             if self._recorder is not None:
                 self._recorder._record_span(self)
 
@@ -328,8 +333,15 @@ class MetricRegistry:
         self.max_series_per_family = max_series_per_family
         self._families: Dict[str, MetricFamily] = {}
         self._collectors: List[weakref.ReferenceType] = []
-        self._spans: List[TraceSpan] = []
-        self._trace_calls = 0
+        # Span ring + sample counter are touched from Flux worker
+        # threads: the deque bounds memory and appends atomically, the
+        # itertools counter increments atomically under CPython, and the
+        # recorded-spans total is guarded by a lock on the (rare)
+        # sampled path only.
+        self._spans: Deque[TraceSpan] = deque(maxlen=trace_capacity)
+        self._trace_counter = itertools.count(1)
+        self._spans_recorded = 0
+        self._span_lock = threading.Lock()
         self.snapshots_taken = 0
         self.dropped_by_family: Dict[str, int] = {}
 
@@ -393,18 +405,24 @@ class MetricRegistry:
 
     # -- tracing ------------------------------------------------------------
     def trace(self, name: str, **labels: Any):
-        """A context-managed span, sampled every Nth call."""
+        """A context-managed span, sampled every Nth call.
+
+        Thread-safe: the sample counter is an :func:`itertools.count`
+        (atomic increment under CPython), so concurrent callers cannot
+        lose or double-record a tick the way ``self._n += 1`` could.
+        """
         if not self.enabled or not self.trace_sample_every:
             return _NOOP_SPAN
-        self._trace_calls += 1
-        if self._trace_calls % self.trace_sample_every:
+        if next(self._trace_counter) % self.trace_sample_every:
             return _NOOP_SPAN
         return TraceSpan(name, {k: str(v) for k, v in labels.items()}, self)
 
     def _record_span(self, span: TraceSpan) -> None:
+        # deque(maxlen) bounds memory and appends atomically; only the
+        # running total needs the lock, and only sampled spans get here.
         self._spans.append(span)
-        if len(self._spans) > self.trace_capacity:
-            del self._spans[:len(self._spans) - self.trace_capacity]
+        with self._span_lock:
+            self._spans_recorded += 1
 
     def recent_traces(self) -> List[TraceSpan]:
         return list(self._spans)
@@ -461,15 +479,15 @@ class MetricRegistry:
             dropped.labels(family).set_total(n)
         self.counter("tcq_telemetry_trace_spans_total",
                      "Trace spans recorded").set_total(
-            self._trace_calls // self.trace_sample_every
-            if self.trace_sample_every else 0)
+            self._spans_recorded)
 
     def reset(self) -> None:
         """Forget every family, collector, and span (tests)."""
         self._families.clear()
         self._collectors.clear()
         self._spans.clear()
-        self._trace_calls = 0
+        self._trace_counter = itertools.count(1)
+        self._spans_recorded = 0
         self.snapshots_taken = 0
         self.dropped_by_family.clear()
 

@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import ExecutionError
 from repro.monitor.telemetry import get_registry
+import repro.monitor.tracing as tracing
 from repro.sched.policy import SchedulingPolicy, make_policy
 from repro.sched.protocol import (StepResult, coerce_step_result,
                                   unit_pressure, unit_ready,
@@ -188,12 +189,24 @@ class Scheduler:
         :class:`StepResult` (worked = any progressed, finished = every
         registered unit is finished)."""
         self.passes += 1
+        tracer = tracing.TRACER
+        if tracer.active:
+            # Stamp hops recorded during this pass with "sched:pass" so
+            # traces attribute each hop to the pass that drove it.
+            tracer.current_pass = f"{self.name}:{self.passes}"
         active = [rec for rec in self._records if not rec.unit.finished]
         worked = False
         if active:
-            for rec in self.policy.select(active, self):
-                result = self._run_unit(rec, quantum)
-                worked = result.worked or worked
+            if self._telemetry is not None:
+                with self._telemetry.trace("sched_pass",
+                                           scheduler=self.name):
+                    for rec in self.policy.select(active, self):
+                        result = self._run_unit(rec, quantum)
+                        worked = result.worked or worked
+            else:
+                for rec in self.policy.select(active, self):
+                    result = self._run_unit(rec, quantum)
+                    worked = result.worked or worked
         finished = all(rec.unit.finished for rec in self._records)
         if finished:
             return StepResult(worked, finished=True)

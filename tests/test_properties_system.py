@@ -194,6 +194,84 @@ def test_vectorized_pipeline_equals_per_tuple(s_data, t_data, filter_specs,
     assert counters_vec == counters_pt
 
 
+# Three-way join: SteM probes emit *composite* tuples that re-enter the
+# routing loop, which in the batch path runs through the per-tuple
+# composite fall-back inside ``process_batch``.  That fall-back must
+# make fresh routing decisions (not reuse the batch-amortised route
+# cache) for counters to match the per-tuple path exactly.
+
+_VU = Schema.of("U", "c", "k")
+_J3_ST = ColumnComparison("S.k", "==", "T.k")
+_J3_TU = ColumnComparison("T.k", "==", "U.k")
+_J3_SU = ColumnComparison("S.k", "==", "U.k")
+
+
+def _build_three_way(filter_specs):
+    stems = [SteM("S", index_columns=("S.k",)),
+             SteM("T", index_columns=("T.k",)),
+             SteM("U", index_columns=("U.k",))]
+    ops = [SteMOperator(stems[0], [_J3_ST, _J3_SU], name="stem_s"),
+           SteMOperator(stems[1], [_J3_ST, _J3_TU], name="stem_t"),
+           SteMOperator(stems[2], [_J3_TU, _J3_SU], name="stem_u")]
+    for i, (column, op, value) in enumerate(filter_specs):
+        ops.append(FilterOperator(Comparison(column, op, value),
+                                  name=f"f{i}"))
+    return ops, [op.name for op in ops]
+
+
+def _run_three_way(s_data, t_data, u_data, filter_specs, batch_size,
+                   vectorized):
+    ops, order = _build_three_way(filter_specs)
+    eddy = Eddy(ops, output_sources={"S", "T", "U"},
+                policy=FixedPolicy(order),
+                batching=BatchingDirective(batch_size,
+                                           vectorize=vectorized))
+    rows = [_VS.make(a, k, timestamp=i)
+            for i, (a, k) in enumerate(s_data)]
+    rows += [_VT.make(b, k, timestamp=len(rows) + i)
+             for i, (b, k) in enumerate(t_data)]
+    rows += [_VU.make(c, k, timestamp=len(rows) + i)
+             for i, (c, k) in enumerate(u_data)]
+    results = []
+    if vectorized:
+        for schema in (_VS, _VT, _VU):
+            group = [t for t in rows if t.schema is schema]
+            for i in range(0, len(group), batch_size):
+                batch = TupleBatch.from_tuples(group[i:i + batch_size])
+                results.extend(eddy.process_batch(batch, 0))
+    else:
+        for t in rows:
+            results.extend(eddy.process(t, 0))
+    return _flatten(results), _data_plane_counters(eddy, ops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 5)),
+                max_size=16),
+       st.lists(st.tuples(st.integers(0, 4), st.integers(0, 5)),
+                max_size=16),
+       st.lists(st.tuples(st.integers(0, 4), st.integers(0, 5)),
+                max_size=16),
+       st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.sampled_from(_V_OPS), st.integers(0, 4)),
+                max_size=3),
+       st.sampled_from([1, 2, 7, 32]))
+def test_vectorized_three_way_composite_equals_per_tuple(
+        s_data, t_data, u_data, filter_specs, batch_size):
+    """Property: the batch path's composite fall-back (probe outputs
+    re-routed per tuple inside process_batch) matches the per-tuple
+    path's result multiset and data-plane counters on a 3-SteM/2-hop
+    join plan with random filters."""
+    per_tuple, counters_pt = _run_three_way(
+        s_data, t_data, u_data, filter_specs, batch_size,
+        vectorized=False)
+    vectorized, counters_vec = _run_three_way(
+        s_data, t_data, u_data, filter_specs, batch_size,
+        vectorized=True)
+    assert values_of(vectorized) == values_of(per_tuple)
+    assert counters_vec == counters_pt
+
+
 # ---------------------------------------------------------------- flux
 
 def _run_flux_with_crash(data, fail_tick, victim_idx, replication,

@@ -1,0 +1,280 @@
+"""Unit tests for sampled end-to-end tuple tracing
+(:mod:`repro.monitor.tracing`): sampling discipline, trace propagation
+through joins/batches/queues, idempotent finish, bounded storage,
+latency watermark publication, and the JSONL / Chrome exporters.
+"""
+
+import json
+
+import pytest
+
+import repro.monitor.introspect as introspect
+import repro.monitor.tracing as tracing
+from repro.core.eddy import Eddy, FilterOperator
+from repro.core.routing import BatchingDirective, FixedPolicy
+from repro.core.tuples import Punctuation, Schema, TupleBatch
+from repro.fjords.fjord import Fjord
+from repro.fjords.module import CollectingSink
+from repro.fjords.queues import FjordQueue
+from repro.monitor.telemetry import MetricRegistry, set_registry
+from repro.query.predicates import Comparison
+
+from tests.conftest import ListFeed
+
+S = Schema.of("S", "a", "k")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    """Tracer, flight recorder, and metric registry are process-wide;
+    give every test a clean slate and restore defaults afterwards."""
+    previous = set_registry(MetricRegistry())
+    tracing.TRACER.configure(sample_every=0, capacity=256)
+    tracing.TRACER.reset()
+    introspect.RECORDER.configure(capacity=512, enabled=False)
+    introspect.RECORDER.clear()
+    yield
+    tracing.TRACER.configure(sample_every=0, capacity=256)
+    tracing.TRACER.reset()
+    introspect.RECORDER.configure(capacity=512, enabled=False)
+    introspect.RECORDER.clear()
+    set_registry(previous)
+
+
+def _rows(n):
+    return [S.make(i, i % 3, timestamp=i) for i in range(n)]
+
+
+# ------------------------------------------------------------- sampling
+
+def test_disabled_tracer_attaches_nothing():
+    t = S.make(1, 1)
+    assert not tracing.TRACER.active
+    assert tracing.TRACER.maybe_start(t, "S") is None
+    assert t.trace is None
+    assert tracing.TRACER.started == 0
+
+
+def test_samples_every_nth_arrival():
+    tracing.configure_tracing(3)
+    rows = _rows(10)
+    for t in rows:
+        tracing.TRACER.maybe_start(t, "S")
+    traced = [i for i, t in enumerate(rows) if t.trace is not None]
+    assert traced == [2, 5, 8]          # 3rd, 6th, 9th arrivals
+    assert tracing.TRACER.started == 3
+
+
+def test_sample_every_one_traces_everything():
+    tracing.configure_tracing(1)
+    rows = _rows(7)
+    for t in rows:
+        tracing.TRACER.maybe_start(t, "S")
+    assert all(t.trace is not None for t in rows)
+    assert all(t.trace.source == "S" for t in rows)
+    # Every trace opens with its ingress hop.
+    assert all(t.trace.hops[0].kind == "ingress" for t in rows)
+
+
+def test_configure_zero_switches_off():
+    tracing.configure_tracing(4)
+    assert tracing.TRACER.active
+    tracing.configure_tracing(0)
+    assert not tracing.TRACER.active
+
+
+# ------------------------------------------------- lifecycle and bounds
+
+def test_finish_is_idempotent():
+    tracing.configure_tracing(1)
+    tr = tracing.TRACER.start("S")
+    tracing.TRACER.finish(tr, "q1")
+    first = tr.finished_at
+    tracing.TRACER.finish(tr, "q2")
+    assert tr.finished_at == first
+    assert tr.query == "q1"            # first delivery wins
+    assert tracing.TRACER.completed == 1
+    assert len(tracing.TRACER.recent()) == 1
+
+
+def test_ring_is_bounded():
+    tracing.TRACER.configure(sample_every=1, capacity=4)
+    for _ in range(11):
+        tracing.TRACER.finish(tracing.TRACER.start("S"), "q")
+    assert tracing.TRACER.completed == 11
+    assert len(tracing.TRACER.recent()) == 4
+    assert tracing.TRACER.summary()["ring"] == 4
+
+
+def test_recent_returns_newest_last():
+    tracing.configure_tracing(1)
+    for _ in range(5):
+        tracing.TRACER.finish(tracing.TRACER.start("S"), "q")
+    recent = tracing.TRACER.recent(2)
+    assert len(recent) == 2
+    assert recent[-1].trace_id == 5
+
+
+# ---------------------------------------------------------- propagation
+
+def test_concat_carries_probe_side_trace():
+    tracing.configure_tracing(1)
+    probe = S.make(1, 1)
+    stored = Schema.of("T", "b", "k").make(2, 1)
+    probe.trace = tracing.TRACER.start("S")
+    out = probe.concat(stored)
+    assert out.trace is probe.trace
+    # Stored-side trace survives when the prober is untraced.
+    probe2 = S.make(3, 2)
+    stored2 = Schema.of("T", "b", "k").make(4, 2)
+    stored2.trace = tracing.TRACER.start("T")
+    assert probe2.concat(stored2).trace is stored2.trace
+
+
+def test_batch_collects_row_traces():
+    tracing.configure_tracing(2)
+    rows = _rows(6)
+    for t in rows:
+        tracing.TRACER.maybe_start(t, "S")
+    batch = TupleBatch.from_tuples(rows)
+    assert len(batch.traces) == 3
+    tracing.note_hop(batch, "queue", "q0", "in")
+    assert all(tr.hops[-1].site == "q0" for tr in batch.traces)
+
+
+def test_note_hop_ignores_punctuation():
+    tracing.note_hop(Punctuation.eos("S"), "queue", "q0", "in")
+
+
+def test_queue_records_in_and_out_hops():
+    tracing.configure_tracing(1)
+    q = FjordQueue(name="q0")
+    t = S.make(1, 1)
+    tracing.TRACER.maybe_start(t, "S")
+    q.push(t)
+    got = q.pop()
+    kinds = [(h.kind, h.site, h.detail) for h in got.trace.hops]
+    assert ("queue", "q0", "in") in kinds
+    assert ("queue", "q0", "out") in kinds
+
+
+def test_untraced_tuples_cost_no_hops():
+    tracing.configure_tracing(10)   # active, but samples almost nothing
+    q = FjordQueue(name="q0")
+    t = S.make(1, 1)
+    q.push(t)
+    assert q.pop().trace is None
+
+
+# ---------------------------------------------- end-to-end fjord traces
+
+def _run_traced_pipeline(n=24):
+    ops = [FilterOperator(Comparison("a", ">=", 0), name="f0")]
+    eddy = Eddy(ops, output_sources={"S"}, policy=FixedPolicy(["f0"]),
+                batching=BatchingDirective(4))
+    sink = CollectingSink("sink")
+    f = Fjord()
+    f.connect(ListFeed(_rows(n)), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    return sink
+
+
+def test_fjord_pipeline_traces_ingress_to_egress():
+    tracing.configure_tracing(1)
+    sink = _run_traced_pipeline()
+    assert tracing.TRACER.completed == 24
+    tr = tracing.TRACER.recent(1)[0]
+    kinds = [h.kind for h in tr.hops]
+    assert kinds[0] == "ingress"
+    assert kinds[-1] == "egress"
+    assert "queue" in kinds
+    assert "eddy" in kinds
+    assert tr.finished_at is not None
+    assert tr.latency() >= 0.0
+    # The scheduler stamps the pass that drove each post-ingress hop.
+    assert any(h.sched_pass for h in tr.hops)
+    assert len(sink.results) == 24
+
+
+def test_filtered_tuples_never_finish():
+    tracing.configure_tracing(1)
+    ops = [FilterOperator(Comparison("a", "<", 5), name="f0")]
+    eddy = Eddy(ops, output_sources={"S"}, policy=FixedPolicy(["f0"]))
+    sink = CollectingSink("sink")
+    f = Fjord()
+    f.connect(ListFeed(_rows(20)), eddy)
+    f.connect(eddy, sink)
+    f.run_until_finished()
+    assert tracing.TRACER.started == 20
+    assert tracing.TRACER.completed == 5   # a in 0..4 pass; rest dropped
+
+
+# ------------------------------------------------------------ exporters
+
+def test_export_jsonl_one_object_per_line():
+    tracing.configure_tracing(1)
+    _run_traced_pipeline(6)
+    text = tracing.TRACER.export_jsonl()
+    lines = text.splitlines()
+    assert len(lines) == 6
+    for line in lines:
+        d = json.loads(line)
+        assert d["finished"] is True
+        assert d["hops"][0]["kind"] == "ingress"
+        assert d["latency_s"] >= 0.0
+
+
+def test_export_chrome_trace_events():
+    tracing.configure_tracing(1)
+    _run_traced_pipeline(4)
+    doc = json.loads(tracing.TRACER.export_chrome())
+    events = doc["traceEvents"]
+    assert events and all(e["ph"] == "X" for e in events)
+    assert all(e["dur"] >= 0.0 and e["ts"] >= 0.0 for e in events)
+    # One summary span per finished trace.
+    assert sum(1 for e in events if e["cat"] == "trace") == 4
+
+
+def test_export_empty_ring():
+    assert tracing.TRACER.export_jsonl() == ""
+    assert json.loads(tracing.TRACER.export_chrome()) == {
+        "traceEvents": [], "displayTimeUnit": "ms"}
+
+
+# ------------------------------------------------------------ watermarks
+
+def test_finish_publishes_latency_watermarks():
+    tracing.configure_tracing(1)
+    _run_traced_pipeline(8)
+    from repro.monitor.telemetry import get_registry
+    names = {s.name for s in get_registry().snapshot().samples}
+    assert "tcq_trace_e2e_latency_seconds" in names
+    assert "tcq_trace_traces_total" in names
+    assert "tcq_trace_hop_seconds" in names
+    assert "tcq_trace_hops_total" in names
+    lat = tracing.latency_by_query()
+    assert lat["sink"]["count"] == 8.0
+    assert lat["sink"]["p95"] >= lat["sink"]["p50"] >= 0.0
+
+
+def test_exact_percentiles_nearest_rank():
+    values = [float(i) for i in range(1, 101)]
+    pct = tracing.exact_percentiles(values)
+    assert pct[0.5] == 50.0
+    assert pct[0.95] == 95.0
+    assert pct[0.99] == 99.0
+    assert tracing.exact_percentiles([]) == {0.5: 0.0, 0.95: 0.0,
+                                             0.99: 0.0}
+
+
+def test_histogram_percentiles_interpolates():
+    class FakeSample:
+        count = 100
+        buckets = [(0.1, 50), (1.0, 100), (float("inf"), 100)]
+    pct = tracing.histogram_percentiles(FakeSample())
+    assert pct[0.5] == pytest.approx(0.1)
+    assert 0.1 < pct[0.95] <= 1.0
+    empty = type("E", (), {"count": 0, "buckets": []})()
+    assert tracing.histogram_percentiles(empty) == {0.5: 0.0, 0.95: 0.0,
+                                                    0.99: 0.0}
