@@ -1,0 +1,37 @@
+"""tcqcheck: static analysis for the TelegraphCQ reproduction.
+
+Two targets share one diagnostic vocabulary (:mod:`repro.analysis.report`):
+
+* the **plan verifier** (:mod:`repro.analysis.plan_check`) runs at query
+  admission — contradictory predicates, impossible equality chains,
+  unpaired joins, dead windows, and shared-dataflow capacity hazards are
+  caught *before* a query joins the shared eddy;
+* the **invariant linter** (:mod:`repro.analysis.lint`) walks this
+  codebase's own sources for conventions the machinery relies on —
+  batch/per-tuple parity, telemetry naming, clock discipline,
+  Schedulable conformance, bounded-buffer discipline.
+
+Command line: ``python -m repro.analysis --self`` (lint the shipped
+tree; the tier-1 gate), ``--codes`` (the diagnostic table), ``--query
+'SELECT ...'`` (plan-check a query against an empty catalog), or any
+list of paths to lint.
+"""
+
+from repro.analysis.lint import EXEMPT_TAGS, lint_paths, lint_source
+from repro.analysis.plan_check import (AdmissionContext, check_admission,
+                                       check_compiled, check_fjord,
+                                       check_flow_graph, check_join_graph,
+                                       check_predicate, check_query,
+                                       check_spec, check_windows)
+from repro.analysis.report import (CODES, Diagnostic, DiagnosticReport,
+                                   ERROR, LINT, PlanCheckWarning, WARNING,
+                                   render_codes_table, severity_of)
+
+__all__ = [
+    "AdmissionContext", "CODES", "Diagnostic", "DiagnosticReport",
+    "ERROR", "EXEMPT_TAGS", "LINT", "PlanCheckWarning", "WARNING",
+    "check_admission", "check_compiled", "check_fjord", "check_flow_graph",
+    "check_join_graph", "check_predicate", "check_query", "check_spec",
+    "check_windows", "lint_paths", "lint_source", "render_codes_table",
+    "severity_of",
+]

@@ -1,0 +1,76 @@
+"""Command-line front end for tcqcheck.
+
+Exit status is the number of findings capped at 125 (so shells see a
+truthy failure), 0 when clean::
+
+    python -m repro.analysis --self          # lint the shipped tree
+    python -m repro.analysis src/ tools/x.py # lint arbitrary paths
+    python -m repro.analysis --codes         # print the code table
+    python -m repro.analysis --query "SELECT * FROM s WHERE x > 5 AND x < 3"
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.plan_check import check_spec
+from repro.analysis.report import Diagnostic, render_codes_table
+
+
+def _self_root() -> str:
+    """The shipped package tree (the directory holding this package's
+    parent, i.e. ``src/repro``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="tcqcheck: plan verifier + codebase invariant linter")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--self", dest="lint_self", action="store_true",
+                        help="lint the installed repro package tree")
+    parser.add_argument("--codes", action="store_true",
+                        help="print the diagnostic code table and exit")
+    parser.add_argument("--query", metavar="SQL",
+                        help="plan-check one query string (no catalog; "
+                             "spec-level checks only)")
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        print(render_codes_table())
+        return 0
+
+    findings: List[Diagnostic] = []
+    if args.query:
+        from repro.query.parser import parse
+        from repro.errors import ParseError
+        try:
+            findings.extend(check_spec(parse(args.query)))
+        except ParseError as exc:
+            print(f"TCQ100 error: {exc}")
+            return 1
+    paths = list(args.paths)
+    if args.lint_self:
+        paths.append(_self_root())
+    if paths:
+        findings.extend(lint_paths(paths))
+    elif not args.query:
+        parser.error("nothing to do: pass paths, --self, --codes, "
+                     "or --query")
+
+    for d in findings:
+        print(d.render())
+    n = len(findings)
+    print(f"{n} finding{'s' if n != 1 else ''}")
+    return min(n, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Commands (each statement ends with ``;``):
     SELECT ...;                 -- snapshot results print immediately;
                                 -- continuous/windowed queries get a
                                 -- cursor id
+    CHECK SELECT ...;           -- static plan verification only: print
+                                -- diagnostics, submit nothing
     FETCH n;                    -- drain cursor n
     CANCEL n;                   -- cancel continuous cursor n
     EXPLAIN [ANALYZE] n;        -- de-facto plan behind cursor n
@@ -70,6 +72,34 @@ def _format_rows(rows: List[Tuple], limit: int = 50) -> str:
     if len(rows) > limit:
         lines.append(f"... ({len(rows) - limit} more)")
     return "\n".join(lines)
+
+
+def _split_statements(text: str):
+    """Split a buffer into complete ';'-terminated statements plus the
+    unterminated remainder.
+
+    Semicolons nested in parentheses or braces (the windowed for-loop:
+    ``for (t = 1; t <= N; t++) { WindowIs(...); }``) or inside string
+    literals do not terminate a statement, so windowed queries work
+    through the shell."""
+    statements: List[str] = []
+    start = 0
+    depth = 0
+    quote = ""
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "{(":
+            depth += 1
+        elif ch in "})":
+            depth = max(0, depth - 1)
+        elif ch == ";" and depth == 0:
+            statements.append(text[start:i])
+            start = i + 1
+    return statements, text[start:]
 
 
 class TelegraphShell:
@@ -128,6 +158,8 @@ class TelegraphShell:
             return self._explain(statement)
         if upper.startswith("TRACE"):
             return self._trace(statement)
+        if upper.startswith("CHECK"):
+            return self._check(statement)
         if upper.startswith("SELECT"):
             return self._select(statement)
         return f"error: unrecognised statement {statement.split()[0]!r}"
@@ -184,6 +216,17 @@ class TelegraphShell:
         return "pushed"
 
     # -- queries ---------------------------------------------------------------
+    def _check(self, statement: str) -> str:
+        """``CHECK <SELECT ...>``: run the static plan verifier and print
+        the full diagnostic report without submitting the query."""
+        from repro.analysis.plan_check import check_query
+        query = statement[len("CHECK"):].strip()
+        if not query:
+            raise TelegraphError("usage: CHECK <SELECT ...>;")
+        report = check_query(query, self.server.catalog,
+                             self.server._admission_context())
+        return report.render()
+
     def _select(self, statement: str) -> str:
         cursor = self.server.submit(statement)
         if cursor.kind == "snapshot":
@@ -321,7 +364,8 @@ class TelegraphShell:
     def run_script(self, text: str) -> List[str]:
         """Execute every ';'-terminated statement; returns responses."""
         out = []
-        for statement in text.split(";"):
+        statements, _rest = _split_statements(text)
+        for statement in statements:
             if statement.strip():
                 out.append(self.execute(statement + ";"))
             if self.done:
@@ -340,11 +384,13 @@ class TelegraphShell:
             if not line:
                 break
             buffer += line
-            while ";" in buffer:
-                statement, _sep, buffer = buffer.partition(";")
+            statements, buffer = _split_statements(buffer)
+            for statement in statements:
                 response = self.execute(statement + ";")
                 if response:
                     stdout.write(response + "\n")
+                if self.done:
+                    return
 
 
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover

@@ -27,11 +27,13 @@ import itertools
 import warnings
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple as TypingTuple, Union)
 
+from repro.analysis.plan_check import AdmissionContext, check_compiled
+from repro.analysis.report import Diagnostic, PlanCheckWarning
 from repro.core.cacq import CACQEngine, ContinuousQuery
 from repro.core.executor import DispatchUnit, Executor
 from repro.core.tuples import Schema, Tuple
 from repro.core.windows import HistoricalStore
-from repro.errors import ExecutionError, QueryError
+from repro.errors import ExecutionError, PlanCheckError, QueryError
 from repro.fjords.queues import EMPTY, PushQueue
 from repro.monitor.telemetry import get_registry
 import repro.monitor.tracing as tracing
@@ -75,6 +77,9 @@ class Cursor:
         #: set for continuous cursors: the underlying CACQ query.
         self.continuous_query: Optional[ContinuousQuery] = None
         self.compiled: Optional[CompiledQuery] = None
+        #: plan-verifier findings recorded at admission (warnings, or
+        #: everything when admitted with allow_unsafe=True).
+        self.diagnostics: List["Diagnostic"] = []
         self._server = server
         #: set for windowed cursors: the incremental execution state.
         self._windowed_state: Optional["_WindowedQueryState"] = None
@@ -351,16 +356,36 @@ class TelegraphCQServer:
     # -- the FrontEnd role ---------------------------------------------------------
     def submit(self, query: Union[str, QuerySpec], client: str = "default",
                on_result: Optional[Callable[[Tuple], None]] = None,
-               env: Optional[Dict[str, int]] = None) -> Cursor:
-        """Parse, optimize, and fold the query into the running system.
+               env: Optional[Dict[str, int]] = None,
+               allow_unsafe: bool = False) -> Cursor:
+        """Parse, optimize, verify, and fold the query into the running
+        system.
 
         ``env`` binds free window variables; ``ST`` defaults to the
         current global clock + 1 (the query's start time).
+
+        The static plan verifier (:mod:`repro.analysis.plan_check`) runs
+        before admission: errors (``TCQ1xx``) raise
+        :class:`~repro.errors.PlanCheckError`, warnings (``TCQ2xx``) are
+        issued as :class:`~repro.analysis.report.PlanCheckWarning` and
+        kept on ``cursor.diagnostics``.  ``allow_unsafe=True`` admits
+        the query anyway (diagnostics still reported via the warning).
         """
         spec = parse(query) if isinstance(query, str) else query
         compiled = compile_query(spec, self.catalog)
+        report = check_compiled(compiled, self.catalog,
+                                self._admission_context())
+        if report.errors and not allow_unsafe:
+            raise PlanCheckError(
+                "; ".join(f"{d.code}: {d.message}" for d in report.errors),
+                diagnostics=report.diagnostics)
+        for diag in (report.diagnostics if allow_unsafe
+                     else report.warnings):
+            warnings.warn(f"{diag.code}: {diag.message}", PlanCheckWarning,
+                          stacklevel=2)
         cursor = self._open_cursor(compiled.kind, client, on_result)
         cursor.compiled = compiled
+        cursor.diagnostics = list(report.diagnostics)
         if compiled.kind == "snapshot":
             self._run_snapshot(compiled, cursor)
         elif compiled.kind == "continuous":
@@ -368,6 +393,15 @@ class TelegraphCQServer:
         else:
             self._register_windowed(compiled, cursor, env)
         return cursor
+
+    def _admission_context(self) -> AdmissionContext:
+        """Snapshot of the shared-engine landscape for the plan
+        verifier's cross-query checks (TCQ204/TCQ205)."""
+        classes = [frozenset(engine.schemas) for engine in
+                   self._cacq.values()]
+        counts = [len(engine.queries) for engine in self._cacq.values()]
+        return AdmissionContext(footprint_classes=classes,
+                                class_query_counts=counts)
 
     def _open_cursor(self, kind: str, client: str,
                      on_result: Optional[Callable[[Tuple], None]]) -> Cursor:

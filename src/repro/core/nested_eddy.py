@@ -17,10 +17,11 @@ overhead-scoping argument, measured by experiment X6.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import Tuple as TypingTuple
 
 from repro.core.eddy import Eddy, EddyOperator, HandleResult
-from repro.core.tuples import Tuple
+from repro.core.tuples import Tuple, TupleBatch
 from repro.errors import PlanError
 
 
@@ -68,6 +69,52 @@ class SubEddyOperator(EddyOperator):
             out.done = 0
         self._observe(emitted_self or bool(extra))
         return HandleResult(outputs=extra, passed=emitted_self)
+
+    def handle_batch(self, batch: TupleBatch) -> \
+            "TypingTuple[Optional[TupleBatch], Sequence[Tuple]]":
+        """Vectorized boundary crossing: the whole batch gets a fresh
+        done-bitmap scope and rides the inner eddy's own batch router.
+
+        Semantics match :meth:`handle` row by row: survivors are the
+        input rows the inner eddy emitted; composites enter the outer
+        scope with a cleared bitmap; selectivity observes one outcome
+        per input row (emitted, or credited with a composite carrying
+        its base ids)."""
+        rows = batch.materialize()
+        outer_done = [t.done for t in rows]
+        for t in rows:
+            t.done = 0
+        try:
+            emitted = self.inner.process_batch(batch, 0)
+        finally:
+            for t, done in zip(rows, outer_done):
+                t.done = done
+        flat: List[Tuple] = []
+        for item in emitted:
+            if isinstance(item, TupleBatch):
+                flat.extend(item.materialize())
+            else:
+                flat.append(item)
+        row_ids = {id(t) for t in rows}
+        emitted_ids = {id(t) for t in flat}
+        extra = [out for out in flat if id(out) not in row_ids]
+        for out in extra:
+            out.done = 0
+        extra_bases = [out.base_id_set() for out in extra]
+        mask = []
+        for t in rows:
+            passed = id(t) in emitted_ids
+            if not passed and extra_bases:
+                base = t.base_id_set()
+                passed = any(base <= b for b in extra_bases)
+            mask.append(passed)
+        self._observe_batch(mask)
+        survivors = [t for t in rows if id(t) in emitted_ids]
+        if len(survivors) == len(rows):
+            return batch, extra
+        if not survivors:
+            return None, extra
+        return TupleBatch.from_tuples(survivors, schema=batch.schema), extra
 
     def decision_count(self) -> int:
         return self.inner.routing_decisions

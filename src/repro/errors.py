@@ -37,6 +37,18 @@ class ParseError(QueryError):
         super().__init__(message)
 
 
+class PlanCheckError(QueryError):
+    """The static plan verifier rejected the query at admission.
+
+    Carries the full diagnostic list so clients can render carets into
+    the query text; ``submit(..., allow_unsafe=True)`` bypasses.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class PlanError(TelegraphError):
     """A dataflow graph was assembled inconsistently: dangling ports,
     cycles where none are allowed, or modules wired to the wrong arity."""

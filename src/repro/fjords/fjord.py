@@ -84,6 +84,17 @@ class Fjord:
         for m in self.modules:
             m._require_wired()
 
+    def check(self):
+        """Static reachability over the wiring: every module must be
+        reachable from an ingress and reach an egress (``TCQ104``).
+
+        Returns a :class:`repro.analysis.report.DiagnosticReport`;
+        opt-in (``run`` does not call it) because partially-wired
+        graphs are legal while under construction."""
+        from repro.analysis.plan_check import check_fjord
+        from repro.analysis.report import DiagnosticReport
+        return DiagnosticReport(check_fjord(self))
+
     # -- the scheduler -----------------------------------------------------
     @property
     def scheduler(self) -> Scheduler:

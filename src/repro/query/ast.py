@@ -9,8 +9,11 @@ loop variable and named constants (``ST``), compiled to closures by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple as TypingTuple
+
+#: "No span" sentinel for nodes built programmatically rather than parsed.
+NO_SPAN: TypingTuple[int, int] = (-1, -1)
 
 from repro.errors import QueryError
 from repro.query.predicates import Predicate
@@ -129,6 +132,9 @@ class FromSource:
 
     name: str
     alias: str = ""
+    #: Character span of the reference in the query text.
+    span: TypingTuple[int, int] = field(default=NO_SPAN, compare=False,
+                                        repr=False)
 
     @property
     def binding(self) -> str:
@@ -142,6 +148,9 @@ class WindowClause:
     stream: str
     left: Expr
     right: Expr
+    #: Character span of the WindowIs statement in the query text.
+    span: TypingTuple[int, int] = field(default=NO_SPAN, compare=False,
+                                        repr=False)
 
 
 @dataclass(frozen=True)
@@ -155,6 +164,9 @@ class ForLoopClause:
     #: update: (op, operand expr) where op in {"+=", "-=", "="}
     update: TypingTuple[str, Expr]
     windows: TypingTuple[WindowClause, ...]
+    #: Character span of the whole for-loop in the query text.
+    span: TypingTuple[int, int] = field(default=NO_SPAN, compare=False,
+                                        repr=False)
 
 
 @dataclass(frozen=True)

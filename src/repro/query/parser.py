@@ -69,6 +69,13 @@ class Parser:
                              token.position, self.text)
         return token
 
+    def _prev_end(self) -> int:
+        """End offset (exclusive) of the most recently consumed token;
+        string literals account for their surrounding quotes."""
+        token = self.tokens[max(0, self.pos - 1)]
+        extra = 2 if token.kind == "string" else 0
+        return token.position + len(token.text) + extra
+
     # -- grammar ------------------------------------------------------------
     def parse(self) -> QuerySpec:
         self._expect_keyword("select")
@@ -175,6 +182,7 @@ class Parser:
         return sources
 
     def _from_source(self) -> FromSource:
+        start = self._peek().position
         name = self._expect_ident().text
         alias = ""
         if self._peek().is_keyword("as"):
@@ -182,7 +190,7 @@ class Parser:
             alias = self._expect_ident().text
         elif self._peek().kind == "ident":
             alias = self._next().text
-        return FromSource(name, alias)
+        return FromSource(name, alias, span=(start, self._prev_end()))
 
     # -- predicates --------------------------------------------------------
     def _or_expr(self) -> Predicate:
@@ -211,6 +219,7 @@ class Parser:
         return self._comparison()
 
     def _comparison(self) -> Predicate:
+        start = self._peek().position
         left_kind, left = self._operand()
         op_token = self._next()
         if op_token.kind != "op" or op_token.text not in _COMPARE_OPS:
@@ -219,13 +228,14 @@ class Parser:
                 op_token.position, self.text)
         op = op_token.text
         right_kind, right = self._operand()
+        span = (start, self._prev_end())
         if left_kind == "column" and right_kind == "column":
-            return ColumnComparison(left, op, right)
+            return ColumnComparison(left, op, right, span=span)
         if left_kind == "column":
-            return Comparison(left, op, right)
+            return Comparison(left, op, right, span=span)
         if right_kind == "column":
             from repro.query.predicates import FLIPPED
-            return Comparison(right, FLIPPED[op], left)
+            return Comparison(right, FLIPPED[op], left, span=span)
         raise ParseError("comparison between two literals",
                          op_token.position, self.text)
 
@@ -250,6 +260,7 @@ class Parser:
 
     # -- the for-loop window clause ---------------------------------------------
     def _for_loop(self) -> ForLoopClause:
+        start = self._peek().position
         self._expect_keyword("for")
         self._expect_op("(")
         variable = "t"
@@ -279,7 +290,8 @@ class Parser:
                              self._peek().position, self.text)
         return ForLoopClause(variable, initial,
                              (cond_left, cmp_token.text, cond_right),
-                             update, tuple(windows))
+                             update, tuple(windows),
+                             span=(start, self._prev_end()))
 
     def _loop_update(self, variable: str) -> TypingTuple[str, Expr]:
         name = self._expect_ident().text
@@ -302,6 +314,7 @@ class Parser:
                          token.position, self.text)
 
     def _window_is(self) -> WindowClause:
+        start = self._peek().position
         self._expect_keyword("windowis")
         self._expect_op("(")
         stream = self._expect_ident().text
@@ -311,7 +324,8 @@ class Parser:
         right = self._expr()
         self._expect_op(")")
         self._expect_op(";")
-        return WindowClause(stream, left, right)
+        return WindowClause(stream, left, right,
+                            span=(start, self._prev_end()))
 
     # -- arithmetic expressions -------------------------------------------------
     def _expr(self) -> Expr:

@@ -10,7 +10,8 @@ operators, and the decomposition.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Dict, FrozenSet, List, Sequence, Set, TYPE_CHECKING
+from typing import (Any, Callable, Dict, FrozenSet, List, Optional, Sequence,
+                    Set, Tuple as TypingTuple, TYPE_CHECKING)
 
 from repro.core.tuples import Tuple
 from repro.errors import QueryError
@@ -167,14 +168,19 @@ class Comparison(Predicate):
     These are the predicates grouped filters index (Section 3.1).
     """
 
-    __slots__ = ("column", "op", "value", "_fn")
+    __slots__ = ("column", "op", "value", "_fn", "span")
 
-    def __init__(self, column: str, op: str, value: Any):
+    def __init__(self, column: str, op: str, value: Any,
+                 span: Optional[TypingTuple[int, int]] = None):
         if op not in OPS:
             raise QueryError(f"unknown comparison operator {op!r}")
         self.column = column
         self.op = "==" if op == "=" else ("!=" if op == "<>" else op)
         self.value = value
+        #: Character span back into the query text this factor was parsed
+        #: from (None when built programmatically); excluded from eq/hash
+        #: so grouped filters still dedupe identical factors.
+        self.span = span
         # Operator function resolved exactly once (from the normalised
         # symbol); every evaluation path — matches, evaluate, and the
         # compiled batch kernel — dispatches through this bound callable.
@@ -225,7 +231,8 @@ class Comparison(Predicate):
         return {self.column}
 
     def negate(self) -> "Comparison":
-        return Comparison(self.column, NEGATED[self.op], self.value)
+        return Comparison(self.column, NEGATED[self.op], self.value,
+                          span=self.span)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Comparison):
@@ -256,14 +263,16 @@ class ColumnComparison(Predicate):
     filters.
     """
 
-    __slots__ = ("left", "op", "right", "_fn")
+    __slots__ = ("left", "op", "right", "_fn", "span")
 
-    def __init__(self, left: str, op: str, right: str):
+    def __init__(self, left: str, op: str, right: str,
+                 span: Optional[TypingTuple[int, int]] = None):
         if op not in OPS:
             raise QueryError(f"unknown comparison operator {op!r}")
         self.left = left
         self.op = "==" if op == "=" else ("!=" if op == "<>" else op)
         self.right = right
+        self.span = span
         self._fn = OPS[op]
 
     def matches(self, t: Tuple) -> bool:
@@ -475,10 +484,11 @@ def rewrite_columns(predicate: Predicate, resolve) -> Predicate:
     """
     if isinstance(predicate, Comparison):
         return Comparison(resolve(predicate.column), predicate.op,
-                          predicate.value)
+                          predicate.value, span=predicate.span)
     if isinstance(predicate, ColumnComparison):
         return ColumnComparison(resolve(predicate.left), predicate.op,
-                                resolve(predicate.right))
+                                resolve(predicate.right),
+                                span=predicate.span)
     if isinstance(predicate, And):
         return And(*(rewrite_columns(p, resolve) for p in predicate.parts))
     if isinstance(predicate, Or):

@@ -1,0 +1,55 @@
+"""Tier-1 gate for the codebase invariant linter.
+
+``python -m repro.analysis --self`` must exit 0 on the shipped tree
+(the invariants hold), and must exit non-zero when a violation is
+seeded — proving the gate actually bites.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def _run(*args, cwd=REPO_ROOT):
+    env = {"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd, env=env, capture_output=True, text=True)
+
+
+def test_self_lint_is_clean():
+    proc = _run("--self")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_seeded_clock_violation_fails(tmp_path):
+    bad = tmp_path / "core"
+    bad.mkdir()
+    (bad / "offender.py").write_text(textwrap.dedent("""\
+        import time
+
+        def stamp():
+            return time.time()
+    """))
+    proc = _run(str(bad))
+    assert proc.returncode != 0
+    assert "TCQ303" in proc.stdout
+
+
+def test_codes_table_prints():
+    proc = _run("--codes")
+    assert proc.returncode == 0
+    for code in ("TCQ101", "TCQ206", "TCQ305"):
+        assert code in proc.stdout
+
+
+def test_query_mode_flags_contradiction():
+    proc = _run("--query", "SELECT * FROM s WHERE x > 5 AND x < 3")
+    assert proc.returncode == 1
+    assert "TCQ101" in proc.stdout
+    assert "^" in proc.stdout          # caret rendering present

@@ -1,0 +1,242 @@
+"""The codebase invariant linter: one positive and one negative case per
+rule, exemption comments, and the cross-module hierarchy map."""
+
+import textwrap
+
+from repro.analysis.lint import lint_paths, lint_source
+
+# A minimal stand-in for core/eddy.py so the hierarchy map can resolve
+# EddyOperator without importing anything.
+EDDY_BASE = textwrap.dedent("""\
+    class EddyOperator:
+        def handle(self, t): ...
+        def handle_batch(self, batch): ...
+""")
+
+
+def codes(src, **kw):
+    return [d.code for d in lint_source(textwrap.dedent(src), **kw)]
+
+
+# -- TCQ301 batch parity -------------------------------------------------------
+
+def test_batch_parity_flags_missing_handle_batch():
+    src = EDDY_BASE + textwrap.dedent("""\
+        class MyOp(EddyOperator):
+            def handle(self, t):
+                return None
+    """)
+    assert codes(src) == ["TCQ301"]
+
+
+def test_batch_parity_satisfied_by_override():
+    src = EDDY_BASE + textwrap.dedent("""\
+        class MyOp(EddyOperator):
+            def handle(self, t):
+                return None
+
+            def handle_batch(self, batch):
+                return batch, ()
+    """)
+    assert codes(src) == []
+
+
+def test_batch_parity_cross_module_hierarchy():
+    # The subclass lives in another "file"; the base arrives via
+    # extra_sources, exactly how lint_paths resolves across modules.
+    src = textwrap.dedent("""\
+        class MyOp(Intermediate):
+            def handle(self, t):
+                return None
+    """)
+    extra = {"base.py": EDDY_BASE + "class Intermediate(EddyOperator): ..."}
+    assert codes(src, extra_sources=extra) == ["TCQ301"]
+
+
+def test_batch_parity_exemption_comment():
+    src = EDDY_BASE + textwrap.dedent("""\
+        class MyOp(EddyOperator):   # tcqcheck: allow-no-batch
+            def handle(self, t):
+                return None
+    """)
+    assert codes(src) == []
+
+
+def test_non_eddy_class_not_flagged():
+    src = "class Unrelated:\n    def handle(self, t): ...\n"
+    assert codes(src) == []
+
+
+# -- TCQ302 telemetry naming ---------------------------------------------------
+
+def test_metric_prefix_enforced():
+    src = 'reg.counter("my_events_total", "help")\n'
+    assert codes(src) == ["TCQ302"]
+
+
+def test_metric_prefix_ok():
+    src = 'reg.counter("tcq_events_total", "help")\n'
+    assert codes(src) == []
+
+
+def test_metric_kind_conflict():
+    src = ('reg.counter("tcq_x", "a")\n'
+           'reg.gauge("tcq_x", "b")\n')
+    assert codes(src) == ["TCQ302"]
+
+
+def test_metric_same_kind_reregistration_ok():
+    src = ('reg.counter("tcq_x", "a")\n'
+           'reg.counter("tcq_x", "a")\n')
+    assert codes(src) == []
+
+
+def test_metric_exemption():
+    src = 'reg.counter("legacy_total", "h")  # tcqcheck: allow-metric-name\n'
+    assert codes(src) == []
+
+
+# -- TCQ303 clock discipline ---------------------------------------------------
+
+def test_clock_attribute_flagged():
+    assert codes("import time\nt0 = time.monotonic()\n") == ["TCQ303"]
+
+
+def test_clock_from_import_flagged():
+    assert codes("from time import perf_counter\n") == ["TCQ303"]
+
+
+def test_clock_sleep_is_fine():
+    assert codes("import time\ntime.sleep(0.1)\n") == []
+
+
+def test_clock_allowed_in_clock_module():
+    src = "import time\nnow = time.perf_counter\n"
+    assert lint_source(src, file="src/repro/monitor/clock.py") == []
+
+
+def test_clock_exemption_comment():
+    src = "import time\nt = time.time()  # tcqcheck: allow-clock\n"
+    assert codes(src) == []
+
+
+# -- TCQ304 Schedulable conformance --------------------------------------------
+
+def test_run_once_without_protocol_flagged():
+    src = textwrap.dedent("""\
+        class Half:
+            def run_once(self, quantum=None):
+                return None
+    """)
+    assert codes(src) == ["TCQ304"]
+
+
+def test_run_once_with_methods_ok():
+    src = textwrap.dedent("""\
+        class Full:
+            def run_once(self, quantum=None): ...
+            def ready(self): ...
+            @property
+            def finished(self): ...
+    """)
+    assert codes(src) == []
+
+
+def test_run_once_with_instance_attr_ok():
+    src = textwrap.dedent("""\
+        class Full:
+            def __init__(self):
+                self.finished = False
+            def ready(self): ...
+            def run_once(self, quantum=None): ...
+    """)
+    assert codes(src) == []
+
+
+def test_run_once_inherited_protocol_ok():
+    src = textwrap.dedent("""\
+        class Unit(Schedulable):
+            def run_once(self, quantum=None): ...
+    """)
+    extra = {"protocol.py": textwrap.dedent("""\
+        class Schedulable:
+            def ready(self): ...
+            @property
+            def finished(self): ...
+    """)}
+    assert codes(src, extra_sources=extra) == []
+
+
+def test_run_once_exemption():
+    src = textwrap.dedent("""\
+        class Half:   # tcqcheck: allow-not-schedulable
+            def run_once(self, quantum=None): ...
+    """)
+    assert codes(src) == []
+
+
+# -- TCQ305 bounded-ring discipline --------------------------------------------
+
+def test_bounded_class_with_pure_append_flagged():
+    src = textwrap.dedent("""\
+        class Ring:
+            \"\"\"A bounded history buffer.\"\"\"
+            def __init__(self):
+                self.items = []
+            def push(self, x):
+                self.items.append(x)
+    """)
+    assert codes(src) == ["TCQ305"]
+
+
+def test_bounded_class_with_trim_ok():
+    src = textwrap.dedent("""\
+        class Ring:
+            \"\"\"A bounded history buffer.\"\"\"
+            def __init__(self):
+                self.items = []
+            def push(self, x):
+                self.items.append(x)
+                if len(self.items) > 64:
+                    self.items.pop(0)
+    """)
+    assert codes(src) == []
+
+
+def test_unbounded_docstring_not_flagged():
+    src = textwrap.dedent("""\
+        class Log:
+            \"\"\"An unbounded append-only log.\"\"\"
+            def __init__(self):
+                self.items = []
+            def push(self, x):
+                self.items.append(x)
+    """)
+    assert codes(src) == []
+
+
+def test_bounded_exemption():
+    src = textwrap.dedent("""\
+        class Ring:
+            \"\"\"Bounded by construction upstream.\"\"\"
+            def __init__(self):
+                self.items = []
+            def push(self, x):
+                self.items.append(x)  # tcqcheck: allow-unbounded
+    """)
+    assert codes(src) == []
+
+
+# -- whole-tree invariants -----------------------------------------------------
+
+def test_shipped_tree_is_clean():
+    assert lint_paths(["src/repro"]) == []
+
+
+def test_lint_paths_reports_file_and_line(tmp_path):
+    mod = tmp_path / "bad.py"
+    mod.write_text("import time\nx = time.time()\n")
+    diags = lint_paths([str(tmp_path)])
+    assert [d.code for d in diags] == ["TCQ303"]
+    assert diags[0].file.endswith("bad.py")
+    assert diags[0].line == 2
