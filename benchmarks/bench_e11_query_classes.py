@@ -16,7 +16,7 @@ Checked:
 
 import pytest
 
-from repro.core.engine import TelegraphCQServer
+from repro.client import LocalConnection
 from repro.core.tuples import Schema
 from repro.ingress.generators import (CLOSING_STOCK_PRICES,
                                       SENSOR_READINGS,
@@ -27,7 +27,7 @@ from benchmarks.conftest import print_table
 
 
 def build_server(n_per_class):
-    srv = TelegraphCQServer()
+    srv = LocalConnection().server
     srv.create_stream(CLOSING_STOCK_PRICES)
     srv.create_stream(SENSOR_READINGS)
     stock_cursors = [

@@ -12,7 +12,7 @@ membership flips at known days).
 
 import pytest
 
-from repro.core.engine import TelegraphCQServer
+from repro.client import LocalConnection
 from repro.ingress.generators import CLOSING_STOCK_PRICES
 
 from benchmarks.conftest import print_table
@@ -25,7 +25,7 @@ def price(sym, day):
 
 
 def loaded_server(days=N_DAYS):
-    srv = TelegraphCQServer()
+    srv = LocalConnection().server
     srv.create_stream(CLOSING_STOCK_PRICES)
     for day in range(1, days + 1):
         for sym in ("MSFT", "IBM", "ORCL"):

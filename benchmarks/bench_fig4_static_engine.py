@@ -8,7 +8,7 @@ the results against hand-computed answers.
 
 import pytest
 
-from repro.core.engine import TelegraphCQServer
+from repro.client import LocalConnection
 from repro.core.tuples import Schema
 
 from benchmarks.conftest import print_table
@@ -18,7 +18,7 @@ N_DEPTS = 40
 
 
 def build_server():
-    srv = TelegraphCQServer()
+    srv = LocalConnection().server
     srv.create_table(
         Schema.of("emps", "emp_id", "dept", "salary"),
         [(i, f"d{i % N_DEPTS}", 30_000 + (i * 137) % 90_000)

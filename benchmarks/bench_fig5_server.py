@@ -12,7 +12,7 @@ Claims checked:
 
 import pytest
 
-from repro.core.engine import TelegraphCQServer
+from repro.client import LocalConnection
 from repro.ingress.generators import (CLOSING_STOCK_PRICES,
                                       StockStreamGenerator)
 
@@ -24,7 +24,7 @@ CANCEL_AT = 60
 
 
 def run_dynamic_workload():
-    srv = TelegraphCQServer()
+    srv = LocalConnection().server
     srv.create_stream(CLOSING_STOCK_PRICES)
     feed = StockStreamGenerator(seed=13, start_price=50.0)
     cursors = []

@@ -1,0 +1,152 @@
+"""The network door's price tag: frames/s and submit→first-row latency.
+
+Measures the asyncio service over real loopback sockets at 1, 32, and
+256 concurrent connections, against the in-process
+:class:`LocalConnection` as the no-wire baseline:
+
+* **push throughput** — wire frames per second through the PUSH path
+  (each frame a batch of rows), engine folding included;
+* **submit→first-row p99** — the latency from SUBMIT to the first
+  matching row fetched back, the interactive-use number that suffers
+  first when one pump thread serves many doors.
+
+The point is not that TCP beats a function call (it cannot); the gate
+is that the service stays in the same order of magnitude and that
+latency degrades sub-linearly in connection count — the pump's
+frame-budgeted round-robin is doing its job.
+"""
+
+import asyncio
+import statistics
+import time
+
+import pytest
+
+from repro.client import LocalConnection
+from repro.net.aioclient import AsyncFrameClient
+from repro.net.service import TelegraphCQService
+
+from benchmarks.conftest import print_table, record_result
+
+ROWS_PER_PUSH = 8
+PUSHES_PER_CLIENT = {1: 400, 32: 25, 256: 4}
+LATENCY_SAMPLES = {1: 100, 32: 4, 256: 1}
+
+
+def in_process_baseline():
+    """The same workload with no wire: one LocalConnection."""
+    conn = LocalConnection()
+    conn.create_stream("s", "a", "b")
+    cur = conn.submit("SELECT * FROM s WHERE a >= 0")
+    pushes = 400
+    t0 = time.perf_counter()
+    for i in range(pushes):
+        conn.push_rows("s", [[i, j] for j in range(ROWS_PER_PUSH)])
+    wall = time.perf_counter() - t0
+    lat = []
+    for i in range(100):
+        t1 = time.perf_counter()
+        c = conn.submit(f"SELECT * FROM s WHERE a = {-1 - i}")
+        conn.push("s", -1 - i, 0)
+        rows = c.fetch()
+        lat.append(time.perf_counter() - t1)
+        assert len(rows) == 1
+        c.close()
+    assert len(cur.fetch()) == pushes * ROWS_PER_PUSH
+    conn.close()
+    return pushes / wall, lat
+
+
+async def drive_clients(port, n_clients):
+    clients = [AsyncFrameClient("127.0.0.1", port) for _ in range(n_clients)]
+    await asyncio.gather(*(c.connect(client=f"b{i}")
+                           for i, c in enumerate(clients)))
+    pushes = PUSHES_PER_CLIENT[n_clients]
+
+    async def push_loop(c, base):
+        for i in range(pushes):
+            await c.request("PUSH", stream="s", rows=[
+                [base * 1000 + i, j] for j in range(ROWS_PER_PUSH)])
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(push_loop(c, i) for i, c in enumerate(clients)))
+    push_wall = time.perf_counter() - t0
+
+    samples = LATENCY_SAMPLES[n_clients]
+
+    async def first_row_lat(c, key):
+        t1 = time.perf_counter()
+        sub = await c.request("SUBMIT", query=f"SELECT * FROM s "
+                                              f"WHERE a = {key}")
+        await c.request("PUSH", stream="s", rows=[[key, 0]])
+        rows = (await c.request("FETCH", cursor=sub["cursor"]))["rows"]
+        elapsed = time.perf_counter() - t1
+        assert len(rows) == 1
+        await c.request("CANCEL", cursor=sub["cursor"])
+        return elapsed
+
+    lat = []
+    for s in range(samples):
+        round_lat = await asyncio.gather(*(
+            first_row_lat(c, -(1 + s * n_clients + i))
+            for i, c in enumerate(clients)))
+        lat.extend(round_lat)
+    await asyncio.gather(*(c.close() for c in clients))
+    return n_clients * pushes / push_wall, lat
+
+
+def run_networked(n_clients):
+    async def scenario():
+        service = TelegraphCQService(admin_port=None)
+        await service.start()
+        try:
+            boot = AsyncFrameClient("127.0.0.1", service.port)
+            await boot.connect(client="boot")
+            await boot.request("DDL", action="create_stream", name="s",
+                               columns=["a", "b"])
+            result = await drive_clients(service.port, n_clients)
+            await boot.close()
+            return result
+        finally:
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
+def p99(samples):
+    if len(samples) < 2:
+        return samples[0]
+    return statistics.quantiles(samples, n=100)[-1]
+
+
+@pytest.mark.perf
+@pytest.mark.net
+def test_net_throughput_vs_in_process():
+    base_fps, base_lat = in_process_baseline()
+    rows_table = [("in-process", f"{base_fps:,.0f}",
+                   f"{p99(base_lat) * 1e3:.2f}")]
+    results = {}
+    for n in (1, 32, 256):
+        fps, lat = run_networked(n)
+        results[n] = (fps, lat)
+        rows_table.append((f"{n} conn", f"{fps:,.0f}",
+                           f"{p99(lat) * 1e3:.2f}"))
+    print_table(
+        "NET: framed wire protocol vs in-process "
+        f"({ROWS_PER_PUSH} rows/push frame)",
+        ["clients", "push frames/s", "submit→first-row p99 (ms)"],
+        rows_table)
+
+    record_result(
+        "net", {"rows_per_push": ROWS_PER_PUSH},
+        throughput=results[1][0], wall_clock_s=0.0,
+        frames_per_s={str(n): round(results[n][0], 2) for n in results},
+        p99_submit_to_first_row_ms={
+            str(n): round(p99(results[n][1]) * 1e3, 3) for n in results},
+        in_process_pushes_per_s=round(base_fps, 2),
+        in_process_p99_ms=round(p99(base_lat) * 1e3, 3))
+
+    # Gates: the wire must stay within two orders of magnitude of a
+    # function call, and 256 doors must not collapse the pump.
+    assert results[1][0] > base_fps / 100
+    assert p99(results[256][1]) < 100 * max(p99(results[1][1]), 1e-4)

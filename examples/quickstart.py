@@ -3,44 +3,47 @@
 
 Creates a stream, registers a continuous query, a windowed query, and a
 snapshot query over a static table, then pushes data and reads results —
-the three query kinds of Section 4.2 in one script.
+the three query kinds of Section 4.2 in one script.  Everything goes
+through the unified client API: swap ``connect()`` for
+``connect("tcp://host:port")`` and the same code drives a remote
+service.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Schema, TelegraphCQServer
+from repro.client import connect
 
 
 def main() -> None:
-    server = TelegraphCQServer()
+    conn = connect()
 
     # --- DDL: one stream, one static table -------------------------------
-    server.create_stream(Schema.of("trades", "sym", "price"))
-    server.create_table(
-        Schema.of("companies", "sym", "sector"),
-        [("MSFT", "tech"), ("IBM", "tech"), ("XOM", "energy")])
+    conn.create_stream("trades", "sym", "price")
+    conn.create_table("companies", "sym", "sector",
+                      rows=[("MSFT", "tech"), ("IBM", "tech"),
+                            ("XOM", "energy")])
 
     # --- a continuous query: standing filter over the stream -------------
-    alerts = server.submit("SELECT * FROM trades WHERE price > 100")
+    alerts = conn.submit("SELECT * FROM trades WHERE price > 100")
 
     # --- a windowed query: 3-tick sliding average, the paper's for-loop --
-    averages = server.submit("""
+    averages = conn.submit("""
         SELECT AVG(price) FROM trades
         for (t = 3; t <= 9; t += 3) {
             WindowIs(trades, t - 2, t);
         }""")
 
     # --- a snapshot query over the table (classic one-shot execution) ----
-    tech = server.submit("SELECT sym FROM companies WHERE sector = 'tech'")
+    tech = conn.submit("SELECT sym FROM companies WHERE sector = 'tech'")
     print("snapshot:", [row["sym"] for row in tech.fetch()])
 
     # --- push data; the executor folds it into every live query ----------
     prices = [95.0, 101.5, 98.0, 120.0, 99.0, 97.0, 103.0, 96.0, 94.0, 131.0]
     for i, price in enumerate(prices, start=1):
-        server.push("trades", "MSFT", price, timestamp=i)
-        server.step()                      # one executor scheduling round
-    server.close_stream("trades")
-    server.run_until_quiescent()
+        conn.push("trades", "MSFT", price, timestamp=i)
+        conn.step()                        # one executor scheduling round
+    conn.close_stream("trades")
+    conn.run()
 
     print("alerts (price > 100):",
           [(row["price"], row.timestamp) for row in alerts.fetch()])
@@ -48,9 +51,10 @@ def main() -> None:
         print(f"window ending at t={t}: avg price = "
               f"{rows[0]['avg_price']:.2f}")
 
-    print("\nserver stats:", server.stats()["executor"]["eos"],
+    stats = conn.stats()
+    print("\nserver stats:", stats["executor"]["eos"],
           "execution object(s),",
-          server.stats()["continuous_queries"], "standing quer(ies)")
+          stats["continuous_queries"], "standing quer(ies)")
 
 
 if __name__ == "__main__":

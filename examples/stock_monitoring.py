@@ -11,7 +11,7 @@ random-walk stock feed, and prints each query's sequence of result sets.
 Run:  python examples/stock_monitoring.py
 """
 
-from repro import TelegraphCQServer
+from repro.client import connect
 from repro.ingress.generators import (CLOSING_STOCK_PRICES,
                                       StockStreamGenerator)
 
@@ -59,24 +59,24 @@ EXAMPLE_4_BAND_JOIN = """
 
 
 def main() -> None:
-    server = TelegraphCQServer()
-    server.create_stream(CLOSING_STOCK_PRICES)
+    conn = connect()
+    conn.create_stream(CLOSING_STOCK_PRICES)
 
-    snapshot = server.submit(EXAMPLE_1_SNAPSHOT)
-    landmark = server.submit(EXAMPLE_2_LANDMARK)
+    snapshot = conn.submit(EXAMPLE_1_SNAPSHOT)
+    landmark = conn.submit(EXAMPLE_2_LANDMARK)
     # ST ("start time") binds to the submission instant; pin it so the
     # sliding windows land on populated days.
-    sliding = server.submit(EXAMPLE_3_SLIDING, env={"ST": 5})
-    band = server.submit(EXAMPLE_4_BAND_JOIN, env={"ST": 5})
+    sliding = conn.submit(EXAMPLE_3_SLIDING, env={"ST": 5})
+    band = conn.submit(EXAMPLE_4_BAND_JOIN, env={"ST": 5})
 
     feed = StockStreamGenerator(
         symbols=("MSFT", "IBM", "ORCL", "INTC"), seed=7, start_price=55.0,
         volatility=1.5)
     for t in feed.take(N_DAYS):
-        server.push_tuple("ClosingStockPrices", t)
-        server.step()
-    server.close_stream("ClosingStockPrices")
-    server.run_until_quiescent()
+        conn.push_tuple("ClosingStockPrices", t)
+        conn.step()
+    conn.close_stream("ClosingStockPrices")
+    conn.run()
 
     print("=== Example 1: snapshot (first five days of MSFT) ===")
     for t, rows in snapshot.fetch_windows():

@@ -22,18 +22,24 @@ The package implements the full TelegraphCQ stack in pure Python:
   processing, and a NiagaraCQ-style grouped engine;
 * **monitor** (:mod:`repro.monitor`) — runtime statistics, QoS load
   shedding, and the unified telemetry registry
-  (:mod:`repro.monitor.telemetry`).
+  (:mod:`repro.monitor.telemetry`);
+* **net** (:mod:`repro.net`) — the asyncio network service: a framed
+  wire protocol, streaming cursors with credit backpressure, and an
+  HTTP admin plane;
+* **client** (:mod:`repro.client`) — the unified front door.
+  ``connect()`` returns an in-process connection;
+  ``connect("tcp://host:port")`` returns the same API over the wire.
 
 Quickstart::
 
-    from repro import TelegraphCQServer, Schema
+    from repro.client import connect
 
-    with TelegraphCQServer() as server:
-        server.create_stream(Schema.of("trades", "sym", "price"))
-        cursor = server.submit("SELECT * FROM trades WHERE price > 100")
-        server.push("trades", "MSFT", 101.5)
+    with connect() as conn:
+        conn.create_stream("trades", "sym", "price")
+        cursor = conn.submit("SELECT * FROM trades WHERE price > 100")
+        conn.push("trades", "MSFT", 101.5)
         print(cursor.fetch())
-        print(server.telemetry().to_prometheus())
+        print(conn.telemetry().to_prometheus())
 
 Result retrieval — the blessed triad
 ------------------------------------
@@ -41,19 +47,19 @@ Result retrieval — the blessed triad
 Every :class:`Cursor` supports exactly three retrieval styles; pick one
 per cursor and stick to it:
 
-* **pull** — ``cursor.fetch(limit=...)`` drains buffered results for
-  any query kind (windowed cursors yield rows flattened in window
-  order);
-* **push** — pass ``on_result=callback`` to
-  :meth:`TelegraphCQServer.submit` and every result is delivered as it
-  is produced;
+* **pull** — ``cursor.fetch(limit=...)`` / ``cursor.fetchall()`` /
+  iteration drain buffered results for any query kind (windowed
+  cursors yield rows flattened in window order);
+* **push** — pass ``on_result=callback`` to ``submit`` (in-process
+  connections only) and every result is delivered as it is produced;
 * **sequence of sets** — windowed cursors additionally offer
   ``cursor.fetch_windows()`` returning ``(loop_value, rows)`` pairs
   when window boundaries matter.
 
-Reading the private ``cursor._queue`` directly is deprecated and warns;
-cursors and the server are context managers (``close()`` cancels the
-underlying query / shuts the engine down).
+The three styles behave identically on local and network cursors;
+there is no other read surface.  Cursors, connections, and the server
+are context managers (``close()`` cancels the underlying query / shuts
+the engine down).
 """
 
 from repro.core.adaptivity import AdaptivityController, ControlledEddy

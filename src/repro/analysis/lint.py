@@ -22,7 +22,10 @@ cross-module class map first, then per-file rules) and emits ``TCQ3xx``
 * ``TCQ304`` Schedulable conformance — a class defining ``run_once``
   must provide ``ready`` and ``finished`` (directly or inherited);
 * ``TCQ305`` bounded-ring discipline — a class documented as *bounded*
-  must not grow a list attribute by append alone.
+  must not grow a list attribute by append alone;
+* ``TCQ401`` one front door — ``TelegraphCQServer`` may only be
+  constructed inside :mod:`repro.client` (and the engine module that
+  defines it); everyone else goes through ``repro.client.connect()``.
 
 A finding is suppressed by an exemption comment on the offending line
 (or the ``class``/``def`` line for class-level rules)::
@@ -48,6 +51,7 @@ EXEMPT_TAGS = {
     "TCQ303": "allow-clock",
     "TCQ304": "allow-not-schedulable",
     "TCQ305": "allow-unbounded",
+    "TCQ401": "allow-direct-server",
 }
 
 _CLOCK_NAMES = {"time", "monotonic", "perf_counter", "monotonic_ns",
@@ -358,6 +362,32 @@ def _rule_bounded_rings(tree: ast.Module, file: str,
     return diags
 
 
+def _rule_server_door(tree: ast.Module, file: str,
+                      lines: Sequence[str]) -> List[Diagnostic]:
+    """TCQ401: ``TelegraphCQServer(...)`` construction is confined to
+    repro.client (the unified connect() API) and the defining module."""
+    norm = file.replace(os.sep, "/")
+    if "/client/" in norm or norm.endswith("core/engine.py") or \
+            "/tests/" in norm or norm.rsplit("/", 1)[-1].startswith("test_"):
+        return []
+    diags: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and _base_name(node.func) == "TelegraphCQServer"):
+            continue
+        if _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ401"]):
+            continue
+        diags.append(Diagnostic(
+            "TCQ401",
+            "direct TelegraphCQServer construction bypasses the unified "
+            "client API; engines reached this way are invisible to the "
+            "service and its admin plane",
+            file=file, line=node.lineno,
+            hint="use repro.client.connect() / LocalConnection, or mark "
+                 "the call '# tcqcheck: allow-direct-server'"))
+    return diags
+
+
 # -- drivers -------------------------------------------------------------------
 
 def _parse_file(path: str) -> Optional[Tuple[ast.Module, List[str]]]:
@@ -404,6 +434,7 @@ def lint_paths(paths: Iterable[str]) -> List[Diagnostic]:
         diags.extend(_rule_clock_discipline(tree, f, lines))
         diags.extend(_rule_schedulable(tree, f, lines, hierarchy))
         diags.extend(_rule_bounded_rings(tree, f, lines))
+        diags.extend(_rule_server_door(tree, f, lines))
     return diags
 
 
@@ -426,4 +457,5 @@ def lint_source(source: str, file: str = "<string>",
     diags.extend(_rule_clock_discipline(tree, file, lines))
     diags.extend(_rule_schedulable(tree, file, lines, hierarchy))
     diags.extend(_rule_bounded_rings(tree, file, lines))
+    diags.extend(_rule_server_door(tree, file, lines))
     return diags

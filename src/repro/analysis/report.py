@@ -61,6 +61,8 @@ CODES: Dict[str, str] = {
               "(Schedulable conformance)",
     "TCQ305": "unbounded list append in a class documented as bounded "
               "(bounded-ring discipline)",
+    "TCQ401": "direct TelegraphCQServer construction outside "
+              "repro.client (the unified connect() API is the only door)",
 }
 
 
@@ -97,6 +99,26 @@ class Diagnostic:
     @property
     def severity(self) -> str:
         return severity_of(self.code)
+
+    # -- wire serialization ------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict that :meth:`from_dict` rebuilds losslessly —
+        spans and source text included, so a client-side render of a
+        round-tripped diagnostic is byte-identical to the server's."""
+        return {"code": self.code, "message": self.message,
+                "span": list(self.span), "source": self.source,
+                "file": self.file, "line": self.line, "hint": self.hint}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Diagnostic":
+        span = payload.get("span") or (-1, -1)
+        return cls(code=str(payload.get("code", "TCQ100")),
+                   message=str(payload.get("message", "")),
+                   span=(int(span[0]), int(span[1])),
+                   source=str(payload.get("source", "")),
+                   file=str(payload.get("file", "")),
+                   line=int(payload.get("line", 0)),
+                   hint=str(payload.get("hint", "")))
 
     @property
     def is_error(self) -> bool:

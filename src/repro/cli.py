@@ -33,6 +33,11 @@ Commands (each statement ends with ``;``):
 
 Run interactively:  python -m repro.cli
 Run a script:       python -m repro.cli script.tcq
+Dial a service:     python -m repro.cli tcp://host:port [script.tcq]
+
+The shell drives everything through :func:`repro.client.connect`, so
+the same statements run against an in-process engine (the default) or a
+remote :class:`~repro.net.service.TelegraphCQService`.
 """
 
 from __future__ import annotations
@@ -40,8 +45,8 @@ from __future__ import annotations
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.core.engine import Cursor, TelegraphCQServer
-from repro.core.tuples import Schema, Tuple
+from repro.client import Connection, LocalConnection, connect
+from repro.core.tuples import Tuple
 from repro.errors import TelegraphError
 import repro.monitor.introspect as introspect
 import repro.monitor.tracing as tracing
@@ -103,15 +108,22 @@ def _split_statements(text: str):
 
 
 class TelegraphShell:
-    """Stateful statement interpreter over one server instance.
+    """Stateful statement interpreter over one connection.
 
     ``execute`` returns the printable response for one statement, so
-    the shell is fully testable without a TTY.
+    the shell is fully testable without a TTY.  Pass a
+    :class:`~repro.client.Connection` (or a ``server`` to wrap in a
+    :class:`~repro.client.LocalConnection`) — by default the shell opens
+    a local in-process engine through :func:`repro.client.connect`.
     """
 
-    def __init__(self, server: Optional[TelegraphCQServer] = None):
-        self.server = server or TelegraphCQServer()
-        self.cursors: Dict[int, Cursor] = {}
+    def __init__(self, connection: Optional[Connection] = None,
+                 server: Optional[Any] = None):
+        if connection is None:
+            connection = LocalConnection(server=server) if server \
+                else connect()
+        self.conn = connection
+        self.cursors: Dict[int, Any] = {}
         self.done = False
 
     # -- statement dispatch ------------------------------------------------
@@ -134,7 +146,7 @@ class TelegraphShell:
         if upper == "STATS":
             return self._stats()
         if upper == "RUN":
-            steps = self.server.run_until_quiescent()
+            steps = self.conn.run()
             return f"quiescent after {steps} step(s)"
         if upper.startswith("STEP"):
             return self._step(statement)
@@ -148,7 +160,7 @@ class TelegraphShell:
             return self._push(statement)
         if upper.startswith("CLOSE STREAM"):
             name = statement.split()[2]
-            self.server.close_stream(name)
+            self.conn.close_stream(name)
             return f"stream {name} closed"
         if upper.startswith("FETCH"):
             return self._fetch(statement)
@@ -175,11 +187,10 @@ class TelegraphShell:
         columns = [c.strip() for c in
                    statement[open_paren + 1:close_paren].split(",")
                    if c.strip()]
-        schema = Schema.of(name, *columns)
         if stream:
-            self.server.create_stream(schema)
+            self.conn.create_stream(name, *columns)
             return f"stream {name} ({', '.join(columns)})"
-        self.server.create_table(schema)
+        self.conn.create_table(name, *columns)
         return f"table {name} ({', '.join(columns)})"
 
     def _insert(self, statement: str) -> str:
@@ -192,12 +203,7 @@ class TelegraphShell:
         if raw.startswith("(") and raw.endswith(")"):
             raw = raw[1:-1]
         values = [_parse_value(v) for v in raw.split(",")]
-        entry = self.server.catalog.lookup(table)
-        if entry.is_stream:
-            raise TelegraphError(
-                f"{table!r} is a stream; use PUSH instead")
-        rows = self.server.tables[table]
-        rows.append(entry.schema.make(*values, timestamp=len(rows)))
+        self.conn.insert(table, *values)
         return "1 row"
 
     def _push(self, statement: str) -> str:
@@ -211,24 +217,21 @@ class TelegraphShell:
             raise TelegraphError("PUSH stream v, v, ... [@ ts];")
         stream, raw_values = parts
         values = [_parse_value(v) for v in raw_values.split(",")]
-        self.server.push(stream, *values, timestamp=timestamp)
-        self.server.step()
+        self.conn.push(stream, *values, timestamp=timestamp)
+        self.conn.step()
         return "pushed"
 
     # -- queries ---------------------------------------------------------------
     def _check(self, statement: str) -> str:
         """``CHECK <SELECT ...>``: run the static plan verifier and print
         the full diagnostic report without submitting the query."""
-        from repro.analysis.plan_check import check_query
         query = statement[len("CHECK"):].strip()
         if not query:
             raise TelegraphError("usage: CHECK <SELECT ...>;")
-        report = check_query(query, self.server.catalog,
-                             self.server._admission_context())
-        return report.render()
+        return self.conn.check(query).render()
 
     def _select(self, statement: str) -> str:
-        cursor = self.server.submit(statement)
+        cursor = self.conn.submit(statement)
         if cursor.kind == "snapshot":
             return _format_rows(cursor.fetch())
         self.cursors[cursor.cursor_id] = cursor
@@ -252,7 +255,7 @@ class TelegraphShell:
 
     def _cancel(self, statement: str) -> str:
         cursor = self._cursor_of(statement)
-        self.server.cancel(cursor)
+        self.conn.cancel(cursor)
         return f"cursor {cursor.cursor_id} cancelled"
 
     def _explain(self, statement: str) -> str:
@@ -266,13 +269,13 @@ class TelegraphShell:
             if cursor is None:
                 raise TelegraphError(f"no cursor {body}")
         elif body.upper().startswith("SELECT"):
-            cursor = self.server.submit(body)
+            cursor = self.conn.submit(body)
             if cursor.kind != "snapshot":
                 self.cursors[cursor.cursor_id] = cursor
         else:
             raise TelegraphError(
                 "EXPLAIN [ANALYZE] <cursor-id | SELECT ...>;")
-        report = self.server.explain(cursor, analyze=analyze)
+        report = self.conn.explain(cursor, analyze=analyze)
         return introspect.render_explain(report)
 
     def _trace(self, statement: str) -> str:
@@ -309,7 +312,7 @@ class TelegraphShell:
         raise TelegraphError(
             "TRACE ON [n]; TRACE OFF; or TRACE DUMP [n] [file];")
 
-    def _cursor_of(self, statement: str) -> Cursor:
+    def _cursor_of(self, statement: str) -> Any:
         parts = statement.split()
         if len(parts) != 2 or not parts[1].isdigit():
             raise TelegraphError(f"{parts[0]} needs a cursor id")
@@ -322,19 +325,18 @@ class TelegraphShell:
     def _step(self, statement: str) -> str:
         parts = statement.split()
         k = int(parts[1]) if len(parts) > 1 else 1
-        for _ in range(k):
-            self.server.step()
+        self.conn.step(k)
         return f"stepped {k}"
 
     def _stats(self) -> str:
-        stats = self.server.stats()
+        stats = self.conn.stats()
         lines = [f"ingested tuples : {stats['ingested']}",
                  f"standing queries: {stats['continuous_queries']}",
                  f"shared engines  : {stats['cacq_engines']}",
                  f"execution objs  : {stats['executor']['eos']}"]
         for stream, n in stats["streams"].items():
             lines.append(f"stream {stream}: {n} tuples stored")
-        snapshot = self.server.telemetry()
+        snapshot = self.conn.telemetry()
         latency = tracing.latency_by_query(snapshot)
         if latency:
             lines.append("")
@@ -395,7 +397,10 @@ class TelegraphShell:
 
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
     argv = sys.argv[1:] if argv is None else argv
-    shell = TelegraphShell()
+    address = None
+    if argv and (argv[0].startswith("tcp://") or argv[0] == "local"):
+        address, argv = argv[0], argv[1:]
+    shell = TelegraphShell(connection=connect(address, client="cli"))
     if argv:
         with open(argv[0]) as f:
             for response in shell.run_script(f.read()):

@@ -35,6 +35,7 @@ from repro.core.tuples import Schema, Tuple
 from repro.core.windows import HistoricalStore
 from repro.errors import ExecutionError, PlanCheckError, QueryError
 from repro.fjords.queues import EMPTY, PushQueue
+from repro.ingress.ingress import IngressPoint
 from repro.monitor.telemetry import get_registry
 import repro.monitor.tracing as tracing
 from repro.sched.protocol import StepResult
@@ -58,9 +59,12 @@ class Cursor:
     * **sequence of sets** — windowed cursors additionally expose
       :meth:`fetch_windows`, returning ``(loop_value, rows)`` pairs.
 
-    Cursors are context managers; :meth:`close` cancels the underlying
-    continuous query or stops the windowed plan.  Direct access to the
-    internal output queue (the old ``cursor._queue``) is deprecated.
+    :meth:`fetch` / :meth:`fetchall` / iteration are the *only* read
+    surface — :class:`repro.client.NetworkCursor` exposes the identical
+    one, so code written against a local cursor runs unchanged against
+    the service.  Cursors are context managers; :meth:`close` (alias
+    :meth:`cancel`) stops the underlying continuous query or windowed
+    plan.
     """
 
     def __init__(self, cursor_id: int, kind: str, client: str,
@@ -83,14 +87,6 @@ class Cursor:
         self._server = server
         #: set for windowed cursors: the incremental execution state.
         self._windowed_state: Optional["_WindowedQueryState"] = None
-
-    @property
-    def _queue(self) -> PushQueue:
-        warnings.warn(
-            "Cursor._queue is deprecated; use Cursor.fetch(limit=...) "
-            "or the on_result callback instead",
-            DeprecationWarning, stacklevel=2)
-        return self._out
 
     # -- engine side -------------------------------------------------------
     def _deliver(self, t: Tuple) -> None:
@@ -136,6 +132,20 @@ class Cursor:
             out.append(item)
         return out
 
+    def fetchall(self) -> List[Tuple]:
+        """Every buffered result (``fetch()`` with no limit)."""
+        return self.fetch()
+
+    def __iter__(self):
+        """Drain buffered results in arrival order, chunked fetches
+        under the hood; stops when the buffer is empty."""
+        while True:
+            rows = self.fetch(limit=256)
+            if not rows:
+                return
+            for row in rows:
+                yield row
+
     def fetch_windows(self) -> List[TypingTuple[int, List[Tuple]]]:
         """The windowed sequence-of-sets computed so far."""
         out, self._windows = self._windows, []
@@ -143,6 +153,14 @@ class Cursor:
 
     def pending(self) -> int:
         return len(self._out) + sum(len(r) for _t, r in self._windows)
+
+    def explain(self, analyze: bool = False) -> Dict[str, Any]:
+        """The live plan behind this cursor (see
+        :meth:`TelegraphCQServer.explain`)."""
+        if self._server is None:
+            raise QueryError(
+                f"cursor #{self.cursor_id} is not attached to a server")
+        return self._server.explain(self, analyze=analyze)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -159,6 +177,10 @@ class Cursor:
         if self.continuous_query is not None and self._server is not None:
             self._server.cancel(self)
         self.closed = True
+
+    def cancel(self) -> None:
+        """Alias of :meth:`close` (the client-facing verb)."""
+        self.close()
 
     def __enter__(self) -> "Cursor":
         return self
@@ -284,6 +306,9 @@ class TelegraphCQServer:
         self.catalog = Catalog()
         self.executor = Executor()
         self.stores: Dict[str, HistoricalStore] = {}
+        #: per-stream :class:`~repro.ingress.ingress.IngressPoint` doors
+        #: (store + engine fan-out); composable with upstream points.
+        self.ingress: Dict[str, IngressPoint] = {}
         self.tables: Dict[str, List[Tuple]] = {}
         self._stream_clock: Dict[str, int] = {}
         self._stream_closed: Dict[str, bool] = {}
@@ -307,6 +332,10 @@ class TelegraphCQServer:
         self.catalog.create_stream(schema)
         self.stores[schema.name] = HistoricalStore(schema.name)
         self._stream_closed[schema.name] = False
+        stream = schema.name
+        self.ingress[stream] = IngressPoint(
+            f"server:{stream}", store=self.stores[stream],
+            deliver=lambda t, s=stream: self._fanout(s, t))
 
     def create_table(self, schema: Schema,
                      rows: Sequence[Sequence[Any]] = ()) -> None:
@@ -326,22 +355,24 @@ class TelegraphCQServer:
         self.push_tuple(stream, t)
 
     def push_tuple(self, stream: str, t: Tuple) -> None:
+        """One tuple through the stream's :class:`IngressPoint`: trace
+        attachment + store materialisation there, clock advance and
+        engine fan-out in :meth:`_fanout`."""
         if self._stream_closed.get(stream):
             raise ExecutionError(f"stream {stream!r} is closed")
         self.tuples_ingested += 1
         self._ingress_by_stream[stream] = \
             self._ingress_by_stream.get(stream, 0) + 1
-        tracer = tracing.TRACER
-        if tracer.active:
-            tracer.maybe_start(t, stream)
         with self._telemetry.trace("ingress", stream=stream):
-            self.stores[stream].append(t)
-            self._stream_clock[stream] = t.timestamp
-            for engine in self._engines_reading(stream):
-                clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
-                if t.trace is not None:
-                    clone.trace = t.trace
-                engine.push_tuple(stream, clone)
+            self.ingress[stream].admit_one(t)
+
+    def _fanout(self, stream: str, t: Tuple) -> None:
+        self._stream_clock[stream] = t.timestamp
+        for engine in self._engines_reading(stream):
+            clone = Tuple(t.schema, t.values, timestamp=t.timestamp)
+            if t.trace is not None:
+                clone.trace = t.trace
+            engine.push_tuple(stream, clone)
 
     def _engines_reading(self, stream: str) -> List[CACQEngine]:
         return [engine for engine in self._cacq.values()

@@ -3,9 +3,20 @@
 Every error raised by the library derives from :class:`TelegraphError` so
 that callers can catch library failures with a single ``except`` clause
 while still distinguishing configuration mistakes from runtime conditions.
+
+The taxonomy is **wire-serializable**: :func:`error_to_wire` flattens any
+library error into a JSON-safe dict and :func:`error_from_wire` rebuilds
+the same exception class client-side, so a
+:class:`~repro.client.NetworkConnection` raises exactly what a
+:class:`~repro.client.LocalConnection` would.  Structured payloads
+survive the round trip — :class:`PlanCheckError` carries its full
+diagnostic list (spans included, so carets render identically on the
+client), :class:`ParseError` its offset.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict
 
 
 class TelegraphError(Exception):
@@ -75,3 +86,64 @@ class QosError(TelegraphError):
 class TelemetryError(TelegraphError):
     """A telemetry metric was misused: kind or label-schema clash,
     negative counter increment, or an unparseable exposition format."""
+
+
+class ProtocolError(TelegraphError):
+    """A wire-protocol violation: malformed frame, oversized frame,
+    unknown operation, or a response that references no open request."""
+
+
+class ConnectionClosedError(ProtocolError):
+    """The peer closed the connection — either cleanly (BYE) or because
+    the service evicted this client (idle / slow consumer)."""
+
+
+#: Every class a wire error may deserialize to, keyed by its code (the
+#: class name doubles as the stable wire code).
+WIRE_ERRORS: Dict[str, type] = {
+    cls.__name__: cls for cls in (
+        TelegraphError, SchemaError, QueryError, ParseError,
+        PlanCheckError, PlanError, ExecutionError, StorageError,
+        ClusterError, QosError, TelemetryError, ProtocolError,
+        ConnectionClosedError,
+    )
+}
+
+
+def error_to_wire(exc: BaseException) -> Dict[str, Any]:
+    """Flatten an exception into a JSON-safe dict.
+
+    Non-library exceptions (engine bugs surfacing through the service)
+    are reported as ``ExecutionError`` so clients never need to know
+    arbitrary exception classes.
+    """
+    code = type(exc).__name__ if isinstance(exc, TelegraphError) \
+        else "ExecutionError"
+    payload: Dict[str, Any] = {"code": code, "message": str(exc)}
+    if isinstance(exc, PlanCheckError):
+        payload["diagnostics"] = [d.to_dict() for d in exc.diagnostics]
+    if isinstance(exc, ParseError):
+        payload["position"] = exc.position
+        payload["text"] = exc.text
+    return payload
+
+
+def error_from_wire(payload: Dict[str, Any]) -> TelegraphError:
+    """Rebuild the exception an :func:`error_to_wire` dict describes."""
+    cls = WIRE_ERRORS.get(str(payload.get("code")), TelegraphError)
+    message = str(payload.get("message", ""))
+    if cls is PlanCheckError:
+        # Deferred import: analysis.report is pure-dataclass, but going
+        # through the package __init__ at module import time would cycle.
+        from repro.analysis.report import Diagnostic
+        return PlanCheckError(message, diagnostics=[
+            Diagnostic.from_dict(d)
+            for d in payload.get("diagnostics", ())])
+    if cls is ParseError:
+        # The message already carries the rendered "near ..." context;
+        # rebuild with position=-1 so __init__ does not append it twice.
+        exc = ParseError(message)
+        exc.position = int(payload.get("position", -1))
+        exc.text = str(payload.get("text", ""))
+        return exc
+    return cls(message)

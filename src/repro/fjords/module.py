@@ -218,6 +218,12 @@ class SourceModule(Module):
     def __init__(self, name: str = ""):
         super().__init__(name=name, arity_in=0, arity_out=1)
         self.exhausted = False
+        # Sources are the dataflow's ingress door: the shared
+        # IngressPoint handles trace sampling so standalone fjord plans
+        # get end-to-end traces too.  Deferred import: fjords is a
+        # lower layer than ingress.
+        from repro.ingress.ingress import IngressPoint
+        self.point = IngressPoint(self.name, deliver=self.emit)
 
     def ready(self) -> bool:
         # A source must be polled while live: only it knows whether the
@@ -233,18 +239,13 @@ class SourceModule(Module):
             return StepResult.DONE
         budget = batch if batch is not None else self.DEFAULT_BATCH
         produced = False
-        tracer = tracing.TRACER
-        if tracer.active:
-            # Sources are the dataflow's ingress: sample traces here so
-            # standalone fjord plans get end-to-end traces too.
-            for item in self.generate(budget):
-                produced = True
-                if isinstance(item, Tuple):
-                    tracer.maybe_start(item, self.name)
-                self.emit(item)
-        else:
-            for item in self.generate(budget):
-                produced = True
+        for item in self.generate(budget):
+            produced = True
+            if isinstance(item, Tuple):
+                self.point.admit_one(item)
+            else:
+                # Punctuation and batches bypass the ingress door: they
+                # are control flow / pre-traced, not fresh arrivals.
                 self.emit(item)
         if self.exhausted:
             self._finish()

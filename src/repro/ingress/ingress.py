@@ -1,0 +1,122 @@
+"""The one Ingress protocol: every door tuples enter the system through.
+
+Five PRs accreted three ingress flavours — ``TelegraphCQServer.
+push_tuple`` (client pushes), :class:`~repro.fjords.module.SourceModule`
+(fjord dataflows polling the outside world), and
+:class:`~repro.ingress.wrappers.Streamer` (the Wrapper role fanning out
+to executor queues) — each re-implementing the same obligations with
+slightly different code.  The network PUSH frame (:mod:`repro.net`)
+would have been a fourth copy.
+
+Every ingress owes the rest of the system exactly four things:
+
+1. **timestamping** — a tuple without an event time gets the point's
+   monotone ingestion sequence;
+2. **trace attachment** — when sampled tracing is on, the Nth arrival
+   gets a :class:`~repro.monitor.tracing.TraceContext` (idempotently:
+   a tuple that already carries one keeps it, so composed ingress
+   points — the network edge in front of the server's — attach once);
+3. **admission** — an optional QoS shedder
+   (:class:`~repro.monitor.qos.LoadShedder`-shaped, duck-typed) filters
+   the batch before any state is touched;
+4. **delivery** — append to the stream's historical store (when the
+   point materialises) and hand the tuple to the flavour's consumer.
+
+:class:`IngressPoint` implements all four once; the flavours configure
+it instead of re-implementing it.  Points compose: the service's
+network point (sheds, no store) delivers into the server's per-stream
+point (stores, fans out to engines) and the trace attaches exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, List, Optional
+
+import repro.monitor.tracing as tracing
+
+
+def attach_trace(t: Any, source: str) -> None:
+    """Sampled trace attachment, idempotent across composed ingress
+    points: a tuple that already carries a trace keeps it."""
+    tracer = tracing.TRACER
+    if tracer.active and getattr(t, "trace", None) is None:
+        tracer.maybe_start(t, source)
+
+
+class Ingress:
+    """The structural protocol: ``admit(tuples) -> int`` delivered,
+    ``admit_one(t) -> bool``.  Satisfaction is structural (like
+    :class:`~repro.sched.protocol.Schedulable`); :class:`IngressPoint`
+    is the canonical implementation every flavour configures."""
+
+    name: str = ""
+
+    def admit(self, tuples: Iterable[Any]) -> int:
+        raise NotImplementedError
+
+    def admit_one(self, t: Any) -> bool:
+        raise NotImplementedError
+
+
+class IngressPoint(Ingress):
+    """One configured ingress door.
+
+    ``deliver`` is the flavour's consumer (engine fan-out, fjord queue
+    push, module emit, ``server.push_tuple`` for the network edge);
+    ``store`` materialises history; ``shedder`` gates admission;
+    ``assign_timestamps`` stamps tuples that arrive without one.
+    """
+
+    __slots__ = ("name", "deliver", "store", "shedder",
+                 "assign_timestamps", "_seq", "accepted", "shed")
+
+    def __init__(self, name: str,
+                 deliver: Callable[[Any], Any],
+                 store: Optional[Any] = None,
+                 shedder: Optional[Any] = None,
+                 assign_timestamps: bool = False):
+        self.name = name
+        self.deliver = deliver
+        self.store = store
+        self.shedder = shedder
+        self.assign_timestamps = assign_timestamps
+        self._seq = itertools.count(1)
+        self.accepted = 0
+        self.shed = 0
+
+    # -- the four obligations, once ---------------------------------------
+    def _prepare(self, t: Any) -> None:
+        if self.assign_timestamps and t.timestamp is None:
+            t.timestamp = next(self._seq)
+        attach_trace(t, self.name)
+        if self.store is not None:
+            self.store.append(t)
+
+    def admit_one(self, t: Any) -> bool:
+        """Admit a single tuple; returns False when shed."""
+        if self.shedder is not None and not self.shedder.admit([t]):
+            self.shed += 1
+            return False
+        self._prepare(t)
+        self.deliver(t)
+        self.accepted += 1
+        return True
+
+    def admit(self, tuples: Iterable[Any]) -> int:
+        """Admit a batch (shedding decides on the whole batch at once);
+        returns how many tuples were delivered."""
+        batch: List[Any] = list(tuples)
+        if self.shedder is not None:
+            kept = self.shedder.admit(batch)
+            self.shed += len(batch) - len(kept)
+            batch = kept
+        for t in batch:
+            self._prepare(t)
+            self.deliver(t)
+        self.accepted += len(batch)
+        return len(batch)
+
+    def __repr__(self) -> str:
+        return (f"IngressPoint({self.name}, accepted={self.accepted}, "
+                f"shed={self.shed})")

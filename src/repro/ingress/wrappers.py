@@ -21,7 +21,6 @@ boundary with the same contract:
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.tuples import Punctuation, Tuple
@@ -29,8 +28,8 @@ from repro.core.windows import ForLoopSpec, HistoricalStore
 from repro.errors import ExecutionError
 from repro.fjords.module import SourceModule
 from repro.fjords.queues import FjordQueue
+from repro.ingress.ingress import IngressPoint
 from repro.ingress.sources import DataSource
-import repro.monitor.tracing as tracing
 
 
 class Streamer:
@@ -38,7 +37,10 @@ class Streamer:
 
     A streamer can deliver to any number of Fjord queues (direct
     delivery to executors) and optionally materialise into a
-    HistoricalStore so later queries can read the past.
+    HistoricalStore so later queries can read the past.  The four
+    ingress obligations (timestamping, trace attachment, admission,
+    store + delivery) live in the configured
+    :class:`~repro.ingress.ingress.IngressPoint`, not here.
     """
 
     def __init__(self, stream: str,
@@ -46,28 +48,23 @@ class Streamer:
         self.stream = stream
         self.store = store
         self._queues: List[FjordQueue] = []
-        self._seq = itertools.count(1)
-        self.delivered = 0
+        self.point = IngressPoint(
+            stream, deliver=self._push_all, store=store,
+            assign_timestamps=True)
+
+    def _push_all(self, t: Tuple) -> None:
+        for q in self._queues:
+            q.push(t)
+
+    @property
+    def delivered(self) -> int:
+        return self.point.accepted
 
     def attach_queue(self, queue: FjordQueue) -> None:
         self._queues.append(queue)
 
     def deliver(self, tuples: Iterable[Tuple]) -> int:
-        n = 0
-        tracer = tracing.TRACER
-        active = tracer.active
-        for t in tuples:
-            if t.timestamp is None:
-                t.timestamp = next(self._seq)
-            if active:
-                tracer.maybe_start(t, self.stream)
-            if self.store is not None:
-                self.store.append(t)
-            for q in self._queues:
-                q.push(t)
-            n += 1
-        self.delivered += n
-        return n
+        return self.point.admit(tuples)
 
     def close(self) -> None:
         for q in self._queues:

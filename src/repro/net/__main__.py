@@ -1,0 +1,8 @@
+"""``python -m repro.net`` — serve an engine over the wire protocol."""
+
+import sys
+
+from repro.net.service import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -240,3 +240,54 @@ def test_lint_paths_reports_file_and_line(tmp_path):
     assert [d.code for d in diags] == ["TCQ303"]
     assert diags[0].file.endswith("bad.py")
     assert diags[0].line == 2
+
+
+# -- TCQ401 server door --------------------------------------------------------
+
+def test_direct_server_construction_flagged():
+    src = """\
+        from repro.core.engine import TelegraphCQServer
+        server = TelegraphCQServer()
+    """
+    assert codes(src, file="src/repro/somewhere.py") == ["TCQ401"]
+
+
+def test_server_door_allows_client_package():
+    src = """\
+        from repro.core.engine import TelegraphCQServer
+        server = TelegraphCQServer()
+    """
+    assert codes(src, file="src/repro/client/connection.py") == []
+
+
+def test_server_door_allows_engine_module_itself():
+    src = """\
+        def clone():
+            return TelegraphCQServer()
+    """
+    assert codes(src, file="src/repro/core/engine.py") == []
+
+
+def test_server_door_allows_tests():
+    src = """\
+        from repro.core.engine import TelegraphCQServer
+        server = TelegraphCQServer()
+    """
+    assert codes(src, file="tests/test_server_api.py") == []
+
+
+def test_server_door_exemption_comment():
+    src = """\
+        srv = TelegraphCQServer()  # tcqcheck: allow-direct-server
+    """
+    assert codes(src, file="src/repro/somewhere.py") == []
+
+
+def test_server_door_mentions_the_front_door():
+    src = """\
+        srv = TelegraphCQServer()
+    """
+    (diag,) = [d for d in __import__("repro.analysis.lint",
+                                     fromlist=["lint_source"]).lint_source(
+        textwrap.dedent(src), file="src/repro/x.py")]
+    assert "client" in diag.hint or "connect" in diag.hint

@@ -1,0 +1,209 @@
+"""The unified client API: one surface, two transports.
+
+Every scenario here runs twice — once over :class:`LocalConnection`
+(in-process engine) and once over :class:`NetworkConnection` (real
+loopback socket to a TelegraphCQService) — and must behave identically:
+same rows, same cursor surface, same error taxonomy, same rendered
+diagnostics.
+"""
+
+import pytest
+
+from repro.errors import (ParseError, PlanCheckError, ProtocolError,
+                          QueryError)
+from repro.client import LocalConnection, NetworkConnection, connect
+from repro.net.service import TelegraphCQService
+
+
+@pytest.fixture(params=["local", "network"])
+def conn(request):
+    if request.param == "local":
+        with LocalConnection(client="t") as c:
+            yield c
+        return
+    service = TelegraphCQService(admin_port=None)
+    service.run_in_thread()
+    try:
+        with connect(f"tcp://127.0.0.1:{service.port}", client="t") as c:
+            yield c
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# connect() dispatch
+# ---------------------------------------------------------------------------
+
+def test_connect_default_is_local():
+    c = connect()
+    assert isinstance(c, LocalConnection)
+    c.close()
+
+
+def test_connect_local_keyword():
+    c = connect("local")
+    assert isinstance(c, LocalConnection)
+    c.close()
+
+
+def test_connect_tcp_address_is_network():
+    service = TelegraphCQService(admin_port=None)
+    service.run_in_thread()
+    try:
+        c = connect(f"tcp://127.0.0.1:{service.port}")
+        assert isinstance(c, NetworkConnection)
+        assert c.session is not None
+        c.close()
+    finally:
+        service.close()
+
+
+def test_connect_rejects_bad_address():
+    with pytest.raises(ProtocolError):
+        connect("tcp://nowhere")          # no port
+
+
+# ---------------------------------------------------------------------------
+# symmetric behavior over both transports
+# ---------------------------------------------------------------------------
+
+def test_continuous_query_same_rows(conn):
+    conn.create_stream("trades", "sym", "price")
+    cur = conn.submit("SELECT * FROM trades WHERE price > 100")
+    assert cur.kind == "continuous"
+    for sym, p in [("MSFT", 95.0), ("IBM", 120.0), ("ORCL", 101.5)]:
+        conn.push("trades", sym, p)
+    rows = cur.fetchall()
+    assert [(r["sym"], r["price"]) for r in rows] == \
+        [("IBM", 120.0), ("ORCL", 101.5)]
+    assert all(hasattr(r, "timestamp") for r in rows)
+
+
+def test_iteration_matches_fetch(conn):
+    conn.create_stream("s", "a")
+    cur = conn.submit("SELECT * FROM s WHERE a > 0")
+    conn.push_rows("s", [[v] for v in range(1, 6)])
+    assert [r["a"] for r in cur] == [1, 2, 3, 4, 5]
+    assert cur.fetch() == []              # iteration drained everything
+
+
+def test_windowed_query_same_windows(conn):
+    conn.create_stream("s", "v")
+    cur = conn.submit("""
+        SELECT AVG(v) FROM s
+        for (t = 2; t <= 4; t += 2) { WindowIs(s, t - 1, t); }""")
+    assert cur.kind == "windowed"
+    for i in range(1, 5):
+        conn.push("s", float(i), timestamp=i)
+    conn.close_stream("s")
+    conn.run()
+    windows = cur.fetch_windows()
+    assert [(t, rows[0]["avg_v"]) for t, rows in windows] == \
+        [(2, 1.5), (4, 3.5)]
+
+
+def test_snapshot_query_over_table(conn):
+    conn.create_table("emps", "name", "dept",
+                      rows=[("ann", "eng"), ("bob", "ops"),
+                            ("cat", "eng")])
+    cur = conn.submit("SELECT name FROM emps WHERE dept = 'eng'")
+    assert sorted(r["name"] for r in cur.fetchall()) == ["ann", "cat"]
+
+
+def test_insert_into_stream_is_rejected(conn):
+    conn.create_stream("s", "a")
+    with pytest.raises(QueryError, match="use PUSH"):
+        conn.insert("s", 1)
+
+
+def test_explain_shape_is_identical(conn):
+    conn.create_stream("s", "a")
+    cur = conn.submit("SELECT * FROM s WHERE a > 3")
+    plan = cur.explain()
+    assert plan["kind"] == "continuous"
+    assert isinstance(plan["operators"], list) and plan["operators"]
+
+
+def test_cancel_then_push_delivers_nothing(conn):
+    conn.create_stream("s", "a")
+    cur = conn.submit("SELECT * FROM s")
+    conn.push("s", 1)
+    cur.cancel()
+    conn.push("s", 2)
+    # Cursor is closed; both transports treat further reads as local
+    # drains of what was already buffered.
+    assert len(conn.open_cursors()) == 0 if hasattr(conn, "open_cursors") \
+        else True
+
+
+def test_check_renders_identically_to_local(conn):
+    conn.create_stream("trades", "sym", "price")
+    report = conn.check(
+        "SELECT * FROM trades WHERE price > 5 AND price < 3")
+    local = LocalConnection()
+    local.create_stream("trades", "sym", "price")
+    want = local.check("SELECT * FROM trades WHERE price > 5 AND price < 3")
+    assert report.render() == want.render()
+    assert report.codes() == want.codes() == ["TCQ101"]
+    local.close()
+
+
+# ---------------------------------------------------------------------------
+# the error taxonomy crosses the wire intact
+# ---------------------------------------------------------------------------
+
+QUERY_WITH_CONTRADICTION = \
+    "SELECT * FROM trades WHERE price > 5 AND price < 3"
+
+
+def test_plan_check_error_spans_survive_round_trip(conn):
+    conn.create_stream("trades", "sym", "price")
+    with pytest.raises(PlanCheckError) as exc:
+        conn.submit(QUERY_WITH_CONTRADICTION)
+    diag = exc.value.diagnostics[0]
+    assert diag.code == "TCQ101"
+    start, end = diag.span
+    assert QUERY_WITH_CONTRADICTION[start:end] == "price < 3"
+    # The caret rendering — file, line, source slice — is identical to
+    # what the in-process engine produces.
+    local = LocalConnection()
+    local.create_stream("trades", "sym", "price")
+    with pytest.raises(PlanCheckError) as local_exc:
+        local.submit(QUERY_WITH_CONTRADICTION)
+    assert [d.render() for d in exc.value.diagnostics] == \
+        [d.render() for d in local_exc.value.diagnostics]
+    local.close()
+
+
+def test_parse_error_round_trip(conn):
+    with pytest.raises(ParseError) as exc:
+        conn.submit("SELEKT nope")
+    local = LocalConnection()
+    with pytest.raises(ParseError) as local_exc:
+        local.submit("SELEKT nope")
+    assert str(exc.value) == str(local_exc.value)
+    local.close()
+
+
+def test_query_error_round_trip(conn):
+    with pytest.raises(QueryError, match="unknown"):
+        conn.submit("SELECT * FROM no_such_stream")
+
+
+def test_allow_unsafe_bypasses_plan_check(conn):
+    conn.create_stream("trades", "sym", "price")
+    cur = conn.submit(QUERY_WITH_CONTRADICTION, allow_unsafe=True)
+    assert [d.code for d in cur.diagnostics] == ["TCQ101"]
+
+
+def test_on_result_is_in_process_only():
+    service = TelegraphCQService(admin_port=None)
+    service.run_in_thread()
+    try:
+        conn = connect(f"tcp://127.0.0.1:{service.port}")
+        conn.create_stream("s", "a")
+        with pytest.raises(ProtocolError, match="in-process"):
+            conn.submit("SELECT * FROM s", on_result=lambda t: None)
+        conn.close()
+    finally:
+        service.close()

@@ -1,0 +1,160 @@
+"""One Ingress protocol, four doors.
+
+Every way a tuple can enter the system — ``server.push_tuple``, a
+:class:`SourceModule`, a :class:`Streamer`, and the network PUSH op —
+now funnels through :class:`repro.ingress.ingress.IngressPoint`: same
+admission counters, same shedding hook, same trace attachment.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.ingress.ingress import IngressPoint, attach_trace
+from repro.ingress.wrappers import Streamer
+from repro.monitor.qos import LoadShedder
+import repro.monitor.tracing as tracing
+
+
+SCHEMA = Schema.of("s", "a")
+
+
+def make_tuples(n):
+    return [SCHEMA.make(i, timestamp=i + 1) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# the IngressPoint itself
+# ---------------------------------------------------------------------------
+
+def test_admit_one_delivers_and_counts():
+    got = []
+    point = IngressPoint("p", deliver=got.append)
+    for t in make_tuples(3):
+        assert point.admit_one(t)
+    assert point.accepted == 3 and point.shed == 0
+    assert [t["a"] for t in got] == [0, 1, 2]
+
+
+def test_admit_batch_returns_accepted_count():
+    got = []
+    point = IngressPoint("p", deliver=got.append)
+    assert point.admit(make_tuples(5)) == 5
+    assert len(got) == 5
+
+
+def test_store_sees_every_admitted_tuple():
+    store = []
+    point = IngressPoint("p", deliver=lambda t: None, store=store)
+    point.admit(make_tuples(4))
+    assert len(store) == 4
+
+
+def test_assign_timestamps_fills_missing_only():
+    got = []
+    point = IngressPoint("p", deliver=got.append, assign_timestamps=True)
+    fresh = SCHEMA.make(7)             # no timestamp
+    pinned = SCHEMA.make(8, timestamp=99)
+    point.admit([fresh, pinned])
+    assert got[0].timestamp is not None
+    assert got[1].timestamp == 99
+
+
+def test_shedder_drops_are_counted_not_delivered():
+    got = []
+    shedder = LoadShedder(policy="random", seed=1)
+    # Teach the shedder it is badly overloaded.
+    for _ in range(5):
+        shedder.update(arrived=100, serviced=10)
+    point = IngressPoint("p", deliver=got.append, shedder=shedder)
+    admitted = point.admit(make_tuples(100))
+    assert admitted == len(got)
+    assert point.shed == 100 - admitted
+    assert 0 < admitted < 100
+
+
+def test_trace_attachment_is_idempotent():
+    tracer = tracing.TRACER
+    old = tracer.sample_every
+    tracer.configure(sample_every=1)
+    try:
+        t = SCHEMA.make(1, timestamp=1)
+        attach_trace(t, "first-door")
+        trace = t.trace
+        assert trace is not None
+        attach_trace(t, "second-door")
+        assert t.trace is trace, "re-admission must not restart the trace"
+    finally:
+        tracer.configure(sample_every=old)
+
+
+# ---------------------------------------------------------------------------
+# the four doors
+# ---------------------------------------------------------------------------
+
+def test_server_push_goes_through_an_ingress_point():
+    from repro.client import LocalConnection
+    conn = LocalConnection()
+    conn.create_stream("s", "a")
+    cur = conn.submit("SELECT * FROM s")
+    conn.push("s", 1)
+    conn.push("s", 2)
+    point = conn.server.ingress["s"]
+    assert isinstance(point, IngressPoint)
+    assert point.accepted == 2
+    assert len(cur.fetch()) == 2
+    conn.close()
+
+
+def test_streamer_is_an_ingress_point():
+    from repro.fjords.queues import PushQueue
+    streamer = Streamer("s")
+    q = PushQueue()
+    streamer.attach_queue(q)
+    streamer.deliver(make_tuples(3))
+    assert isinstance(streamer.point, IngressPoint)
+    assert streamer.delivered == 3
+    assert streamer.point.accepted == 3
+    assert len(q) == 3
+
+
+def test_source_module_is_an_ingress_point():
+    from repro.fjords.fjord import Fjord
+    from repro.fjords.module import CollectingSink
+    from tests.conftest import ListFeed
+
+    feed = ListFeed(make_tuples(4))
+    sink = CollectingSink()
+    fjord = Fjord()
+    fjord.connect(feed, sink)
+    fjord.run_until_finished()
+    assert isinstance(feed.point, IngressPoint)
+    assert feed.point.accepted == 4
+    from repro.core.tuples import Tuple
+    assert len([i for i in sink.log if isinstance(i, Tuple)]) == 4
+
+
+def test_network_push_is_the_fourth_door():
+    from repro.net.aioclient import AsyncFrameClient
+    from repro.net.service import TelegraphCQService
+
+    async def scenario():
+        service = TelegraphCQService(admin_port=None)
+        await service.start()
+        try:
+            c = AsyncFrameClient("127.0.0.1", service.port)
+            await c.connect(client="c")
+            await c.request("DDL", action="create_stream", name="s",
+                            columns=["a"])
+            await c.request("PUSH", stream="s", rows=[[1], [2], [3]])
+            point = service._net_ingress["s"]
+            assert isinstance(point, IngressPoint)
+            assert point.accepted == 3
+            # ... which composes into the engine's own door.
+            assert service.server.ingress["s"].accepted == 3
+            await c.close()
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())

@@ -171,13 +171,10 @@ class TestWrapperHostIntoServer:
         host = WrapperHost()
 
         class ServerStreamer(Streamer):
-            def deliver(self, tuples):
-                n = 0
-                for t in tuples:
-                    srv.push_tuple(self.stream, t)
-                    n += 1
-                self.delivered += n
-                return n
+            # The IngressPoint handles admission/counting; only the
+            # delivery target changes (fjord queues -> the server).
+            def _push_all(self, t):
+                srv.push_tuple(self.stream, t)
 
             def close(self):
                 srv.close_stream(self.stream)

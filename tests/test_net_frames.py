@@ -1,0 +1,116 @@
+"""Wire codec: framing, reassembly, limits, and tuple round trips.
+
+The frame layer must survive arbitrary fragmentation (TCP gives no
+message boundaries), reject oversized frames on both sides, and carry
+tuples through ``tuple_to_wire``/``tuple_from_wire`` without loss.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import Schema
+from repro.errors import ProtocolError
+from repro.net.frames import (MAX_FRAME, FrameDecoder, encode_frame,
+                              rows_from_wire, rows_to_wire, tuple_from_wire,
+                              tuple_to_wire, windows_from_wire,
+                              windows_to_wire)
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40))
+
+frames = st.dictionaries(
+    st.text(min_size=1, max_size=20), st.one_of(
+        json_scalars,
+        st.lists(json_scalars, max_size=8),
+        st.dictionaries(st.text(max_size=8), json_scalars, max_size=4)),
+    max_size=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(frames)
+def test_codec_round_trip(frame):
+    decoded = FrameDecoder().feed(encode_frame(frame))
+    assert decoded == [frame]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(frames, min_size=1, max_size=5), st.integers(1, 7))
+def test_split_frame_reassembly(batch, chunk):
+    """Frames survive arbitrary fragmentation and coalescing."""
+    wire = b"".join(encode_frame(f) for f in batch)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(wire), chunk):
+        out.extend(decoder.feed(wire[i:i + chunk]))
+    assert out == batch
+
+
+def test_byte_at_a_time_reassembly():
+    frame = {"op": "SUBMIT", "id": 7, "query": "SELECT * FROM s"}
+    decoder = FrameDecoder()
+    out = []
+    for byte in encode_frame(frame):
+        out.extend(decoder.feed(bytes([byte])))
+    assert out == [frame]
+
+
+def test_encode_rejects_oversized_frame():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"blob": "x" * MAX_FRAME})
+
+
+def test_decoder_rejects_oversized_frame_from_header_alone():
+    """The decoder must refuse before buffering the body: a hostile
+    header alone (no payload bytes yet) is enough."""
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError, match="limit"):
+        decoder.feed(struct.pack(">I", MAX_FRAME + 1))
+
+
+def test_decoder_rejects_garbage_json():
+    decoder = FrameDecoder()
+    body = b"not json at all"
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+def test_decoder_rejects_non_object_frame():
+    decoder = FrameDecoder()
+    body = json.dumps([1, 2, 3]).encode()
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+def test_tuple_round_trip_preserves_schema_and_timestamp():
+    schema = Schema.of("trades", "sym", "price")
+    t = schema.make("MSFT", 101.5, timestamp=42)
+    back = tuple_from_wire(tuple_to_wire(t), {})
+    assert back.schema.name == "trades"
+    assert list(back.schema.column_names()) == ["sym", "price"]
+    assert back["sym"] == "MSFT" and back["price"] == 101.5
+    assert back.timestamp == 42
+
+
+def test_schema_interning_across_rows():
+    schema = Schema.of("s", "a")
+    rows = [schema.make(i, timestamp=i) for i in range(3)]
+    cache = {}
+    back = rows_from_wire(rows_to_wire(rows), cache)
+    assert len({id(t.schema) for t in back}) == 1
+    assert [t["a"] for t in back] == [0, 1, 2]
+
+
+def test_windows_round_trip():
+    schema = Schema.of("s", "a")
+    windows = [(5, [schema.make(1, timestamp=5)]),
+               (10, [schema.make(2, timestamp=9), schema.make(3,
+                                                              timestamp=10)])]
+    back = windows_from_wire(windows_to_wire(windows), {})
+    assert [(t, [r["a"] for r in rows]) for t, rows in back] == \
+        [(5, [1]), (10, [2, 3])]

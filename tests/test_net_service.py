@@ -1,0 +1,367 @@
+"""The network service end to end, over real loopback sockets.
+
+Covers the acceptance bar for the network front door: many concurrent
+clients with zero cross-client leakage, slow-consumer eviction that
+never stalls well-behaved sessions, credit-metered streaming, the HTTP
+admin plane, and /metrics parity with the in-process registry.
+"""
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ConnectionClosedError, ProtocolError, QueryError
+from repro.monitor.telemetry import TelemetrySnapshot, get_registry
+from repro.net.aioclient import AsyncFrameClient
+from repro.net.frames import encode_frame
+from repro.net.service import TelegraphCQService
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started(**kwargs):
+    service = TelegraphCQService(**kwargs)
+    await service.start()
+    return service
+
+
+# ---------------------------------------------------------------------------
+# concurrency and isolation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.net
+def test_256_clients_zero_leakage():
+    """256 concurrent sessions over one engine; every client sees
+    exactly its own predicate's matches and nobody else's."""
+
+    async def scenario():
+        service = await started(admin_port=None)
+        try:
+            feeder = AsyncFrameClient("127.0.0.1", service.port)
+            await feeder.connect(client="feeder")
+            await feeder.request("DDL", action="create_stream",
+                                 name="s", columns=["a"])
+
+            clients = [AsyncFrameClient("127.0.0.1", service.port)
+                       for _ in range(256)]
+            await asyncio.gather(*(c.connect(client=f"c{i}")
+                                   for i, c in enumerate(clients)))
+            submits = await asyncio.gather(*(
+                c.request("SUBMIT", query=f"SELECT * FROM s WHERE a >= {i}")
+                for i, c in enumerate(clients)))
+            cursors = [r["cursor"] for r in submits]
+            assert len(set(cursors)) == 256
+
+            await feeder.request(
+                "PUSH", stream="s", rows=[[v] for v in range(10)],
+                timestamp=1)
+
+            fetches = await asyncio.gather(*(
+                c.request("FETCH", cursor=cid)
+                for c, cid in zip(clients, cursors)))
+            for i, payload in enumerate(fetches):
+                got = sorted(row["v"][0] for row in payload["rows"])
+                assert got == list(range(i, 10)), f"client {i} leaked"
+
+            stats = await feeder.request("STATS")
+            assert stats["net"]["sessions_open"] == 257
+            await asyncio.gather(*(c.close() for c in clients))
+            await feeder.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+def test_cross_client_cursor_isolation():
+    """A cursor id is scoped to the session that created it: another
+    client probing the same id gets an error, not data."""
+
+    async def scenario():
+        service = await started(admin_port=None)
+        try:
+            a = AsyncFrameClient("127.0.0.1", service.port)
+            b = AsyncFrameClient("127.0.0.1", service.port)
+            await a.connect(client="a")
+            await b.connect(client="b")
+            await a.request("DDL", action="create_stream", name="s",
+                            columns=["x"])
+            sub = await a.request("SUBMIT", query="SELECT * FROM s")
+            with pytest.raises(QueryError, match="no cursor"):
+                await b.request("FETCH", cursor=sub["cursor"])
+            # ... and the owner still works fine afterwards.
+            await a.request("PUSH", stream="s", rows=[[1]])
+            mine = await a.request("FETCH", cursor=sub["cursor"])
+            assert len(mine["rows"]) == 1
+            await a.close()
+            await b.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# backpressure and eviction
+# ---------------------------------------------------------------------------
+
+def test_slow_consumer_evicted_without_stalling_others():
+    """A streaming client that stops spending credit gets evicted once
+    its backlog passes max_backlog; a well-behaved session on the same
+    service keeps flowing, and the eviction reaches the load shedder
+    and the tcq_net_* telemetry."""
+
+    async def scenario():
+        service = await started(admin_port=None, max_backlog=8)
+        try:
+            slow = AsyncFrameClient("127.0.0.1", service.port)
+            good = AsyncFrameClient("127.0.0.1", service.port)
+            await slow.connect(client="slow")
+            await good.connect(client="good")
+            await good.request("DDL", action="create_stream", name="s",
+                               columns=["x"])
+            await slow.request("SUBMIT", query="SELECT * FROM s",
+                               stream=True, credit=1)
+            gsub = await good.request("SUBMIT", query="SELECT * FROM s")
+
+            await good.request("PUSH", stream="s",
+                               rows=[[v] for v in range(40)])
+            for _ in range(100):
+                if slow.evicted is not None:
+                    break
+                await asyncio.sleep(0.01)
+            assert slow.evicted is not None, "slow consumer never evicted"
+            assert "slow" in slow.evicted["message"]
+            assert service.evictions.get("slow") == 1
+
+            # The good client is untouched and still sees everything.
+            got = await good.request("FETCH", cursor=gsub["cursor"])
+            assert len(got["rows"]) == 40
+            snap = get_registry().snapshot()
+            text = snap.to_prometheus()
+            assert 'tcq_net_evictions_total{reason="slow"} 1.0' in text
+            await good.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+def test_idle_consumer_evicted():
+    async def scenario():
+        service = await started(admin_port=None, idle_timeout=0.05,
+                                idle_poll=0.01)
+        try:
+            lazy = AsyncFrameClient("127.0.0.1", service.port)
+            busy = AsyncFrameClient("127.0.0.1", service.port)
+            await lazy.connect(client="lazy")
+            await busy.connect(client="busy")
+            for _ in range(200):
+                if lazy.evicted is not None:
+                    break
+                # Keep the busy session active and the pump spinning.
+                await busy.request("STATS")
+                await asyncio.sleep(0.01)
+            assert lazy.evicted is not None
+            assert "idle" in lazy.evicted["message"]
+            # Activity is a heartbeat: the busy session is still here.
+            stats = await busy.request("STATS")
+            assert stats["net"]["sessions_open"] == 1
+            await busy.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+def test_streaming_respects_credit():
+    """Rows flow only while credit is outstanding; CREDIT releases
+    exactly the granted amount."""
+
+    async def scenario():
+        service = await started(admin_port=None)
+        try:
+            c = AsyncFrameClient("127.0.0.1", service.port)
+            await c.connect(client="c")
+            await c.request("DDL", action="create_stream", name="s",
+                            columns=["x"])
+            sub = await c.request("SUBMIT", query="SELECT * FROM s",
+                                  stream=True, credit=3)
+            cid = sub["cursor"]
+            await c.request("PUSH", stream="s",
+                            rows=[[v] for v in range(10)])
+            await asyncio.sleep(0.05)
+            assert len(c.stream_rows.get(cid, [])) == 3
+            granted = await c.request("CREDIT", cursor=cid, n=4)
+            await asyncio.sleep(0.05)
+            assert len(c.stream_rows[cid]) == 7
+            assert granted["credit"] >= 0
+            await c.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# protocol hygiene
+# ---------------------------------------------------------------------------
+
+def test_garbage_bytes_get_error_then_disconnect():
+    async def scenario():
+        service = await started(admin_port=None)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            writer.write(b"\x00\x00\x00\x05notjs")
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(4096), timeout=2)
+            assert b"ERROR" in data and b"ProtocolError" in data
+            assert await asyncio.wait_for(reader.read(), timeout=2) == b""
+            writer.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+def test_unknown_op_is_an_error_not_a_disconnect():
+    async def scenario():
+        service = await started(admin_port=None)
+        try:
+            c = AsyncFrameClient("127.0.0.1", service.port)
+            await c.connect(client="c")
+            with pytest.raises(ProtocolError):
+                await c.request("FROBNICATE")
+            # Session survives the bad op.
+            stats = await c.request("STATS")
+            assert stats["net"]["sessions_open"] == 1
+            await c.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+def test_oversized_frame_rejected_at_the_socket():
+    async def scenario():
+        service = await started(admin_port=None, max_frame=1024)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            writer.write(encode_frame({"op": "HELLO", "id": 1,
+                                       "pad": "x" * 4096}))
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(4096), timeout=2)
+            assert b"ERROR" in data
+            writer.close()
+        finally:
+            await service.stop()
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# admin plane
+# ---------------------------------------------------------------------------
+
+def _get(service, path):
+    url = f"http://127.0.0.1:{service.admin_port}{path}"
+    with urllib.request.urlopen(url) as resp:
+        return resp.status, resp.read().decode()
+
+
+@pytest.mark.net
+def test_admin_plane_end_to_end():
+    service = TelegraphCQService(admin_port=0)
+    service.run_in_thread()
+    try:
+        from repro.client import connect
+        conn = connect(f"tcp://127.0.0.1:{service.port}", client="adm")
+        conn.create_stream("s", "a")
+        cur = conn.submit("SELECT * FROM s WHERE a > 1")
+        conn.push_rows("s", [[1], [2], [3]])
+
+        status, body = _get(service, "/queries")
+        queries = json.loads(body)["queries"]
+        assert status == 200
+        assert [q["cursor"] for q in queries] == [cur.cursor_id]
+        assert queries[0]["client"] == "adm"
+
+        base = f"http://127.0.0.1:{service.admin_port}"
+        req = urllib.request.Request(
+            base + "/queries", method="POST",
+            data=json.dumps({"query": "SELECT * FROM s"}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req) as resp:
+            created = json.load(resp)
+            assert resp.status == 201
+        assert created["kind"] == "continuous"
+
+        status, body = _get(service,
+                            f"/queries/{created['cursor']}/explain")
+        assert status == 200 and "operators" in json.loads(body)
+
+        dreq = urllib.request.Request(
+            base + f"/queries/{created['cursor']}", method="DELETE")
+        with urllib.request.urlopen(dreq) as resp:
+            assert json.load(resp)["cancelled"] == created["cursor"]
+
+        # Unknown cursor -> 404 with a wire-format error body.
+        try:
+            urllib.request.urlopen(base + "/queries/999/explain")
+            raise AssertionError("expected a 404")
+        except urllib.error.HTTPError as err:
+            assert err.code == 404
+            assert json.load(err)["error"]["code"] == "QueryError"
+
+        status, body = _get(service, "/stats")
+        stats = json.loads(body)
+        assert stats["engine"]["ingested"] == 3
+        assert stats["net"]["sessions_open"] == 1
+        conn.close()
+    finally:
+        service.close()
+
+
+def test_admin_metrics_serves_the_process_registry():
+    """GET /metrics is the same registry the in-process exporter
+    publishes — identical series names, parseable by the same
+    TelemetrySnapshot reader."""
+    service = TelegraphCQService(admin_port=0)
+    service.run_in_thread()
+    try:
+        from repro.client import connect
+        conn = connect(f"tcp://127.0.0.1:{service.port}")
+        conn.create_stream("s", "a")
+        conn.push_rows("s", [[1]])
+
+        _status, text = _get(service, "/metrics")
+        scraped = {s.name for s in TelemetrySnapshot.from_prometheus(
+            text).samples}
+        local = {s.name for s in get_registry().snapshot().samples}
+        assert scraped == local
+        assert "tcq_net_sessions_open" in scraped
+        assert "tcq_net_frames_total" in scraped
+        conn.close()
+    finally:
+        service.close()
+
+
+def test_evicted_blocking_client_raises_connection_closed():
+    service = TelegraphCQService(admin_port=None, idle_timeout=0.05,
+                                 idle_poll=0.01)
+    service.run_in_thread()
+    try:
+        from repro.client import connect
+        import time
+        conn = connect(f"tcp://127.0.0.1:{service.port}")
+        time.sleep(0.3)
+        with pytest.raises(ConnectionClosedError):
+            conn.stats()
+    finally:
+        service.close()

@@ -127,9 +127,11 @@ class TestUnifiedFetch:
         assert [t for t, _rows in windows] == [1, 2]
         assert all(len(rows) == 1 for _t, rows in windows)
 
-    def test_queue_attribute_is_deprecated(self):
+    def test_queue_attribute_is_gone(self):
+        # The deprecated ``_queue`` escape hatch is removed: fetch /
+        # fetchall / iteration are the only read surface, identical on
+        # local and network cursors.
         server = make_server()
         cur = server.submit("SELECT * FROM trades WHERE price > 1")
-        with pytest.warns(DeprecationWarning):
-            q = cur._queue
-        assert q is cur._out
+        with pytest.raises(AttributeError):
+            cur._queue
