@@ -1,0 +1,245 @@
+"""Columnar numpy execution + plan freezing vs the earlier tiers.
+
+Four execution tiers over the E8 stable-filter workload (two ``==``
+filters on the drifting-selectivity generator with the flip disabled):
+
+* **per-tuple** — amortized routing, python predicate evaluation per row
+  (the PR 1 baseline);
+* **vectorized (lists)** — the PR 2 batch pipeline with numpy forced off
+  (:func:`~repro.core.columnar.numpy_disabled`): per-column python
+  lists, per-element kernels;
+* **columnar** — numpy-backed columns, ufunc kernels, array masks;
+* **columnar + frozen** — plan freezing on top: the settled route
+  compiles to a fused kernel and the per-hop eddy machinery is
+  bypassed.
+
+The batched tiers ingest through the generator's columnar path
+(``take_batches``): whole columns promote to arrays once and each batch
+views a zero-copy slice, so no tier pays a per-batch list-to-array
+conversion.  The list tier gets the identical treatment (list slices) —
+the comparison isolates the execution strategy, not the ingress format.
+Batches are sized for array execution (1024 rows); the per-tuple
+baseline keeps the same routing-amortization window.
+
+Acceptance targets (ISSUE 7): columnar+frozen >=10x over per-tuple and
+>=2x over the list-vectorized tier on E8 stable filters.  A drifting
+run proves freezing does not trade away adaptivity: the freeze engages
+on the stable prefix, thaws at the selectivity flip, and the answers
+stay identical to the per-tuple path.
+"""
+
+import time
+
+import pytest
+
+from repro.core.columnar import have_numpy, numpy_disabled
+from repro.core.eddy import Eddy, FilterOperator, SteMOperator
+from repro.core.routing import BatchingDirective, LotteryPolicy
+from repro.core.stem import SteM
+from repro.core.tuples import Schema, TupleBatch
+from repro.ingress.generators import DriftingSelectivityGenerator
+from repro.query.predicates import ColumnComparison, Comparison
+
+from benchmarks.conftest import print_table, record_result
+
+N = 24_000
+BATCH = 1024
+JOIN_BATCH = 64
+PRED_A = Comparison("a", "==", 1)
+PRED_B = Comparison("b", "==", 1)
+
+
+def _count(outputs) -> int:
+    return sum(len(o) if isinstance(o, TupleBatch) else 1 for o in outputs)
+
+
+def make_filter_eddy(batching):
+    ops = [FilterOperator(PRED_A, name="fa"),
+           FilterOperator(PRED_B, name="fb")]
+    return Eddy(ops, output_sources={"drift"},
+                policy=LotteryPolicy(seed=2, explore=0.05),
+                batching=batching), ops
+
+
+def _generator(n=N, flip_at=0):
+    return DriftingSelectivityGenerator(
+        seed=17, flip_at=flip_at, low_pass=0.1, high_pass=0.9)
+
+
+def run_per_tuple(n=N, flip_at=0):
+    rows = _generator(n, flip_at).take(n)
+    eddy, _ops = make_filter_eddy(BatchingDirective(BATCH))
+    out = 0
+    start = time.perf_counter()
+    for t in rows:
+        out += len(eddy.process(t, 0))
+    return out, time.perf_counter() - start, eddy
+
+
+def run_batched(n=N, flip_at=0, freeze=False, **freeze_kw):
+    batches = _generator(n, flip_at).take_batches(n, BATCH)
+    eddy, _ops = make_filter_eddy(
+        BatchingDirective(BATCH, vectorize=True))
+    if freeze:
+        eddy.enable_freezing(**freeze_kw)
+    out = 0
+    start = time.perf_counter()
+    for batch in batches:
+        out += _count(eddy.process_batch(batch, 0))
+    return out, time.perf_counter() - start, eddy
+
+
+def _best_of(fn, repeats=3):
+    best = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or result[1] < best[1]:
+            best = result
+    return best
+
+
+def _best_of_interleaved(tiers, repeats=5):
+    """Best-of-``repeats`` per tier with the tiers interleaved round-robin,
+    so host-speed drift (frequency scaling, neighbours) lands on every
+    tier instead of biasing whichever ran last.  Returns {name: result}."""
+    best = {}
+    for _ in range(repeats):
+        for name, fn in tiers:
+            result = fn()
+            if name not in best or result[1] < best[name][1]:
+                best[name] = result
+    return best
+
+
+# ------------------------------------------------------------- equijoin
+
+S = Schema.of("S", "a", "k")
+T = Schema.of("T", "b", "k")
+JOIN_PRED = ColumnComparison("S.k", "==", "T.k")
+
+
+def make_join_eddy(batching):
+    ops = [SteMOperator(SteM("S", index_columns=("S.k",)), [JOIN_PRED]),
+           SteMOperator(SteM("T", index_columns=("T.k",)), [JOIN_PRED]),
+           FilterOperator(Comparison("a", ">", 1), name="fa")]
+    return Eddy(ops, output_sources={"S", "T"},
+                policy=LotteryPolicy(seed=2, explore=0.05),
+                batching=batching)
+
+
+def run_join(n, vectorized):
+    s_rows = [S.make(i % 7, i % 997, timestamp=i) for i in range(n)]
+    t_rows = [T.make(i % 5, i % 997, timestamp=i) for i in range(n)]
+    batching = BatchingDirective(JOIN_BATCH, vectorize=vectorized)
+    eddy = make_join_eddy(batching)
+    out = 0
+    start = time.perf_counter()
+    if vectorized:
+        # Join batches stay row-backed (from_tuples): SteM builds store
+        # the row objects, so their lineage must alias the batch.
+        for rows in (s_rows, t_rows):
+            for i in range(0, len(rows), JOIN_BATCH):
+                out += _count(eddy.process_batch(
+                    TupleBatch.from_tuples(rows[i:i + JOIN_BATCH]), 0))
+    else:
+        for rows in (s_rows, t_rows):
+            for t in rows:
+                out += len(eddy.process(t, 0))
+    return out, time.perf_counter() - start
+
+
+# ------------------------------------------------------------ the report
+
+@pytest.mark.skipif(not have_numpy(), reason="columnar tier needs numpy")
+def test_columnar_speedup_shape():
+    def run_lists():
+        with numpy_disabled():
+            return run_batched()
+    best = _best_of_interleaved([
+        ("per-tuple", run_per_tuple),
+        ("lists", run_lists),
+        ("columnar", run_batched),
+        ("frozen", lambda: run_batched(
+            freeze=True, stable_routes=4, check_every=4096)),
+    ])
+    out_pt, t_pt, _ = best["per-tuple"]
+    out_ls, t_ls, _ = best["lists"]
+    out_col, t_col, _ = best["columnar"]
+    out_fz, t_fz, eddy_fz = best["frozen"]
+    assert out_ls == out_pt == out_col == out_fz, \
+        "execution tier must not change answers"
+    assert eddy_fz.freezer.freezes >= 1, "freeze never engaged"
+
+    n_join = N // 8
+    out_jpt, t_jpt = _best_of(lambda: run_join(n_join, False))
+    out_jcol, t_jcol = _best_of(lambda: run_join(n_join, True))
+    assert out_jcol == out_jpt
+
+    speedup_col = t_pt / t_col
+    speedup_fz = t_pt / t_fz
+    over_lists = t_ls / t_fz
+    print_table(
+        f"Columnar execution tiers (n={N}, batch={BATCH})",
+        ["tier", "ktup/s", "vs per-tuple"],
+        [("per-tuple (amortized)", N / t_pt / 1e3, 1.0),
+         ("vectorized (lists)", N / t_ls / 1e3, t_pt / t_ls),
+         ("columnar", N / t_col / 1e3, speedup_col),
+         ("columnar + frozen", N / t_fz / 1e3, speedup_fz),
+         ("equijoin columnar", N / 4 / t_jcol / 1e3, t_jpt / t_jcol)])
+    record_result("columnar",
+                  {"n": N, "batch": BATCH, "workload": "e8-stable-filters"},
+                  throughput=N / t_fz, wall_clock_s=t_fz,
+                  per_tuple_throughput=round(N / t_pt, 2),
+                  list_vectorized_throughput=round(N / t_ls, 2),
+                  columnar_throughput=round(N / t_col, 2),
+                  speedup_vs_per_tuple=round(speedup_fz, 2),
+                  speedup_vs_list_vectorized=round(over_lists, 2),
+                  freezes=eddy_fz.freezer.freezes)
+    record_result("columnar",
+                  {"n": N // 4, "batch": BATCH, "workload": "equijoin"},
+                  throughput=N / 4 / t_jcol, wall_clock_s=t_jcol,
+                  per_tuple_throughput=round(N / 4 / t_jpt, 2),
+                  speedup_vs_per_tuple=round(t_jpt / t_jcol, 2))
+    # ISSUE 7 acceptance: >=10x over per-tuple, >=2x over the
+    # list-vectorized tier, on E8 stable filters.
+    assert speedup_fz >= 10.0, \
+        f"columnar+frozen only {speedup_fz:.1f}x over per-tuple"
+    assert over_lists >= 2.0, \
+        f"columnar+frozen only {over_lists:.2f}x over list-vectorized"
+
+
+@pytest.mark.skipif(not have_numpy(), reason="columnar tier needs numpy")
+def test_columnar_drift_freeze_thaw_keeps_adaptivity():
+    """On the drifting stream the freeze must engage on the stable
+    prefix, thaw at the flip, and produce the per-tuple answers."""
+    out_pt, _t, _ = run_per_tuple(flip_at=N // 2)
+    # stable_routes=2: the lottery's 5% exploration makes longer streaks
+    # rare inside the ~12-batch stable prefix; two consecutive identical
+    # complete routes freeze it early, the flip thaws, and the post-flip
+    # regime refreezes.
+    out_fz, t_fz, eddy = run_batched(
+        flip_at=N // 2, freeze=True, stable_routes=2, check_every=1024,
+        drift_threshold=0.15)
+    fz = eddy.freezer
+    assert out_fz == out_pt, "freeze/thaw changed answers under drift"
+    assert fz.freezes >= 1, "freeze never engaged on the stable prefix"
+    assert fz.thaws >= 1, "selectivity flip never thawed the plan"
+    record_result("columnar",
+                  {"n": N, "batch": BATCH, "workload": "drift-freeze-thaw"},
+                  throughput=N / t_fz, wall_clock_s=t_fz,
+                  freezes=fz.freezes, thaws=fz.thaws,
+                  frozen_rows=fz.frozen_rows,
+                  thaw_reasons=[t["reason"] for t in fz.thaw_log])
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(not have_numpy(), reason="columnar tier needs numpy")
+def test_perf_columnar_floor():
+    """Tier-2 regression gate (``pytest benchmarks -m perf``): at
+    reduced N the frozen columnar tier must stay >=6x over per-tuple —
+    a floor with headroom under CI noise, not the 10x headline."""
+    _out, t_pt, _ = _best_of(lambda: run_per_tuple(8000))
+    _out, t_fz, _ = _best_of(lambda: run_batched(
+        8000, freeze=True, stable_routes=4, check_every=4096))
+    floor = t_pt / t_fz
+    assert floor >= 6.0, f"columnar+frozen floor regressed: {floor:.1f}x"

@@ -25,7 +25,14 @@ cross-module class map first, then per-file rules) and emits ``TCQ3xx``
   must not grow a list attribute by append alone;
 * ``TCQ401`` one front door — ``TelegraphCQServer`` may only be
   constructed inside :mod:`repro.client` (and the engine module that
-  defines it); everyone else goes through ``repro.client.connect()``.
+  defines it); everyone else goes through ``repro.client.connect()``;
+* ``TCQ501`` columnar discipline — hot-path modules (``repro/core``,
+  ``repro/query``) must not drop a ``TupleBatch`` to row granularity:
+  no ``.materialize()`` calls and no foreign ``._rows`` pokes outside
+  the batch implementation itself.  Row materialization costs one
+  Python object per cell and forfeits every kernel; the handful of
+  legitimately row-granular sites (SteM storage, dedupe emission,
+  per-element kernel fallback) carry explicit exemptions.
 
 A finding is suppressed by an exemption comment on the offending line
 (or the ``class``/``def`` line for class-level rules)::
@@ -52,7 +59,13 @@ EXEMPT_TAGS = {
     "TCQ304": "allow-not-schedulable",
     "TCQ305": "allow-unbounded",
     "TCQ401": "allow-direct-server",
+    "TCQ501": "allow-row-iteration",
 }
+
+#: TCQ501 scope: path fragments whose files are batch hot paths, and
+#: the files allowed to touch row backing (they implement it).
+_HOT_PATH_DIRS = ("repro/core/", "repro/query/")
+_HOT_PATH_EXEMPT_FILES = ("tuples.py", "columnar.py")
 
 _CLOCK_NAMES = {"time", "monotonic", "perf_counter", "monotonic_ns",
                 "time_ns", "perf_counter_ns"}
@@ -388,6 +401,40 @@ def _rule_server_door(tree: ast.Module, file: str,
     return diags
 
 
+def _rule_columnar_discipline(tree: ast.Module, file: str,
+                              lines: Sequence[str]) -> List[Diagnostic]:
+    """TCQ501: no row-granular batch access in the hot-path modules."""
+    norm = file.replace(os.sep, "/")
+    if not any(d in norm for d in _HOT_PATH_DIRS):
+        return []
+    if norm.rsplit("/", 1)[-1] in _HOT_PATH_EXEMPT_FILES:
+        return []
+    diags: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        bad: Optional[str] = None
+        lineno = 0
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "materialize":
+            bad = "batch.materialize() drops to one Python object per row"
+            lineno = node.lineno
+        elif isinstance(node, ast.Attribute) and node.attr == "_rows" \
+                and not (isinstance(node.value, ast.Name)
+                         and node.value.id == "self"):
+            bad = "foreign ._rows access bypasses the columnar store"
+            lineno = node.lineno
+        if bad is None or _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ501"]):
+            continue
+        diags.append(Diagnostic(
+            "TCQ501",
+            f"row-granular batch access in a hot-path module: {bad}",
+            file=file, line=lineno,
+            hint="use column()/column_array()/partition()/take() kernels, "
+                 "or mark a legitimately row-granular site "
+                 "'# tcqcheck: allow-row-iteration'"))
+    return diags
+
+
 # -- drivers -------------------------------------------------------------------
 
 def _parse_file(path: str) -> Optional[Tuple[ast.Module, List[str]]]:
@@ -435,6 +482,7 @@ def lint_paths(paths: Iterable[str]) -> List[Diagnostic]:
         diags.extend(_rule_schedulable(tree, f, lines, hierarchy))
         diags.extend(_rule_bounded_rings(tree, f, lines))
         diags.extend(_rule_server_door(tree, f, lines))
+        diags.extend(_rule_columnar_discipline(tree, f, lines))
     return diags
 
 
@@ -458,4 +506,5 @@ def lint_source(source: str, file: str = "<string>",
     diags.extend(_rule_schedulable(tree, file, lines, hierarchy))
     diags.extend(_rule_bounded_rings(tree, file, lines))
     diags.extend(_rule_server_door(tree, file, lines))
+    diags.extend(_rule_columnar_discipline(tree, file, lines))
     return diags

@@ -63,6 +63,8 @@ CODES: Dict[str, str] = {
               "(bounded-ring discipline)",
     "TCQ401": "direct TelegraphCQServer construction outside "
               "repro.client (the unified connect() API is the only door)",
+    "TCQ501": "row-granular batch access (.materialize() / foreign "
+              "._rows) in a hot-path module (columnar discipline)",
 }
 
 

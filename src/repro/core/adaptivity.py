@@ -72,6 +72,12 @@ class AdaptivityController:
         self._last_sample = sample
         if drift is None:
             return None
+        freezer = getattr(self.eddy, "freezer", None)
+        if freezer is not None:
+            # The controller already computed the §4.3 drift signal on
+            # its own cadence — push it to the freezer rather than
+            # letting frozen classes wait for their next check window.
+            freezer.note_drift(drift)
         current = self.eddy.batching.batch_size
         if drift > self.drift_threshold:
             target = max(self.min_batch, current // self.grow_factor)

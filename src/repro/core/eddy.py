@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple)
 
+from repro.core import columnar
 from repro.core.routing import BatchingDirective, PER_TUPLE, RoutingPolicy, RandomPolicy
 from repro.core.stem import SteM
 from repro.core.tuples import Punctuation, Tuple, TupleBatch, is_eos
@@ -104,7 +105,7 @@ class EddyOperator:
         """
         survivors: List[Tuple] = []
         outputs: List[Tuple] = []
-        for t in batch.materialize():
+        for t in batch.materialize():  # tcqcheck: allow-row-iteration
             result = self.handle(t)
             outputs.extend(result.outputs)
             if result.passed:
@@ -124,16 +125,12 @@ class EddyOperator:
 
     def _observe_batch(self, mask: Sequence[bool]) -> None:
         """Batched selectivity bookkeeping, equal to calling
-        :meth:`_observe` once per element of ``mask`` in order."""
-        n = len(mask)
-        n_passed = sum(mask)
-        self.seen += n
-        self.passed_count += n_passed
-        ewma = self._ewma_selectivity
-        alpha = self._ewma_alpha
-        for ok in mask:
-            ewma += alpha * ((1.0 if ok else 0.0) - ewma)
-        self._ewma_selectivity = ewma
+        :meth:`_observe` once per element of ``mask`` in order (list
+        masks fold sequentially; array masks use the closed form)."""
+        self.seen += len(mask)
+        self.passed_count += columnar.mask_count(mask)
+        self._ewma_selectivity = columnar.ewma_update(
+            self._ewma_selectivity, self._ewma_alpha, mask)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -315,6 +312,9 @@ class Eddy(Module):
         # Routing flight recorder (disabled by default): consulted at
         # every policy.choose call site, one bool test when off.
         self._recorder = introspect.RECORDER
+        #: Optional PlanFreezer (see :meth:`enable_freezing`); ``None``
+        #: keeps the routing loop free of freeze bookkeeping.
+        self.freezer = None
 
     # -- the routing loop ---------------------------------------------------
     def process(self, item: Tuple, port: int) -> Iterable[Tuple]:
@@ -379,9 +379,24 @@ class Eddy(Module):
         n = len(batch)
         if not n:
             return results
+        fz = self.freezer
+        freeze_key = None
+        if fz is not None:
+            # Footprint-class key; captured before routing mutates the
+            # batch's done bitmap.
+            freeze_key = (batch.done, batch.sources)
+            pipe = fz.frozen.get(freeze_key)
+            if pipe is not None:
+                self.tuples_routed += n
+                self.batches_routed += 1
+                pipe.run(self, batch, results)
+                fz.after_frozen_batch(freeze_key, n)
+                return results
         self.tuples_routed += n
         self.batches_routed += 1
         pending_rows: List[Tuple] = []
+        applied: List[str] = []
+        completed = False
         current: Optional[TupleBatch] = batch
         depth = 0
         while current is not None and len(current):
@@ -393,6 +408,10 @@ class Eddy(Module):
             rep = current.representative()
             eligible = self._eligible(rep)
             if not eligible:
+                # Reaching emission eligibility is what makes the route
+                # freeze-worthy: a batch that died mid-route observed a
+                # truncated operator sequence.
+                completed = True
                 self._emit_batch(current, results)
                 break
             # One fresh policy consultation per batch per hop: the batch
@@ -412,6 +431,8 @@ class Eddy(Module):
                 for tr in current.traces:
                     tr.hop("eddy", self._telemetry_id, op.name)
             current.mark_done(op.bit)
+            if fz is not None:
+                applied.append(op.name)
             self.policy.on_route(op)
             current, outputs = op.handle_batch(current)
             self.policy.on_return(op, len(outputs))
@@ -427,6 +448,8 @@ class Eddy(Module):
             # other vectorized-path decision.
             self._route_worklist(pending_rows, results,
                                  fresh_decisions=True)
+        if fz is not None and applied:
+            fz.observe_route(freeze_key, applied, completed)
         return results
 
     def _emit_batch(self, batch: TupleBatch, results: List) -> None:
@@ -435,14 +458,19 @@ class Eddy(Module):
         if not self.output_sources <= batch.sources:
             return
         if self.dedupe_output:
-            for t in batch.materialize():
+            # PSoup dedupe is a per-row membership test by contract.
+            for t in batch.materialize():  # tcqcheck: allow-row-iteration
                 if self._should_emit(t):
                     tr = t.trace
                     if tr is not None:
                         tr.hop("emit", self._telemetry_id)
                     results.append(t)
             return
-        rows = batch.materialize() if batch._rows is not None else None
+        # Row-backed batches only: the aliased Tuple objects carry the
+        # authoritative dead flags.
+        rows = None
+        if batch._rows is not None:  # tcqcheck: allow-row-iteration
+            rows = batch.materialize()  # tcqcheck: allow-row-iteration
         if rows is not None and any(r.dead for r in rows):
             # Row-backed batches alias tuples that other paths may have
             # killed (SteM-stored rows); the per-tuple path's
@@ -609,7 +637,8 @@ class Eddy(Module):
     def _emit_results(self, results: List) -> None:
         for item in results:
             if isinstance(item, TupleBatch) and not self.emit_batches:
-                for t in item.materialize():
+                # Egress contract: non-batch consumers expect tuples.
+                for t in item.materialize():  # tcqcheck: allow-row-iteration
                     self.emit(t)
             else:
                 self.emit(item)
@@ -635,6 +664,27 @@ class Eddy(Module):
             batch_size, fix_sequence=self.batching.fix_sequence,
             vectorize=self.batching.vectorize)
         self._route_cache.clear()
+
+    def enable_freezing(self, **kwargs):
+        """Attach a :class:`~repro.core.freeze.PlanFreezer` (§4.3
+        "adapting adaptivity": stop paying per-hop routing overhead once
+        a footprint class's route has provably settled).
+
+        Keyword arguments are forwarded to the freezer constructor
+        (``stable_routes``, ``drift_threshold``, ``check_every``).
+        Idempotent only in the sense that calling it again replaces the
+        freezer (and thereby thaws everything)."""
+        # Imported here, not at module top: freeze.py imports operator
+        # classes from this module.
+        from repro.core.freeze import PlanFreezer
+        self.freezer = PlanFreezer(self, **kwargs)
+        return self.freezer
+
+    def disable_freezing(self) -> None:
+        """Drop the freezer; every class returns to adaptive routing."""
+        if self.freezer is not None:
+            self.freezer.thaw_all(reason="freezing disabled")
+            self.freezer = None
 
     def evict_stems_before(self, timestamp: int) -> int:
         """Window expiry across every connected SteM."""

@@ -22,8 +22,9 @@ Index layout per attribute:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
-from typing import Any, Dict, List, Set, Tuple as TypingTuple
+from typing import Any, Dict, List, Optional, Set, Tuple as TypingTuple
 
+from repro.core import columnar
 from repro.errors import QueryError
 from repro.query.predicates import Comparison
 
@@ -55,6 +56,10 @@ class GroupedFilter:
         #: bitmap of registered query ids, maintained incrementally so
         #: the CACQ hot path never rebuilds it.
         self.registered_mask = 0
+        #: cached threshold-value arrays per range bank, rebuilt lazily
+        #: after any registration change.  ``None`` = stale; ``False`` =
+        #: some bank is unpromotable, stay on python bisect.
+        self._bank_arrays: Any = None
         self.probes = 0
         #: pass/drop observation (EXPLAIN selectivity): a "pass" is a
         #: probed tuple that stayed alive for at least one query.
@@ -92,6 +97,7 @@ class GroupedFilter:
             raise QueryError(f"unsupported operator {op!r}")
         self._factor_count[query_id] = self._factor_count.get(query_id, 0) + 1
         self.registered_mask |= 1 << query_id
+        self._bank_arrays = None
 
     def remove_query(self, query_id: int) -> None:
         """Drop every factor registered by ``query_id`` (query removal
@@ -113,6 +119,7 @@ class GroupedFilter:
                     [(v, q) for (v, q) in entries if q != query_id])
         del self._factor_count[query_id]
         self.registered_mask &= ~(1 << query_id)
+        self._bank_arrays = None
 
     @property
     def registered_queries(self) -> Set[int]:
@@ -160,13 +167,66 @@ class GroupedFilter:
         return {qid for qid, n in satisfied.items()
                 if n == self._factor_count[qid]}
 
+    def _threshold_arrays(self) -> Any:
+        """Promoted threshold-value arrays per range bank, cached until
+        registration changes.  ``False`` when some non-empty bank holds
+        unpromotable values (stay on python bisect)."""
+        if self._bank_arrays is None:
+            arrs: Dict[str, Any] = {}
+            for attr in ("_gt", "_ge", "_lt", "_le"):
+                entries = getattr(self, attr)
+                if not entries:
+                    arrs[attr] = None
+                    continue
+                arr = columnar.as_array([v for v, _ in entries])
+                if arr is None:
+                    self._bank_arrays = False
+                    return False
+                arrs[attr] = arr
+            self._bank_arrays = arrs
+        return self._bank_arrays
+
+    def _batch_positions(self, values: List[Any]) -> \
+            Optional[Dict[str, Optional[List[int]]]]:
+        """One searchsorted call per range bank for the whole probe
+        column, or ``None`` to fall back to per-value bisect.
+
+        Positions agree with the bisect sentinels used below:
+        ``bisect_left(bank, (v, -1))`` == searchsorted 'left' on the
+        threshold values (qids are >= 0 > -1), and
+        ``bisect_right(bank, (v, inf))`` == searchsorted 'right'.
+        """
+        if not columnar.have_numpy():
+            return None
+        arrs = self._threshold_arrays()
+        if arrs is False:
+            return None
+        out: Dict[str, Optional[List[int]]] = {}
+        try:
+            for attr, side in (("_gt", "left"), ("_ge", "right"),
+                               ("_lt", "right"), ("_le", "left")):
+                arr = arrs[attr]
+                if arr is None:
+                    out[attr] = None
+                    continue
+                pos = columnar.bisect_batch(arr, values, side)
+                if pos is None:
+                    return None
+                out[attr] = pos
+        except TypeError:
+            # Cross-type probe: the bisect loop raises at the offending
+            # row, preserving per-value semantics.
+            return None
+        return out
+
     def matching_batch(self, values: List[Any]) -> List[Set[int]]:
         """Vectorized probe: one call for a whole column of values.
 
         Index structures, dict accessors, and the per-op emptiness
-        checks are hoisted out of the loop, so a batch pays the Python
-        attribute-chasing once instead of per value.  Semantically equal
-        to ``[self.matching(v) for v in values]`` (including the
+        checks are hoisted out of the loop, and with numpy the four
+        range banks are bisected for ALL probe values in one
+        searchsorted call each.  Semantically equal to
+        ``[self.matching(v) for v in values]`` (including the
         ``probes`` counter).
         """
         self.probes += len(values)
@@ -176,8 +236,14 @@ class GroupedFilter:
         gt, ge, lt, le = self._gt, self._ge, self._lt, self._le
         factor_count = self._factor_count
         inf = float("inf")
+        positions = self._batch_positions(values) \
+            if (gt or ge or lt or le) else None
+        gt_pos = positions["_gt"] if positions else None
+        ge_pos = positions["_ge"] if positions else None
+        lt_pos = positions["_lt"] if positions else None
+        le_pos = positions["_le"] if positions else None
         out: List[Set[int]] = []
-        for value in values:
+        for j, value in enumerate(values):
             satisfied: Dict[int, int] = {}
             for qid in eq_get(value, ()):
                 satisfied[qid] = satisfied.get(qid, 0) + 1
@@ -188,19 +254,27 @@ class GroupedFilter:
                     if held:
                         satisfied[qid] = satisfied.get(qid, 0) + held
             if gt:
-                for i in range(bisect_left(gt, (value, -1))):
+                end = gt_pos[j] if gt_pos is not None \
+                    else bisect_left(gt, (value, -1))
+                for i in range(end):
                     qid = gt[i][1]
                     satisfied[qid] = satisfied.get(qid, 0) + 1
             if ge:
-                for i in range(bisect_right(ge, (value, inf))):
+                end = ge_pos[j] if ge_pos is not None \
+                    else bisect_right(ge, (value, inf))
+                for i in range(end):
                     qid = ge[i][1]
                     satisfied[qid] = satisfied.get(qid, 0) + 1
             if lt:
-                for i in range(bisect_right(lt, (value, inf)), len(lt)):
+                start = lt_pos[j] if lt_pos is not None \
+                    else bisect_right(lt, (value, inf))
+                for i in range(start, len(lt)):
                     qid = lt[i][1]
                     satisfied[qid] = satisfied.get(qid, 0) + 1
             if le:
-                for i in range(bisect_left(le, (value, -1)), len(le)):
+                start = le_pos[j] if le_pos is not None \
+                    else bisect_left(le, (value, -1))
+                for i in range(start, len(le)):
                     qid = le[i][1]
                     satisfied[qid] = satisfied.get(qid, 0) + 1
             out.append({qid for qid, n in satisfied.items()

@@ -80,7 +80,9 @@ class SubEddyOperator(EddyOperator):
         scope with a cleared bitmap; selectivity observes one outcome
         per input row (emitted, or credited with a composite carrying
         its base ids)."""
-        rows = batch.materialize()
+        # Scope save/restore needs the aliased Tuple objects: the inner
+        # eddy mutates their done bits in place.
+        rows = batch.materialize()  # tcqcheck: allow-row-iteration
         outer_done = [t.done for t in rows]
         for t in rows:
             t.done = 0
@@ -92,7 +94,9 @@ class SubEddyOperator(EddyOperator):
         flat: List[Tuple] = []
         for item in emitted:
             if isinstance(item, TupleBatch):
-                flat.extend(item.materialize())
+                # Identity bookkeeping below compares Tuple objects.
+                flat.extend(
+                    item.materialize())  # tcqcheck: allow-row-iteration
             else:
                 flat.append(item)
         row_ids = {id(t) for t in rows}

@@ -24,6 +24,7 @@ import itertools
 from collections import defaultdict, deque
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Sequence, Set, Tuple as TypingTuple)
 
+from repro.core import columnar
 from repro.core.tuples import Schema, Tuple, TupleBatch
 from repro.errors import PlanError
 from repro.monitor.telemetry import get_registry
@@ -88,7 +89,9 @@ class SteM:
             raise PlanError(
                 f"{self.name}: build batch spans {set(batch.sources)}, "
                 f"not home source {self.source!r}")
-        rows = batch.materialize()
+        # SteM storage is row-granular by design: stored Tuple objects
+        # ARE the lineage (dead flags, max_base dedupe).
+        rows = batch.materialize()  # tcqcheck: allow-row-iteration
         self._tuples.extend(rows)
         self.builds += len(rows)
         for tr in batch.traces:
@@ -194,16 +197,20 @@ class SteM:
 
         The access path is chosen once for the batch; with an index the
         probe keys are read straight off the batch's column list (one
-        pass, no per-tuple dict or schema lookup).  Returns the
-        concatenated matches plus a per-prober hit vector (so callers
-        can maintain the same selectivity observations as the per-tuple
-        path).  Counter semantics are identical to calling
+        pass, no per-tuple dict or schema lookup), and an array-backed
+        key column is *factorized* first — each distinct key is hashed
+        and looked up exactly once, then fanned back out to its rows.
+        Returns the concatenated matches plus a per-prober hit vector
+        (so callers can maintain the same selectivity observations as
+        the per-tuple path).  Counter semantics are identical to calling
         :meth:`probe` once per row.
         """
         n = len(batch)
         self.probes += n
         self.batch_probes += 1
-        rows = batch.materialize()
+        # Match composition concatenates prober and stored Tuple
+        # objects row by row.
+        rows = batch.materialize()  # tcqcheck: allow-row-iteration
         hits = [False] * n
         out: List[Tuple] = []
         plan = self._index_probe_plan(predicates, batch.schema)
@@ -211,8 +218,18 @@ class SteM:
         if plan is not None:
             index, theirs = plan
             index_get = index.get
-            buckets: Iterable = (index_get(key, ())
-                                 for key in batch.column(theirs))
+            key_idx = batch.schema.index_of(theirs)
+            key_arr = batch.store.array(key_idx)
+            if key_arr is not None and n > 1:
+                # One-pass vectorized key hashing: unique() factorizes
+                # the key column in C; the dict is probed per DISTINCT
+                # key, not per row.
+                distinct, codes = columnar.distinct_codes(key_arr)
+                per_key = [index_get(k, ()) for k in distinct]
+                buckets: Iterable = [per_key[c] for c in codes]
+            else:
+                buckets = (index_get(key, ())
+                           for key in batch.store.values(key_idx))
         else:
             stored_all = self._tuples
             buckets = (stored_all for _ in range(n))

@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as TypingTuple
 
+from repro.core import columnar
+from repro.core.columnar import ColumnStore
 from repro.errors import SchemaError
 
 _tuple_ids = itertools.count()
@@ -315,21 +317,29 @@ class TupleBatch:
     *row-backed*: :meth:`materialize` caches row tuples, and lineage
     updates (:meth:`mark_done`, :meth:`mark_dead`) propagate to them so
     the per-tuple and vectorized paths observe identical state.
+
+    Columns live in a :class:`~repro.core.columnar.ColumnStore`: each
+    may be lazily promoted to a read-only numpy array (kernels ask via
+    :meth:`column_array`), with a pure-python list fallback when numpy
+    is absent or the values are mixed/nullable.  ``batch.columns`` is
+    preserved as a list-of-lists *view* for compatibility — treat it as
+    read-only; array-backed columns hand out cached copies, so writes
+    to the view would be silently lost.
     """
 
-    __slots__ = ("schema", "columns", "timestamps", "done", "queries",
+    __slots__ = ("schema", "store", "timestamps", "done", "queries",
                  "_rows", "traces")
 
-    def __init__(self, schema: Schema, columns: List[List[Any]],
+    def __init__(self, schema: Schema, columns: Any,
                  timestamps: Optional[List[Optional[int]]] = None,
                  done: int = 0, queries: int = -1,
                  rows: Optional[List["Tuple"]] = None,
                  traces: TypingTuple[Any, ...] = ()):
         self.schema = schema
-        self.columns = columns
+        self.store: ColumnStore = columns if isinstance(columns, ColumnStore) \
+            else ColumnStore(columns)
         if timestamps is None:
-            n = len(columns[0]) if columns else 0
-            timestamps = [None] * n
+            timestamps = [None] * self.store.n_rows()
         self.timestamps = timestamps
         self.done = done
         self.queries = queries
@@ -339,16 +349,31 @@ class TupleBatch:
         # keeps its story even while travelling vectorized.
         self.traces = traces
 
+    @property
+    def columns(self) -> List[List[Any]]:
+        """Per-column value lists (a read-only compatibility view)."""
+        return self.store.as_lists()
+
     # -- construction ------------------------------------------------------
     @classmethod
     def from_tuples(cls, tuples: Sequence["Tuple"],
-                    schema: Optional[Schema] = None) -> "TupleBatch":
-        """Build a row-backed batch from existing tuples.
+                    schema: Optional[Schema] = None,
+                    retain_rows: bool = True) -> "TupleBatch":
+        """Build a batch from existing tuples.
 
         All tuples must share one schema and (because lineage is packed
         batch-wide) the same ``done``/``queries`` bitmaps — true for any
         run of freshly ingested base tuples, which is where batches are
         formed.
+
+        By default the batch is *row-backed*: it keeps the source tuples
+        so lineage updates stay visible through any outside aliases (a
+        SteM that stored them, a client holding a handle).  Ingress
+        paths that just minted the tuples and hand over sole ownership
+        should pass ``retain_rows=False`` to get a *column-backed* batch
+        instead — values are copied out and the row objects dropped, so
+        downstream partitions skip all per-row bookkeeping and stay on
+        the array fast path.
         """
         rows = list(tuples)
         if not rows:
@@ -367,7 +392,8 @@ class TupleBatch:
         if not columns:            # zero-column schema: keep arity
             columns = [[] for _ in schema.columns]
         return cls(schema, columns, [t.timestamp for t in rows],
-                   done=done, queries=queries, rows=rows,
+                   done=done, queries=queries,
+                   rows=rows if retain_rows else None,
                    traces=tuple(t.trace for t in rows
                                 if t.trace is not None))
 
@@ -380,8 +406,13 @@ class TupleBatch:
 
     def column(self, name: str) -> List[Any]:
         """The value list for ``name`` (qualified fallback as in
-        :meth:`Schema.index_of`)."""
-        return self.columns[self.schema.index_of(name)]
+        :meth:`Schema.index_of`); always python scalars."""
+        return self.store.values(self.schema.index_of(name))
+
+    def column_array(self, name: str) -> Optional[Any]:
+        """Column ``name`` as a read-only numpy array, or ``None`` when
+        the column is unpromotable (mixed types, ``None``, no numpy)."""
+        return self.store.array(self.schema.index_of(name))
 
     # -- lineage -----------------------------------------------------------
     def mark_done(self, module_bit: int) -> None:
@@ -407,7 +438,7 @@ class TupleBatch:
         sources, and the shared lineage, all uniform across the batch."""
         if self._rows is not None:
             return self._rows[0]
-        t = Tuple(self.schema, tuple(col[0] for col in self.columns),
+        t = Tuple(self.schema, self.store.row(0),
                   timestamp=self.timestamps[0])
         t.done = self.done
         t.queries = self.queries
@@ -415,13 +446,16 @@ class TupleBatch:
 
     def materialize(self) -> List["Tuple"]:
         """Row tuples for this batch, created lazily and cached (so SteM
-        builds and later lineage updates see the same objects)."""
+        builds and later lineage updates see the same objects).
+
+        Values come through the store's list views, so materialized rows
+        always hold python scalars even for array-backed columns."""
         if self._rows is None:
             schema = self.schema
             done = self.done
             queries = self.queries
             rows: List[Tuple] = []
-            for i, values in enumerate(zip(*self.columns)):
+            for i, values in enumerate(zip(*self.store.as_lists())):
                 t = Tuple(schema, values, timestamp=self.timestamps[i])
                 t.done = done
                 t.queries = queries
@@ -430,27 +464,70 @@ class TupleBatch:
         return self._rows
 
     # -- partitioning ------------------------------------------------------
-    def take(self, indexes: Sequence[int]) -> "TupleBatch":
-        """A new batch holding the rows at ``indexes`` (in order)."""
-        columns = [[col[i] for i in indexes] for col in self.columns]
+    def _subset(self, indexes: List[int], store: ColumnStore) -> "TupleBatch":
+        """A new batch over ``store`` holding rows at ``indexes``.
+
+        Row-backed batches subset the cached row objects too: those rows
+        may alias SteM-stored tuples, and a slice must keep pointing at
+        the SAME objects so lineage updates stay visible everywhere."""
         rows = None
         traces: TypingTuple[Any, ...] = ()
         if self._rows is not None:
             rows = [self._rows[i] for i in indexes]
             traces = tuple(t.trace for t in rows if t.trace is not None)
-        return TupleBatch(self.schema, columns,
+        return TupleBatch(self.schema, store,
                           [self.timestamps[i] for i in indexes],
                           done=self.done, queries=self.queries, rows=rows,
                           traces=traces)
 
-    def partition(self, mask: Sequence[bool]) -> \
+    def take(self, indexes: Sequence[int]) -> "TupleBatch":
+        """A new batch holding the rows at ``indexes`` (in order)."""
+        idx = list(indexes)
+        return self._subset(idx, self.store.take(idx))
+
+    def slice(self, start: int, stop: int) -> "TupleBatch":
+        """Contiguous row range [start, stop) — zero-copy for array
+        columns (the child views the parent's buffers)."""
+        rows = self._rows[start:stop] if self._rows is not None else None
+        traces: TypingTuple[Any, ...] = ()
+        if rows:
+            traces = tuple(t.trace for t in rows if t.trace is not None)
+        return TupleBatch(self.schema, self.store.slice(start, stop),
+                          self.timestamps[start:stop],
+                          done=self.done, queries=self.queries, rows=rows,
+                          traces=traces)
+
+    def partition(self, mask: Any) -> \
             "TypingTuple[TupleBatch, TupleBatch]":
-        """Split into (pass, fail) batches under a selection vector."""
-        if all(mask):
+        """Split into (pass, fail) batches under a selection vector.
+
+        ``mask`` may be a python bool list or a numpy bool array (the
+        output of a ufunc kernel); array masks partition array-backed
+        columns without a python loop."""
+        if columnar.mask_all(mask):
             return self, TupleBatch.from_tuples((), schema=self.schema)
-        passed = [i for i, ok in enumerate(mask) if ok]
-        failed = [i for i, ok in enumerate(mask) if not ok]
-        return self.take(passed), self.take(failed)
+        if self._rows is None and columnar.is_array(mask):
+            # Column-backed batch under an array mask: there are no row
+            # objects or traces to carry over, so the split needs no
+            # per-row index lists — columns compress through numpy and
+            # timestamps through itertools at C speed.
+            inv = columnar.mask_invert(mask)
+            ts = self.timestamps
+            return (TupleBatch(self.schema, self.store.select(mask),
+                               list(itertools.compress(ts, mask.tolist())),
+                               done=self.done, queries=self.queries),
+                    TupleBatch(self.schema, self.store.select(inv),
+                               list(itertools.compress(ts, inv.tolist())),
+                               done=self.done, queries=self.queries))
+        mlist = columnar.mask_to_list(mask)
+        passed = [i for i, ok in enumerate(mlist) if ok]
+        failed = [i for i, ok in enumerate(mlist) if not ok]
+        if columnar.is_array(mask):
+            return (self._subset(passed, self.store.select(mask)),
+                    self._subset(failed,
+                                 self.store.select(columnar.mask_invert(mask))))
+        return (self._subset(passed, self.store.take(passed)),
+                self._subset(failed, self.store.take(failed)))
 
     def __repr__(self) -> str:
         return (f"TupleBatch<{'|'.join(sorted(self.schema.sources))}>"

@@ -13,6 +13,7 @@ import operator
 from typing import (Any, Callable, Dict, FrozenSet, List, Optional, Sequence,
                     Set, Tuple as TypingTuple, TYPE_CHECKING)
 
+from repro.core import columnar
 from repro.core.tuples import Tuple
 from repro.errors import QueryError
 from repro.monitor import telemetry
@@ -20,8 +21,11 @@ from repro.monitor import telemetry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tuples import TupleBatch
 
-#: A compiled predicate kernel: batch in, selection vector out.
-Kernel = Callable[["TupleBatch"], List[bool]]
+#: A compiled predicate kernel: batch in, selection vector out.  The
+#: vector is a python bool list (fallback path) or a numpy bool array
+#: (ufunc path); consumers go through ``repro.core.columnar`` mask
+#: helpers, which accept either.
+Kernel = Callable[["TupleBatch"], Any]
 
 
 class _KernelTotals:
@@ -120,7 +124,8 @@ class Predicate:
         matches = self.matches
 
         def kernel(batch: "TupleBatch") -> List[bool]:
-            return [matches(t) for t in batch.materialize()]
+            return [matches(t)
+                    for t in batch.materialize()]  # tcqcheck: allow-row-iteration
 
         return kernel
 
@@ -207,11 +212,19 @@ class Comparison(Predicate):
         value = self.value
         column = self.column
 
-        def kernel(batch: "TupleBatch") -> List[bool]:
+        def kernel(batch: "TupleBatch") -> Any:
             schema = batch.schema
             if not schema.has_column(column):
                 return [False] * len(batch)
-            col = batch.columns[schema.index_of(column)]
+            idx = schema.index_of(column)
+            arr = batch.store.array(idx)
+            if arr is not None:
+                # ufunc fast path: promoted columns hold no None, so the
+                # null guard of the list path is vacuous here.
+                mask = columnar.compare_array(fn, arr, value)
+                if mask is not None:
+                    return mask
+            col = batch.store.values(idx)
             try:
                 return [v is not None and fn(v, value) for v in col]
             except TypeError:
@@ -293,12 +306,20 @@ class ColumnComparison(Predicate):
         left = self.left
         right = self.right
 
-        def kernel(batch: "TupleBatch") -> List[bool]:
+        def kernel(batch: "TupleBatch") -> Any:
             schema = batch.schema
             if not (schema.has_column(left) and schema.has_column(right)):
                 return [False] * len(batch)
-            lcol = batch.columns[schema.index_of(left)]
-            rcol = batch.columns[schema.index_of(right)]
+            lidx = schema.index_of(left)
+            ridx = schema.index_of(right)
+            larr = batch.store.array(lidx)
+            rarr = batch.store.array(ridx) if larr is not None else None
+            if larr is not None and rarr is not None:
+                mask = columnar.compare_array(fn, larr, rarr)
+                if mask is not None:
+                    return mask
+            lcol = batch.store.values(lidx)
+            rcol = batch.store.values(ridx)
             try:
                 return [fn(l, r) for l, r in zip(lcol, rcol)]
             except TypeError:
@@ -362,13 +383,12 @@ class And(Predicate):
     def _compile_kernel(self) -> Kernel:
         kernels = [p._compile_kernel() for p in self.parts]
 
-        def kernel(batch: "TupleBatch") -> List[bool]:
+        def kernel(batch: "TupleBatch") -> Any:
             if not kernels:
                 return [True] * len(batch)
             mask = kernels[0](batch)
             for k in kernels[1:]:
-                other = k(batch)
-                mask = [a and b for a, b in zip(mask, other)]
+                mask = columnar.mask_and(mask, k(batch))
             return mask
 
         return kernel
@@ -412,13 +432,12 @@ class Or(Predicate):
     def _compile_kernel(self) -> Kernel:
         kernels = [p._compile_kernel() for p in self.parts]
 
-        def kernel(batch: "TupleBatch") -> List[bool]:
+        def kernel(batch: "TupleBatch") -> Any:
             if not kernels:
                 return [False] * len(batch)
             mask = kernels[0](batch)
             for k in kernels[1:]:
-                other = k(batch)
-                mask = [a or b for a, b in zip(mask, other)]
+                mask = columnar.mask_or(mask, k(batch))
             return mask
 
         return kernel
@@ -458,8 +477,8 @@ class Not(Predicate):
     def _compile_kernel(self) -> Kernel:
         inner = self.part._compile_kernel()
 
-        def kernel(batch: "TupleBatch") -> List[bool]:
-            return [not m for m in inner(batch)]
+        def kernel(batch: "TupleBatch") -> Any:
+            return columnar.mask_invert(inner(batch))
 
         return kernel
 
@@ -476,6 +495,49 @@ class Not(Predicate):
 
     def __repr__(self) -> str:
         return f"NOT {self.part!r}"
+
+
+class FusedChain:
+    """A filter *chain* compiled into one fused kernel.
+
+    When the plan freezer pins a stable route, consecutive filters
+    collapse into a single pass: every stage's mask is computed over the
+    full batch width and combined into one selection vector, so the
+    batch is partitioned exactly once instead of once per filter.
+
+    Calling returns ``(alive, masks)``: the combined vector plus the
+    per-stage full-width masks.  The caller recovers exact per-operator
+    ``seen``/``passed`` counts by restricting stage *i*'s mask to the
+    rows still alive after stages ``0..i-1`` — keeping data-plane
+    counter parity with the unfused adaptive path.
+    """
+
+    __slots__ = ("predicates", "kernels")
+
+    def __init__(self, predicates: Sequence[Predicate]):
+        self.predicates = tuple(predicates)
+        self.kernels = [p._compile_kernel() for p in self.predicates]
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __call__(self, batch: "TupleBatch") -> "TypingTuple[Any, List[Any]]":
+        n = len(batch)
+        totals = KERNEL_TOTALS
+        totals.evals += len(self.kernels)
+        totals.rows += n * len(self.kernels)
+        masks = [k(batch) for k in self.kernels]
+        if not masks:
+            return [True] * n, masks
+        alive = masks[0]
+        for m in masks[1:]:
+            alive = columnar.mask_and(alive, m)
+        return alive, masks
+
+
+def compile_fused(predicates: Sequence[Predicate]) -> FusedChain:
+    """Fuse an ordered predicate chain into a single batch kernel."""
+    return FusedChain(predicates)
 
 
 def rewrite_columns(predicate: Predicate, resolve) -> Predicate:

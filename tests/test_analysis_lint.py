@@ -291,3 +291,53 @@ def test_server_door_mentions_the_front_door():
                                      fromlist=["lint_source"]).lint_source(
         textwrap.dedent(src), file="src/repro/x.py")]
     assert "client" in diag.hint or "connect" in diag.hint
+
+
+# -- TCQ501 columnar discipline ------------------------------------------------
+
+def test_columnar_discipline_flags_materialize_in_hot_path():
+    src = """\
+        def handle_batch(batch):
+            return [t for t in batch.materialize()]
+    """
+    assert codes(src, file="src/repro/core/myop.py") == ["TCQ501"]
+    assert codes(src, file="src/repro/query/rewrite.py") == ["TCQ501"]
+
+
+def test_columnar_discipline_flags_foreign_rows_access():
+    src = """\
+        def peek(batch):
+            return batch._rows
+    """
+    assert codes(src, file="src/repro/core/myop.py") == ["TCQ501"]
+
+
+def test_columnar_discipline_allows_self_rows_and_cold_paths():
+    impl = """\
+        class TupleBatch:
+            def materialize(self):
+                return self._rows
+    """
+    # The batch implementation itself and anything outside the hot-path
+    # dirs stay out of scope.
+    assert codes(impl, file="src/repro/core/tuples.py") == []
+    hot = """\
+        rows = batch.materialize()
+    """
+    assert codes(hot, file="src/repro/fjords/module.py") == []
+    assert codes(hot, file="tests/test_something.py") == []
+
+
+def test_columnar_discipline_exemption_comment():
+    src = """\
+        rows = batch.materialize()  # tcqcheck: allow-row-iteration
+    """
+    assert codes(src, file="src/repro/core/myop.py") == []
+
+
+def test_columnar_discipline_hot_paths_are_clean():
+    """The real hot-path modules must hold the invariant (same check the
+    ``--self`` gate runs, narrowed to TCQ501)."""
+    diags = [d for d in lint_paths(["src/repro/core", "src/repro/query"])
+             if d.code == "TCQ501"]
+    assert diags == []

@@ -1,0 +1,496 @@
+"""Columnar execution layer: promotion rules, the lineage-aliasing
+audit, kernel equivalence, fused predicate chains, and the plan
+freezer's freeze/thaw state machine."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import columnar
+from repro.core.columnar import (ColumnStore, as_array, ewma_update,
+                                 have_numpy, mask_compress, mask_to_list,
+                                 numpy_disabled)
+from repro.core.eddy import Eddy, FilterOperator
+from repro.core.routing import BatchingDirective, FixedPolicy
+from repro.core.tuples import Schema, TupleBatch
+from repro.monitor import introspect
+from repro.monitor.introspect import explain_eddy, render_explain
+from repro.monitor.stats import StabilityCounter
+from repro.query.predicates import (And, Comparison, Not, Or,
+                                    compile_fused)
+
+needs_numpy = pytest.mark.skipif(not have_numpy(),
+                                 reason="numpy fast paths inactive")
+
+S = Schema.of("s", "a", "b", "c")
+
+
+def batch_of(rows):
+    return TupleBatch.from_tuples(
+        [S.make(*r, timestamp=i) for i, r in enumerate(rows)])
+
+
+# ------------------------------------------------------- promotion rules
+
+@needs_numpy
+class TestPromotion:
+    def test_homogeneous_numerics_promote(self):
+        for values in ([1, 2, 3], [1.5, 2.5], [True, False],
+                       [1, 2.5, True]):
+            arr = as_array(values)
+            assert arr is not None
+            assert arr.tolist() == values
+
+    def test_all_str_promotes_but_mixes_do_not(self):
+        assert as_array(["x", "y"]) is not None
+        assert as_array(["x", 1]) is None
+        assert as_array([1, "x"]) is None
+
+    def test_none_and_nonscalar_block_promotion(self):
+        assert as_array([1, None, 3]) is None
+        assert as_array([(1, 2), (3, 4)]) is None
+        assert as_array([{"k": 1}]) is None
+        assert as_array([]) is None
+
+    def test_huge_ints_stay_lists(self):
+        assert as_array([1, 2 ** 200]) is None
+
+    def test_promoted_arrays_are_read_only(self):
+        arr = as_array([1, 2, 3])
+        import numpy as np
+        with pytest.raises(ValueError):
+            arr[0] = 99
+        assert isinstance(arr, np.ndarray)
+
+    def test_numpy_disabled_forces_fallback(self):
+        with numpy_disabled():
+            assert not have_numpy()
+            assert as_array([1, 2, 3]) is None
+        assert have_numpy()
+
+
+# --------------------------------------------------------- column store
+
+class TestColumnStore:
+    def test_values_returns_python_scalars(self):
+        store = ColumnStore([[1, 2], [0.5, 1.5]])
+        arr = store.array(0)
+        if have_numpy():
+            assert arr is not None
+        for v in store.values(0):
+            assert type(v) is int
+        r = store.row(1)
+        assert r == (2, 1.5)
+        assert type(r[0]) is int and type(r[1]) is float
+
+    def test_unpromotable_column_cached_as_false(self):
+        store = ColumnStore([[1, None]])
+        assert store.array(0) is None
+        assert store.array(0) is None     # cached miss, no re-promotion
+        assert store.values(0) == [1, None]
+
+    def test_take_select_slice_agree(self):
+        store = ColumnStore([[1, 2, 3, 4], ["w", "x", "y", "z"],
+                             [None, 1, None, 2]])
+        taken = store.take([1, 3])
+        assert taken.as_lists() == [[2, 4], ["x", "z"], [1, 2]]
+        selected = store.select([False, True, False, True])
+        assert selected.as_lists() == taken.as_lists()
+        sliced = store.slice(1, 3)
+        assert sliced.as_lists() == [[2, 3], ["x", "y"], [1, None]]
+
+
+# ------------------------------------------------- lineage-aliasing audit
+
+class TestAliasingAudit:
+    """slice/take/partition hand out views that may share buffers with
+    the parent; nothing reachable from a child may write through to a
+    sibling."""
+
+    @needs_numpy
+    def test_slices_share_buffers_read_only(self):
+        import numpy as np
+        batch = batch_of([(i, i * 2, i * 3) for i in range(8)])
+        arr = batch.column_array("a")
+        left, right = batch.slice(0, 4), batch.slice(2, 8)
+        larr, rarr = left.column_array("a"), right.column_array("a")
+        # Zero-copy: the slices view the parent's buffer...
+        assert np.shares_memory(larr, arr)
+        assert np.shares_memory(larr, rarr)
+        # ...and numpy itself refuses writes through any of them.
+        for a in (arr, larr, rarr):
+            with pytest.raises(ValueError):
+                a[0] = 99
+
+    def test_materializing_a_slice_leaves_siblings_intact(self):
+        # Column-backed batch (no row backing): slices share column
+        # buffers but must materialize INDEPENDENT row objects.
+        # (Row-backed batches share rows on purpose — that is lineage.)
+        batch = TupleBatch(S, [[i for i in range(8)],
+                               [i * 2 for i in range(8)],
+                               [i * 3 for i in range(8)]],
+                           timestamps=list(range(8)))
+        left, right = batch.slice(0, 4), batch.slice(2, 8)
+        rows = left.materialize()
+        rows[2].done = 0xFF
+        rows[2].dead = True
+        # The sibling slice materializes its own rows from the shared
+        # columns; the mutated row must not leak across.
+        sib = right.materialize()
+        assert sib[0].done == 0
+        assert not sib[0].dead
+        assert sib[0].values == (2, 4, 6)
+
+    def test_row_backed_subsets_alias_the_same_tuples(self):
+        """The flip side: when the batch IS row-backed (SteM lineage),
+        subsets must keep pointing at the SAME Tuple objects so
+        mark_done/mark_dead stay visible everywhere."""
+        rows = [S.make(i, i, i, timestamp=i) for i in range(6)]
+        batch = TupleBatch.from_tuples(rows)
+        sub = batch.take([1, 4])
+        assert sub.materialize()[0] is rows[1]
+        sub.mark_done(0b100)
+        assert rows[1].done == 0b100 and rows[4].done == 0b100
+        # but NOT rows outside the subset
+        assert rows[0].done == 0
+
+    def test_partition_kills_only_the_failed_side(self):
+        rows = [S.make(i, 0, 0, timestamp=i) for i in range(6)]
+        batch = TupleBatch.from_tuples(rows)
+        passed, failed = batch.partition(
+            [r.values[0] % 2 == 0 for r in rows])
+        failed.mark_dead()
+        assert all(r.dead for r in failed.materialize())
+        assert not any(r.dead for r in passed.materialize())
+
+    def test_from_tuples_retain_rows_false_is_column_backed(self):
+        """Ingress mode: values are copied out, the source row objects
+        are dropped, and lineage updates no longer reach them."""
+        rows = [S.make(i, i, i, timestamp=i) for i in range(4)]
+        batch = TupleBatch.from_tuples(rows, retain_rows=False)
+        assert batch._rows is None
+        batch.mark_done(0b10)
+        assert all(r.done == 0 for r in rows)       # no aliasing back
+        fresh = batch.materialize()
+        assert all(f is not r for f, r in zip(fresh, rows))
+        assert [f.values for f in fresh] == [r.values for r in rows]
+        assert all(f.done == 0b10 for f in fresh)
+
+    @needs_numpy
+    def test_partition_array_fast_path_matches_row_backed(self):
+        """Column-backed + array mask takes the no-index fast path; it
+        must agree with the row-backed split on values, timestamps, and
+        lineage."""
+        import numpy as np
+        rows = [S.make(i, i * 2, i * 3, timestamp=i + 100)
+                for i in range(9)]
+        mask = np.asarray([i % 3 == 0 for i in range(9)])
+        col = TupleBatch.from_tuples(rows, retain_rows=False)
+        col.done, col.queries = 0b11, 0b1
+        ref = TupleBatch.from_tuples(rows)
+        ref.done, ref.queries = 0b11, 0b1
+        for got, want in zip(col.partition(mask), ref.partition(mask)):
+            assert got._rows is None
+            assert [t.values for t in got.materialize()] == \
+                [t.values for t in want.materialize()]
+            assert got.timestamps == want.timestamps
+            assert (got.done, got.queries) == (want.done, want.queries)
+
+
+# ----------------------------------------------------- columnar ingress
+
+class TestColumnarIngress:
+    def _gen(self, **kw):
+        from repro.ingress.generators import DriftingSelectivityGenerator
+        return DriftingSelectivityGenerator(
+            seed=17, flip_at=48, low_pass=0.1, high_pass=0.9, **kw)
+
+    def test_take_batches_matches_take(self):
+        rows = self._gen().take(100)
+        batches = self._gen().take_batches(100, 32)
+        assert [len(b) for b in batches] == [32, 32, 32, 4]
+        flat = [(b.column("a")[i], b.column("b")[i])
+                for b in batches for i in range(len(b))]
+        assert flat == [t.values for t in rows]
+        assert [ts for b in batches for ts in b.timestamps] == \
+            [t.timestamp for t in rows]
+
+    @needs_numpy
+    def test_take_batches_columns_are_zero_copy_array_views(self):
+        import numpy as np
+        batches = self._gen().take_batches(100, 32)
+        arrs = [b.column_array("a") for b in batches]
+        assert all(a is not None for a in arrs)
+        # Consecutive batches view one promoted parent column.
+        assert np.shares_memory(arrs[0].base, arrs[1].base)
+
+    def test_take_batches_without_numpy_carries_lists(self):
+        with numpy_disabled():
+            batches = self._gen().take_batches(100, 32)
+            assert all(b.column_array("a") is None for b in batches)
+            assert isinstance(batches[0].column("a"), list)
+
+
+# --------------------------------------------------- kernel equivalence
+
+MIXED_ROWS = [(1, "x", None), (2, "y", 3), (0, "x", 1.5),
+              (2 ** 60, "z", None), (-1, "y", 2)]
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("pred", [
+        Comparison("a", "==", 2),
+        Comparison("a", ">", 0),
+        Comparison("b", "==", "y"),
+        Comparison("a", "<=", 1.5),          # int col vs float literal
+        And(Comparison("a", ">", 0), Comparison("b", "!=", "z")),
+        Or(Comparison("a", "<", 0), Comparison("b", "==", "x")),
+        Not(Comparison("a", ">=", 2)),
+    ])
+    def test_kernel_matches_per_tuple_with_and_without_numpy(self, pred):
+        batch = batch_of(MIXED_ROWS)
+        expected = [pred.matches(t) for t in batch.materialize()]
+        assert mask_to_list(pred.compile()(batch)) == expected
+        with numpy_disabled():
+            fb = batch_of(MIXED_ROWS)
+            assert mask_to_list(pred.compile()(fb)) == expected
+
+    def test_none_bearing_column_takes_fallback(self):
+        batch = batch_of(MIXED_ROWS)
+        assert batch.column_array("c") is None or not have_numpy()
+        pred = Comparison("c", "==", 3)
+        got = mask_to_list(pred.compile()(batch))
+        assert got == [pred.matches(t) for t in batch.materialize()]
+
+
+# ----------------------------------------------------------- fused chains
+
+class TestFusedChain:
+    def test_fused_equals_sequential(self):
+        preds = [Comparison("a", ">", 0), Comparison("b", "==", "y"),
+                 Comparison("a", "<", 100)]
+        batch = batch_of(MIXED_ROWS)
+        alive, masks = compile_fused(preds)(batch)
+        expected_alive = [all(p.matches(t) for p in preds)
+                          for t in batch.materialize()]
+        assert mask_to_list(alive) == expected_alive
+        assert len(masks) == 3
+        for p, m in zip(preds, masks):
+            assert mask_to_list(m) == [p.matches(t)
+                                       for t in batch.materialize()]
+
+    def test_stagewise_outcomes_match_unfused_counters(self):
+        """mask_compress(prior, m) is exactly the outcome sequence the
+        unfused path would observe at that stage."""
+        preds = [Comparison("a", ">", 0), Comparison("a", "<", 2)]
+        batch = batch_of([(i % 3, "x", 0) for i in range(9)])
+        _alive, masks = compile_fused(preds)(batch)
+        stage0 = mask_to_list(masks[0])
+        stage1 = mask_to_list(mask_compress(masks[0], masks[1]))
+        # Unfused: stage 1 only sees stage-0 survivors.
+        rows = [t for t in batch.materialize() if preds[0].matches(t)]
+        assert stage1 == [preds[1].matches(t) for t in rows]
+        assert len(stage1) == sum(stage0)
+
+    def test_empty_chain_passes_everything(self):
+        batch = batch_of(MIXED_ROWS)
+        alive, masks = compile_fused([])(batch)
+        assert mask_to_list(alive) == [True] * len(batch)
+        assert masks == []
+
+
+# ------------------------------------------------------------ ewma_update
+
+class TestEwmaUpdate:
+    @pytest.mark.parametrize("outcomes", [
+        [], [True], [False, True, True, False] * 8,
+    ])
+    def test_closed_form_matches_sequential(self, outcomes):
+        alpha, e0 = 0.02, 0.7
+        seq = e0
+        for b in outcomes:
+            seq += alpha * ((1.0 if b else 0.0) - seq)
+        assert ewma_update(e0, alpha, list(outcomes)) == pytest.approx(
+            seq, abs=1e-12)
+        if have_numpy():
+            import numpy as np
+            arr = np.asarray(outcomes, dtype=bool)
+            assert ewma_update(e0, alpha, arr) == pytest.approx(
+                seq, abs=1e-12)
+
+    def test_stability_counter_streaks(self):
+        c = StabilityCounter()
+        assert c.observe(("fa", "fb")) == 1
+        assert c.observe(("fa", "fb")) == 2
+        assert c.observe(("fb", "fa")) == 1
+        c.reset()
+        assert c.observe(("fb", "fa")) == 1
+
+
+# ------------------------------------------------------------ plan freezer
+
+D = Schema.of("d", "a", "b")
+
+
+def _freezer_rig(stable_routes=3, **kw):
+    ops = [FilterOperator(Comparison("a", "==", 1), name="fa"),
+           FilterOperator(Comparison("b", "==", 1), name="fb")]
+    eddy = Eddy(ops, output_sources={"d"},
+                policy=FixedPolicy(["fa", "fb"]),
+                batching=BatchingDirective(8, vectorize=True))
+    freezer = eddy.enable_freezing(stable_routes=stable_routes, **kw)
+    return eddy, ops, freezer
+
+
+def _push(eddy, rows):
+    out = 0
+    batch = TupleBatch.from_tuples(
+        [D.make(*r, timestamp=i) for i, r in enumerate(rows)])
+    for item in eddy.process_batch(batch, 0):
+        out += len(item) if isinstance(item, TupleBatch) else 1
+    return out
+
+
+class TestPlanFreezer:
+    def test_freezes_after_stable_streak_and_runs_frozen(self):
+        eddy, ops, fz = _freezer_rig(stable_routes=3, check_every=10_000)
+        for _ in range(3):
+            _push(eddy, [(1, 1)] * 8)
+        assert fz.freezes == 1 and fz.frozen
+        assert fz.frozen_batches == 0
+        before = eddy.routing_decisions
+        out = _push(eddy, [(1, 1)] * 8)
+        assert out == 8
+        assert fz.frozen_batches == 1 and fz.frozen_rows == 8
+        # The frozen fast path bypasses the policy entirely.
+        assert eddy.routing_decisions == before
+
+    def test_incomplete_routes_never_freeze(self):
+        """A batch that dies mid-route saw a truncated operator list;
+        it must not count toward the freeze streak."""
+        eddy, ops, fz = _freezer_rig(stable_routes=2)
+        for _ in range(10):
+            _push(eddy, [(0, 0)] * 8)     # every row dies at fa
+        assert fz.freezes == 0 and not fz.frozen
+
+    def test_thaws_on_selectivity_drift(self):
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=64,
+                                     drift_threshold=0.15)
+        for _ in range(4):
+            _push(eddy, [(1, 1)] * 8)
+        assert fz.frozen
+        # Flip the distribution: fa's pass rate collapses; the frozen
+        # path keeps observing, so drift crosses the threshold.
+        for _ in range(80):
+            if not fz.frozen:
+                break
+            _push(eddy, [(0, 1)] * 8)
+        assert fz.thaws == 1 and not fz.frozen
+        assert "drift" in fz.thaw_log[0]["reason"]
+        # Streak evidence restarts from scratch after a thaw.
+        assert fz._streaks[(0, frozenset({"d"}))].streak == 0
+
+    def test_thaws_on_flight_recorder_route_change(self):
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=8,
+                                     drift_threshold=10.0)
+        for _ in range(2):
+            _push(eddy, [(1, 1)] * 8)
+        key = (0, frozenset({"d"}))
+        assert key in fz.frozen
+        rec = introspect.RECORDER
+        rec.configure(enabled=True)
+        try:
+            # A recorded decision contradicting the pinned order: the
+            # policy now picks fb where the frozen route runs fa first.
+            rec.record(eddy._telemetry_id, eddy.policy, ops[1], ops)
+            _push(eddy, [(1, 1)] * 8)
+        finally:
+            rec.configure(enabled=False)
+            rec.clear()
+        assert not fz.frozen and fz.thaws == 1
+        assert "route-change" in fz.thaw_log[0]["reason"]
+
+    def test_frozen_results_and_counters_match_adaptive(self):
+        rows = ([(1, 1)] * 5 + [(0, 1)] * 2 + [(1, 0)] * 1) * 12
+        ref_eddy, ref_ops, _ref_fz = _freezer_rig(stable_routes=10 ** 6)
+        ref_out = sum(_push(ref_eddy, rows[i:i + 8])
+                      for i in range(0, len(rows), 8))
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=10 ** 6)
+        out = sum(_push(eddy, rows[i:i + 8])
+                  for i in range(0, len(rows), 8))
+        assert fz.frozen_batches > 0
+        assert out == ref_out
+        for a, b in zip(ref_ops, ops):
+            assert (a.seen, a.passed_count) == (b.seen, b.passed_count)
+            assert a._ewma_selectivity == pytest.approx(
+                b._ewma_selectivity, abs=1e-9)
+
+    def test_explain_reports_frozen_and_reverts_after_thaw(self):
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=10 ** 6)
+        for _ in range(3):
+            _push(eddy, [(1, 1)] * 8)
+        report = explain_eddy(eddy)
+        assert report["ordering_source"] == "frozen"
+        assert report["orderings"][0]["order"] == ["fa", "fb"]
+        assert report["freeze"]["active"] == 1
+        text = render_explain(report)
+        assert "source=frozen" in text and "plan freezer" in text
+        assert "fused: fa+fb" in text
+        fz.thaw_all(reason="test")
+        after = explain_eddy(eddy)
+        assert after["ordering_source"] != "frozen"
+        assert after["freeze"]["active"] == 0
+        assert "thawed fa -> fb" in render_explain(after)
+
+    def test_freeze_telemetry_counters_published(self):
+        from repro.monitor.telemetry import get_registry
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=10 ** 6)
+        for _ in range(4):
+            _push(eddy, [(1, 1)] * 8)
+        snap = get_registry().snapshot()
+        fzid = fz._telemetry_id
+        assert snap.value("tcq_freeze_engaged_total", freezer=fzid) == 1
+        assert snap.value("tcq_freeze_thaws_total", freezer=fzid) == 0
+        assert snap.value("tcq_freeze_frozen_batches_total",
+                          freezer=fzid) >= 1
+        assert snap.value("tcq_freeze_frozen_rows_total",
+                          freezer=fzid) >= 8
+        assert snap.value("tcq_freeze_active", freezer=fzid) == 1
+
+    def test_disable_freezing_thaws_everything(self):
+        eddy, ops, fz = _freezer_rig(stable_routes=2, check_every=10 ** 6)
+        for _ in range(3):
+            _push(eddy, [(1, 1)] * 8)
+        assert fz.frozen
+        eddy.disable_freezing()
+        assert eddy.freezer is None and not fz.frozen
+        # And the eddy keeps running adaptively.
+        assert _push(eddy, [(1, 1)] * 8) == 8
+
+
+# ------------------------------------------------- the no-numpy CI leg
+
+def test_engine_runs_with_numpy_forced_off():
+    """REPRO_NO_NUMPY=1 must flip the whole engine to the pure-python
+    fallback at import time; a representative tier-1 subset runs in a
+    subprocess under that gate."""
+    env = dict(os.environ, REPRO_NO_NUMPY="1",
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, ["src", os.environ.get("PYTHONPATH", "")])))
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.core import columnar; "
+         "assert not columnar.have_numpy(); "
+         "assert columnar.as_array([1, 2, 3]) is None; print('ok')"],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert probe.returncode == 0 and "ok" in probe.stdout, probe.stderr
+    gate = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "-p", "no:cacheprovider",
+         "tests/test_tuples.py", "tests/test_predicates.py",
+         "tests/test_eddy.py"],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert gate.returncode == 0, gate.stdout + gate.stderr
