@@ -1,0 +1,183 @@
+"""E6/E7 on the real multiprocess data plane (``pytest -m cluster``).
+
+The simulated E6/E7 benchmarks measure balance and failover in *ticks*;
+these port the same two workloads to
+:class:`~repro.flux.procs.MultiprocessBackend` so the numbers become
+wall-clock: per-worker throughput on real interpreters, recovery
+milliseconds for a SIGKILL'd process pair, and the drain-time cost of
+worker heterogeneity.  Both backends run the identical Flux code path —
+the simulated run rides along as the in-file control.
+
+Results land in ``BENCH_flux_mp.json``; ``cpus`` is recorded with every
+entry because scale-out headroom (and the E6-style speedup) depends on
+the cores actually available to this container.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.flux.cluster import Cluster, GroupCountState
+from repro.flux.flux import Flux
+from repro.flux.procs import MultiprocessBackend
+from repro.monitor.clock import now
+
+from benchmarks.conftest import print_table, record_result
+
+pytestmark = pytest.mark.cluster
+
+PACKETS = Schema.of("pkts", "src")
+N_TUPLES = 4000
+N_KEYS = 32
+CPUS = len(os.sched_getaffinity(0))
+
+
+def stream(zipf=0.0, seed=14, n=N_TUPLES):
+    rng = random.Random(seed)
+    if zipf:
+        weights = [1.0 / (k + 1) ** zipf for k in range(N_KEYS)]
+        return [PACKETS.make(rng.choices(range(N_KEYS),
+                                         weights=weights)[0],
+                             timestamp=i) for i in range(n)]
+    return [PACKETS.make(rng.randrange(N_KEYS), timestamp=i)
+            for i in range(n)]
+
+
+def truth(data):
+    out = {}
+    for t in data:
+        out[t["src"]] = out.get(t["src"], 0) + 1
+    return out
+
+
+def group_factory():
+    return GroupCountState("src")
+
+
+def drive(backend, data, replication=0, fail_tick=None, batch=200):
+    """Run the standard E6/E7 drive loop; returns (flux, wall_seconds)."""
+    flux = Flux(backend, n_partitions=8, key_fn=lambda t: t["src"],
+                state_factory=group_factory, replication=replication)
+    started = now()
+    ticks = 0
+    i = 0
+    while i < len(data) or flux.unacked_total():
+        rows = data[i:i + batch]
+        i += len(rows)
+        flux.tick(rows)
+        ticks += 1
+        if fail_tick is not None and ticks == fail_tick:
+            backend.fail("w1")
+            flux.on_machine_failure("w1")
+        if ticks > 100_000:
+            raise AssertionError("no progress")
+    return flux, now() - started
+
+
+def sim_backend(n=3):
+    cluster = Cluster()
+    for i in range(n):
+        cluster.add_machine(f"w{i}", speed=70)
+    return cluster
+
+
+def test_mp_e6_balance_wall_clock():
+    """E6 on processes: a spun-down worker is genuinely slower; the run
+    completes with exact answers and the imbalance is measured in
+    wall-clock backlog, not simulated ticks."""
+    data = stream(zipf=1.2)
+    expected = truth(data)
+    rows = []
+    for label, spins in (("uniform", {}),
+                         ("hetero", {"w0": 1500})):
+        with MultiprocessBackend(workers=3, spins=spins) as backend:
+            flux, wall = drive(backend, list(data))
+            assert flux.merged_counts() == expected
+            per_worker = {w: backend.processed_count(w)
+                          for w in backend.machine_ids()}
+            rows.append((label, round(wall, 3),
+                         round(len(data) / wall),
+                         str(per_worker)))
+            record_result(
+                "flux_mp", {
+                    "experiment": "e6_balance",
+                    "workers": 3,
+                    "spins": spins,
+                    "tuples": len(data),
+                    "cpus": CPUS,
+                },
+                throughput=len(data) / wall,
+                wall_clock_s=wall,
+                per_worker_processed=per_worker,
+                backend="multiprocess")
+    print_table("E6-mp: wall-clock drain on real workers",
+                ["workers", "wall_s", "tuples/s", "per-worker"], rows)
+
+
+def test_mp_e7_failover_wall_clock():
+    """E7 on processes: SIGKILL a worker mid-run.  Replicated runs lose
+    nothing and the recovery time (snapshot + install + replay over
+    real pipes) is recorded in milliseconds of wall clock."""
+    data = stream(seed=21)
+    expected = truth(data)
+    rows = []
+    for replication in (1, 0):
+        with MultiprocessBackend(workers=3) as backend:
+            flux, wall = drive(backend, list(data),
+                               replication=replication, fail_tick=4)
+            counted = sum(flux.merged_counts().values())
+            recovery_ms = flux.recovery_times_ms[-1]
+            exact = flux.merged_counts() == expected
+            rows.append((replication, round(wall, 3), counted,
+                         flux.lost_tuples, exact,
+                         round(recovery_ms, 2)))
+            record_result(
+                "flux_mp", {
+                    "experiment": "e7_failover",
+                    "workers": 3,
+                    "replication": replication,
+                    "tuples": len(data),
+                    "cpus": CPUS,
+                },
+                throughput=len(data) / wall,
+                wall_clock_s=wall,
+                recovery_ms=recovery_ms,
+                lost_tuples=flux.lost_tuples,
+                exact=exact,
+                backend="multiprocess")
+    print_table("E7-mp: SIGKILL at tick 4, by replication degree",
+                ["replication", "wall_s", "counted", "lost", "exact",
+                 "recovery_ms"], rows)
+    # process pairs: zero loss, exact answer, measurable recovery
+    assert rows[0][3] == 0 and rows[0][4]
+    assert rows[0][5] > 0.0
+    # unreplicated: loss fully accounted
+    assert rows[1][2] + rows[1][3] == len(data)
+
+
+def test_mp_vs_simulated_same_answers():
+    """The control: identical workload through both substrates."""
+    data = stream(zipf=1.2, seed=8)
+    sim_flux, sim_wall = drive(sim_backend(3), list(data), replication=1)
+    with MultiprocessBackend(workers=3) as backend:
+        mp_flux, mp_wall = drive(backend, list(data), replication=1)
+        assert mp_flux.merged_counts() == sim_flux.merged_counts() \
+            == truth(data)
+    record_result(
+        "flux_mp", {
+            "experiment": "parity",
+            "workers": 3,
+            "replication": 1,
+            "tuples": len(data),
+            "cpus": CPUS,
+        },
+        throughput=len(data) / mp_wall,
+        wall_clock_s=mp_wall,
+        simulated_wall_clock_s=round(sim_wall, 6),
+        backend="multiprocess")
+    print_table("parity: simulated vs multiprocess, replicated",
+                ["backend", "wall_s"],
+                [("simulated", round(sim_wall, 3)),
+                 ("multiprocess", round(mp_wall, 3))])

@@ -91,9 +91,12 @@ from repro.errors import (ClusterError, ExecutionError, ParseError,
 from repro.fjords.fjord import Fjord
 from repro.fjords.module import CollectingSink, Module, SinkModule, SourceModule
 from repro.fjords.queues import ExchangeQueue, FjordQueue, PullQueue, PushQueue
+from repro.flux.backend import ClusterBackend, PartitionHandoff, \
+    SimulatedBackend, as_backend
 from repro.flux.cluster import Cluster, GroupCountState, Machine
-from repro.flux.flux import Flux
+from repro.flux.flux import Flux, FluxPump
 from repro.flux.parallel_cacq import CACQPartitionState, ParallelCACQ
+from repro.flux.procs import LoopbackBackend, MultiprocessBackend
 from repro.juggle.juggle import Juggle
 from repro.ingress.sensor_proxy import SensorProxy
 from repro.ingress.tess import SimulatedWebForm, TessWrapper
@@ -120,24 +123,27 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptivityController", "And", "BatchingDirective", "CACQEngine", "CacheSteM", "Catalog",
     "ClientProxy", "Cluster", "ClusterError", "CollectingSink", "Column",
-    "ColumnComparison", "Comparison", "ContinuousQuery", "Cursor",
+    "ClusterBackend", "ColumnComparison", "Comparison", "ContinuousQuery",
+    "Cursor",
     "CentralizedAggregator", "DataflowScript", "DispatchUnit", "Eddy",
     "EddyOperator", "ExchangeQueue",
     "ExecutionError", "ExecutionObject", "Executor", "FanoutEgress",
     "Fjord", "FjordQueue",
-    "FilterOperator", "FixedPolicy", "Flux", "ForLoopSpec",
+    "FilterOperator", "FixedPolicy", "Flux", "FluxPump", "ForLoopSpec",
     "GreedySelectivityPolicy", "GroupCountState", "GroupedFilter",
-    "HistoricalStore", "Juggle", "LoadShedder", "LotteryPolicy", "Machine",
-    "Module", "Not", "OnDemandPSoup", "Or", "ParseError", "PlanError",
+    "HistoricalStore", "Juggle", "LoadShedder", "LoopbackBackend",
+    "LotteryPolicy", "Machine", "Module", "MultiprocessBackend", "Not",
+    "OnDemandPSoup", "Or", "ParseError", "PartitionHandoff", "PlanError",
     "Predicate", "PSoup", "PSoupQuery", "PullEgress", "PullQueue",
     "Punctuation", "PushEgress",
     "PushQueue", "QueryError", "RandomPolicy", "RendezvousBuffer",
     "RankPolicy", "RoutingPolicy", "RoutingTree", "Schema", "SchemaError",
-    "SensorProxy", "SinkModule", "SourceModule", "SteM", "SteMOperator",
+    "SensorProxy", "SimulatedBackend", "SinkModule", "SourceModule", "SteM",
+    "SteMOperator",
     "StorageError", "TagAggregator", "TelegraphCQServer", "TelegraphError",
     "TelemetryError",
     "TranscodingEgress", "Tuple", "WindowIs", "WindowedQueryRunner",
-    "parse", "parse_predicate", "parse_script",
+    "as_backend", "parse", "parse_predicate", "parse_script",
     "BroadcastReader", "BroadcastSchedule", "BufferPool", "PeriodicQuery",
     "SimulatedWebForm", "SpillStore", "SpillingQueryStore",
     "SpooledStream", "SubEddyOperator", "TessWrapper", "expected_wait",

@@ -32,7 +32,12 @@ cross-module class map first, then per-file rules) and emits ``TCQ3xx``
   the batch implementation itself.  Row materialization costs one
   Python object per cell and forfeits every kernel; the handful of
   legitimately row-granular sites (SteM storage, dedupe emission,
-  per-element kernel fallback) carry explicit exemptions.
+  per-element kernel fallback) carry explicit exemptions;
+* ``TCQ601`` process confinement — multiprocessing / ``os.fork`` /
+  ``ProcessPoolExecutor`` primitives live only in
+  ``repro/flux/procs.py``.  Worker lifecycle (spawn, teardown,
+  orphan prevention) is centralised there; a stray ``Process`` in
+  another module escapes the atexit sweep and leaks interpreters.
 
 A finding is suppressed by an exemption comment on the offending line
 (or the ``class``/``def`` line for class-level rules)::
@@ -60,6 +65,7 @@ EXEMPT_TAGS = {
     "TCQ305": "allow-unbounded",
     "TCQ401": "allow-direct-server",
     "TCQ501": "allow-row-iteration",
+    "TCQ601": "allow-process",
 }
 
 #: TCQ501 scope: path fragments whose files are batch hot paths, and
@@ -435,6 +441,59 @@ def _rule_columnar_discipline(tree: ast.Module, file: str,
     return diags
 
 
+_FORK_OS_NAMES = {"fork", "forkpty", "posix_spawn", "posix_spawnp"}
+_PROCESS_EXECUTORS = {"ProcessPoolExecutor"}
+
+
+def _rule_process_confinement(tree: ast.Module, file: str,
+                              lines: Sequence[str]) -> List[Diagnostic]:
+    """TCQ601: process-spawning primitives are confined to
+    ``repro/flux/procs.py``, where lifecycle (graceful teardown, the
+    atexit sweep, the orphan leak check) is centralised."""
+    norm = file.replace(os.sep, "/")
+    if norm.endswith("repro/flux/procs.py") or "/tests/" in norm or \
+            norm.rsplit("/", 1)[-1].startswith("test_"):
+        return []
+    diags: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        bad: Optional[str] = None
+        lineno = 0
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "multiprocessing":
+                    bad, lineno = f"import {alias.name}", node.lineno
+                    break
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[0] == "multiprocessing":
+                bad, lineno = f"from {module} import ...", node.lineno
+            elif module.startswith("concurrent.futures"):
+                hit = [a.name for a in node.names
+                       if a.name in _PROCESS_EXECUTORS]
+                if hit:
+                    bad = f"from {module} import {hit[0]}"
+                    lineno = node.lineno
+        elif isinstance(node, ast.Attribute) and \
+                node.attr in _FORK_OS_NAMES and \
+                isinstance(node.value, ast.Name) and node.value.id == "os":
+            bad, lineno = f"os.{node.attr}", node.lineno
+        elif isinstance(node, ast.Attribute) and \
+                node.attr in _PROCESS_EXECUTORS:
+            bad, lineno = f"{node.attr}", node.lineno
+        if bad is None or _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ601"]):
+            continue
+        diags.append(Diagnostic(
+            "TCQ601",
+            f"process primitive ({bad}) outside repro/flux/procs.py; "
+            f"workers spawned here escape the centralised teardown and "
+            f"orphan sweep",
+            file=file, line=lineno,
+            hint="route process work through repro.flux.procs "
+                 "(MultiprocessBackend), or mark the line "
+                 "'# tcqcheck: allow-process'"))
+    return diags
+
+
 # -- drivers -------------------------------------------------------------------
 
 def _parse_file(path: str) -> Optional[Tuple[ast.Module, List[str]]]:
@@ -483,6 +542,7 @@ def lint_paths(paths: Iterable[str]) -> List[Diagnostic]:
         diags.extend(_rule_bounded_rings(tree, f, lines))
         diags.extend(_rule_server_door(tree, f, lines))
         diags.extend(_rule_columnar_discipline(tree, f, lines))
+        diags.extend(_rule_process_confinement(tree, f, lines))
     return diags
 
 
@@ -507,4 +567,5 @@ def lint_source(source: str, file: str = "<string>",
     diags.extend(_rule_bounded_rings(tree, file, lines))
     diags.extend(_rule_server_door(tree, file, lines))
     diags.extend(_rule_columnar_discipline(tree, file, lines))
+    diags.extend(_rule_process_confinement(tree, file, lines))
     return diags

@@ -65,6 +65,9 @@ CODES: Dict[str, str] = {
               "repro.client (the unified connect() API is the only door)",
     "TCQ501": "row-granular batch access (.materialize() / foreign "
               "._rows) in a hot-path module (columnar discipline)",
+    "TCQ601": "process primitive (multiprocessing / os.fork / "
+              "ProcessPoolExecutor) outside repro/flux/procs.py "
+              "(process confinement)",
 }
 
 

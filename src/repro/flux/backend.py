@@ -1,0 +1,308 @@
+"""The ClusterBackend protocol: Flux's one window onto a cluster.
+
+Flux (Section 2.4) needs surprisingly little from the substrate it
+partitions work across: spawn a partition's state somewhere, route a
+tuple at a machine, collect acknowledgements, read backlogs, hand a
+partition's state from one machine to another, and kill a machine.
+Everything else — the in-flight ledger, placement maps, move and
+failover protocols — is Flux's own bookkeeping and never needs to see
+*how* machines run.
+
+This module pins that contract down as :class:`ClusterBackend` so the
+same Flux code drives two substrates:
+
+* :class:`SimulatedBackend` — the original virtual
+  :class:`~repro.flux.cluster.Cluster` with its deterministic tick
+  clock.  Tier-1 tests and trend benchmarks run here: zero processes,
+  bit-stable scheduling, simulated-tick timings.
+* :class:`~repro.flux.procs.MultiprocessBackend` — real spawned worker
+  processes connected by pipes carrying
+  :mod:`repro.net.frames`-encoded messages.  Balance and recovery
+  become *wall-clock* quantities.
+
+State crosses machines only as a :class:`PartitionHandoff`: the
+snapshot (as produced by :meth:`PartitionState.snapshot`), its size
+(the cost driver of a move) and its applied count (the loss accounting
+unit).  The simulated backend may additionally pass the live state
+object so an intra-simulation move stays a pointer swap, exactly as the
+pre-backend code behaved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple as TypingTuple
+
+from repro.core.tuples import Tuple
+from repro.errors import ClusterError
+from repro.flux.cluster import Cluster, PartitionState
+
+#: Acks as returned by ``step``/``poll_acks``: machine id -> [(pid, seq)].
+AckMap = Dict[str, List[TypingTuple[int, int]]]
+
+
+class PartitionHandoff:
+    """One partition's state in transit between machines.
+
+    ``snapshot`` is always present and deep-copyable; ``state`` is an
+    optional live :class:`PartitionState` for same-process moves (the
+    simulated backend uses it so a move does not pay a snapshot
+    round-trip, matching the historical pointer-swap semantics).
+    """
+
+    __slots__ = ("snapshot", "size", "applied", "state")
+
+    def __init__(self, snapshot: Any, size: int, applied: int,
+                 state: Optional[PartitionState] = None):
+        self.snapshot = snapshot
+        self.size = size
+        self.applied = applied
+        self.state = state
+
+    def __repr__(self) -> str:
+        return (f"PartitionHandoff(size={self.size}, "
+                f"applied={self.applied})")
+
+
+class ClusterBackend:
+    """The substrate contract Flux programs against.
+
+    Concrete backends implement machine lifecycle, routing, and state
+    handoff; the base class supplies derived metrics (imbalance) and
+    the context-manager lifecycle.  All methods are synchronous from
+    Flux's point of view — a multiprocess backend hides its pipes
+    behind them.
+    """
+
+    # -- configuration ------------------------------------------------------
+    def configure(self, state_factory: Callable[[], PartitionState]) -> None:
+        """Install the partition-state factory.  Must be called before
+        any ``create_partition``; a multiprocess backend requires the
+        factory to be picklable (module-level callable or
+        ``functools.partial`` of one)."""
+        raise NotImplementedError
+
+    # -- membership ---------------------------------------------------------
+    def machine_ids(self) -> List[str]:
+        raise NotImplementedError
+
+    def alive_ids(self) -> List[str]:
+        raise NotImplementedError
+
+    def is_alive(self, machine_id: str) -> bool:
+        raise NotImplementedError
+
+    # -- partition state ----------------------------------------------------
+    def create_partition(self, machine_id: str, pid: int) -> None:
+        """Spawn a fresh (empty) state for ``pid`` on ``machine_id``."""
+        raise NotImplementedError
+
+    def install_partition(self, machine_id: str, pid: int,
+                          handoff: PartitionHandoff) -> None:
+        """Install moved/replicated state for ``pid`` on ``machine_id``."""
+        raise NotImplementedError
+
+    def remove_partition(self, machine_id: str,
+                         pid: int) -> Optional[PartitionHandoff]:
+        """Detach ``pid`` from ``machine_id`` and return its state."""
+        raise NotImplementedError
+
+    def snapshot_partition(self, machine_id: str,
+                           pid: int) -> Optional[PartitionHandoff]:
+        """Copy ``pid``'s state on ``machine_id`` without detaching it.
+
+        Backends must barrier this against in-flight data: every tuple
+        already routed at the machine is applied before the snapshot is
+        taken (the multiprocess backend drains the data pipe to a
+        marker; the simulated backend is trivially ordered).
+        """
+        raise NotImplementedError
+
+    def peek_partition(self, machine_id: str,
+                       pid: int) -> Optional[PartitionState]:
+        """The live state object where one exists in this process —
+        a read-only fast path for result merging.  Backends whose state
+        lives elsewhere return None and callers fall back to
+        ``snapshot_partition``."""
+        return None
+
+    # -- data plane ---------------------------------------------------------
+    def enqueue(self, machine_id: str, pid: int, seq: int,
+                t: Tuple) -> None:
+        raise NotImplementedError
+
+    def step(self) -> AckMap:
+        """Let machines work; collect acknowledgements."""
+        raise NotImplementedError
+
+    def poll_acks(self) -> AckMap:
+        """Drain any already-available acknowledgements *without*
+        driving new work.  Backends with asynchronous workers override
+        this so Flux can sync its ledger mid-protocol (e.g. before
+        computing what to forward to a fresh replica)."""
+        return {}
+
+    # -- health -------------------------------------------------------------
+    def backlog(self, machine_id: str) -> int:
+        raise NotImplementedError
+
+    def backlogs(self) -> Dict[str, int]:
+        """Per-alive-machine queued/unacknowledged work."""
+        return {mid: self.backlog(mid) for mid in self.alive_ids()}
+
+    def imbalance(self) -> float:
+        """max/mean backlog across alive machines (1.0 = balanced)."""
+        values = list(self.backlogs().values())
+        if not values:
+            return 0.0
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 1.0
+        return max(values) / mean
+
+    def heartbeat(self) -> Dict[str, Dict[str, Any]]:
+        """Last-known per-machine health: at least ``alive``,
+        ``backlog`` and ``processed``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for mid in self.machine_ids():
+            alive = self.is_alive(mid)
+            out[mid] = {
+                "alive": alive,
+                "backlog": self.backlog(mid) if alive else 0,
+                "processed": self.processed_count(mid),
+            }
+        return out
+
+    def applied_count(self, machine_id: str, pid: int) -> int:
+        """Tuples applied into ``pid``'s state on ``machine_id`` (dead
+        machines included) — the unit of loss accounting."""
+        raise NotImplementedError
+
+    def processed_count(self, machine_id: str) -> int:
+        raise NotImplementedError
+
+    def total_processed(self) -> int:
+        return sum(self.processed_count(mid) for mid in self.machine_ids())
+
+    # -- failure ------------------------------------------------------------
+    def fail(self, machine_id: str) -> None:
+        """Crash the machine: its queued work and state are gone."""
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release substrate resources (idempotent)."""
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SimulatedBackend(ClusterBackend):
+    """The deterministic tier-1 substrate: virtual machines on a tick
+    clock, adapted to the backend protocol.
+
+    The wrapped :class:`~repro.flux.cluster.Cluster` remains fully
+    inspectable (tests poke machines directly), and moves pass live
+    state objects so behaviour is bit-identical to the pre-backend
+    Flux."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._factory: Optional[Callable[[], PartitionState]] = None
+
+    # -- configuration ------------------------------------------------------
+    def configure(self, state_factory: Callable[[], PartitionState]) -> None:
+        self._factory = state_factory
+
+    def _require_factory(self) -> Callable[[], PartitionState]:
+        if self._factory is None:
+            raise ClusterError("backend not configured with a state factory")
+        return self._factory
+
+    # -- membership ---------------------------------------------------------
+    def machine_ids(self) -> List[str]:
+        return list(self.cluster.machines)
+
+    def alive_ids(self) -> List[str]:
+        return [m.machine_id for m in self.cluster.alive_machines()]
+
+    def is_alive(self, machine_id: str) -> bool:
+        return self.cluster.machine(machine_id).alive
+
+    # -- partition state ----------------------------------------------------
+    def create_partition(self, machine_id: str, pid: int) -> None:
+        machine = self.cluster.machine(machine_id)
+        machine.partitions[pid] = self._require_factory()()
+
+    def install_partition(self, machine_id: str, pid: int,
+                          handoff: PartitionHandoff) -> None:
+        machine = self.cluster.machine(machine_id)
+        if handoff.state is not None:
+            machine.partitions[pid] = handoff.state
+            return
+        state_cls = type(self._require_factory()())
+        machine.partitions[pid] = state_cls.from_snapshot(handoff.snapshot)
+
+    def remove_partition(self, machine_id: str,
+                         pid: int) -> Optional[PartitionHandoff]:
+        machine = self.cluster.machine(machine_id)
+        state = machine.partitions.pop(pid, None)
+        if state is None:
+            return None
+        return PartitionHandoff(None, state.size(),
+                                getattr(state, "applied", 0), state=state)
+
+    def snapshot_partition(self, machine_id: str,
+                           pid: int) -> Optional[PartitionHandoff]:
+        state = self.peek_partition(machine_id, pid)
+        if state is None:
+            return None
+        return PartitionHandoff(state.snapshot(), state.size(),
+                                getattr(state, "applied", 0))
+
+    def peek_partition(self, machine_id: str,
+                       pid: int) -> Optional[PartitionState]:
+        machine = self.cluster.machine(machine_id)
+        if not machine.alive:
+            return None
+        return machine.partitions.get(pid)
+
+    # -- data plane ---------------------------------------------------------
+    def enqueue(self, machine_id: str, pid: int, seq: int,
+                t: Tuple) -> None:
+        self.cluster.machine(machine_id).enqueue(pid, seq, t)
+
+    def step(self) -> AckMap:
+        return self.cluster.step()
+
+    # -- health -------------------------------------------------------------
+    def backlog(self, machine_id: str) -> int:
+        return self.cluster.machine(machine_id).backlog()
+
+    def applied_count(self, machine_id: str, pid: int) -> int:
+        machine = self.cluster.machine(machine_id)
+        state = machine.partitions.get(pid)
+        if state is None:
+            state = machine.lost_partitions.get(pid)
+        return getattr(state, "applied", 0) if state is not None else 0
+
+    def processed_count(self, machine_id: str) -> int:
+        return self.cluster.machine(machine_id).processed
+
+    # -- failure ------------------------------------------------------------
+    def fail(self, machine_id: str) -> None:
+        self.cluster.fail(machine_id)
+
+
+def as_backend(substrate: Any) -> ClusterBackend:
+    """Normalise a substrate argument: a bare simulated Cluster is
+    wrapped, a backend passes through."""
+    if isinstance(substrate, ClusterBackend):
+        return substrate
+    if isinstance(substrate, Cluster):
+        return SimulatedBackend(substrate)
+    raise ClusterError(
+        f"expected a ClusterBackend or Cluster, got "
+        f"{type(substrate).__name__}")

@@ -23,6 +23,17 @@ machine's crash removes it from every pending set (it will never ack);
 whatever was pending **only** on the dead machine is replayed to the
 partition's new home.  With a live replica nothing is ever pending only
 on the primary, which is exactly why process pairs lose nothing.
+
+Flux itself never touches a machine: it programs exclusively against
+the :class:`~repro.flux.backend.ClusterBackend` protocol, so the same
+routing/balancing/failover logic runs on the deterministic simulated
+cluster (tier-1) and on real worker processes
+(:class:`~repro.flux.procs.MultiprocessBackend`), where recovery and
+imbalance are wall-clock quantities.  Every question Flux used to
+answer by peeking into machine queues is now answered from its own
+in-flight ledger — the ledger and the queues are views of the same
+un-acknowledged set, and only the ledger exists on this side of a
+process boundary.
 """
 
 from __future__ import annotations
@@ -30,13 +41,17 @@ from __future__ import annotations
 import itertools
 import zlib
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple as TypingTuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, \
+    Sequence, Set, Tuple as TypingTuple
 
 from repro.core.tuples import Tuple
 from repro.errors import ClusterError
-from repro.flux.cluster import Cluster, Machine, PartitionState
+from repro.flux.backend import ClusterBackend, PartitionHandoff, as_backend
+from repro.flux.cluster import Cluster, PartitionState
+from repro.monitor.clock import now
 from repro.monitor.telemetry import get_registry
-from repro.sched import FunctionUnit, Scheduler, SchedulerStall
+from repro.sched import FunctionUnit, Schedulable, Scheduler, \
+    SchedulerStall, StepResult
 
 _FLUX_IDS = itertools.count()
 
@@ -57,7 +72,7 @@ class PartitionMove:
 class Flux:
     """The operator: partitioned routing + balancing + failover."""
 
-    def __init__(self, cluster: Cluster, n_partitions: int,
+    def __init__(self, backend: Any, n_partitions: int,
                  key_fn: Callable[[Tuple], Any],
                  state_factory: Callable[[], PartitionState],
                  replication: int = 0,
@@ -65,12 +80,13 @@ class Flux:
                  imbalance_threshold: float = 2.0):
         if replication not in (0, 1):
             raise ClusterError("replication degree must be 0 or 1")
-        machines = cluster.alive_machines()
+        self.backend: ClusterBackend = as_backend(backend)
+        self.backend.configure(state_factory)
+        machines = self.backend.alive_ids()
         if not machines:
             raise ClusterError("cluster has no machines")
         if replication and len(machines) < 2:
             raise ClusterError("replication needs at least two machines")
-        self.cluster = cluster
         self.n_partitions = n_partitions
         self.key_fn = key_fn
         self.state_factory = state_factory
@@ -78,40 +94,55 @@ class Flux:
         self.rebalance_every = rebalance_every
         self.imbalance_threshold = imbalance_threshold
         self._seq = itertools.count()
+        self._epoch = 0
         # Placement: round-robin primaries; replicas offset by one so a
         # process pair never shares a machine.
         self.primary: Dict[int, str] = {}
         self.replica: Dict[int, str] = {}
         for pid in range(n_partitions):
             host = machines[pid % len(machines)]
-            host.partitions[pid] = state_factory()
-            self.primary[pid] = host.machine_id
+            self.backend.create_partition(host, pid)
+            self.primary[pid] = host
             if replication:
                 mirror = machines[(pid + 1) % len(machines)]
-                mirror.partitions[pid] = state_factory()
-                self.replica[pid] = mirror.machine_id
+                self.backend.create_partition(mirror, pid)
+                self.replica[pid] = mirror
         #: per-partition in-flight ledger: seq -> (tuple, machines that
         #: still owe an acknowledgement).
         self._unacked: Dict[int, Dict[int, TypingTuple[Tuple, Set[str]]]] = \
             {pid: {} for pid in range(n_partitions)}
         self._moves: Dict[int, PartitionMove] = {}
+        self._state_cls: Optional[type] = None
         self.routed = 0
         self.moves_completed = 0
         self.state_moved = 0
         self.recovered_partitions = 0
         self.lost_tuples = 0
         self.replayed_tuples = 0
+        #: wall-clock milliseconds spent inside each on_machine_failure.
+        self.recovery_times_ms: List[float] = []
         self.backlog_history: List[Dict[str, int]] = []
         self._telemetry = get_registry()
         self._telemetry_id = f"flux#{next(_FLUX_IDS)}"
         self._telemetry.register_collector(self._publish_telemetry)
+
+    @property
+    def cluster(self) -> Cluster:
+        """The simulated cluster, where the backend has one (tier-1
+        tests inspect machines directly); raises on real backends."""
+        cluster = getattr(self.backend, "cluster", None)
+        if cluster is None:
+            raise ClusterError(
+                f"{type(self.backend).__name__} exposes no simulated "
+                f"cluster; use the ClusterBackend protocol")
+        return cluster
 
     # -- routing --------------------------------------------------------------
     @staticmethod
     def _stable_hash(value: Any) -> int:
         """A hash that is identical across processes (Python's str hash
         is randomized per run, which would make partition placement —
-        and so benchmarks — nondeterministic)."""
+        and cross-process repartitioning — nondeterministic)."""
         if isinstance(value, int):
             return value
         if isinstance(value, str):
@@ -141,22 +172,21 @@ class Flux:
             targets.append(mirror)
         self._unacked[pid][seq] = (t, set(targets))
         for machine_id in targets:
-            self.cluster.machine(machine_id).enqueue(pid, seq, t)
+            self.backend.enqueue(machine_id, pid, seq, t)
 
-    # -- the simulation loop -----------------------------------------------------
+    # -- the drive loop -----------------------------------------------------
     def tick(self, arriving: Optional[List[Tuple]] = None) -> int:
         """One epoch: route arrivals, let machines work, collect acks,
         progress moves, maybe rebalance.  Returns fully-acked count."""
         if arriving:
             self.route(arriving)
-        acked = self._collect_acks(self.cluster.step())
+        self._epoch += 1
+        acked = self._collect_acks(self.backend.step())
         self._progress_moves()
         if self.rebalance_every and \
-                self.cluster.ticks % self.rebalance_every == 0:
+                self._epoch % self.rebalance_every == 0:
             self.maybe_rebalance()
-        self.backlog_history.append(
-            {m.machine_id: m.backlog()
-             for m in self.cluster.alive_machines()})
+        self.backlog_history.append(dict(self.backend.backlogs()))
         return acked
 
     def _collect_acks(self,
@@ -174,82 +204,93 @@ class Flux:
                     done += 1
         return done
 
+    def _pending_on(self, machine_id: str, pid: int) -> int:
+        """In-flight tuples for ``pid`` still awaiting ``machine_id``'s
+        acknowledgement — the ledger's view of that machine's queued
+        share of the partition."""
+        return sum(1 for _t, pending in self._unacked[pid].values()
+                   if machine_id in pending)
+
     # -- online repartitioning -----------------------------------------------------
     def maybe_rebalance(self) -> Optional[int]:
         """Move one partition off the most backlogged machine when the
         cluster is imbalanced; returns the moved pid or None."""
-        alive = self.cluster.alive_machines()
+        alive = self.backend.alive_ids()
         if len(alive) < 2 or self._moves:
             return None
-        if self.cluster.imbalance() < self.imbalance_threshold:
+        if self.backend.imbalance() < self.imbalance_threshold:
             return None
-        loaded = max(alive, key=Machine.backlog)
-        light = min(alive, key=Machine.backlog)
-        if loaded.machine_id == light.machine_id or loaded.backlog() == 0:
+        backlogs = self.backend.backlogs()
+        loaded = max(alive, key=lambda mid: backlogs.get(mid, 0))
+        light = min(alive, key=lambda mid: backlogs.get(mid, 0))
+        if loaded == light or backlogs.get(loaded, 0) == 0:
             return None
         candidates = [pid for pid, host in self.primary.items()
-                      if host == loaded.machine_id
-                      and self.replica.get(pid) != light.machine_id]
+                      if host == loaded
+                      and self.replica.get(pid) != light]
         if not candidates:
             return None
         # Move the partition with the largest queued share on the loaded
         # machine — relieves the most pressure per move.
-        queued: Dict[int, int] = {pid: 0 for pid in candidates}
-        for pid, _seq, _t in loaded.queue:
-            if pid in queued:
-                queued[pid] += 1
+        queued = {pid: self._pending_on(loaded, pid) for pid in candidates}
         pid = max(candidates, key=lambda p: queued[p])
         if queued[pid] == 0:
             return None
-        self._moves[pid] = PartitionMove(pid, loaded.machine_id,
-                                         light.machine_id)
+        self._moves[pid] = PartitionMove(pid, loaded, light)
         return pid
 
     def _progress_moves(self) -> None:
         """A move completes once the source drains the partition's
         queued work; then the state ships and the buffer replays."""
         for pid, move in list(self._moves.items()):
-            source = self.cluster.machine(move.source)
-            if source.alive and any(q_pid == pid
-                                    for q_pid, _s, _t in source.queue):
+            source_alive = self.backend.is_alive(move.source)
+            if source_alive and self._pending_on(move.source, pid):
                 continue  # still draining
-            target = self.cluster.machine(move.target)
-            if source.alive and pid in source.partitions:
-                state = source.partitions.pop(pid)
+            handoff = None
+            if source_alive:
+                handoff = self.backend.remove_partition(move.source, pid)
+            if handoff is None:
+                handoff = self._handoff_from_replica(pid)
+            if handoff is None:
+                self.backend.create_partition(move.target, pid)
+                moved_size = 0
             else:
-                state = self._state_from_replica(pid)
-            target.partitions[pid] = state
+                self.backend.install_partition(move.target, pid, handoff)
+                moved_size = handoff.size
             self.primary[pid] = move.target
-            self.state_moved += state.size()
-            move.state_size = state.size()
+            self.state_moved += moved_size
+            move.state_size = moved_size
             del self._moves[pid]
             self.moves_completed += 1
             for seq, t in move.buffered:
                 self._send(pid, seq, t)
 
-    def _state_from_replica(self, pid: int) -> PartitionState:
+    def _handoff_from_replica(self, pid: int) -> Optional[PartitionHandoff]:
         mirror_id = self.replica.get(pid)
-        if mirror_id is not None:
-            mirror = self.cluster.machine(mirror_id)
-            if mirror.alive and pid in mirror.partitions:
-                snap = mirror.partitions[pid].snapshot()
-                return type(mirror.partitions[pid]).from_snapshot(snap)
-        return self.state_factory()
+        if mirror_id is None or not self.backend.is_alive(mirror_id):
+            return None
+        return self.backend.snapshot_partition(mirror_id, pid)
 
     # -- failover -------------------------------------------------------------------
     def on_machine_failure(self, machine_id: str) -> Dict[str, int]:
         """React to a crash: promote replicas or restart partitions,
         replay whatever was pending only on the dead machine, and
-        re-establish replication.  Call after ``cluster.fail(...)``.
+        re-establish replication.  Call after ``backend.fail(...)``.
+
+        The wall-clock cost of the whole reaction (promotion, state
+        snapshots for fresh replicas, replay) lands in
+        ``recovery_times_ms`` — on the multiprocess backend that is
+        real recovery time.
         """
-        dead = self.cluster.machine(machine_id)
-        if dead.alive:
+        started = now()
+        if self.backend.is_alive(machine_id):
             raise ClusterError(
                 f"machine {machine_id!r} has not failed; call "
-                "cluster.fail() first")
-        alive = self.cluster.alive_machines()
+                "backend.fail() first")
+        alive = self.backend.alive_ids()
         if not alive:
             raise ClusterError("no surviving machines to recover onto")
+        backlogs = self.backend.backlogs()
         # Abort any move touching the dead machine.  Tuples buffered for
         # a paused partition were never sent anywhere, so they must be
         # re-sent once the partition has a live home again.
@@ -278,19 +319,19 @@ class Flux:
             replay_orphans = False
             if lost_primary:
                 mirror_id = self.replica.get(pid)
-                if mirror_id and self.cluster.machine(mirror_id).alive:
+                if mirror_id and self.backend.is_alive(mirror_id):
                     # Process-pair failover: the replica already received
                     # (or applied) every orphan, so nothing replays.
                     self.primary[pid] = mirror_id
                     del self.replica[pid]
                     promoted += 1
                 else:
-                    new_home = min(alive, key=Machine.backlog)
-                    lost = dead.lost_partitions.get(pid)
-                    self.lost_tuples += lost.applied if lost is not None \
-                        and hasattr(lost, "applied") else 0
-                    new_home.partitions[pid] = self.state_factory()
-                    self.primary[pid] = new_home.machine_id
+                    new_home = min(alive,
+                                   key=lambda mid: backlogs.get(mid, 0))
+                    self.lost_tuples += \
+                        self.backend.applied_count(machine_id, pid)
+                    self.backend.create_partition(new_home, pid)
+                    self.primary[pid] = new_home
                     restarted += 1
                     replay_orphans = True
             elif lost_replica:
@@ -308,6 +349,7 @@ class Flux:
                 self._send(pid, seq, t)
                 replayed += 1
         self.recovered_partitions += promoted + restarted
+        self.recovery_times_ms.append((now() - started) * 1000.0)
         return {"promoted": promoted, "restarted": restarted,
                 "replayed": replayed}
 
@@ -315,27 +357,30 @@ class Flux:
         """Re-establish the process pair: snapshot the primary's state
         onto a fresh mirror and forward the primary's queued work so the
         copies converge."""
-        alive = self.cluster.alive_machines()
+        alive = self.backend.alive_ids()
         primary_id = self.primary[pid]
-        options = [m for m in alive if m.machine_id != primary_id]
+        options = [mid for mid in alive if mid != primary_id]
         if not options or pid in self.replica:
             return
-        mirror = min(options, key=Machine.backlog)
-        primary = self.cluster.machine(primary_id)
-        state = primary.partitions.get(pid)
-        if state is None:
+        backlogs = self.backend.backlogs()
+        mirror = min(options, key=lambda mid: backlogs.get(mid, 0))
+        handoff = self.backend.snapshot_partition(primary_id, pid)
+        if handoff is None:
             return
-        mirror.partitions[pid] = type(state).from_snapshot(state.snapshot())
-        self.replica[pid] = mirror.machine_id
+        # The snapshot barrier may have surfaced acknowledgements; fold
+        # them into the ledger first so only genuinely-unapplied work is
+        # forwarded (forwarding an already-snapshotted tuple would
+        # double-apply it at the mirror).
+        self._collect_acks(self.backend.poll_acks())
+        self.backend.install_partition(mirror, pid, handoff)
+        self.replica[pid] = mirror
         # Mirror must also see what the primary has queued but not yet
         # applied, and owes an ack for each.
-        for q_pid, seq, t in primary.queue:
-            if q_pid != pid:
+        for seq, (t, pending) in self._unacked[pid].items():
+            if primary_id not in pending:
                 continue
-            entry = self._unacked[pid].get(seq)
-            if entry is not None:
-                entry[1].add(mirror.machine_id)
-            mirror.enqueue(pid, seq, t)
+            pending.add(mirror)
+            self.backend.enqueue(mirror, pid, seq, t)
 
     # -- telemetry ----------------------------------------------------------
     def _publish_telemetry(self) -> None:
@@ -367,21 +412,44 @@ class Flux:
                   collected=True).labels(flux).set(self.unacked_total())
         reg.gauge("tcq_flux_partition_skew",
                   "Cluster backlog imbalance (max/mean)", ("flux",),
-                  collected=True).labels(flux).set(self.cluster.imbalance())
+                  collected=True).labels(flux).set(self.backend.imbalance())
+        if self.recovery_times_ms:
+            reg.gauge("tcq_flux_recovery_ms",
+                      "Wall-clock duration of the last failover reaction",
+                      ("flux",), collected=True).labels(flux).set(
+                self.recovery_times_ms[-1])
         backlog = reg.gauge("tcq_flux_machine_backlog",
                             "Queued work per live machine",
                             ("flux", "machine"), collected=True)
-        for m in self.cluster.alive_machines():
-            backlog.labels(flux, m.machine_id).set(m.backlog())
+        for mid, depth in self.backend.backlogs().items():
+            backlog.labels(flux, mid).set(depth)
 
     # -- results ------------------------------------------------------------
+    def _resolve_state_cls(self) -> type:
+        if self._state_cls is None:
+            self._state_cls = type(self.state_factory())
+        return self._state_cls
+
+    def partition_state(self, pid: int) -> Optional[PartitionState]:
+        """The current primary state of ``pid`` — the live object on
+        same-process backends, a snapshot reconstruction otherwise."""
+        host = self.primary[pid]
+        state = self.backend.peek_partition(host, pid)
+        if state is not None:
+            return state
+        handoff = self.backend.snapshot_partition(host, pid)
+        if handoff is None:
+            return None
+        if handoff.state is not None:
+            return handoff.state
+        return self._resolve_state_cls().from_snapshot(handoff.snapshot)
+
     def merged_counts(self) -> Dict[Any, int]:
         """Union the per-partition group counts from current primaries
-        (meaningful for GroupCountState consumers)."""
+        (meaningful for GroupCountState-style consumers)."""
         out: Dict[Any, int] = {}
-        for pid, host in self.primary.items():
-            machine = self.cluster.machine(host)
-            state = machine.partitions.get(pid)
+        for pid in self.primary:
+            state = self.partition_state(pid)
             if state is None:
                 continue
             for key, count in getattr(state, "counts", {}).items():
@@ -413,3 +481,45 @@ class Flux:
         except SchedulerStall:
             raise ClusterError(
                 "flux failed to drain in-flight tuples") from None
+
+
+class FluxPump(Schedulable):
+    """The conductor pump as a unified-scheduler unit.
+
+    Wraps a :class:`Flux` (and optionally a feed of arriving batches)
+    so the cluster data plane runs *beside* the engine, the network
+    pump, and every other :class:`~repro.sched.Schedulable` under one
+    scheduler — one ``run_once`` is one Flux epoch.  ``ready()`` is the
+    cheap hint the pressure-aware policy needs: there is work whenever
+    input remains or acknowledgements are outstanding.
+    """
+
+    def __init__(self, flux: Flux,
+                 feed: Optional[Iterable[Sequence[Tuple]]] = None,
+                 name: Optional[str] = None):
+        self.flux = flux
+        self._feed = iter(feed) if feed is not None else None
+        self._feed_done = feed is None
+        self.name = name or f"{flux._telemetry_id}:pump"
+        self.epochs = 0
+
+    @property
+    def finished(self) -> bool:
+        return self._feed_done and not self.flux.unacked_total()
+
+    def ready(self) -> bool:
+        return not self._feed_done or bool(self.flux.unacked_total())
+
+    def run_once(self, quantum: Optional[int] = None) -> StepResult:
+        batch: Optional[List[Tuple]] = None
+        if not self._feed_done:
+            try:
+                batch = list(next(self._feed))
+            except StopIteration:
+                self._feed_done = True
+        acked = self.flux.tick(batch)
+        self.epochs += 1
+        worked = bool(acked) or bool(batch)
+        if self.finished:
+            return StepResult(worked, finished=True)
+        return StepResult.BUSY if worked else StepResult.IDLE

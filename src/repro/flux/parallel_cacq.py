@@ -23,12 +23,14 @@ queries once; push tuples; read merged per-query delivery counts.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Dict, List, Optional, Sequence, Tuple as TypingTuple
 
 from repro.core.cacq import CACQEngine
 from repro.core.tuples import Schema, Tuple
 from repro.errors import QueryError
-from repro.flux.cluster import Cluster, PartitionState
+from repro.flux.backend import ClusterBackend, as_backend
+from repro.flux.cluster import PartitionState
 from repro.flux.flux import Flux
 from repro.query.predicates import Predicate
 
@@ -105,12 +107,21 @@ class CACQPartitionState(PartitionState):
 
 
 class ParallelCACQ:
-    """The cluster-parallel shared-CQ engine."""
+    """The cluster-parallel shared-CQ engine.
 
-    def __init__(self, cluster: Cluster, partition_column: str,
+    ``backend`` may be any :class:`~repro.flux.backend.ClusterBackend`
+    — a bare simulated :class:`~repro.flux.cluster.Cluster` is wrapped
+    automatically, and a
+    :class:`~repro.flux.procs.MultiprocessBackend` runs the same
+    partitioned engine on real worker processes (the state factory
+    built here is a ``functools.partial`` of the class, so it pickles
+    across the spawn boundary).
+    """
+
+    def __init__(self, backend: Any, partition_column: str,
                  n_partitions: int = 8, replication: int = 0,
                  rebalance_every: int = 0):
-        self.cluster = cluster
+        self.backend: ClusterBackend = as_backend(backend)
         self.partition_column = partition_column
         self._schemas: List[Schema] = []
         self._specs: List[TypingTuple[TypingTuple[str, ...], Predicate]] = []
@@ -151,13 +162,13 @@ class ParallelCACQ:
 
     def _ensure_started(self) -> Flux:
         if self._flux is None:
-            schemas = list(self._schemas)
-            specs = list(self._specs)
             column = self.partition_column
             self._flux = Flux(
-                self.cluster,
+                self.backend,
                 key_fn=lambda t: t[column],
-                state_factory=lambda: CACQPartitionState(schemas, specs),
+                state_factory=functools.partial(
+                    CACQPartitionState, list(self._schemas),
+                    list(self._specs)),
                 **self._flux_kwargs)
         return self._flux
 
@@ -170,7 +181,7 @@ class ParallelCACQ:
 
     def fail_machine(self, machine_id: str) -> Dict[str, int]:
         flux = self._ensure_started()
-        self.cluster.fail(machine_id)
+        self.backend.fail(machine_id)
         return flux.on_machine_failure(machine_id)
 
     # -- results ----------------------------------------------------------------
@@ -178,8 +189,8 @@ class ParallelCACQ:
         """Per-query delivery counts merged across partitions."""
         flux = self._ensure_started()
         totals = [0] * len(self._specs)
-        for pid, host in flux.primary.items():
-            state = self.cluster.machine(host).partitions.get(pid)
+        for pid in flux.primary:
+            state = flux.partition_state(pid)
             if state is None:
                 continue
             for i, count in enumerate(state.delivered()):

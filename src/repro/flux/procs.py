@@ -1,0 +1,854 @@
+"""The multiprocess data plane: Flux on real worker processes.
+
+This is the cluster-based TelegraphCQ substrate the paper promises in
+Section 6 ("We are currently extending the Flux module to serve as the
+basis of the cluster-based implementation"): each *machine* of the
+:class:`~repro.flux.backend.ClusterBackend` protocol becomes a real
+spawned interpreter running a partition shard, so balance and recovery
+are wall-clock quantities and partitioned CPU-bound work actually uses
+more than one core.
+
+Architecture (the conductor/worker idiom)
+-----------------------------------------
+
+One **conductor** (this process) owns routing, the in-flight ledger and
+all placement decisions; N **workers** own partition state and apply
+tuples.  Every worker is connected by two duplex pipes:
+
+* a **control channel** carrying ``execute_command`` requests
+  (``configure`` / ``create`` / ``install`` / ``remove`` /
+  ``snapshot`` / ``ping`` / ``shutdown``) answered by
+  ``execution_succeeded`` / ``execution_failed`` replies, and
+* a **data channel** carrying batched tuple rows down and
+  acknowledgement batches + heartbeats up.
+
+Both channels speak the :mod:`repro.net.frames` length-prefixed JSON
+codec — the same frames the network front door uses — so framing bugs
+cannot drift between the wire and the cluster.  Tuples cross as
+``tuple_to_wire`` payloads; partition snapshots and state factories are
+arbitrary Python objects and cross as base64-pickle fields inside a
+JSON frame.
+
+Snapshot barrier: control and data pipes have no cross-channel ordering
+guarantee, so ``snapshot``/``remove`` commands carry a *mark*.  The
+conductor flushes its data outbox, drops a ``mark`` frame into the data
+channel, then issues the command; the worker consumes data up to that
+mark (acking as it goes) before acting.  Anything routed before the
+barrier is therefore inside the snapshot, and the acks the worker sent
+while draining are readable by the time the reply arrives — which is
+what lets Flux forward *exactly* the not-yet-applied tuples to a fresh
+replica without double-applying any.
+
+Worker lifecycle: backends are context managers; ``close()`` attempts a
+graceful ``shutdown`` command, escalates to SIGTERM then SIGKILL, and an
+``atexit`` hook sweeps anything a crashed test left behind, so no orphan
+worker survives the conductor.  :func:`live_worker_pids` is the leak
+check tests assert against.
+
+:class:`LoopbackBackend` runs the *same* :class:`WorkerCore` and codec
+in-process with deterministic scheduling — the tier-1 twin used by the
+hypothesis parity property (simulated vs worker-core execution), with
+zero processes spawned.
+
+This module is the only place in ``repro`` allowed to touch
+multiprocessing primitives (lint rule TCQ601).
+"""
+
+from __future__ import annotations
+
+import atexit
+import base64
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import signal
+import sys
+from typing import Any, Callable, Dict, List, Optional, Set, \
+    Tuple as TypingTuple
+
+from repro.core.tuples import Schema, Tuple
+from repro.errors import ClusterError
+from repro.flux.backend import AckMap, ClusterBackend, PartitionHandoff
+from repro.flux.cluster import PartitionState
+from repro.monitor.clock import now
+from repro.monitor.telemetry import get_registry
+from repro.net.frames import FrameDecoder, encode_frame, tuple_from_wire, \
+    tuple_to_wire
+
+#: Control frames may carry whole partition snapshots.
+CTRL_MAX_FRAME = 64 << 20
+#: Data frames are kept small and chunked.
+DATA_MAX_FRAME = 4 << 20
+
+_BACKEND_IDS = itertools.count()
+
+
+def _to_b64(obj: Any) -> str:
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _from_b64(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def _spin(iterations: int) -> int:
+    """Deterministic CPU burn, the knob that makes a worker 'slow' (for
+    heterogeneity experiments) or a workload CPU-bound (for speedup
+    measurements)."""
+    acc = 0
+    for i in range(iterations):
+        acc += i * i
+    return acc
+
+
+class WorkerCore:
+    """Transport-agnostic worker logic: frames in, frames out.
+
+    Owns the partition states of one machine.  The process entrypoint
+    (:func:`_worker_main`) wraps this in pipes and signals; the
+    :class:`LoopbackBackend` drives it synchronously in-process.  Both
+    paths run the same code, so the tier-1 parity property genuinely
+    exercises the multiprocess execution semantics.
+    """
+
+    def __init__(self, worker_id: str, spin: int = 0):
+        self.worker_id = worker_id
+        self.spin = spin
+        self.partitions: Dict[int, PartitionState] = {}
+        self._factory: Optional[Callable[[], PartitionState]] = None
+        self._state_cls: Optional[type] = None
+        self._schemas: Dict[Any, Schema] = {}
+        self.processed = 0
+
+    # -- state management ---------------------------------------------------
+    def _make_state(self) -> PartitionState:
+        if self._factory is None:
+            raise ClusterError(
+                f"worker {self.worker_id} has no state factory; "
+                f"configure first")
+        return self._factory()
+
+    def _resolve_state_cls(self) -> type:
+        if self._state_cls is None:
+            self._state_cls = type(self._make_state())
+        return self._state_cls
+
+    # -- control channel ----------------------------------------------------
+    def on_control(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one command frame; returns the reply frame."""
+        req_id = frame.get("id")
+        cmd = frame.get("cmd")
+        try:
+            payload = self._execute(cmd, frame)
+        except Exception as exc:   # noqa: BLE001 - crosses a process edge
+            return {"type": "execution_failed", "id": req_id,
+                    "cmd": cmd, "error": f"{type(exc).__name__}: {exc}"}
+        reply = {"type": "execution_succeeded", "id": req_id, "cmd": cmd}
+        reply.update(payload)
+        return reply
+
+    def _execute(self, cmd: Optional[str],
+                 frame: Dict[str, Any]) -> Dict[str, Any]:
+        if cmd == "configure":
+            self._factory = _from_b64(frame["factory"])
+            self._state_cls = None
+            self.spin = int(frame.get("spin", self.spin))
+            return {}
+        if cmd == "create":
+            self.partitions[int(frame["pid"])] = self._make_state()
+            return {}
+        if cmd == "install":
+            state = self._resolve_state_cls().from_snapshot(
+                _from_b64(frame["snapshot"]))
+            self.partitions[int(frame["pid"])] = state
+            return {}
+        if cmd == "remove":
+            state = self.partitions.pop(int(frame["pid"]), None)
+            if state is None:
+                return {"present": False}
+            return {"present": True, "snapshot": _to_b64(state.snapshot()),
+                    "size": state.size(),
+                    "applied": getattr(state, "applied", 0)}
+        if cmd == "snapshot":
+            state = self.partitions.get(int(frame["pid"]))
+            if state is None:
+                return {"present": False}
+            return {"present": True, "snapshot": _to_b64(state.snapshot()),
+                    "size": state.size(),
+                    "applied": getattr(state, "applied", 0)}
+        if cmd == "ping":
+            return {"processed": self.processed,
+                    "partitions": sorted(self.partitions)}
+        if cmd == "shutdown":
+            return {}
+        raise ClusterError(f"unknown worker command {cmd!r}")
+
+    # -- data channel -------------------------------------------------------
+    def on_data(self, frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Apply one data frame; returns reply frames (acks)."""
+        if frame.get("op") != "data":
+            return []   # marks are handled by the transport loop
+        acks: List[TypingTuple[int, int]] = []
+        spin = self.spin
+        for pid, seq, wire in frame["rows"]:
+            state = self.partitions.get(pid)
+            if spin:
+                _spin(spin)
+            if state is not None:
+                state.apply(tuple_from_wire(wire, self._schemas))
+            acks.append((pid, seq))
+        self.processed += len(acks)
+        if not acks:
+            return []
+        return [{"op": "acks", "worker": self.worker_id,
+                 "acks": [[p, s] for p, s in acks],
+                 "processed": self.processed}]
+
+
+def _worker_main(worker_id: str, ctrl: Any, data: Any, spin: int) -> None:
+    """Process entrypoint: pump both channels into a WorkerCore.
+
+    Exits on a ``shutdown`` command, on SIGTERM, or when the conductor's
+    end of the control pipe disappears (so a dying conductor can never
+    strand a worker).
+    """
+    signal.signal(signal.SIGTERM, lambda *_a: sys.exit(0))
+    if os.environ.get("TCQ_PROCS_DEBUG"):   # pragma: no cover - debug aid
+        import faulthandler
+        faulthandler.dump_traceback_later(10, exit=True)
+    core = WorkerCore(worker_id, spin)
+    ctrl_decoder = FrameDecoder(max_frame=CTRL_MAX_FRAME)
+    data_decoder = FrameDecoder(max_frame=DATA_MAX_FRAME)
+    last_beat = now()
+    # Highest barrier mark consumed from the data channel.  The main
+    # loop may legitimately read a mark frame *before* the control
+    # command referencing it arrives (the two pipes are unordered
+    # relative to each other), so the barrier must check this watermark
+    # rather than insist on reading the mark itself.
+    marks_seen = 0
+
+    def send_ctrl(frame: Dict[str, Any]) -> None:
+        ctrl.send_bytes(encode_frame(frame, max_frame=CTRL_MAX_FRAME))
+
+    def send_data(frame: Dict[str, Any]) -> None:
+        data.send_bytes(encode_frame(frame, max_frame=DATA_MAX_FRAME))
+
+    def handle_data_frame(frame: Dict[str, Any]) -> None:
+        nonlocal marks_seen
+        if frame.get("op") == "mark":
+            marks_seen = max(marks_seen, int(frame["mark"]))
+            return
+        for reply in core.on_data(frame):
+            send_data(reply)
+
+    def drain_data_until(mark: int) -> None:
+        """Barrier: consume the data channel (blocking) up to ``mark``,
+        acking everything applied along the way."""
+        while marks_seen < mark:
+            for frame in data_decoder.feed(data.recv_bytes()):
+                handle_data_frame(frame)
+
+    while True:
+        try:
+            ready = multiprocessing.connection.wait([ctrl, data],
+                                                    timeout=0.25)
+        except OSError:
+            return
+        if not ready:
+            if now() - last_beat > 1.0:
+                last_beat = now()
+                try:
+                    send_data({"op": "heartbeat", "worker": worker_id,
+                               "processed": core.processed})
+                except (OSError, BrokenPipeError):
+                    return
+            continue
+        for conn in ready:
+            try:
+                # A barrier drain triggered by the ctrl channel may have
+                # consumed the very bytes that made the data channel
+                # ready; re-check before the blocking read.
+                if not conn.poll(0):
+                    continue
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                return
+            if conn is data:
+                for frame in data_decoder.feed(blob):
+                    handle_data_frame(frame)
+                continue
+            for frame in ctrl_decoder.feed(blob):
+                mark = frame.get("mark")
+                if mark is not None:
+                    drain_data_until(int(mark))
+                reply = core.on_control(frame)
+                send_ctrl(reply)
+                if frame.get("cmd") == "shutdown":
+                    return
+
+
+class _WorkerHandle:
+    """Conductor-side view of one spawned worker."""
+
+    __slots__ = ("worker_id", "process", "ctrl", "data", "alive",
+                 "outbox", "decoder", "last_heartbeat")
+
+    def __init__(self, worker_id: str, process: Any, ctrl: Any, data: Any):
+        self.worker_id = worker_id
+        self.process = process
+        self.ctrl = ctrl
+        self.data = data
+        self.alive = True
+        #: rows awaiting flush: (pid, seq, wire-tuple).
+        self.outbox: List[TypingTuple[int, int, Dict[str, Any]]] = []
+        self.decoder = FrameDecoder(max_frame=DATA_MAX_FRAME)
+        self.last_heartbeat: Dict[str, Any] = {}
+
+
+#: Backends with live workers, for the atexit sweep and the leak check.
+_LIVE_BACKENDS: Set["MultiprocessBackend"] = set()
+_ATEXIT_ARMED = False
+
+
+def _sweep_backends() -> None:
+    for backend in list(_LIVE_BACKENDS):
+        try:
+            backend.close()
+        except Exception:   # noqa: BLE001 - teardown must not raise at exit
+            pass
+
+
+def live_worker_pids() -> Set[int]:
+    """PIDs of worker processes still running — the orphan leak check.
+    Empty after every backend is closed."""
+    pids: Set[int] = set()
+    for backend in _LIVE_BACKENDS:
+        for handle in backend._workers.values():
+            proc = handle.process
+            if proc.pid is not None and proc.is_alive():
+                pids.add(proc.pid)
+    return pids
+
+
+class MultiprocessBackend(ClusterBackend):
+    """Real worker processes behind the ClusterBackend protocol.
+
+    ``workers`` is a count (ids ``w0..wN-1``) or an explicit id list;
+    ``spins`` optionally maps worker id -> per-tuple CPU-burn
+    iterations, the heterogeneity/CPU-load knob.  Workers are spawned
+    (never forked) so each shard is a fresh interpreter — which is also
+    why :meth:`Flux._stable_hash` must be seed-independent.
+
+    Backlog is the conductor's view: routed-but-unacknowledged rows per
+    worker.  ``step()`` flushes outboxes and collects acks, blocking
+    briefly when work is outstanding so drive loops do not spin.
+    """
+
+    def __init__(self, workers: Any = 2,
+                 spins: Optional[Dict[str, int]] = None,
+                 batch_rows: int = 256,
+                 step_wait_s: float = 0.01,
+                 rpc_timeout_s: float = 30.0):
+        if isinstance(workers, int):
+            worker_ids = [f"w{i}" for i in range(workers)]
+        else:
+            worker_ids = list(workers)
+        if not worker_ids:
+            raise ClusterError("need at least one worker")
+        if len(set(worker_ids)) != len(worker_ids):
+            raise ClusterError("duplicate worker ids")
+        self.batch_rows = batch_rows
+        self.step_wait_s = step_wait_s
+        self.rpc_timeout_s = rpc_timeout_s
+        self._spins = dict(spins or {})
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self._outstanding: Dict[str, int] = {}
+        self._applied: Dict[str, Dict[int, int]] = {}
+        self._processed: Dict[str, int] = {}
+        self._ack_buffer: Dict[str, List[TypingTuple[int, int]]] = {}
+        self._rpc_ids = itertools.count()
+        self._marks = itertools.count(1)
+        self._closed = False
+        self._started_at = now()
+        self._telemetry_id = f"procs#{next(_BACKEND_IDS)}"
+        ctx = multiprocessing.get_context("spawn")
+        for wid in worker_ids:
+            ctrl_a, ctrl_b = ctx.Pipe(duplex=True)
+            data_a, data_b = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, name=f"flux-{wid}",
+                args=(wid, ctrl_b, data_b, self._spins.get(wid, 0)),
+                daemon=True)
+            proc.start()
+            ctrl_b.close()
+            data_b.close()
+            self._workers[wid] = _WorkerHandle(wid, proc, ctrl_a, data_a)
+            self._outstanding[wid] = 0
+            self._applied[wid] = {}
+            self._processed[wid] = 0
+            self._ack_buffer[wid] = []
+        global _ATEXIT_ARMED
+        _LIVE_BACKENDS.add(self)
+        if not _ATEXIT_ARMED:
+            atexit.register(_sweep_backends)
+            _ATEXIT_ARMED = True
+        get_registry().register_collector(self._publish_telemetry)
+
+    # -- conductor plumbing -------------------------------------------------
+    def _handle(self, machine_id: str) -> _WorkerHandle:
+        handle = self._workers.get(machine_id)
+        if handle is None:
+            raise ClusterError(f"unknown machine {machine_id!r}")
+        return handle
+
+    def _live(self, machine_id: str) -> _WorkerHandle:
+        handle = self._handle(machine_id)
+        if not handle.alive:
+            raise ClusterError(f"machine {machine_id!r} is dead")
+        return handle
+
+    def _absorb(self, handle: _WorkerHandle, frame: Dict[str, Any]) -> None:
+        op = frame.get("op")
+        if op == "acks":
+            acks = [(int(p), int(s)) for p, s in frame["acks"]]
+            self._ack_buffer[handle.worker_id].extend(acks)
+            self._outstanding[handle.worker_id] = max(
+                0, self._outstanding[handle.worker_id] - len(acks))
+            per_machine = self._applied[handle.worker_id]
+            for pid, _seq in acks:
+                per_machine[pid] = per_machine.get(pid, 0) + 1
+            self._processed[handle.worker_id] += len(acks)
+            handle.last_heartbeat = {"processed": frame.get("processed"),
+                                     "at": now()}
+        elif op == "heartbeat":
+            handle.last_heartbeat = {"processed": frame.get("processed"),
+                                     "at": now()}
+
+    def _drain(self, handle: _WorkerHandle) -> None:
+        """Absorb everything currently readable on the data channel."""
+        if not handle.alive:
+            return
+        try:
+            while handle.data.poll(0):
+                for frame in handle.decoder.feed(handle.data.recv_bytes()):
+                    self._absorb(handle, frame)
+        except (EOFError, OSError, BrokenPipeError):
+            pass   # worker died; Flux learns via fail()/on_machine_failure
+
+    def _flush(self, handle: _WorkerHandle) -> None:
+        """Push the outbox down the data pipe in bounded chunks,
+        draining acks between chunks so neither side can deadlock on a
+        full pipe."""
+        if not handle.alive or not handle.outbox:
+            return
+        outbox, handle.outbox = handle.outbox, []
+        try:
+            for i in range(0, len(outbox), self.batch_rows):
+                chunk = outbox[i:i + self.batch_rows]
+                handle.data.send_bytes(encode_frame(
+                    {"op": "data",
+                     "rows": [[pid, seq, wire] for pid, seq, wire in chunk]},
+                    max_frame=DATA_MAX_FRAME))
+                self._drain(handle)
+        except (OSError, BrokenPipeError):
+            pass
+
+    def _rpc(self, machine_id: str, cmd: str, barrier: bool = False,
+             **fields: Any) -> Dict[str, Any]:
+        handle = self._live(machine_id)
+        req_id = next(self._rpc_ids)
+        frame: Dict[str, Any] = {"op": "execute_command", "id": req_id,
+                                 "cmd": cmd}
+        frame.update(fields)
+        if barrier:
+            self._flush(handle)
+            mark = next(self._marks)
+            try:
+                handle.data.send_bytes(encode_frame(
+                    {"op": "mark", "mark": mark},
+                    max_frame=DATA_MAX_FRAME))
+            except (OSError, BrokenPipeError):
+                raise ClusterError(
+                    f"machine {machine_id!r} died mid-barrier") from None
+            frame["mark"] = mark
+        try:
+            handle.ctrl.send_bytes(encode_frame(frame,
+                                                max_frame=CTRL_MAX_FRAME))
+        except (OSError, BrokenPipeError):
+            raise ClusterError(
+                f"machine {machine_id!r} is unreachable") from None
+        decoder = FrameDecoder(max_frame=CTRL_MAX_FRAME)
+        deadline = now() + self.rpc_timeout_s
+        while True:
+            # Keep absorbing acks while waiting so a barrier drain's
+            # acknowledgements are in the ledger's reach immediately.
+            self._drain(handle)
+            if handle.ctrl.poll(0.005):
+                try:
+                    frames = decoder.feed(handle.ctrl.recv_bytes())
+                except (EOFError, OSError):
+                    raise ClusterError(
+                        f"machine {machine_id!r} died during "
+                        f"{cmd!r}") from None
+                for reply in frames:
+                    if reply.get("id") != req_id:
+                        continue
+                    if reply.get("type") == "execution_succeeded":
+                        self._drain(handle)
+                        return reply
+                    raise ClusterError(
+                        f"{cmd!r} failed on {machine_id!r}: "
+                        f"{reply.get('error')}")
+            if now() > deadline:
+                raise ClusterError(
+                    f"{cmd!r} timed out on machine {machine_id!r}")
+
+    # -- ClusterBackend: configuration -------------------------------------
+    def configure(self, state_factory: Callable[[], PartitionState]) -> None:
+        try:
+            blob = _to_b64(state_factory)
+        except Exception as exc:   # noqa: BLE001 - explain the constraint
+            raise ClusterError(
+                f"state factory {state_factory!r} must pickle to cross "
+                f"the process boundary (use a module-level callable or "
+                f"functools.partial): {exc}") from None
+        for wid in self._workers:
+            if self._workers[wid].alive:
+                self._rpc(wid, "configure", factory=blob,
+                          spin=self._spins.get(wid, 0))
+
+    # -- ClusterBackend: membership -----------------------------------------
+    def machine_ids(self) -> List[str]:
+        return list(self._workers)
+
+    def alive_ids(self) -> List[str]:
+        return [wid for wid, h in self._workers.items() if h.alive]
+
+    def is_alive(self, machine_id: str) -> bool:
+        return self._handle(machine_id).alive
+
+    # -- ClusterBackend: partition state ------------------------------------
+    def create_partition(self, machine_id: str, pid: int) -> None:
+        self._rpc(machine_id, "create", pid=pid)
+        self._applied[machine_id][pid] = 0
+
+    def install_partition(self, machine_id: str, pid: int,
+                          handoff: PartitionHandoff) -> None:
+        snapshot = handoff.snapshot
+        if snapshot is None and handoff.state is not None:
+            snapshot = handoff.state.snapshot()
+        self._rpc(machine_id, "install", pid=pid, snapshot=_to_b64(snapshot))
+        self._applied[machine_id][pid] = handoff.applied
+
+    def remove_partition(self, machine_id: str,
+                         pid: int) -> Optional[PartitionHandoff]:
+        reply = self._rpc(machine_id, "remove", pid=pid, barrier=True)
+        if not reply.get("present"):
+            return None
+        return PartitionHandoff(_from_b64(reply["snapshot"]),
+                                int(reply["size"]), int(reply["applied"]))
+
+    def snapshot_partition(self, machine_id: str,
+                           pid: int) -> Optional[PartitionHandoff]:
+        if not self._handle(machine_id).alive:
+            return None
+        reply = self._rpc(machine_id, "snapshot", pid=pid, barrier=True)
+        if not reply.get("present"):
+            return None
+        return PartitionHandoff(_from_b64(reply["snapshot"]),
+                                int(reply["size"]), int(reply["applied"]))
+
+    # -- ClusterBackend: data plane ------------------------------------------
+    def enqueue(self, machine_id: str, pid: int, seq: int,
+                t: Tuple) -> None:
+        handle = self._handle(machine_id)
+        if not handle.alive:
+            raise ClusterError(f"enqueue on dead machine {machine_id}")
+        handle.outbox.append((pid, seq, tuple_to_wire(t)))
+        self._outstanding[machine_id] += 1
+
+    def step(self) -> AckMap:
+        for handle in self._workers.values():
+            self._flush(handle)
+            self._drain(handle)
+        if not any(self._ack_buffer.values()) and \
+                any(self._outstanding[w] for w in self.alive_ids()):
+            conns = [h.data for h in self._workers.values() if h.alive]
+            if conns:
+                try:
+                    multiprocessing.connection.wait(
+                        conns, timeout=self.step_wait_s)
+                except OSError:
+                    pass
+                for handle in self._workers.values():
+                    self._drain(handle)
+        return self.poll_acks()
+
+    def poll_acks(self) -> AckMap:
+        for handle in self._workers.values():
+            self._drain(handle)
+        out: AckMap = {}
+        for wid, acks in self._ack_buffer.items():
+            if acks:
+                out[wid] = list(acks)
+                acks.clear()
+        return out
+
+    # -- ClusterBackend: health ----------------------------------------------
+    def backlog(self, machine_id: str) -> int:
+        # enqueue() counts rows immediately, flushed or not, so the
+        # outstanding counter already covers the outbox.
+        if not self._handle(machine_id).alive:
+            return 0
+        return self._outstanding[machine_id]
+
+    def applied_count(self, machine_id: str, pid: int) -> int:
+        return self._applied[machine_id].get(pid, 0)
+
+    def processed_count(self, machine_id: str) -> int:
+        return self._processed[machine_id]
+
+    def heartbeat(self) -> Dict[str, Dict[str, Any]]:
+        out = super().heartbeat()
+        for wid, handle in self._workers.items():
+            out[wid]["pid"] = handle.process.pid
+            out[wid].update(handle.last_heartbeat)
+        return out
+
+    # -- ClusterBackend: failure ---------------------------------------------
+    def fail(self, machine_id: str) -> None:
+        """Crash the worker for real: SIGKILL, no goodbye.  Its queued
+        rows and partition states die with it — exactly the failure
+        model Flux's process pairs are built around."""
+        handle = self._handle(machine_id)
+        if not handle.alive:
+            raise ClusterError(f"machine {machine_id!r} is already dead")
+        handle.alive = False
+        proc = handle.process
+        if proc.pid is not None and proc.is_alive():
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+        proc.join(timeout=5)
+        for conn in (handle.ctrl, handle.data):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        handle.outbox.clear()
+        self._outstanding[machine_id] = 0
+        self._ack_buffer[machine_id].clear()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Graceful teardown: shutdown command, then SIGTERM, then
+        SIGKILL.  Idempotent; also runs from atexit so crashed callers
+        cannot leak workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if not handle.alive:
+                continue
+            try:
+                self._rpc(handle.worker_id, "shutdown")
+            except ClusterError:
+                pass
+        for handle in self._workers.values():
+            proc = handle.process
+            if not handle.alive or proc.pid is None:
+                continue
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()          # SIGTERM
+                proc.join(timeout=2)
+            if proc.is_alive():
+                proc.kill()               # SIGKILL, last resort
+                proc.join(timeout=2)
+            handle.alive = False
+            for conn in (handle.ctrl, handle.data):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        _LIVE_BACKENDS.discard(self)
+
+    # -- telemetry -----------------------------------------------------------
+    def _publish_telemetry(self) -> None:
+        reg = get_registry()
+        elapsed = max(now() - self._started_at, 1e-9)
+        processed = reg.counter(
+            "tcq_flux_worker_processed_total",
+            "Tuples applied per worker process", ("backend", "worker"),
+            collected=True)
+        throughput = reg.gauge(
+            "tcq_flux_worker_throughput",
+            "Per-worker wall-clock throughput (tuples/s)",
+            ("backend", "worker"), collected=True)
+        backlog = reg.gauge(
+            "tcq_flux_worker_backlog",
+            "Routed-but-unacknowledged rows per worker",
+            ("backend", "worker"), collected=True)
+        for wid in self._workers:
+            processed.labels(self._telemetry_id, wid).set_total(
+                self._processed[wid])
+            throughput.labels(self._telemetry_id, wid).set(
+                self._processed[wid] / elapsed)
+            backlog.labels(self._telemetry_id, wid).set(
+                self._outstanding[wid]
+                if self._workers[wid].alive else 0)
+
+
+class LoopbackBackend(ClusterBackend):
+    """The multiprocess data path with zero processes.
+
+    Runs real :class:`WorkerCore` instances in-process, pushing every
+    row and command through the same ``repro.net.frames`` encode/decode
+    round trip the pipes use.  Deterministic (workers apply everything
+    each step, in machine order), so tier-1 property tests can prove
+    simulated-vs-worker-core parity without spawning anything.
+    """
+
+    def __init__(self, workers: Any = 2,
+                 spins: Optional[Dict[str, int]] = None):
+        if isinstance(workers, int):
+            worker_ids = [f"w{i}" for i in range(workers)]
+        else:
+            worker_ids = list(workers)
+        if not worker_ids:
+            raise ClusterError("need at least one worker")
+        spins = dict(spins or {})
+        self._cores: Dict[str, WorkerCore] = {
+            wid: WorkerCore(wid, spins.get(wid, 0)) for wid in worker_ids}
+        self._dead: Set[str] = set()
+        self._outbox: Dict[str, List[TypingTuple[int, int, Dict[str, Any]]]] \
+            = {wid: [] for wid in worker_ids}
+        self._applied: Dict[str, Dict[int, int]] = \
+            {wid: {} for wid in worker_ids}
+        self._processed: Dict[str, int] = {wid: 0 for wid in worker_ids}
+
+    # -- codec round trip ----------------------------------------------------
+    @staticmethod
+    def _roundtrip(frame: Dict[str, Any], max_frame: int) -> Dict[str, Any]:
+        decoder = FrameDecoder(max_frame=max_frame)
+        (out,) = decoder.feed(encode_frame(frame, max_frame=max_frame))
+        return out
+
+    def _core(self, machine_id: str) -> WorkerCore:
+        core = self._cores.get(machine_id)
+        if core is None:
+            raise ClusterError(f"unknown machine {machine_id!r}")
+        return core
+
+    def _ctrl(self, machine_id: str, cmd: str, **fields: Any
+              ) -> Dict[str, Any]:
+        if machine_id in self._dead:
+            raise ClusterError(f"machine {machine_id!r} is dead")
+        frame: Dict[str, Any] = {"op": "execute_command", "id": 0,
+                                 "cmd": cmd}
+        frame.update(fields)
+        reply = self._core(machine_id).on_control(
+            self._roundtrip(frame, CTRL_MAX_FRAME))
+        reply = self._roundtrip(reply, CTRL_MAX_FRAME)
+        if reply.get("type") != "execution_succeeded":
+            raise ClusterError(
+                f"{cmd!r} failed on {machine_id!r}: {reply.get('error')}")
+        return reply
+
+    # -- ClusterBackend ------------------------------------------------------
+    def configure(self, state_factory: Callable[[], PartitionState]) -> None:
+        blob = _to_b64(state_factory)
+        for wid in self._cores:
+            if wid not in self._dead:
+                self._ctrl(wid, "configure", factory=blob)
+
+    def machine_ids(self) -> List[str]:
+        return list(self._cores)
+
+    def alive_ids(self) -> List[str]:
+        return [wid for wid in self._cores if wid not in self._dead]
+
+    def is_alive(self, machine_id: str) -> bool:
+        self._core(machine_id)
+        return machine_id not in self._dead
+
+    def create_partition(self, machine_id: str, pid: int) -> None:
+        self._ctrl(machine_id, "create", pid=pid)
+        self._applied[machine_id][pid] = 0
+
+    def install_partition(self, machine_id: str, pid: int,
+                          handoff: PartitionHandoff) -> None:
+        snapshot = handoff.snapshot
+        if snapshot is None and handoff.state is not None:
+            snapshot = handoff.state.snapshot()
+        self._ctrl(machine_id, "install", pid=pid, snapshot=_to_b64(snapshot))
+        self._applied[machine_id][pid] = handoff.applied
+
+    def remove_partition(self, machine_id: str,
+                         pid: int) -> Optional[PartitionHandoff]:
+        reply = self._ctrl(machine_id, "remove", pid=pid)
+        if not reply.get("present"):
+            return None
+        return PartitionHandoff(_from_b64(reply["snapshot"]),
+                                int(reply["size"]), int(reply["applied"]))
+
+    def snapshot_partition(self, machine_id: str,
+                           pid: int) -> Optional[PartitionHandoff]:
+        if machine_id in self._dead:
+            return None
+        reply = self._ctrl(machine_id, "snapshot", pid=pid)
+        if not reply.get("present"):
+            return None
+        return PartitionHandoff(_from_b64(reply["snapshot"]),
+                                int(reply["size"]), int(reply["applied"]))
+
+    def enqueue(self, machine_id: str, pid: int, seq: int,
+                t: Tuple) -> None:
+        self._core(machine_id)
+        if machine_id in self._dead:
+            raise ClusterError(f"enqueue on dead machine {machine_id}")
+        self._outbox[machine_id].append((pid, seq, tuple_to_wire(t)))
+
+    def step(self) -> AckMap:
+        out: AckMap = {}
+        for wid, core in self._cores.items():
+            if wid in self._dead or not self._outbox[wid]:
+                continue
+            rows, self._outbox[wid] = self._outbox[wid], []
+            frame = self._roundtrip(
+                {"op": "data",
+                 "rows": [[pid, seq, wire] for pid, seq, wire in rows]},
+                DATA_MAX_FRAME)
+            acks: List[TypingTuple[int, int]] = []
+            for reply in core.on_data(frame):
+                reply = self._roundtrip(reply, DATA_MAX_FRAME)
+                acks.extend((int(p), int(s)) for p, s in reply["acks"])
+            per_machine = self._applied[wid]
+            for pid, _seq in acks:
+                per_machine[pid] = per_machine.get(pid, 0) + 1
+            self._processed[wid] += len(acks)
+            if acks:
+                out[wid] = acks
+        return out
+
+    def backlog(self, machine_id: str) -> int:
+        if machine_id in self._dead:
+            return 0
+        return len(self._outbox[machine_id])
+
+    def applied_count(self, machine_id: str, pid: int) -> int:
+        return self._applied[machine_id].get(pid, 0)
+
+    def processed_count(self, machine_id: str) -> int:
+        return self._processed[machine_id]
+
+    def fail(self, machine_id: str) -> None:
+        self._core(machine_id)
+        if machine_id in self._dead:
+            raise ClusterError(f"machine {machine_id!r} is already dead")
+        self._dead.add(machine_id)
+        self._outbox[machine_id].clear()
+        self._cores[machine_id].partitions.clear()

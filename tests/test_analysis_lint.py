@@ -341,3 +341,59 @@ def test_columnar_discipline_hot_paths_are_clean():
     diags = [d for d in lint_paths(["src/repro/core", "src/repro/query"])
              if d.code == "TCQ501"]
     assert diags == []
+
+
+# -- TCQ601 process confinement ------------------------------------------------
+
+def test_process_confinement_flags_multiprocessing_import():
+    src = """\
+        import multiprocessing
+    """
+    assert codes(src, file="src/repro/core/engine2.py") == ["TCQ601"]
+    src = """\
+        from multiprocessing.connection import wait
+    """
+    assert codes(src, file="src/repro/sched/pool.py") == ["TCQ601"]
+
+
+def test_process_confinement_flags_fork_and_executor():
+    src = """\
+        import os
+        pid = os.fork()
+    """
+    assert codes(src, file="src/repro/net/service.py") == ["TCQ601"]
+    src = """\
+        from concurrent.futures import ProcessPoolExecutor
+    """
+    assert codes(src, file="src/repro/query/planner.py") == ["TCQ601"]
+
+
+def test_process_confinement_allows_procs_module_and_tests():
+    src = """\
+        import multiprocessing
+        pid = os.fork()
+    """
+    assert codes(src, file="src/repro/flux/procs.py") == []
+    assert codes(src, file="tests/test_flux_procs.py") == []
+
+
+def test_process_confinement_allows_threads_and_subprocess():
+    src = """\
+        import threading
+        import subprocess
+    """
+    assert codes(src, file="src/repro/net/service.py") == []
+
+
+def test_process_confinement_exemption_comment():
+    src = """\
+        import multiprocessing  # tcqcheck: allow-process
+    """
+    assert codes(src, file="src/repro/core/engine2.py") == []
+
+
+def test_process_confinement_shipped_tree_is_clean():
+    """procs.py is the only module in the shipped tree touching process
+    primitives (same check the ``--self`` gate runs, narrowed)."""
+    diags = [d for d in lint_paths(["src/repro"]) if d.code == "TCQ601"]
+    assert diags == []

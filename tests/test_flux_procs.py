@@ -1,0 +1,256 @@
+"""Tier-2 cluster gate: Flux on real spawned worker processes.
+
+Run with ``pytest -m cluster`` (deselected by default so tier-1 spawns
+zero processes).  Every test here exercises the same Flux logic the
+simulated tier-1 suite covers — the assertion set mirrors
+``test_flux.py`` — but the substrate is
+:class:`~repro.flux.procs.MultiprocessBackend`: real interpreters,
+framed pipes, SIGKILL failures, wall-clock recovery.
+"""
+
+import functools
+import multiprocessing
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.tuples import Schema
+from repro.errors import ClusterError
+from repro.flux.cluster import Cluster, GroupCountState
+from repro.flux.flux import Flux
+from repro.flux.parallel_cacq import ParallelCACQ
+from repro.flux.procs import MultiprocessBackend, live_worker_pids
+from repro.monitor.clock import now
+from repro.query.predicates import ColumnComparison, Comparison
+
+pytestmark = pytest.mark.cluster
+
+S = Schema.of("pkts", "key")
+
+
+def make_data(n=400, n_keys=12, seed=0):
+    rng = random.Random(seed)
+    return [S.make(rng.randrange(n_keys), timestamp=i) for i in range(n)]
+
+
+def ground_truth(data):
+    out = {}
+    for t in data:
+        out[t["key"]] = out.get(t["key"], 0) + 1
+    return out
+
+
+def group_factory():
+    return GroupCountState("key")
+
+
+def run_flux(backend, data, batch=50, replication=0, fail_at=None,
+             **kwargs):
+    flux = Flux(backend, n_partitions=8, key_fn=lambda t: t["key"],
+                state_factory=group_factory, replication=replication,
+                **kwargs)
+    i = 0
+    tick = 0
+    while i < len(data) or flux.unacked_total():
+        rows = data[i:i + batch]
+        i += len(rows)
+        flux.tick(rows)
+        tick += 1
+        if fail_at is not None and tick == fail_at[1]:
+            backend.fail(fail_at[0])
+            flux.on_machine_failure(fail_at[0])
+        assert tick < 50_000, "flux made no progress on real workers"
+    return flux
+
+
+class TestMultiprocessRouting:
+    def test_counts_match_ground_truth(self):
+        data = make_data(300)
+        with MultiprocessBackend(workers=2) as backend:
+            flux = run_flux(backend, data)
+            assert flux.merged_counts() == ground_truth(data)
+
+    def test_parity_with_simulated_backend(self):
+        """The acceptance property: same suite, same answers, real
+        processes."""
+        data = make_data(400, seed=3)
+        cluster = Cluster()
+        for i in range(3):
+            cluster.add_machine(f"w{i}")
+        sim_flux = run_flux(cluster, data, replication=1)
+        with MultiprocessBackend(workers=3) as backend:
+            mp_flux = run_flux(backend, data, replication=1)
+            assert mp_flux.merged_counts() == sim_flux.merged_counts() \
+                == ground_truth(data)
+
+    def test_heterogeneous_workers_diverge_backlogs(self):
+        """The spin knob makes one worker genuinely slower; the fast
+        worker acks sooner, so routing imbalance becomes observable."""
+        data = make_data(600, seed=5)
+        with MultiprocessBackend(workers=2,
+                                 spins={"w0": 4000, "w1": 0}) as backend:
+            flux = run_flux(backend, data, batch=200)
+            assert flux.merged_counts() == ground_truth(data)
+            assert backend.processed_count("w0") + \
+                backend.processed_count("w1") == len(data)
+
+
+class TestMultiprocessFailover:
+    def test_replicated_crash_loses_nothing(self):
+        data = make_data(500, seed=7)
+        with MultiprocessBackend(workers=3) as backend:
+            flux = run_flux(backend, data, replication=1,
+                            fail_at=("w1", 4))
+            assert flux.merged_counts() == ground_truth(data)
+            assert flux.lost_tuples == 0
+            assert not backend.is_alive("w1")
+
+    def test_recovery_time_is_wall_clock(self):
+        data = make_data(300, seed=9)
+        with MultiprocessBackend(workers=3) as backend:
+            flux = run_flux(backend, data, replication=1,
+                            fail_at=("w0", 3))
+            assert len(flux.recovery_times_ms) == 1
+            # A real snapshot+install over pipes cannot be instantaneous.
+            assert flux.recovery_times_ms[-1] > 0.0
+
+    def test_unreplicated_crash_counts_losses(self):
+        data = make_data(400, seed=11)
+        with MultiprocessBackend(workers=2) as backend:
+            flux = run_flux(backend, data, fail_at=("w0", 3))
+            merged = flux.merged_counts()
+            lost = len(data) - sum(merged.values())
+            assert lost == flux.lost_tuples
+            # the run completed; survivors hold everything not lost
+            assert lost >= 0
+
+    def test_dead_worker_rejects_enqueue(self):
+        with MultiprocessBackend(workers=2) as backend:
+            backend.configure(group_factory)
+            backend.fail("w0")
+            with pytest.raises(ClusterError):
+                backend.enqueue("w0", 0, 0, S.make(1))
+            with pytest.raises(ClusterError):
+                backend.fail("w0")
+
+
+class TestWorkerLifecycle:
+    """Satellite: graceful teardown and the orphan leak check."""
+
+    def test_context_exit_leaves_no_orphans(self):
+        with MultiprocessBackend(workers=2) as backend:
+            pids = {h.process.pid for h in backend._workers.values()}
+            assert pids <= live_worker_pids()
+        assert not live_worker_pids()
+        assert not multiprocessing.active_children()
+
+    def test_close_is_idempotent(self):
+        backend = MultiprocessBackend(workers=2)
+        backend.close()
+        backend.close()
+        assert not live_worker_pids()
+
+    def test_sigterm_escalation_reaps_stuck_worker(self):
+        """A worker that never sees the shutdown command (ctrl pipe
+        closed under it) must still be reaped by terminate/kill."""
+        backend = MultiprocessBackend(workers=2)
+        backend._workers["w0"].ctrl.close()
+        backend.close()
+        assert not live_worker_pids()
+        assert not multiprocessing.active_children()
+
+    def test_unpicklable_factory_is_rejected_clearly(self):
+        with MultiprocessBackend(workers=1) as backend:
+            with pytest.raises(ClusterError, match="pickle"):
+                backend.configure(lambda: GroupCountState("key"))
+
+
+class TestSpawnDeterminism:
+    """Satellite: partition placement must agree across interpreters
+    with different hash seeds (spawned workers inherit a fresh seed)."""
+
+    PROBE = ("import repro.flux.flux as f; "
+             "print([f.Flux._stable_hash(v) for v in "
+             "['abc', 'aapl', 17, ('x', 1), 3.5]])")
+
+    def _hashes_under_seed(self, seed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run([sys.executable, "-c", self.PROBE],
+                             capture_output=True, text=True, env=env,
+                             check=True)
+        return out.stdout.strip()
+
+    def test_stable_hash_ignores_hash_seed(self):
+        a = self._hashes_under_seed("0")
+        b = self._hashes_under_seed("12345")
+        c = self._hashes_under_seed("random")
+        assert a == b == c
+
+    def test_routing_agrees_across_spawned_workers(self):
+        """End-to-end: a replicated run (which re-routes on failover)
+        lands every tuple where the ledger expects it; any conductor/
+        worker hash disagreement would surface as lost or misrouted
+        acks and hang run_flux."""
+        data = [S.make(k) for k in range(50)]
+        with MultiprocessBackend(workers=2) as backend:
+            flux = run_flux(backend, data, replication=1)
+            assert sum(flux.merged_counts().values()) == len(data)
+
+
+class TestParallelCACQOnProcesses:
+    def test_cacq_shards_and_failover(self):
+        trades = Schema.of("trades", "sym", "price")
+        quotes = Schema.of("quotes", "sym", "bid")
+        with MultiprocessBackend(workers=3) as backend:
+            engine = ParallelCACQ(backend, partition_column="sym",
+                                  n_partitions=6, replication=1)
+            engine.register_stream(trades)
+            engine.register_stream(quotes)
+            engine.add_query(["trades"], Comparison("price", ">", 10.0))
+            engine.add_query(["trades", "quotes"],
+                             ColumnComparison("trades.sym", "==",
+                                              "quotes.sym"))
+            syms = ["aa", "bb", "cc", "dd"]
+            batch = []
+            for i in range(100):
+                batch.append(trades.make(syms[i % 4], float(i % 25)))
+                batch.append(quotes.make(syms[i % 4], float(i)))
+            engine.tick(batch)
+            engine.drain()
+            before = engine.delivered_counts()
+            assert before[0] > 0 and before[1] > 0
+            engine.fail_machine("w1")
+            engine.drain()
+            assert engine.delivered_counts() == before
+
+
+@pytest.mark.skipif(len(os.sched_getaffinity(0)) < 2,
+                    reason="speedup needs >= 2 usable CPUs")
+class TestScaleOut:
+    """The headline acceptance number: a CPU-bound partitioned workload
+    on two workers beats one worker by >= 1.5x wall clock."""
+
+    SPIN = 20_000
+    N = 600
+
+    def _timed_run(self, n_workers):
+        data = make_data(self.N, seed=13)
+        spins = {f"w{i}": self.SPIN for i in range(n_workers)}
+        with MultiprocessBackend(workers=n_workers, spins=spins) as backend:
+            started = now()
+            flux = run_flux(backend, data, batch=200)
+            elapsed = now() - started
+            assert flux.merged_counts() == ground_truth(data)
+        return elapsed
+
+    def test_two_workers_beat_one(self):
+        one = min(self._timed_run(1) for _ in range(2))
+        two = min(self._timed_run(2) for _ in range(2))
+        assert one / two >= 1.5, (
+            f"expected >=1.5x speedup, got {one / two:.2f}x "
+            f"({one:.3f}s -> {two:.3f}s)")
