@@ -3,19 +3,26 @@
 Exit status is the number of findings capped at 125 (so shells see a
 truthy failure), 0 when clean::
 
-    python -m repro.analysis --self          # lint the shipped tree
-    python -m repro.analysis src/ tools/x.py # lint arbitrary paths
+    python -m repro.analysis --self          # lint + guard the shipped tree
+    python -m repro.analysis src/ tools/x.py # analyze arbitrary paths
+    python -m repro.analysis --self --json   # machine-readable findings
+    python -m repro.analysis --self --rules TCQ7   # only the guard family
     python -m repro.analysis --codes         # print the code table
     python -m repro.analysis --query "SELECT * FROM s WHERE x > 5 AND x < 3"
+
+Two passes run over source paths: the per-file invariant linter
+(TCQ3xx–6xx) and the whole-program guard (TCQ7xx).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List
 
+from repro.analysis.guard import guard_paths
 from repro.analysis.lint import lint_paths
 from repro.analysis.plan_check import check_spec
 from repro.analysis.report import Diagnostic, render_codes_table
@@ -28,16 +35,35 @@ def _self_root() -> str:
     return os.path.dirname(here)
 
 
+def _finding_json(d: Diagnostic) -> dict:
+    return {
+        "rule": d.code,
+        "path": d.file,
+        "line": d.line,
+        "span": list(d.span),
+        "severity": d.severity,
+        "message": d.message,
+        "hint": d.hint,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="tcqcheck: plan verifier + codebase invariant linter")
+        description="tcqcheck: plan verifier + invariant linter + "
+                    "whole-program guard")
     parser.add_argument("paths", nargs="*",
-                        help="files or directories to lint")
+                        help="files or directories to analyze")
     parser.add_argument("--self", dest="lint_self", action="store_true",
-                        help="lint the installed repro package tree")
+                        help="analyze the installed repro package tree")
     parser.add_argument("--codes", action="store_true",
                         help="print the diagnostic code table and exit")
+    parser.add_argument("--json", dest="as_json", action="store_true",
+                        help="emit findings as a JSON object")
+    parser.add_argument("--rules", metavar="PREFIXES",
+                        help="only report codes matching the given "
+                             "comma-separated prefixes (e.g. TCQ7 or "
+                             "TCQ501,TCQ70)")
     parser.add_argument("--query", metavar="SQL",
                         help="plan-check one query string (no catalog; "
                              "spec-level checks only)")
@@ -48,6 +74,7 @@ def main(argv: List[str] = None) -> int:
         return 0
 
     findings: List[Diagnostic] = []
+    suppressed = 0
     if args.query:
         from repro.query.parser import parse
         from repro.errors import ParseError
@@ -61,14 +88,32 @@ def main(argv: List[str] = None) -> int:
         paths.append(_self_root())
     if paths:
         findings.extend(lint_paths(paths))
+        guard = guard_paths(paths)
+        findings.extend(guard.diagnostics)
+        suppressed += guard.suppressed
     elif not args.query:
         parser.error("nothing to do: pass paths, --self, --codes, "
                      "or --query")
 
-    for d in findings:
-        print(d.render())
+    if args.rules:
+        prefixes = tuple(p.strip() for p in args.rules.split(",") if p.strip())
+        findings = [d for d in findings if d.code.startswith(prefixes)]
+
+    findings.sort(key=lambda d: (d.file, d.line, d.code))
     n = len(findings)
-    print(f"{n} finding{'s' if n != 1 else ''}")
+    if args.as_json:
+        print(json.dumps({
+            "findings": [_finding_json(d) for d in findings],
+            "count": n,
+            "suppressed": suppressed,
+        }, indent=2))
+    else:
+        for d in findings:
+            print(d.render())
+        tail = f"{n} finding{'s' if n != 1 else ''}"
+        if suppressed:
+            tail += f" ({suppressed} suppressed)"
+        print(tail)
     return min(n, 125)
 
 

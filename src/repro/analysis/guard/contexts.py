@@ -1,0 +1,108 @@
+"""Context inference over the project model.
+
+Three context sets drive the TCQ7xx rules:
+
+* **async context** — functions whose code runs on the event-loop
+  thread.  Seeds: every ``async def`` in the project, every
+  ``run_once`` method (the net service hosts the cooperative scheduler
+  *on the loop thread*, so engine quanta are loop-thread work), and the
+  ``_h_*`` frame handlers dispatched by the network pump.  Closure under
+  the call graph gives the async-reachable set.
+
+* **engine context** — functions reachable from any ``run_once`` entry
+  point or ``_h_*`` handler.  These interleave cooperatively, so a
+  module-level mutable global mutated here is a shared-state race
+  candidate (TCQ703).
+
+* **boundary sinks** — functions that pickle one of their parameters
+  (``pickle.dumps(param)``), e.g. ``_to_b64``.  A call site passing a
+  lambda, nested def, local class or open handle into such a parameter
+  ships an unpicklable value across the process boundary (TCQ702).
+
+Each reachable function remembers one predecessor so diagnostics can
+print a concrete call chain back to the seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from .model import FunctionInfo, ProjectModel
+
+__all__ = ["Contexts", "infer_contexts"]
+
+
+@dataclass
+class Contexts:
+    model: ProjectModel
+    #: qualname -> predecessor qualname (None for seeds)
+    async_reachable: dict = field(default_factory=dict)
+    engine_reachable: dict = field(default_factory=dict)
+    #: fn qualname -> set of parameter names that get pickled
+    boundary_sinks: dict = field(default_factory=dict)
+
+    def chain(self, table: dict, qualname: str, limit: int = 6):
+        """Call chain from a seed down to *qualname* (inclusive)."""
+        links = [qualname]
+        seen = {qualname}
+        cur = table.get(qualname)
+        while cur is not None and cur not in seen and len(links) < limit:
+            links.append(cur)
+            seen.add(cur)
+            cur = table.get(cur)
+        return list(reversed(links))
+
+
+def _is_async_seed(fn: FunctionInfo) -> bool:
+    if fn.is_async:
+        return True
+    # scheduler quanta and frame handlers execute on the loop thread when
+    # the service hosts the engine (service._drive -> scheduler.pass_once)
+    return fn.name == "run_once" or (fn.cls and fn.name.startswith("_h_"))
+
+
+def _is_engine_seed(fn: FunctionInfo) -> bool:
+    return fn.name == "run_once" or (fn.cls and fn.name.startswith("_h_"))
+
+
+def _closure(model: ProjectModel, seeds):
+    table: dict = {fn.qualname: None for fn in seeds}
+    queue = deque(table)
+    while queue:
+        qual = queue.popleft()
+        fn = model.functions.get(qual)
+        if fn is None:
+            continue
+        for call in fn.calls:
+            for target in call.targets:
+                if target not in table:
+                    table[target] = qual
+                    queue.append(target)
+    return table
+
+
+def infer_contexts(model: ProjectModel) -> Contexts:
+    ctx = Contexts(model=model)
+    async_seeds = [f for f in model.functions.values() if _is_async_seed(f)]
+    engine_seeds = [f for f in model.functions.values() if _is_engine_seed(f)]
+    ctx.async_reachable = _closure(model, async_seeds)
+    ctx.engine_reachable = _closure(model, engine_seeds)
+    ctx.boundary_sinks = _sinks(model)
+    return ctx
+
+
+def _sinks(model: ProjectModel) -> dict:
+    sinks: dict = {}
+    for fn in model.functions.values():
+        pickled = set()
+        for call in fn.calls:
+            if call.external not in ("pickle.dumps", "pickle.dump"):
+                continue
+            for arg in call.node.args:
+                if isinstance(arg, ast.Name) and arg.id in fn.params:
+                    pickled.add(arg.id)
+        if pickled:
+            sinks[fn.qualname] = pickled
+    return sinks

@@ -1,0 +1,601 @@
+"""Whole-program project model for the TCQ7xx guard pass.
+
+One parse of every module under the analysis root produces:
+
+* a module table (dotted name -> :class:`ModuleInfo`) with per-module
+  import alias maps,
+* per-module symbol tables (classes, functions, module-level globals),
+* a class hierarchy (ancestors *and* descendants, so protocol dispatch
+  can fan out to implementations), and
+* a conservative call graph, resolved in tiers::
+
+      f()                   same-module function or imported project symbol
+      mod.f()               module alias -> project function
+      self.m()              own class, ancestors, then descendants
+      self.attr.m()         via inferred attribute type (``self.x = C()``,
+                            ``self.x: C = ...``), then that type's tree
+      var.m()               via inferred local type (``var = C()``, ``var: C``)
+      obj.m()               unique-name fallback: linked only when exactly
+                            one project class defines ``m``
+
+  The unique-name fallback is what keeps reachability honest: a dynamic
+  dispatch like ``unit.run_once()`` (dozens of implementations) produces
+  *no* edge, and the rules instead seed every ``run_once`` directly.
+
+Calls that resolve to nothing in the project are kept as
+:class:`CallSite` records with their best-effort external dotted name
+(``time.sleep``, ``multiprocessing.connection.wait``) so rules can match
+blocking primitives without the graph.
+
+Nested functions, lambdas and local classes are folded into their
+enclosing top-level function or method: their call sites belong to the
+enclosing unit, which matches how they execute.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from ..suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_model",
+    "iter_module_files",
+]
+
+
+# ---------------------------------------------------------------------------
+# data records
+
+
+@dataclass
+class CallSite:
+    """One ``Call`` expression inside a function body."""
+
+    node: ast.Call
+    lineno: int
+    col: int
+    #: trailing attribute / bare name being called (``sleep``, ``recv``)
+    attr: str
+    #: best-effort dotted name when the callee chains to an import
+    #: (``time.sleep``); ``None`` when the head is a runtime value
+    external: str | None
+    #: fully-qualified project functions this call may dispatch to
+    targets: tuple
+    #: the call sits directly under an ``await``
+    awaited: bool
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    name: str
+    module: str
+    node: ast.AST
+    lineno: int
+    is_async: bool
+    #: owning class qualname (``repro.net.service.NetworkPump``) or None
+    cls: str | None = None
+    calls: list = field(default_factory=list)
+    #: raw call expressions, resolved into ``calls`` once the whole
+    #: project is indexed
+    raw_calls: list = field(default_factory=list)
+    #: local name -> project class qualname (``v = ClassName(...)``)
+    local_types: dict = field(default_factory=dict)
+    #: names of parameters, in order (for boundary-sink arg mapping)
+    params: tuple = ()
+    #: names bound as lambdas / nested defs / local classes in this body
+    local_callables: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    #: raw base expressions (resolved lazily against the full model)
+    base_exprs: list = field(default_factory=list)
+    bases: list = field(default_factory=list)  # resolved class qualnames
+    methods: dict = field(default_factory=dict)  # name -> FunctionInfo
+    #: attribute name -> project class qualname, inferred from
+    #: ``self.x = C(...)`` and ``self.x: C`` in any method
+    attr_types: dict = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    file: str
+    source: str
+    tree: ast.Module
+    #: local alias -> dotted target (``be`` -> ``repro.flux.backend``,
+    #: ``ClusterBackend`` -> ``repro.flux.backend.ClusterBackend``)
+    imports: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)  # qualname -> FunctionInfo
+    classes: dict = field(default_factory=dict)  # bare name -> ClassInfo
+    #: module-level mutable container globals: name -> assign lineno
+    container_globals: dict = field(default_factory=dict)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+
+class ProjectModel:
+    def __init__(self):
+        self.modules: dict = {}  # dotted name -> ModuleInfo
+        self.functions: dict = {}  # qualname -> FunctionInfo
+        self.classes: dict = {}  # qualname -> ClassInfo
+        self._methods_by_name: dict = {}  # bare name -> [FunctionInfo]
+        self._descendants: dict = {}  # class qualname -> set of qualnames
+
+    # -- lookups ------------------------------------------------------------
+
+    def module_of(self, fn: FunctionInfo) -> ModuleInfo:
+        return self.modules[fn.module]
+
+    def methods_named(self, name: str) -> list:
+        return self._methods_by_name.get(name, [])
+
+    def ancestors(self, qualname: str):
+        seen, stack = [], [qualname]
+        while stack:
+            cls = self.classes.get(stack.pop())
+            if cls is None:
+                continue
+            for base in cls.bases:
+                if base not in seen:
+                    seen.append(base)
+                    stack.append(base)
+        return seen
+
+    def descendants(self, qualname: str):
+        return sorted(self._descendants.get(qualname, ()))
+
+    def resolve_class(self, name: str, module: ModuleInfo):
+        """Resolve a (possibly dotted) class name used inside *module*."""
+        if not name:
+            return None
+        head, _, rest = name.partition(".")
+        if not rest and head in module.classes:
+            return module.classes[head]
+        target = module.imports.get(head)
+        if target is None:
+            dotted = name
+        else:
+            dotted = target + ("." + rest if rest else "")
+        cls = self.classes.get(dotted)
+        if cls is not None:
+            return cls
+        # ``from x import C`` maps C -> x.C already; also try treating the
+        # alias target as a module and the remainder as the class.
+        mod_name, _, cls_name = dotted.rpartition(".")
+        mod = self.modules.get(mod_name)
+        if mod is not None and cls_name in mod.classes:
+            return mod.classes[cls_name]
+        return None
+
+    def dispatch(self, cls_qualname: str, method: str):
+        """Methods named *method* on the class, its ancestors and its
+        descendants — the conservative fan-out for protocol calls."""
+        out, seen = [], set()
+        family = [cls_qualname]
+        family += self.ancestors(cls_qualname)
+        family += self.descendants(cls_qualname)
+        for qn in family:
+            cls = self.classes.get(qn)
+            if cls is None:
+                continue
+            fn = cls.methods.get(method)
+            if fn is not None and fn.qualname not in seen:
+                seen.add(fn.qualname)
+                out.append(fn)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# file discovery
+
+
+def iter_module_files(root: str):
+    """Yield ``(dotted_module_name, path)`` for every .py under *root*.
+
+    The root directory's basename becomes the package name, so passing
+    ``src/repro`` yields ``repro.flux.procs`` etc.
+    """
+    root = os.path.abspath(root)
+    if os.path.isfile(root):
+        yield os.path.splitext(os.path.basename(root))[0], root
+        return
+    pkg = os.path.basename(root.rstrip(os.sep))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if not d.startswith(".") and d != "__pycache__"
+        )
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            rel = os.path.relpath(path, root)
+            parts = [pkg] + rel[:-3].split(os.sep)
+            if parts[-1] == "__init__":
+                parts.pop()
+            yield ".".join(parts), path
+
+
+# ---------------------------------------------------------------------------
+# indexing
+
+
+def _dotted(expr) -> str | None:
+    """``a.b.c`` attribute chain -> string, else None."""
+    parts = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_name(node) -> str | None:
+    """Best-effort class name out of an annotation expression."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip()
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return _dotted(node)
+    if isinstance(node, ast.Subscript):
+        # Optional[C] / list[C]: only unwrap Optional-style wrappers where
+        # the inner type is the useful one.
+        outer = _annotation_name(node.value)
+        if outer in ("Optional", "typing.Optional"):
+            return _annotation_name(node.slice)
+    return None
+
+
+_CONTAINER_CTORS = {
+    "list", "dict", "set", "deque", "defaultdict", "OrderedDict",
+    "collections.deque", "collections.defaultdict", "collections.OrderedDict",
+}
+
+
+def _is_container_value(node) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        return name in _CONTAINER_CTORS
+    return False
+
+
+class _ImportIndexer:
+    @staticmethod
+    def index(tree: ast.Module, module_name: str) -> dict:
+        imports: dict = {}
+        pkg_parts = module_name.split(".")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # relative: repro.net.service w/ level 1 -> repro.net
+                    base = pkg_parts[: len(pkg_parts) - node.level]
+                    prefix = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    prefix = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+        return imports
+
+
+def _index_module(name: str, path: str, source: str, tree: ast.Module) -> ModuleInfo:
+    mod = ModuleInfo(
+        name=name, file=path, source=source, tree=tree,
+        imports=_ImportIndexer.index(tree, name),
+        suppressions=parse_suppressions(source),
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _index_function(node, mod, cls=None)
+            mod.functions[fn.qualname] = fn
+        elif isinstance(node, ast.ClassDef):
+            _index_class(node, mod)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name) and _is_container_value(node.value):
+                    mod.container_globals[tgt.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign):
+            if (isinstance(node.target, ast.Name) and node.value is not None
+                    and _is_container_value(node.value)):
+                mod.container_globals[node.target.id] = node.lineno
+    return mod
+
+
+def _index_class(node: ast.ClassDef, mod: ModuleInfo):
+    qual = f"{mod.name}.{node.name}"
+    cls = ClassInfo(
+        qualname=qual, name=node.name, module=mod.name, node=node,
+        base_exprs=list(node.bases),
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _index_function(item, mod, cls=qual)
+            cls.methods[item.name] = fn
+            mod.functions[fn.qualname] = fn
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            ann = _annotation_name(item.annotation)
+            if ann:
+                cls.attr_types.setdefault(item.target.id, ann)
+    mod.classes[node.name] = cls
+    return cls
+
+
+def _collect_awaited(body_nodes) -> set:
+    ids = set()
+    for top in body_nodes:
+        for node in ast.walk(top):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                ids.add(id(node.value))
+    return ids
+
+
+def _index_function(node, mod: ModuleInfo, cls: str | None) -> FunctionInfo:
+    prefix = cls if cls else mod.name
+    fn = FunctionInfo(
+        qualname=f"{prefix}.{node.name}",
+        name=node.name,
+        module=mod.name,
+        node=node,
+        lineno=node.lineno,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        cls=cls,
+        params=tuple(a.arg for a in node.args.args),
+    )
+    # parameter annotations feed local type inference
+    for arg in list(node.args.args) + list(node.args.kwonlyargs):
+        ann = _annotation_name(arg.annotation)
+        if ann:
+            fn.local_types[arg.arg] = ann
+
+    awaited = _collect_awaited(node.body)
+    for top in node.body:
+        for sub in ast.walk(top):
+            if isinstance(sub, ast.Call):
+                fn.raw_calls.append((sub, id(sub) in awaited))
+            elif isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                # var = ClassName(...): remember for attr-call resolution
+                name = _dotted(sub.value.func)
+                if name:
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name):
+                            fn.local_types.setdefault(tgt.id, name)
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                ann = _annotation_name(sub.annotation)
+                if ann:
+                    fn.local_types.setdefault(sub.target.id, ann)
+            elif isinstance(sub, ast.Lambda):
+                fn.local_callables.setdefault(f"<lambda:{sub.lineno}>", sub)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not node:
+                fn.local_callables.setdefault(sub.name, sub)
+            elif isinstance(sub, ast.ClassDef):
+                fn.local_callables.setdefault(sub.name, sub)
+    # ``self.x = C(...)`` / ``self.x: C`` anywhere in a method enriches the
+    # owning class's attribute types (filled in during build_model once the
+    # class record exists).
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# model assembly
+
+
+def build_model(roots) -> ProjectModel:
+    model = ProjectModel()
+    for root in roots:
+        for mod_name, path in iter_module_files(root):
+            if mod_name in model.modules:
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+                tree = ast.parse(source, filename=path)
+            except (OSError, SyntaxError):
+                continue
+            model.modules[mod_name] = _index_module(mod_name, path, source, tree)
+
+    for mod in model.modules.values():
+        for fn in mod.functions.values():
+            model.functions[fn.qualname] = fn
+        for cls in mod.classes.values():
+            model.classes[cls.qualname] = cls
+
+    _resolve_bases(model)
+    _infer_attr_types(model)
+    _build_method_index(model)
+    for mod in model.modules.values():
+        for fn in mod.functions.values():
+            _resolve_calls(model, mod, fn)
+    return model
+
+
+def _resolve_bases(model: ProjectModel):
+    for cls in model.classes.values():
+        mod = model.modules[cls.module]
+        for expr in cls.base_exprs:
+            name = _dotted(expr)
+            if name is None and isinstance(expr, ast.Subscript):
+                name = _dotted(expr.value)  # Generic[T] bases
+            if name is None:
+                continue
+            base = model.resolve_class(name, mod)
+            if base is not None and base.qualname != cls.qualname:
+                cls.bases.append(base.qualname)
+    for cls in model.classes.values():
+        for anc in model.ancestors(cls.qualname):
+            model._descendants.setdefault(anc, set()).add(cls.qualname)
+
+
+def _infer_attr_types(model: ProjectModel):
+    for cls in model.classes.values():
+        mod = model.modules[cls.module]
+        for method in cls.methods.values():
+            for top in method.node.body:
+                for sub in ast.walk(top):
+                    tgt = None
+                    type_name = None
+                    if isinstance(sub, ast.Assign):
+                        if isinstance(sub.value, ast.Call):
+                            type_name = _dotted(sub.value.func)
+                        elif isinstance(sub.value, ast.Name):
+                            # self.x = param: use the parameter annotation
+                            type_name = method.local_types.get(sub.value.id)
+                        for t in sub.targets:
+                            if (isinstance(t, ast.Attribute)
+                                    and isinstance(t.value, ast.Name)
+                                    and t.value.id == "self"):
+                                tgt = t.attr
+                    elif isinstance(sub, ast.AnnAssign):
+                        t = sub.target
+                        if (isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id == "self"):
+                            tgt = t.attr
+                            type_name = _annotation_name(sub.annotation)
+                    if tgt and type_name:
+                        resolved = model.resolve_class(type_name, mod)
+                        if resolved is not None:
+                            cls.attr_types.setdefault(tgt, resolved.qualname)
+        # string/Name annotations recorded at class level still need
+        # resolving to qualnames
+        for attr, type_name in list(cls.attr_types.items()):
+            if type_name not in model.classes:
+                resolved = model.resolve_class(type_name, mod)
+                if resolved is not None:
+                    cls.attr_types[attr] = resolved.qualname
+                else:
+                    del cls.attr_types[attr]
+
+
+def _build_method_index(model: ProjectModel):
+    for cls in model.classes.values():
+        for name, fn in cls.methods.items():
+            model._methods_by_name.setdefault(name, []).append(fn)
+
+
+def _resolve_calls(model: ProjectModel, mod: ModuleInfo, fn: FunctionInfo):
+    for call, awaited in fn.raw_calls:
+        func = call.func
+        targets: list = []
+        external: str | None = None
+        attr = ""
+        if isinstance(func, ast.Name):
+            attr = func.id
+            targets, external = _resolve_name_call(model, mod, fn, func.id)
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            targets, external = _resolve_attr_call(model, mod, fn, func)
+        fn.calls.append(CallSite(
+            node=call, lineno=call.lineno, col=call.col_offset, attr=attr,
+            external=external, targets=tuple(t.qualname for t in targets),
+            awaited=awaited,
+        ))
+
+
+def _resolve_name_call(model: ProjectModel, mod: ModuleInfo, fn: FunctionInfo, name: str):
+    if name in fn.local_callables:
+        return [], None  # nested def/lambda: body already folded into fn
+    qual = f"{mod.name}.{name}"
+    if qual in mod.functions:
+        return [mod.functions[qual]], None
+    cls = model.resolve_class(name, mod)
+    if cls is not None:
+        init = cls.methods.get("__init__")
+        return ([init] if init else []), None
+    target = mod.imports.get(name)
+    if target is not None:
+        tmod_name, _, tfn = target.rpartition(".")
+        tmod = model.modules.get(tmod_name)
+        if tmod is not None and f"{tmod_name}.{tfn}" in tmod.functions:
+            return [tmod.functions[f"{tmod_name}.{tfn}"]], None
+        return [], target
+    return [], name
+
+
+def _resolve_attr_call(model: ProjectModel, mod: ModuleInfo, fn: FunctionInfo, func: ast.Attribute):
+    method = func.attr
+    value = func.value
+
+    dotted = _dotted(func)
+    if dotted is not None:
+        head = dotted.split(".", 1)[0]
+        target = mod.imports.get(head)
+        if target is not None:
+            full = target + dotted[len(head):]
+            # project module function through an alias?
+            tmod_name, _, tfn = full.rpartition(".")
+            tmod = model.modules.get(tmod_name)
+            if tmod is not None and f"{tmod_name}.{tfn}" in tmod.functions:
+                return [tmod.functions[f"{tmod_name}.{tfn}"]], None
+            tcls = model.classes.get(tmod_name)
+            if tcls is not None:
+                target_fn = tcls.methods.get(tfn)
+                return ([target_fn] if target_fn else []), None
+            return [], full
+        if head in mod.classes:  # ClassName.method(...)
+            target_fn = mod.classes[head].methods.get(method)
+            if target_fn is not None:
+                return [target_fn], None
+
+    # self.m() / self.attr.m() / var.m()
+    recv_type = _receiver_type(model, mod, fn, value)
+    if recv_type is not None:
+        targets = model.dispatch(recv_type, method)
+        if targets:
+            return targets, None
+
+    # unique-name fallback: only when the method name is unambiguous
+    candidates = model.methods_named(method)
+    if len(candidates) == 1:
+        return [candidates[0]], None
+    return [], None
+
+
+def _receiver_type(model: ProjectModel, mod: ModuleInfo, fn: FunctionInfo, value):
+    """Class qualname of the call receiver, when inferable."""
+    if isinstance(value, ast.Name):
+        if value.id == "self" and fn.cls:
+            return fn.cls
+        type_name = fn.local_types.get(value.id)
+        if type_name:
+            if type_name in model.classes:
+                return type_name
+            cls = model.resolve_class(type_name, mod)
+            return cls.qualname if cls else None
+        return None
+    if (isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name)
+            and value.value.id == "self" and fn.cls):
+        cls = model.classes.get(fn.cls)
+        family = [fn.cls] + model.ancestors(fn.cls) if cls else []
+        for qn in family:
+            owner = model.classes.get(qn)
+            if owner and value.attr in owner.attr_types:
+                return owner.attr_types[value.attr]
+    return None

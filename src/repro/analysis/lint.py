@@ -55,8 +55,13 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.report import Diagnostic
+from repro.analysis.suppress import ALLOW_RE
 
-#: Rule tag -> exemption comment suffix (``# tcqcheck: allow-<tag>``).
+#: Rule tag -> legacy exemption comment suffix (``# tcqcheck:
+#: allow-<tag>``).  The modern form is the code-addressed
+#: ``# tcq: allow[TCQ303] reason`` (see :mod:`repro.analysis.suppress`),
+#: which works for every rule family; the legacy tags stay recognised so
+#: existing annotations keep meaning what they said.
 EXEMPT_TAGS = {
     "TCQ301": "allow-no-batch",
     "TCQ302": "allow-metric-name",
@@ -68,10 +73,11 @@ EXEMPT_TAGS = {
     "TCQ601": "allow-process",
 }
 
-#: TCQ501 scope: path fragments whose files are batch hot paths, and
-#: the files allowed to touch row backing (they implement it).
+#: TCQ501 scope: path fragments whose files are batch hot paths.  The
+#: batch implementations themselves (tuples.py, columnar.py) carry no
+#: special-case list — any row-granular site there is either clean
+#: (``self._rows`` is the backing store) or carries an inline allow.
 _HOT_PATH_DIRS = ("repro/core/", "repro/query/")
-_HOT_PATH_EXEMPT_FILES = ("tuples.py", "columnar.py")
 
 _CLOCK_NAMES = {"time", "monotonic", "perf_counter", "monotonic_ns",
                 "time_ns", "perf_counter_ns"}
@@ -79,9 +85,20 @@ _METRIC_KINDS = {"counter", "gauge", "histogram"}
 _SHRINK_CALLS = {"pop", "popleft", "clear", "remove", "__delitem__"}
 
 
-def _is_exempt(lines: Sequence[str], lineno: int, tag: str) -> bool:
-    if 1 <= lineno <= len(lines):
-        return f"tcqcheck: {tag}" in lines[lineno - 1]
+def _is_exempt(lines: Sequence[str], lineno: int, code: str) -> bool:
+    """True when the offending line carries either suppression form:
+    the legacy tag (``# tcqcheck: allow-clock``) or the code-addressed
+    ``# tcq: allow[TCQ303] reason``."""
+    if not 1 <= lineno <= len(lines):
+        return False
+    text = lines[lineno - 1]
+    tag = EXEMPT_TAGS.get(code)
+    if tag and f"tcqcheck: {tag}" in text:
+        return True
+    m = ALLOW_RE.search(text)
+    if m and (m.group(2) or "").strip():
+        codes = {c.strip() for c in m.group(1).split(",")}
+        return code in codes
     return False
 
 
@@ -208,7 +225,7 @@ def _rule_batch_parity(tree: ast.Module, file: str, lines: Sequence[str],
         names = {i.name for i in node.body
                  if isinstance(i, (ast.FunctionDef, ast.AsyncFunctionDef))}
         if "handle" in names and "handle_batch" not in names:
-            if _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ301"]):
+            if _is_exempt(lines, node.lineno, "TCQ301"):
                 continue
             diags.append(Diagnostic(
                 "TCQ301",
@@ -235,7 +252,7 @@ def _rule_telemetry_names(tree: ast.Module, file: str, lines: Sequence[str],
                 and isinstance(first.value, str)):
             continue
         name, kind = first.value, node.func.attr
-        if _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ302"]):
+        if _is_exempt(lines, node.lineno, "TCQ302"):
             continue
         if not name.startswith("tcq_"):
             diags.append(Diagnostic(
@@ -274,7 +291,7 @@ def _rule_clock_discipline(tree: ast.Module, file: str,
                 if alias.name in _CLOCK_NAMES:
                     bad, lineno = f"from time import {alias.name}", node.lineno
                     break
-        if bad is None or _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ303"]):
+        if bad is None or _is_exempt(lines, lineno, "TCQ303"):
             continue
         diags.append(Diagnostic(
             "TCQ303",
@@ -300,7 +317,7 @@ def _rule_schedulable(tree: ast.Module, file: str, lines: Sequence[str],
                    if not hierarchy.defines_member(node.name, m)]
         if not missing:
             continue
-        if _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ304"]):
+        if _is_exempt(lines, node.lineno, "TCQ304"):
             continue
         diags.append(Diagnostic(
             "TCQ304",
@@ -368,8 +385,8 @@ def _rule_bounded_rings(tree: ast.Module, file: str,
             if attr not in appended or attr in shrunk or attr in reassigned:
                 continue
             lineno = appended[attr]
-            if _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ305"]) or \
-                    _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ305"]):
+            if _is_exempt(lines, lineno, "TCQ305") or \
+                    _is_exempt(lines, node.lineno, "TCQ305"):
                 continue
             diags.append(Diagnostic(
                 "TCQ305",
@@ -394,7 +411,7 @@ def _rule_server_door(tree: ast.Module, file: str,
         if not (isinstance(node, ast.Call)
                 and _base_name(node.func) == "TelegraphCQServer"):
             continue
-        if _is_exempt(lines, node.lineno, EXEMPT_TAGS["TCQ401"]):
+        if _is_exempt(lines, node.lineno, "TCQ401"):
             continue
         diags.append(Diagnostic(
             "TCQ401",
@@ -413,8 +430,6 @@ def _rule_columnar_discipline(tree: ast.Module, file: str,
     norm = file.replace(os.sep, "/")
     if not any(d in norm for d in _HOT_PATH_DIRS):
         return []
-    if norm.rsplit("/", 1)[-1] in _HOT_PATH_EXEMPT_FILES:
-        return []
     diags: List[Diagnostic] = []
     for node in ast.walk(tree):
         bad: Optional[str] = None
@@ -429,7 +444,7 @@ def _rule_columnar_discipline(tree: ast.Module, file: str,
                          and node.value.id == "self"):
             bad = "foreign ._rows access bypasses the columnar store"
             lineno = node.lineno
-        if bad is None or _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ501"]):
+        if bad is None or _is_exempt(lines, lineno, "TCQ501"):
             continue
         diags.append(Diagnostic(
             "TCQ501",
@@ -451,8 +466,7 @@ def _rule_process_confinement(tree: ast.Module, file: str,
     ``repro/flux/procs.py``, where lifecycle (graceful teardown, the
     atexit sweep, the orphan leak check) is centralised."""
     norm = file.replace(os.sep, "/")
-    if norm.endswith("repro/flux/procs.py") or "/tests/" in norm or \
-            norm.rsplit("/", 1)[-1].startswith("test_"):
+    if "/tests/" in norm or norm.rsplit("/", 1)[-1].startswith("test_"):
         return []
     diags: List[Diagnostic] = []
     for node in ast.walk(tree):
@@ -480,7 +494,7 @@ def _rule_process_confinement(tree: ast.Module, file: str,
         elif isinstance(node, ast.Attribute) and \
                 node.attr in _PROCESS_EXECUTORS:
             bad, lineno = f"{node.attr}", node.lineno
-        if bad is None or _is_exempt(lines, lineno, EXEMPT_TAGS["TCQ601"]):
+        if bad is None or _is_exempt(lines, lineno, "TCQ601"):
             continue
         diags.append(Diagnostic(
             "TCQ601",

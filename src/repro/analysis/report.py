@@ -12,6 +12,8 @@ Code families:
 * ``TCQ1xx`` — plan **errors**: the query is rejected at admission.
 * ``TCQ2xx`` — plan **warnings**: admitted, but surfaced to the client.
 * ``TCQ3xx`` — code **lints**: invariants of this codebase itself.
+* ``TCQ7xx`` — whole-program **guard** findings: concurrency and
+  process-boundary hazards from :mod:`repro.analysis.guard`.
 """
 
 from __future__ import annotations
@@ -68,6 +70,14 @@ CODES: Dict[str, str] = {
     "TCQ601": "process primitive (multiprocessing / os.fork / "
               "ProcessPoolExecutor) outside repro/flux/procs.py "
               "(process confinement)",
+    "TCQ701": "blocking call (time.sleep / sync IO / subprocess / "
+              "Connection.recv) reachable from an async-context function",
+    "TCQ702": "unpicklable value (lambda, local class/def, open handle) "
+              "reaches a cross-process payload",
+    "TCQ703": "module-level mutable container mutated from a run_once/"
+              "handler path (shared-state race candidate)",
+    "TCQ704": "asyncio primitive used outside repro.net",
+    "TCQ705": "telemetry series constructed outside the registry helpers",
 }
 
 

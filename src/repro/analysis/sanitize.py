@@ -1,0 +1,120 @@
+"""REPRO_SANITIZE=1: the runtime half of the TCQ7xx guard.
+
+Static analysis claims two things it cannot fully prove: that every
+value crossing the Flux process boundary survives pickling (TCQ702) and
+that nothing on the event-loop thread blocks (TCQ701).  With
+``REPRO_SANITIZE=1`` in the environment those claims are *checked* at
+runtime:
+
+* :func:`assert_picklable` round-trips every snapshot / command payload
+  through pickle at the boundary, so a silently-broken failover
+  snapshot fails loudly at the send site instead of at a failover weeks
+  later;
+* :class:`LoopWatchdog` times every scheduler pass the net service
+  drives on the event-loop thread and counts passes that exceed the
+  stall budget, published as ``tcq_sanitize_loop_stalls_total``.
+
+Both are no-ops (zero overhead beyond one ``if``) when the variable is
+unset, so production paths pay nothing.  Tier-2 tests flip the variable
+and assert the hooks fire.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, List, Optional, Tuple
+
+from repro.monitor.clock import now
+
+__all__ = ["SanitizeError", "enabled", "assert_picklable", "LoopWatchdog"]
+
+_ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizeError(AssertionError):
+    """A runtime sanitizer invariant failed (only under REPRO_SANITIZE=1)."""
+
+
+def enabled() -> bool:
+    """True when the current environment opts into sanitizer checks.
+
+    Read per call, not cached at import: tests flip the variable
+    mid-process.
+    """
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+def assert_picklable(obj: Any, what: str = "payload") -> Any:
+    """Round-trip *obj* through pickle when sanitizing; returns *obj*.
+
+    The *loads* half matters: an object can pickle fine and still fail
+    to rebuild (``__reduce__`` pointing at a local, a class moved out
+    of module scope), and only a round-trip catches that before the
+    bytes cross the process boundary.
+    """
+    if not enabled():
+        return obj
+    try:
+        pickle.loads(pickle.dumps(obj))
+    except Exception as exc:
+        raise SanitizeError(
+            f"{what} failed the pickle round-trip under REPRO_SANITIZE: "
+            f"{type(exc).__name__}: {exc}") from exc
+    return obj
+
+
+class LoopWatchdog:
+    """Times event-loop work units and counts budget overruns.
+
+    Usage (the net service wraps each scheduler pass)::
+
+        wd = LoopWatchdog(budget_s=0.1, name="net")
+        with wd:
+            scheduler.pass_once()
+
+    Stalls are recorded in a bounded ring (the most recent
+    ``keep`` overruns, each ``(duration_s, at)``) and counted in the
+    ``tcq_sanitize_loop_stalls_total`` telemetry counter so tier-2 runs
+    can assert the loop stayed responsive.
+    """
+
+    def __init__(self, budget_s: float = 0.1, name: str = "loop",
+                 keep: int = 32):
+        self.budget_s = budget_s
+        self.name = name
+        self.keep = keep
+        self.stalls: List[Tuple[float, float]] = []
+        self.passes = 0
+        self._stall_total = 0
+        self._t0: Optional[float] = None
+        try:
+            from repro.monitor.telemetry import get_registry
+            self._counter = get_registry().counter(
+                "tcq_sanitize_loop_stalls_total",
+                "scheduler passes that exceeded the sanitizer stall budget")
+        except Exception:
+            self._counter = None
+
+    def __enter__(self) -> "LoopWatchdog":
+        self._t0 = now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t0, self._t0 = self._t0, None
+        if t0 is None:
+            return
+        self.passes += 1
+        elapsed = now() - t0
+        if elapsed > self.budget_s:
+            self._stall_total += 1
+            self.stalls.append((elapsed, now()))
+            if len(self.stalls) > self.keep:
+                self.stalls.pop(0)
+            if self._counter is not None:
+                self._counter.inc()
+
+    @property
+    def stall_count(self) -> int:
+        """Total overruns observed (the ring keeps only the newest)."""
+        return self._stall_total

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple as TypingTuple
 
+from repro.analysis import sanitize
 from repro.core.tuples import Tuple
 from repro.errors import ClusterError
 from repro.flux.cluster import Cluster, PartitionState
@@ -131,8 +132,22 @@ class ClusterBackend:
         raise NotImplementedError
 
     def step(self) -> AckMap:
-        """Let machines work; collect acknowledgements."""
+        """Let machines work; collect acknowledgements.  Must not block:
+        a step may run on the event-loop thread when the conductor is a
+        scheduler unit (see ``FluxPump``)."""
         raise NotImplementedError
+
+    def wait_for_acks(self, timeout: Optional[float] = None) -> bool:
+        """Optionally park until acknowledgements are likely available.
+
+        Synchronous backends do their work inside :meth:`step`, so acks
+        are immediate and there is never anything to wait for — the
+        default just reports that.  Backends with real asynchronous
+        workers override this with a bounded wait so *standalone* drive
+        loops (``Flux.drain``) don't spin; loop-hosted callers must
+        never invoke it.
+        """
+        return True
 
     def poll_acks(self) -> AckMap:
         """Drain any already-available acknowledgements *without*
@@ -214,6 +229,10 @@ class SimulatedBackend(ClusterBackend):
 
     # -- configuration ------------------------------------------------------
     def configure(self, state_factory: Callable[[], PartitionState]) -> None:
+        # The simulated backend never pickles, so a factory that would
+        # break the real multiprocess backend sails through silently.
+        # Under REPRO_SANITIZE=1 it is held to the same standard.
+        sanitize.assert_picklable(state_factory, "state factory")
         self._factory = state_factory
 
     def _require_factory(self) -> Callable[[], PartitionState]:
@@ -259,7 +278,9 @@ class SimulatedBackend(ClusterBackend):
         state = self.peek_partition(machine_id, pid)
         if state is None:
             return None
-        return PartitionHandoff(state.snapshot(), state.size(),
+        snapshot = sanitize.assert_picklable(state.snapshot(),
+                                             "partition snapshot")
+        return PartitionHandoff(snapshot, state.size(),
                                 getattr(state, "applied", 0))
 
     def peek_partition(self, machine_id: str,

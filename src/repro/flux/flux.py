@@ -175,13 +175,24 @@ class Flux:
             self.backend.enqueue(machine_id, pid, seq, t)
 
     # -- the drive loop -----------------------------------------------------
-    def tick(self, arriving: Optional[List[Tuple]] = None) -> int:
+    def tick(self, arriving: Optional[List[Tuple]] = None,
+             wait: bool = True) -> int:
         """One epoch: route arrivals, let machines work, collect acks,
-        progress moves, maybe rebalance.  Returns fully-acked count."""
+        progress moves, maybe rebalance.  Returns fully-acked count.
+
+        With ``wait=True`` (standalone drive loops) an idle epoch parks
+        briefly in ``backend.wait_for_acks`` instead of spinning.  The
+        loop-hosted :class:`FluxPump` passes ``wait=False`` so a tick
+        never blocks the event-loop thread it shares with the network
+        pump — the scheduler's idle protocol provides the pacing there.
+        """
         if arriving:
             self.route(arriving)
         self._epoch += 1
         acked = self._collect_acks(self.backend.step())
+        if wait and not acked and self.unacked_total():
+            self.backend.wait_for_acks()
+            acked += self._collect_acks(self.backend.poll_acks())
         self._progress_moves()
         if self.rebalance_every and \
                 self._epoch % self.rebalance_every == 0:
@@ -517,7 +528,9 @@ class FluxPump(Schedulable):
                 batch = list(next(self._feed))
             except StopIteration:
                 self._feed_done = True
-        acked = self.flux.tick(batch)
+        # wait=False: this quantum may run on the event-loop thread, so
+        # an idle epoch yields to the scheduler instead of parking.
+        acked = self.flux.tick(batch, wait=False)
         self.epochs += 1
         worked = bool(acked) or bool(batch)
         if self.finished:

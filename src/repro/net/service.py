@@ -44,6 +44,7 @@ import warnings
 from collections import deque
 from typing import Any, Dict, List, Optional
 
+from repro.analysis import sanitize
 from repro.analysis.plan_check import check_query
 from repro.errors import (ExecutionError, ProtocolError, QueryError,
                           TelegraphError, error_to_wire)
@@ -194,6 +195,11 @@ class TelegraphCQService:
         self._epoch_out = 0         # rows delivered this shed epoch
         self._telemetry = get_registry()
         self._telemetry.register_collector(self._publish_telemetry)
+        # REPRO_SANITIZE=1: time every scheduler pass on the loop thread
+        # so blocking regressions (TCQ701's runtime shadow) are counted.
+        self.watchdog: Optional[sanitize.LoopWatchdog] = (
+            sanitize.LoopWatchdog(budget_s=0.1, name="net")
+            if sanitize.enabled() else None)
         self._handlers = {
             "HELLO": self._h_hello, "SUBMIT": self._h_submit,
             "FETCH": self._h_fetch, "PUSH": self._h_push,
@@ -297,7 +303,11 @@ class TelegraphCQService:
         wake event (bounded by ``idle_poll`` so eviction scans run)
         while idle."""
         while self._running:
-            result = self.scheduler.pass_once()
+            if self.watchdog is not None:
+                with self.watchdog:
+                    result = self.scheduler.pass_once()
+            else:
+                result = self.scheduler.pass_once()
             if result.worked:
                 await asyncio.sleep(0)      # yield to the transport
                 continue

@@ -1,0 +1,30 @@
+"""Stub telemetry registry for the corpus: gives TCQ705's import
+resolution a module ending in ``telemetry`` that defines the series
+kinds and the sanctioned helpers."""
+
+
+class Counter:
+    def __init__(self, name, help=""):
+        self.name = name
+
+
+class Gauge:
+    def __init__(self, name, help=""):
+        self.name = name
+
+
+class Histogram:
+    def __init__(self, name, help=""):
+        self.name = name
+
+
+class Registry:
+    def counter(self, name, help=""):
+        return Counter(name, help)
+
+
+_REGISTRY = Registry()
+
+
+def get_registry():
+    return _REGISTRY

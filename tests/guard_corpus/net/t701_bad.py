@@ -1,0 +1,33 @@
+"""TCQ701 bad twin: blocking calls reachable from async context.
+
+Two findings: a direct ``time.sleep`` inside an ``async def``, and a
+``.recv()`` two hops down a ``run_once`` chain (exercises the call
+graph, not just the seed function).
+"""
+
+import time
+
+
+async def handle_frame(frame):
+    time.sleep(0.1)          # finding 1: parks the event loop
+    return frame
+
+
+def _pull(conn):
+    return conn.recv()       # finding 2: sync IO, reachable from run_once
+
+
+def _relay(conn):
+    return _pull(conn)
+
+
+class Pump:
+    def __init__(self, conn):
+        self.conn = conn
+        self.finished = False
+
+    def ready(self):
+        return True
+
+    def run_once(self, quantum=None):
+        return _relay(self.conn)

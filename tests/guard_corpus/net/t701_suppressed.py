@@ -1,0 +1,8 @@
+"""TCQ701 suppressed: a justified inline allow silences the finding."""
+
+import time
+
+
+async def teardown(worker):
+    time.sleep(0.01)  # tcq: allow[TCQ701] teardown path, loop already stopping
+    return worker

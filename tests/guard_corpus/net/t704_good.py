@@ -1,0 +1,8 @@
+"""TCQ704 good twin: asyncio inside a ``net`` package is the front door."""
+
+import asyncio
+
+
+async def serve(handler):
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server

@@ -1,0 +1,26 @@
+"""TCQ702 bad twin: unpicklable values headed across the process boundary.
+
+Three findings: a lambda passed into a pickling sink, a nested function
+likewise, and a lambda pickled directly.
+"""
+
+import pickle
+
+
+def ship(payload):
+    return pickle.dumps(payload)
+
+
+def configure_worker():
+    return ship(lambda row: row["key"])        # finding 1
+
+
+def install_handler():
+    def local_handler(row):
+        return row
+
+    return ship(local_handler)                  # finding 2
+
+
+def snapshot_closure():
+    return pickle.dumps(lambda: 42)             # finding 3

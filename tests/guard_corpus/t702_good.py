@@ -1,0 +1,19 @@
+"""TCQ702 good twin: module-level callables and plain data pickle fine."""
+
+import pickle
+
+
+def ship(payload):
+    return pickle.dumps(payload)
+
+
+def extract_key(row):
+    return row["key"]
+
+
+def configure_worker():
+    return ship(extract_key)
+
+
+def snapshot_state(state):
+    return ship({"rows": list(state)})

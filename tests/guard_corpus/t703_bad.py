@@ -1,0 +1,22 @@
+"""TCQ703 bad twin: a module-level container mutated on an engine path.
+
+Two findings: a direct append from ``run_once`` and a mutation through
+a local alias of the global.
+"""
+
+PENDING = []
+STATS = {}
+
+
+class Collector:
+    def __init__(self):
+        self.finished = False
+
+    def ready(self):
+        return True
+
+    def run_once(self, quantum=None):
+        PENDING.append(quantum)            # finding 1: direct mutation
+        stats = STATS
+        stats["passes"] = len(PENDING)     # finding 2: via local alias
+        return True

@@ -1,0 +1,16 @@
+"""TCQ703 good twin: engine-path state lives on the instance."""
+
+LOOKUP = {"a": 1, "b": 2}   # read-only at run time: never mutated
+
+
+class Collector:
+    def __init__(self):
+        self.pending = []
+        self.finished = False
+
+    def ready(self):
+        return True
+
+    def run_once(self, quantum=None):
+        self.pending.append(quantum)
+        return LOOKUP.get("a")

@@ -1,0 +1,7 @@
+"""TCQ704 bad twin: asyncio leaks outside the net front door."""
+
+import asyncio
+
+
+def drain(tasks):
+    return asyncio.gather(*tasks)

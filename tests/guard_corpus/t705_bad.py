@@ -1,0 +1,13 @@
+"""TCQ705 bad twin: series constructed directly, invisible to scrapes.
+
+Two findings: a from-import construction and a module-alias one.
+"""
+
+from guard_corpus.monitor import telemetry
+from guard_corpus.monitor.telemetry import Counter
+
+EVENTS = Counter("tcq_events_total")               # finding 1
+
+
+def make_gauge():
+    return telemetry.Gauge("tcq_depth")            # finding 2

@@ -1,0 +1,9 @@
+"""TCQ705 good twin: series come from the registry helpers."""
+
+from guard_corpus.monitor.telemetry import get_registry
+
+EVENTS = get_registry().counter("tcq_events_total", "corpus events")
+
+
+def make_counter():
+    return get_registry().counter("tcq_made_total", "made here")

@@ -318,8 +318,8 @@ def test_columnar_discipline_allows_self_rows_and_cold_paths():
             def materialize(self):
                 return self._rows
     """
-    # The batch implementation itself and anything outside the hot-path
-    # dirs stay out of scope.
+    # self._rows is the backing store: clean even in the implementation
+    # file, which no longer enjoys a by-name exemption.
     assert codes(impl, file="src/repro/core/tuples.py") == []
     hot = """\
         rows = batch.materialize()
@@ -368,12 +368,25 @@ def test_process_confinement_flags_fork_and_executor():
     assert codes(src, file="src/repro/query/planner.py") == ["TCQ601"]
 
 
-def test_process_confinement_allows_procs_module_and_tests():
+def test_process_confinement_has_no_path_exemption():
+    # procs.py is no longer special-cased by path: the real module
+    # carries inline ``# tcq: allow[TCQ601]`` comments instead, so a
+    # *new* unannotated primitive there is flagged like anywhere else.
+    src = """\
+        import multiprocessing
+    """
+    assert codes(src, file="src/repro/flux/procs.py") == ["TCQ601"]
+    annotated = """\
+        import multiprocessing  # tcq: allow[TCQ601] confinement module
+    """
+    assert codes(annotated, file="src/repro/flux/procs.py") == []
+
+
+def test_process_confinement_allows_tests():
     src = """\
         import multiprocessing
         pid = os.fork()
     """
-    assert codes(src, file="src/repro/flux/procs.py") == []
     assert codes(src, file="tests/test_flux_procs.py") == []
 
 
@@ -390,6 +403,29 @@ def test_process_confinement_exemption_comment():
         import multiprocessing  # tcqcheck: allow-process
     """
     assert codes(src, file="src/repro/core/engine2.py") == []
+
+
+# -- unified # tcq: allow[...] suppression syntax ------------------------------
+
+def test_bracket_allow_works_for_lint_rules():
+    src = "import time\nt = time.time()  # tcq: allow[TCQ303] bench-only timing\n"
+    assert codes(src) == []
+
+
+def test_bracket_allow_multiple_codes():
+    src = ("import time\n"
+           "t = time.time()  # tcq: allow[TCQ303, TCQ501] cold diagnostic path\n")
+    assert codes(src) == []
+
+
+def test_bracket_allow_requires_reason():
+    src = "import time\nt = time.time()  # tcq: allow[TCQ303]\n"
+    assert codes(src) == ["TCQ303"]
+
+
+def test_bracket_allow_wrong_code_does_not_suppress():
+    src = "import time\nt = time.time()  # tcq: allow[TCQ501] wrong code\n"
+    assert codes(src) == ["TCQ303"]
 
 
 def test_process_confinement_shipped_tree_is_clean():

@@ -1,0 +1,132 @@
+"""REPRO_SANITIZE=1: the runtime half of the guard.
+
+Tier-1 covers the primitives and the simulated-backend wiring (no
+processes, no sockets); a net-marked test drives the service watchdog
+end to end.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.sanitize import (LoopWatchdog, SanitizeError,
+                                     assert_picklable, enabled)
+from repro.flux.backend import SimulatedBackend
+from repro.flux.cluster import Cluster
+
+
+@pytest.fixture
+def sanitizing(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not enabled()
+    # no-op: even an unpicklable object passes through untouched
+    obj = lambda: 1  # noqa: E731
+    assert assert_picklable(obj) is obj
+
+
+def test_zero_means_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not enabled()
+
+
+def test_round_trip_pass_and_fail(sanitizing):
+    assert enabled()
+    payload = {"rows": [1, 2, 3]}
+    assert assert_picklable(payload, "payload") is payload
+    with pytest.raises(SanitizeError, match="state factory"):
+        assert_picklable(lambda: 1, "state factory")
+
+
+def test_catches_pickle_but_not_unpickle(sanitizing):
+    """The loads() half matters: this object pickles fine but cannot be
+    rebuilt, which is exactly what breaks a failover snapshot."""
+
+    class Evil:
+        def __reduce__(self):
+            return (eval, ("__import__('nonexistent_module_xyz')",))
+
+    pickle.dumps(Evil())  # dumps alone is happy
+    with pytest.raises(SanitizeError):
+        assert_picklable(Evil(), "snapshot")
+
+
+def test_watchdog_counts_stalls():
+    wd = LoopWatchdog(budget_s=0.0, name="test")
+    with wd:
+        sum(range(1000))
+    with wd:
+        pass
+    assert wd.passes == 2
+    assert wd.stall_count >= 1
+    assert all(dur >= 0 for dur, _at in wd.stalls)
+
+
+def test_watchdog_ring_is_bounded():
+    wd = LoopWatchdog(budget_s=-1.0, name="test", keep=4)
+    for _ in range(10):
+        with wd:
+            pass
+    assert len(wd.stalls) == 4
+    assert wd.stall_count == 10
+
+
+# -- Flux boundary wiring ------------------------------------------------------
+
+def _sim_backend():
+    cluster = Cluster()
+    cluster.add_machine("w0")
+    return SimulatedBackend(cluster)
+
+
+def test_simulated_backend_rejects_unpicklable_factory(sanitizing):
+    backend = _sim_backend()
+    with pytest.raises(SanitizeError, match="state factory"):
+        backend.configure(lambda: None)
+
+
+def test_simulated_backend_accepts_module_level_factory(sanitizing):
+    from repro.flux.cluster import PartitionState
+    backend = _sim_backend()
+    backend.configure(PartitionState)  # module-level class: picklable
+
+
+def test_backend_unchecked_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    backend = _sim_backend()
+    backend.configure(lambda: None)  # sails through, as before
+
+
+# -- service watchdog wiring ---------------------------------------------------
+
+def test_service_watchdog_absent_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    from repro.net.service import TelegraphCQService
+    service = TelegraphCQService()
+    assert service.watchdog is None
+
+
+@pytest.mark.net
+def test_service_watchdog_times_loop_passes(sanitizing):
+    from repro.client import connect
+    from repro.net.service import TelegraphCQService
+    service = TelegraphCQService(admin_port=None)
+    assert service.watchdog is not None
+    service.run_in_thread()
+    try:
+        conn = connect(f"tcp://127.0.0.1:{service.port}", client="wd")
+        conn.create_stream("s", "a")
+        cur = conn.submit("SELECT * FROM s WHERE a > 1")
+        conn.push_rows("s", [[1], [2], [3]])
+        rows = cur.fetch()
+        assert rows
+        conn.close()
+    finally:
+        service.close()
+    # the loop did real work and every pass was timed
+    assert service.watchdog.passes > 0
+    # a healthy engine stays under the 100ms budget
+    assert service.watchdog.stall_count == 0
